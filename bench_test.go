@@ -1,0 +1,264 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§5) as
+// testing.B series. Each sub-benchmark runs the full distributed
+// simulation for one point of the figure's parameter sweep on the
+// laptop-scale workload and reports the figure's metric via
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints both the runtime cost of a run and the reproduced series. The
+// cmd/alarmbench binary runs the same sweeps at medium and paper scale
+// with tabular output; EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package sabre_test
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/sim"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// benchWorkload caches the workload across benchmarks (building the road
+// network is not what we are measuring).
+var benchWorkloads = map[float64]*sim.Workload{}
+
+func workloadFor(b *testing.B, publicFraction float64) *sim.Workload {
+	b.Helper()
+	if w, ok := benchWorkloads[publicFraction]; ok {
+		return w
+	}
+	cfg := sim.SmallWorkload(1)
+	if publicFraction >= 0 {
+		cfg.PublicFraction = publicFraction
+	}
+	w, err := sim.BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkloads[publicFraction] = w
+	return w
+}
+
+func runOnce(b *testing.B, w *sim.Workload, sc sim.StrategyConfig) *sim.Report {
+	b.Helper()
+	r, err := sim.Run(w, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig4aMessages: client→server messages vs grid cell size for the
+// weighted and non-weighted rectangular safe region (paper Figure 4(a)).
+func BenchmarkFig4aMessages(b *testing.B) {
+	w := workloadFor(b, -1)
+	for _, variant := range []struct {
+		name  string
+		model motion.Model
+	}{
+		{"nonweighted", motion.Uniform()},
+		{"weighted-z32", motion.MustNew(1, 32)},
+	} {
+		for _, cell := range []float64{0.4, 2.5, 10} {
+			b.Run(variant.name+"/cell-km2="+ftoa(cell), func(b *testing.B) {
+				var last *sim.Report
+				for i := 0; i < b.N; i++ {
+					last = runOnce(b, w, sim.StrategyConfig{
+						Strategy:    wire.StrategyMWPSR,
+						Model:       variant.model,
+						CellAreaKM2: cell,
+					})
+				}
+				b.ReportMetric(float64(last.UplinkMessages), "msgs")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4bServerTime: server processing minutes vs cell size (paper
+// Figure 4(b)).
+func BenchmarkFig4bServerTime(b *testing.B) {
+	w := workloadFor(b, -1)
+	for _, cell := range []float64{0.4, 2.5, 10} {
+		b.Run("cell-km2="+ftoa(cell), func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, sim.StrategyConfig{
+					Strategy:    wire.StrategyMWPSR,
+					Model:       motion.MustNew(1, 32),
+					CellAreaKM2: cell,
+				})
+			}
+			b.ReportMetric(last.AlarmProcessingMinutes*60, "alarmproc-s")
+			b.ReportMetric(last.SafeRegionMinutes*60, "srcomp-s")
+		})
+	}
+}
+
+// BenchmarkFig5aMessages: messages vs pyramid height (paper Figure 5(a);
+// h=1 is the GBSR).
+func BenchmarkFig5aMessages(b *testing.B) {
+	w := workloadFor(b, 0.10)
+	for _, h := range []int{1, 3, 5, 7} {
+		b.Run("h="+itoa(h), func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, sim.StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: h})
+			}
+			b.ReportMetric(float64(last.UplinkMessages), "msgs")
+		})
+	}
+}
+
+// BenchmarkFig5bEnergy: client containment-detection energy vs pyramid
+// height (paper Figure 5(b)).
+func BenchmarkFig5bEnergy(b *testing.B) {
+	w := workloadFor(b, 0.10)
+	for _, h := range []int{1, 3, 5, 7} {
+		b.Run("h="+itoa(h), func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, sim.StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: h})
+			}
+			b.ReportMetric(last.ClientProbeEnergyMWh, "mWh")
+		})
+	}
+}
+
+// fig6Approaches are the approaches of the paper's Figure 6 comparison.
+var fig6Approaches = []struct {
+	name string
+	sc   sim.StrategyConfig
+}{
+	{"PRD", sim.StrategyConfig{Strategy: wire.StrategyPeriodic}},
+	{"MWPSR", sim.StrategyConfig{Strategy: wire.StrategyMWPSR, Model: motion.MustNew(1, 32)}},
+	{"PBSR", sim.StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	{"SP", sim.StrategyConfig{Strategy: wire.StrategySafePeriod}},
+	{"OPT", sim.StrategyConfig{Strategy: wire.StrategyOptimal}},
+}
+
+// BenchmarkFig6aMessages: messages per approach (paper Figure 6(a)).
+func BenchmarkFig6aMessages(b *testing.B) {
+	w := workloadFor(b, 0.10)
+	for _, a := range fig6Approaches {
+		b.Run(a.name, func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, a.sc)
+			}
+			b.ReportMetric(float64(last.UplinkMessages), "msgs")
+		})
+	}
+}
+
+// BenchmarkFig6bBandwidth: downstream bandwidth per approach (paper
+// Figure 6(b)).
+func BenchmarkFig6bBandwidth(b *testing.B) {
+	w := workloadFor(b, 0.10)
+	for _, a := range fig6Approaches {
+		if a.name == "PRD" || a.name == "SP" {
+			continue // the paper excludes these from the bandwidth figure
+		}
+		b.Run(a.name, func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, a.sc)
+			}
+			b.ReportMetric(last.DownlinkMbps*1000, "kbps")
+		})
+	}
+}
+
+// BenchmarkFig6cEnergy: client energy per approach (paper Figure 6(c)).
+func BenchmarkFig6cEnergy(b *testing.B) {
+	w := workloadFor(b, 0.10)
+	for _, a := range fig6Approaches {
+		if a.name == "PRD" || a.name == "SP" {
+			continue
+		}
+		b.Run(a.name, func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, a.sc)
+			}
+			b.ReportMetric(last.ClientEnergyMWh, "mWh")
+		})
+	}
+}
+
+// BenchmarkFig6dServerTime: server time decomposition per approach (paper
+// Figure 6(d)).
+func BenchmarkFig6dServerTime(b *testing.B) {
+	w := workloadFor(b, 0.10)
+	for _, a := range fig6Approaches {
+		b.Run(a.name, func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, a.sc)
+			}
+			b.ReportMetric(last.AlarmProcessingMinutes*60, "alarmproc-s")
+			b.ReportMetric(last.SafeRegionMinutes*60, "srcomp-s")
+		})
+	}
+}
+
+// BenchmarkAblationAssembly: greedy vs exhaustive MWPSR assembly (DESIGN.md
+// ablation).
+func BenchmarkAblationAssembly(b *testing.B) {
+	w := workloadFor(b, -1)
+	for _, mode := range []struct {
+		name       string
+		exhaustive bool
+	}{{"greedy", false}, {"exhaustive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, sim.StrategyConfig{
+					Strategy:           wire.StrategyMWPSR,
+					Model:              motion.MustNew(1, 32),
+					ExhaustiveAssembly: mode.exhaustive,
+				})
+			}
+			b.ReportMetric(float64(last.UplinkMessages), "msgs")
+		})
+	}
+}
+
+// BenchmarkAblationPublicBitmap: PBSR with and without the §4.2 public
+// bitmap precomputation.
+func BenchmarkAblationPublicBitmap(b *testing.B) {
+	w := workloadFor(b, 0.20)
+	for _, mode := range []struct {
+		name string
+		pre  bool
+	}{{"direct", false}, {"precomputed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *sim.Report
+			for i := 0; i < b.N; i++ {
+				last = runOnce(b, w, sim.StrategyConfig{
+					Strategy:                wire.StrategyPBSR,
+					PyramidHeight:           5,
+					PrecomputePublicBitmaps: mode.pre,
+				})
+			}
+			b.ReportMetric(last.SafeRegionMinutes*60, "srcomp-s")
+		})
+	}
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 0.4:
+		return "0.4"
+	case 2.5:
+		return "2.5"
+	case 10:
+		return "10"
+	default:
+		return "x"
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }

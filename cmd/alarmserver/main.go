@@ -1,0 +1,166 @@
+// Command alarmserver runs the SABRE alarm server on TCP. It installs an
+// optional random alarm workload at startup, accepts client connections
+// speaking the length-prefixed wire protocol (see cmd/alarmclient), and
+// prints the evaluation counters on shutdown (SIGINT/SIGTERM).
+//
+// Usage:
+//
+//	alarmserver -addr :7700 -side 5000 -alarms 150 -public 0.1 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alarmserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":7700", "listen address")
+		side    = flag.Float64("side", 5000, "universe side length in metres")
+		cellKM2 = flag.Float64("cell-km2", 2.5, "grid cell area in km²")
+		height  = flag.Int("pyramid-height", 5, "PBSR pyramid height")
+		nAlarms = flag.Int("alarms", 150, "random alarms to install at startup")
+		public  = flag.Float64("public", 0.10, "fraction of startup alarms that are public")
+		users   = flag.Int("users", 100, "user-id range for random private alarm owners")
+		vmax    = flag.Float64("vmax", 34, "system max client speed in m/s (safe periods)")
+		seed    = flag.Int64("seed", 1, "alarm generation seed")
+		quiet   = flag.Bool("quiet", false, "suppress per-connection logging")
+		snap    = flag.String("snapshot", "", "snapshot file: load alarm table at startup (if present) and save it on shutdown")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "alarmserver: ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	model, err := motion.New(1, 32)
+	if err != nil {
+		return err
+	}
+	universe := geom.Rect{MinX: -100, MinY: -100, MaxX: *side + 100, MaxY: *side + 100}
+	eng, err := server.New(server.Config{
+		Universe:                universe,
+		CellAreaM2:              *cellKM2 * 1e6,
+		Model:                   model,
+		PyramidParams:           pyramid.Params{U: 3, V: 3, Height: *height, MaxBits: 2048},
+		MaxSpeed:                *vmax,
+		TickSeconds:             1,
+		PrecomputePublicBitmaps: true,
+		Costs:                   metrics.DefaultCosts(),
+	})
+	if err != nil {
+		return err
+	}
+	if *snap != "" {
+		if f, err := os.Open(*snap); err == nil {
+			restored, lerr := alarm.LoadRegistry(f)
+			f.Close()
+			if lerr != nil {
+				return fmt.Errorf("load snapshot %s: %w", *snap, lerr)
+			}
+			eng.ReplaceRegistry(restored)
+			fmt.Printf("restored %d alarms from %s\n", restored.Len(), *snap)
+		} else if !os.IsNotExist(err) {
+			return err
+		} else {
+			installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed)
+		}
+	} else {
+		installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed)
+	}
+
+	srv, err := server.NewTCPServer(eng, *addr, logger)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alarmserver listening on %s (universe %.0f m, %d alarms, cell %.2f km²)\n",
+		srv.Addr(), *side, eng.Registry().Len(), *cellKM2)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	select {
+	case <-sig:
+		srv.Close()
+		<-errc
+	case err := <-errc:
+		return err
+	}
+
+	if *snap != "" {
+		f, err := os.Create(*snap)
+		if err != nil {
+			return err
+		}
+		if err := eng.Registry().Snapshot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved alarm table to %s\n", *snap)
+	}
+
+	m := eng.Metrics()
+	fmt.Printf("\n--- session counters ---\n")
+	fmt.Printf("uplink:    %d msgs, %d bytes\n", m.UplinkMessages, m.UplinkBytes)
+	fmt.Printf("downlink:  %d msgs, %d bytes\n", m.DownlinkMessages, m.DownlinkBytes)
+	fmt.Printf("triggers:  %d\n", m.AlarmsTriggered)
+	fmt.Printf("cpu model: alarm processing %.3fs, safe region %.3fs\n",
+		m.AlarmProcessingSeconds(), m.SafeRegionSeconds())
+	return nil
+}
+
+// installRandomAlarms seeds the registry with a workload mirroring the
+// simulation's composition (public fraction, private:shared 2:1).
+func installRandomAlarms(eng *server.Engine, n int, publicFrac float64, users int, side float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	numPublic := int(float64(n) * publicFrac)
+	numShared := (n - numPublic) / 3
+	batch := make([]alarm.Alarm, 0, n)
+	for i := 0; i < n; i++ {
+		a := alarm.Alarm{
+			Owner: alarm.UserID(rng.Intn(users) + 1),
+			Region: geom.RectAround(
+				geom.Pt(rng.Float64()*side, rng.Float64()*side),
+				100+rng.Float64()*300,
+			),
+		}
+		switch {
+		case i < numPublic:
+			a.Scope = alarm.Public
+		case i < numPublic+numShared:
+			a.Scope = alarm.Shared
+			a.Subscribers = []alarm.UserID{a.Owner, alarm.UserID(rng.Intn(users) + 1)}
+		default:
+			a.Scope = alarm.Private
+		}
+		batch = append(batch, a)
+	}
+	if _, err := eng.Registry().InstallBatch(batch); err != nil {
+		// Random generation never produces invalid alarms; treat as a
+		// programming error worth surfacing loudly at startup.
+		panic(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sabre_test
+
+import (
+	"fmt"
+
+	sabre "github.com/sabre-geo/sabre"
+)
+
+// Example walks a client toward a private alarm and prints the delivered
+// alert — the complete monitoring loop of the library.
+func Example() {
+	svc, err := sabre.NewService(sabre.ServiceConfig{
+		Universe: sabre.Rect{MinX: -100, MinY: -100, MaxX: 10100, MaxY: 10100},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	id, _ := svc.InstallAlarm(sabre.Alarm{
+		Scope:  sabre.Private,
+		Owner:  1,
+		Region: sabre.RectAround(sabre.Pt(5000, 5000), 400),
+	})
+	svc.RegisterClient(1, sabre.StrategyMWPSR, 0)
+	mon := sabre.NewMonitor(1, sabre.StrategyMWPSR)
+
+	for tick := 0; tick < 300; tick++ {
+		pos := sabre.Pt(2000+float64(tick)*20, 5000) // driving east at 20 m/s
+		report := mon.Tick(tick, pos)
+		if report == nil {
+			continue
+		}
+		responses, _ := svc.HandleUpdate(*report)
+		for _, msg := range responses {
+			if fired, ok := msg.(sabre.AlarmFired); ok {
+				for _, a := range fired.Alarms {
+					fmt.Printf("alarm %d fired with %d reports sent\n", a, mon.MessagesSent())
+				}
+			}
+			mon.Handle(tick, msg)
+		}
+		if len(responses) == 0 {
+			mon.Acknowledge()
+		}
+	}
+	_ = id
+	// Output:
+	// alarm 1 fired with 4 reports sent
+}
+
+// ExampleComputeRectRegion computes a maximum weighted perimeter safe
+// region directly, without running a service.
+func ExampleComputeRectRegion() {
+	cell := sabre.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	alarms := []sabre.Rect{sabre.RectAround(sabre.Pt(800, 500), 200)}
+	region := sabre.ComputeRectRegion(sabre.Pt(300, 500), cell, alarms, sabre.RectRegionOptions{})
+	fmt.Printf("safe region %v avoids the alarm: %v\n", region, !region.Overlaps(alarms[0]))
+	// Output:
+	// safe region [0.00,700.00]x[0.00,1000.00] avoids the alarm: true
+}
+
+// ExampleComputeBitmapRegion encodes a pyramid bitmap safe region and
+// queries it.
+func ExampleComputeBitmapRegion() {
+	cell := sabre.Rect{MinX: 0, MinY: 0, MaxX: 900, MaxY: 900}
+	alarms := []sabre.Rect{sabre.RectAround(sabre.Pt(450, 450), 150)}
+	region, err := sabre.ComputeBitmapRegion(cell, 3, alarms)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("coverage %.2f, centre safe: %v, corner safe: %v\n",
+		region.Coverage, region.Contains(sabre.Pt(450, 450)), region.Contains(sabre.Pt(50, 50)))
+	// Output:
+	// coverage 0.97, centre safe: false, corner safe: true
+}
+
+// ExampleSteadyMotion shows the weighted variant: a motion model biases
+// the safe region toward the client's heading.
+func ExampleSteadyMotion() {
+	model, err := sabre.SteadyMotion(1, 32)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cell := sabre.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	alarms := []sabre.Rect{
+		{MinX: 0, MinY: 780, MaxX: 1000, MaxY: 820},
+		{MinX: 0, MinY: 180, MaxX: 1000, MaxY: 220},
+	}
+	// Heading east (0 rad): the region keeps the full east-west extent.
+	region := sabre.ComputeRectRegion(sabre.Pt(500, 500), cell, alarms,
+		sabre.RectRegionOptions{Motion: model, Heading: 0})
+	fmt.Printf("width %.0f m, height %.0f m\n", region.Width(), region.Height())
+	// Output:
+	// width 1000 m, height 560 m
+}

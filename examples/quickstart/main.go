@@ -1,0 +1,84 @@
+// Quickstart: install a spatial alarm, walk a client toward it, and watch
+// the safe region machinery deliver the alert with a handful of messages.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sabre "github.com/sabre-geo/sabre"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 10×10 km universe of discourse with the paper's optimal 2.5 km²
+	// grid cells.
+	svc, err := sabre.NewService(sabre.ServiceConfig{
+		Universe:    sabre.Rect{MinX: -100, MinY: -100, MaxX: 10100, MaxY: 10100},
+		CellAreaKM2: 2.5,
+	})
+	if err != nil {
+		return err
+	}
+
+	// "Alert me when I am within 250 m of the dry cleaner" — a private
+	// alarm around a fixed target for user 1.
+	dryCleaner := sabre.Pt(6000, 5000)
+	alarmID, err := svc.InstallAlarm(sabre.Alarm{
+		Scope:  sabre.Private,
+		Owner:  1,
+		Region: sabre.RectAround(dryCleaner, 500),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("installed alarm %d around %v\n", alarmID, dryCleaner)
+
+	// The client monitors with rectangular (MWPSR) safe regions.
+	if err := svc.RegisterClient(1, sabre.StrategyMWPSR, 0); err != nil {
+		return err
+	}
+	mon := sabre.NewMonitor(1, sabre.StrategyMWPSR)
+
+	// Drive east at 20 m/s, one position fix per second.
+	for tick := 0; tick < 400; tick++ {
+		pos := sabre.Pt(1000+float64(tick)*20, 5000)
+
+		report := mon.Tick(tick, pos)
+		if report == nil {
+			continue // still provably safe: nothing to send
+		}
+		responses, err := svc.HandleUpdate(*report)
+		if err != nil {
+			return err
+		}
+		for _, msg := range responses {
+			if fired, ok := msg.(sabre.AlarmFired); ok {
+				for _, id := range fired.Alarms {
+					fmt.Printf("tick %d at %v: alarm %d fired!\n", tick, pos, id)
+				}
+			}
+			if err := mon.Handle(tick, msg); err != nil {
+				return err
+			}
+		}
+		if len(responses) == 0 {
+			mon.Acknowledge()
+		}
+	}
+
+	stats := svc.Stats()
+	fmt.Printf("\nthe client sent %d reports for 400 position fixes (%.1f%%)\n",
+		mon.MessagesSent(), 100*float64(mon.MessagesSent())/400)
+	fmt.Printf("server evaluated %d uplink messages and delivered %d trigger(s)\n",
+		stats.UplinkMessages, stats.AlarmsTriggered)
+	fmt.Printf("estimated client energy: %.2f mWh\n", mon.EnergyMWh())
+	return nil
+}

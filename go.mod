@@ -1,0 +1,3 @@
+module github.com/sabre-geo/sabre
+
+go 1.22

@@ -1,0 +1,571 @@
+// Package alarm models spatial alarms and their server-side registry.
+//
+// A spatial alarm (paper §1) is a one-shot, location-triggered notification
+// defined by an alarm target (a future location reference), an owner (the
+// publisher) and a set of subscribers. By publish–subscribe scope, alarms
+// are private (owner only), shared (owner plus an authorized subscriber
+// list) or public (all mobile users; the paper's evaluation assumes public
+// alarms are subscribed to by everyone).
+//
+// The registry indexes alarm regions in an R*-tree (paper §5.1) and tracks
+// per-(alarm, subscriber) trigger state: an alarm fires at most once per
+// subscriber and stops being relevant to that subscriber afterwards.
+//
+// Alarms on moving targets are supported by re-anchoring the alarm region
+// when the target reports a new position (paper §1's "moving target"
+// classes); the experiments use static targets, matching the paper's
+// evaluation setup.
+package alarm
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/rstar"
+)
+
+// ID identifies an installed alarm.
+type ID uint64
+
+// UserID identifies a mobile user.
+type UserID uint64
+
+// Scope is the publish–subscribe scope of an alarm.
+type Scope int
+
+// Alarm scopes (paper §1).
+const (
+	Private Scope = iota + 1
+	Shared
+	Public
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch s {
+	case Private:
+		return "private"
+	case Shared:
+		return "shared"
+	case Public:
+		return "public"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Alarm is one installed spatial alarm.
+type Alarm struct {
+	ID    ID
+	Scope Scope
+	// Owner is the publisher. For private alarms the owner is the sole
+	// subscriber; for shared alarms the owner is typically also in
+	// Subscribers.
+	Owner UserID
+	// Subscribers is the authorized subscriber list for shared alarms.
+	// Ignored for private (owner only) and public (everyone) alarms.
+	Subscribers []UserID
+	// Region is the spatial trigger region.
+	Region geom.Rect
+	// Target, when non-zero, names the mobile user the alarm region is
+	// anchored to ("moving target" alarms). The region is recentred on the
+	// target's position, preserving its extent, whenever the target moves.
+	Target UserID
+	// Topic optionally scopes a public alarm to a subscription topic
+	// (paper §1: "mobile users may subscribe to public alarms by topic
+	// categories or keywords, such as 'traffic information on highway 85
+	// North'"). Empty means broadcast to everyone — the paper's
+	// evaluation default. Ignored for private and shared alarms.
+	Topic string
+}
+
+// RelevantTo reports whether the alarm can trigger for user u, ignoring
+// trigger state and topic subscriptions (topic filtering needs the
+// registry's subscription table; see Registry).
+func (a *Alarm) RelevantTo(u UserID) bool {
+	switch a.Scope {
+	case Public:
+		return true
+	case Private:
+		return a.Owner == u
+	case Shared:
+		if a.Owner == u {
+			return true
+		}
+		for _, s := range a.Subscribers {
+			if s == u {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type pairKey struct {
+	alarm ID
+	user  UserID
+}
+
+// SpatialIndex is the query surface the registry needs from its spatial
+// index. *rstar.Tree (the paper's choice) and *gridindex.Index (the
+// bucket-grid ablation) both satisfy it.
+type SpatialIndex interface {
+	Insert(rstar.Item)
+	InsertBatch(items []rstar.Item)
+	Delete(rstar.Item) bool
+	SearchPoint(geom.Point, []uint64) []uint64
+	SearchRect(geom.Rect, []uint64) []uint64
+	NearestDist(geom.Point, func(uint64) bool) float64
+	NodeAccesses() uint64
+	ResetStats()
+	Len() int
+}
+
+// Registry is the server-side store of installed alarms. It is safe for
+// concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	alarms map[ID]*Alarm
+	index  SpatialIndex
+	fired  map[pairKey]struct{}
+	// byTarget indexes alarms anchored to a moving target, so MoveTarget
+	// costs O(alarms on that target), not O(all alarms).
+	byTarget map[UserID][]ID
+	// topics holds per-user public-alarm topic subscriptions.
+	topics map[UserID]map[string]struct{}
+	nextID ID
+}
+
+// NewRegistry returns an empty registry indexed by an R*-tree (the
+// paper's configuration).
+func NewRegistry() *Registry {
+	return NewRegistryWithIndex(rstar.New(rstar.DefaultMaxEntries))
+}
+
+// NewRegistryWithIndex returns an empty registry over a caller-supplied
+// spatial index (used by the index ablation).
+func NewRegistryWithIndex(idx SpatialIndex) *Registry {
+	return &Registry{
+		alarms:   make(map[ID]*Alarm),
+		index:    idx,
+		fired:    make(map[pairKey]struct{}),
+		byTarget: make(map[UserID][]ID),
+		topics:   make(map[UserID]map[string]struct{}),
+		nextID:   1,
+	}
+}
+
+// Install validates and stores an alarm, assigning its ID. The returned ID
+// identifies the alarm in all other calls.
+func (r *Registry) Install(a Alarm) (ID, error) {
+	if a.Region.Empty() {
+		return 0, fmt.Errorf("alarm: empty region %v", a.Region)
+	}
+	switch a.Scope {
+	case Private, Shared, Public:
+	default:
+		return 0, fmt.Errorf("alarm: invalid scope %d", a.Scope)
+	}
+	if a.Scope == Shared && len(a.Subscribers) == 0 {
+		return 0, fmt.Errorf("alarm: shared alarm requires subscribers")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a.ID = r.nextID
+	r.nextID++
+	stored := a
+	stored.Subscribers = append([]UserID(nil), a.Subscribers...)
+	r.alarms[stored.ID] = &stored
+	r.index.Insert(rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+	if stored.Target != 0 {
+		r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
+	}
+	return stored.ID, nil
+}
+
+// InstallBatch validates and stores a whole alarm table at once. When the
+// registry is empty the spatial index is STR bulk-loaded (40× faster than
+// one-by-one insertion for the paper's 10,000-alarm default); otherwise
+// it falls back to individual inserts. Either all alarms are installed or
+// none (validation runs first).
+func (r *Registry) InstallBatch(alarms []Alarm) ([]ID, error) {
+	for i := range alarms {
+		a := &alarms[i]
+		if a.Region.Empty() {
+			return nil, fmt.Errorf("alarm %d: empty region %v", i, a.Region)
+		}
+		switch a.Scope {
+		case Private, Shared, Public:
+		default:
+			return nil, fmt.Errorf("alarm %d: invalid scope %d", i, a.Scope)
+		}
+		if a.Scope == Shared && len(a.Subscribers) == 0 {
+			return nil, fmt.Errorf("alarm %d: shared alarm requires subscribers", i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]ID, len(alarms))
+	items := make([]rstar.Item, len(alarms))
+	for i, a := range alarms {
+		stored := a
+		stored.ID = r.nextID
+		r.nextID++
+		stored.Subscribers = append([]UserID(nil), a.Subscribers...)
+		r.alarms[stored.ID] = &stored
+		if stored.Target != 0 {
+			r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
+		}
+		ids[i] = stored.ID
+		items[i] = rstar.Item{ID: uint64(stored.ID), Rect: stored.Region}
+	}
+	r.index.InsertBatch(items)
+	return ids, nil
+}
+
+// Remove uninstalls an alarm. It reports whether the alarm existed.
+func (r *Registry) Remove(id ID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.alarms[id]
+	if !ok {
+		return false
+	}
+	r.index.Delete(rstar.Item{ID: uint64(id), Rect: a.Region})
+	delete(r.alarms, id)
+	if a.Target != 0 {
+		ids := r.byTarget[a.Target]
+		for i, v := range ids {
+			if v == id {
+				r.byTarget[a.Target] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(r.byTarget[a.Target]) == 0 {
+			delete(r.byTarget, a.Target)
+		}
+	}
+	return true
+}
+
+// Get returns a copy of the alarm with the given ID.
+func (r *Registry) Get(id ID) (Alarm, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.alarms[id]
+	if !ok {
+		return Alarm{}, false
+	}
+	out := *a
+	out.Subscribers = append([]UserID(nil), a.Subscribers...)
+	return out, true
+}
+
+// Len returns the number of installed alarms.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.alarms)
+}
+
+// MoveTarget re-anchors every alarm whose Target is user onto the new
+// position, preserving each region's extent, and returns the IDs of the
+// alarms that moved. Alarm processing for the affected subscribers must be
+// re-run by the caller (the server invalidates their safe regions).
+func (r *Registry) MoveTarget(user UserID, pos geom.Point) []ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var moved []ID
+	for _, id := range r.byTarget[user] {
+		a := r.alarms[id]
+		if a == nil {
+			continue
+		}
+		old := a.Region
+		w, h := old.Width(), old.Height()
+		a.Region = geom.Rect{
+			MinX: pos.X - w/2, MinY: pos.Y - h/2,
+			MaxX: pos.X + w/2, MaxY: pos.Y + h/2,
+		}
+		r.index.Delete(rstar.Item{ID: uint64(id), Rect: old})
+		r.index.Insert(rstar.Item{ID: uint64(id), Rect: a.Region})
+		moved = append(moved, id)
+	}
+	return moved
+}
+
+// IsTarget reports whether any installed alarm is anchored to user u.
+func (r *Registry) IsTarget(u UserID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byTarget[u]) > 0
+}
+
+// SubscribersOf returns the users an alarm can trigger for: the owner for
+// private alarms, the subscriber list for shared ones. Public alarms
+// return nil (everyone; callers handle that case explicitly).
+func (r *Registry) SubscribersOf(id ID) []UserID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.alarms[id]
+	if a == nil {
+		return nil
+	}
+	switch a.Scope {
+	case Private:
+		return []UserID{a.Owner}
+	case Shared:
+		out := append([]UserID(nil), a.Subscribers...)
+		if a.Owner != 0 && !containsUser(out, a.Owner) {
+			out = append(out, a.Owner)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func containsUser(s []UserID, u UserID) bool {
+	for _, v := range s {
+		if v == u {
+			return true
+		}
+	}
+	return false
+}
+
+// SubscribeTopic subscribes user u to topic-scoped public alarms.
+func (r *Registry) SubscribeTopic(u UserID, topic string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.topics[u]
+	if set == nil {
+		set = make(map[string]struct{})
+		r.topics[u] = set
+	}
+	set[topic] = struct{}{}
+}
+
+// UnsubscribeTopic removes a topic subscription.
+func (r *Registry) UnsubscribeTopic(u UserID, topic string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if set := r.topics[u]; set != nil {
+		delete(set, topic)
+		if len(set) == 0 {
+			delete(r.topics, u)
+		}
+	}
+}
+
+// relevantToLocked combines scope relevance with topic filtering. Callers
+// hold r.mu.
+func (r *Registry) relevantToLocked(a *Alarm, u UserID) bool {
+	if !a.RelevantTo(u) {
+		return false
+	}
+	if a.Scope == Public && a.Topic != "" {
+		set := r.topics[u]
+		if set == nil {
+			return false
+		}
+		_, ok := set[a.Topic]
+		return ok
+	}
+	return true
+}
+
+// Fired reports whether the alarm already triggered for user u.
+func (r *Registry) Fired(id ID, u UserID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.fired[pairKey{alarm: id, user: u}]
+	return ok
+}
+
+// MarkFired records that the alarm triggered for user u (one-shot
+// semantics). Subsequent relevance and evaluation calls for u skip it.
+func (r *Registry) MarkFired(id ID, u UserID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fired[pairKey{alarm: id, user: u}] = struct{}{}
+}
+
+// ResetFired clears all trigger state (used between experiment runs).
+func (r *Registry) ResetFired() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fired = make(map[pairKey]struct{})
+}
+
+// RelevantIn appends to dst the alarms relevant to user u whose regions
+// intersect window w (typically the user's grid cell), excluding alarms
+// already fired for u, and returns the extended slice. The returned
+// pointers must be treated as read-only snapshots.
+func (r *Registry) RelevantIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := r.index.SearchRect(w, nil)
+	for _, raw := range ids {
+		id := ID(raw)
+		a := r.alarms[id]
+		if a == nil || !r.relevantToLocked(a, u) {
+			continue
+		}
+		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
+			continue
+		}
+		dst = append(dst, *a)
+	}
+	return dst
+}
+
+// Evaluate returns the alarms that trigger for user u at position p:
+// relevant, not yet fired, and whose region contains p. It does not change
+// trigger state; callers decide when to MarkFired (the server does so when
+// it delivers the alert).
+func (r *Registry) Evaluate(p geom.Point, u UserID) []ID {
+	ids, _ := r.EvaluateCounted(p, u)
+	return ids
+}
+
+// EvaluateCounted is Evaluate plus the number of candidate alarm regions
+// the index query surfaced (relevant or not) — the per-update work the
+// server cost model charges.
+func (r *Registry) EvaluateCounted(p geom.Point, u UserID) ([]ID, int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := r.index.SearchPoint(p, nil)
+	var out []ID
+	for _, raw := range ids {
+		id := ID(raw)
+		a := r.alarms[id]
+		if a == nil || !r.relevantToLocked(a, u) {
+			continue
+		}
+		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, len(ids)
+}
+
+// PublicIn appends to dst the regions of all public alarms intersecting w,
+// regardless of per-user trigger state — the input to the PBSR public-
+// alarm bitmap precomputation (paper §4.2).
+func (r *Registry) PublicIn(w geom.Rect, dst []geom.Rect) []geom.Rect {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, raw := range r.index.SearchRect(w, nil) {
+		a := r.alarms[ID(raw)]
+		if a != nil && a.Scope == Public {
+			dst = append(dst, a.Region)
+		}
+	}
+	return dst
+}
+
+// AnyFiredPublicIn reports whether any public alarm intersecting w has
+// already fired for user u. The PBSR public-bitmap precomputation is
+// shared across users, so it cannot reflect per-user fired state; the
+// server falls back to direct computation for exactly these users to keep
+// their safe regions maximal.
+func (r *Registry) AnyFiredPublicIn(w geom.Rect, u UserID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, raw := range r.index.SearchRect(w, nil) {
+		id := ID(raw)
+		a := r.alarms[id]
+		if a == nil || a.Scope != Public {
+			continue
+		}
+		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyFiredIn reports whether any alarm relevant to user u intersecting w
+// has already fired for u — i.e. whether a bitmap computed earlier for
+// this window is stale (too conservative) for this user.
+func (r *Registry) AnyFiredIn(w geom.Rect, u UserID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, raw := range r.index.SearchRect(w, nil) {
+		id := ID(raw)
+		a := r.alarms[id]
+		if a == nil || !r.relevantToLocked(a, u) {
+			continue
+		}
+		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
+			return true
+		}
+	}
+	return false
+}
+
+// RelevantNonPublicIn is RelevantIn restricted to private and shared
+// alarms; combined with a precomputed public bitmap it covers the full
+// relevant set.
+func (r *Registry) RelevantNonPublicIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, raw := range r.index.SearchRect(w, nil) {
+		id := ID(raw)
+		a := r.alarms[id]
+		if a == nil || a.Scope == Public || !r.relevantToLocked(a, u) {
+			continue
+		}
+		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
+			continue
+		}
+		dst = append(dst, *a)
+	}
+	return dst
+}
+
+// NearestRelevantDist returns the minimum distance from p to the region of
+// any alarm relevant to u and not yet fired for u; +Inf when none exists.
+// The safe-period baseline divides this distance by the maximum speed.
+func (r *Registry) NearestRelevantDist(p geom.Point, u UserID) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.index.NearestDist(p, func(raw uint64) bool {
+		id := ID(raw)
+		a := r.alarms[id]
+		if a == nil || !r.relevantToLocked(a, u) {
+			return false
+		}
+		_, gone := r.fired[pairKey{alarm: id, user: u}]
+		return !gone
+	})
+}
+
+// IndexAccesses returns the cumulative R*-tree node accesses performed by
+// queries, feeding the server cost model.
+func (r *Registry) IndexAccesses() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.index.NodeAccesses()
+}
+
+// ResetIndexStats zeroes the node access counter.
+func (r *Registry) ResetIndexStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.index.ResetStats()
+}
+
+// All returns a snapshot of every installed alarm, in unspecified order.
+func (r *Registry) All() []Alarm {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Alarm, 0, len(r.alarms))
+	for _, a := range r.alarms {
+		out = append(out, *a)
+	}
+	return out
+}

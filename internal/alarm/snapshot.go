@@ -1,0 +1,132 @@
+package alarm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/rstar"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the JSON form of a registry: the full alarm table plus the
+// per-(alarm, subscriber) trigger state, so a restarted server resumes
+// with identical one-shot semantics.
+type snapshot struct {
+	Version int             `json:"version"`
+	NextID  ID              `json:"nextId"`
+	Alarms  []snapshotAlarm `json:"alarms"`
+	Fired   []snapshotPair  `json:"fired"`
+}
+
+type snapshotAlarm struct {
+	ID          ID         `json:"id"`
+	Scope       Scope      `json:"scope"`
+	Owner       UserID     `json:"owner"`
+	Subscribers []UserID   `json:"subscribers,omitempty"`
+	Region      [4]float64 `json:"region"` // MinX, MinY, MaxX, MaxY
+	Target      UserID     `json:"target,omitempty"`
+}
+
+type snapshotPair struct {
+	Alarm ID     `json:"alarm"`
+	User  UserID `json:"user"`
+}
+
+// Snapshot serializes the registry (alarms, trigger state, ID counter) so
+// a restarted server can resume exactly where it stopped. Output is
+// deterministic: alarms and fired pairs are sorted.
+func (r *Registry) Snapshot(w io.Writer) error {
+	r.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, NextID: r.nextID}
+	for _, a := range r.alarms {
+		snap.Alarms = append(snap.Alarms, snapshotAlarm{
+			ID:          a.ID,
+			Scope:       a.Scope,
+			Owner:       a.Owner,
+			Subscribers: append([]UserID(nil), a.Subscribers...),
+			Region:      [4]float64{a.Region.MinX, a.Region.MinY, a.Region.MaxX, a.Region.MaxY},
+			Target:      a.Target,
+		})
+	}
+	for k := range r.fired {
+		snap.Fired = append(snap.Fired, snapshotPair{Alarm: k.alarm, User: k.user})
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(snap.Alarms, func(i, j int) bool { return snap.Alarms[i].ID < snap.Alarms[j].ID })
+	sort.Slice(snap.Fired, func(i, j int) bool {
+		if snap.Fired[i].Alarm != snap.Fired[j].Alarm {
+			return snap.Fired[i].Alarm < snap.Fired[j].Alarm
+		}
+		return snap.Fired[i].User < snap.Fired[j].User
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("alarm: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadRegistry rebuilds a registry from a Snapshot stream. The spatial
+// index is bulk-loaded.
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	var snap snapshot
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("alarm: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("alarm: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	r := NewRegistry()
+	items := make([]rstar.Item, 0, len(snap.Alarms))
+	maxID := ID(0)
+	for _, sa := range snap.Alarms {
+		region := geom.Rect{MinX: sa.Region[0], MinY: sa.Region[1], MaxX: sa.Region[2], MaxY: sa.Region[3]}
+		if region.Empty() {
+			return nil, fmt.Errorf("alarm: snapshot alarm %d has empty region", sa.ID)
+		}
+		switch sa.Scope {
+		case Private, Shared, Public:
+		default:
+			return nil, fmt.Errorf("alarm: snapshot alarm %d has invalid scope %d", sa.ID, sa.Scope)
+		}
+		if _, dup := r.alarms[sa.ID]; dup {
+			return nil, fmt.Errorf("alarm: snapshot has duplicate id %d", sa.ID)
+		}
+		a := &Alarm{
+			ID:          sa.ID,
+			Scope:       sa.Scope,
+			Owner:       sa.Owner,
+			Subscribers: append([]UserID(nil), sa.Subscribers...),
+			Region:      region,
+			Target:      sa.Target,
+		}
+		r.alarms[a.ID] = a
+		if a.Target != 0 {
+			r.byTarget[a.Target] = append(r.byTarget[a.Target], a.ID)
+		}
+		items = append(items, rstar.Item{ID: uint64(a.ID), Rect: a.Region})
+		if a.ID > maxID {
+			maxID = a.ID
+		}
+	}
+	r.index = rstar.BulkLoad(items, rstar.DefaultMaxEntries)
+	for _, p := range snap.Fired {
+		if _, ok := r.alarms[p.Alarm]; !ok {
+			return nil, fmt.Errorf("alarm: snapshot fired pair references unknown alarm %d", p.Alarm)
+		}
+		r.fired[pairKey{alarm: p.Alarm, user: p.User}] = struct{}{}
+	}
+	r.nextID = snap.NextID
+	if r.nextID <= maxID {
+		r.nextID = maxID + 1
+	}
+	return r, nil
+}

@@ -1,0 +1,148 @@
+// Package bitio provides a compact bit-level writer and reader.
+//
+// It backs the bitmap-encoded safe region representations (GBSR/PBSR), where
+// safe regions are serialized as raster-scan bit strings (paper §4), and the
+// wire codec, where every downstream byte counts against the bandwidth
+// budget the paper measures.
+//
+// Bits are packed MSB-first within each byte, matching the raster-scan
+// reading order used in the paper's figures.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned by Reader when a read extends past the stream.
+var ErrOutOfBits = errors.New("bitio: read past end of bit stream")
+
+// Writer accumulates bits into a byte slice. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nBit int // total bits written
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bits.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// WriteBit appends a single bit (true = 1).
+func (w *Writer) WriteBit(bit bool) {
+	if w.nBit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit {
+		w.buf[w.nBit/8] |= 1 << (7 - uint(w.nBit%8))
+	}
+	w.nBit++
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(v>>(uint(i))&1 == 1)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nBit }
+
+// Bytes returns the packed bit string. The final byte is zero-padded. The
+// returned slice aliases the writer's buffer; callers must not keep writing
+// through w while holding it unless they copy first.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nBit = 0
+}
+
+// Reader consumes bits from a byte slice produced by Writer.
+type Reader struct {
+	buf  []byte
+	nBit int // total readable bits
+	pos  int // next bit index
+}
+
+// NewReader returns a Reader over the first nBits bits of buf. If nBits is
+// negative, all len(buf)*8 bits are readable.
+func NewReader(buf []byte, nBits int) *Reader {
+	if nBits < 0 || nBits > len(buf)*8 {
+		nBits = len(buf) * 8
+	}
+	return &Reader{buf: buf, nBit: nBits}
+}
+
+// ReadBit consumes and returns the next bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.nBit {
+		return false, ErrOutOfBits
+	}
+	b := r.buf[r.pos/8]>>(7-uint(r.pos%8))&1 == 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits consumes n bits and returns them as the low bits of a uint64,
+// most significant first. n must be in [0, 64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: invalid bit count %d", n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// BitAt returns the bit at absolute index i without consuming it.
+func (r *Reader) BitAt(i int) (bool, error) {
+	if i < 0 || i >= r.nBit {
+		return false, ErrOutOfBits
+	}
+	return r.buf[i/8]>>(7-uint(i%8))&1 == 1, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nBit - r.pos }
+
+// Pos returns the index of the next bit to be read.
+func (r *Reader) Pos() int { return r.pos }
+
+// Seek positions the reader at absolute bit index i.
+func (r *Reader) Seek(i int) error {
+	if i < 0 || i > r.nBit {
+		return ErrOutOfBits
+	}
+	r.pos = i
+	return nil
+}
+
+// String renders the first n bits of buf as a "0101…" string, handy in
+// tests and debug output mirroring the paper's bitmap figures.
+func String(buf []byte, n int) string {
+	out := make([]byte, 0, n)
+	for i := 0; i < n && i < len(buf)*8; i++ {
+		if buf[i/8]>>(7-uint(i%8))&1 == 1 {
+			out = append(out, '1')
+		} else {
+			out = append(out, '0')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,263 @@
+// Package client implements the mobile client side of SABRE's distributed
+// partitioning (paper §2): each client monitors its own position against
+// the compact state the server handed it — a rectangle (MWPSR), a decoded
+// pyramid bitmap (PBSR), a safe period (SP), or the full local alarm set
+// (OPT) — and reports to the server only when that state can no longer
+// prove it safe. Periodic clients (PRD) report every tick.
+//
+// Containment checks are strict (interior-only): a client on the boundary
+// of its safe region reports, which is what keeps a region that merely
+// touches an alarm region sound. Every check's probe cost is accounted
+// toward the client energy model (paper Figures 5(b)/6(c)).
+package client
+
+import (
+	"fmt"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// resendAfterTicks bounds how long a client waits for a server response
+// before it re-reports (lost-message recovery on unreliable transports).
+const resendAfterTicks = 5
+
+// maxPatches bounds the quick-update patch list a PBSR client keeps; the
+// oldest patches are dropped first (dropping is safe — a patch only ever
+// proves extra area safe).
+const maxPatches = 16
+
+// Client is one mobile client's monitoring state machine.
+type Client struct {
+	user     uint64
+	strategy wire.Strategy
+	met      *metrics.Client
+
+	seq      uint32
+	lastSent int // tick of the last report, -1 before the first
+	awaiting bool
+	everSent bool
+
+	// MWPSR state.
+	rect    geom.Rect
+	hasRect bool
+	// PBSR state: the decoded bitmap plus the rectangular patches the
+	// server sent for alarms that fired inside the current cell (the §4.2
+	// quick update); a point is safe if the pyramid or any patch proves it.
+	region  *pyramid.Region
+	patches []geom.Rect
+	// SP state.
+	safeUntil int
+	hasPeriod bool
+	// OPT state.
+	cell    geom.Rect
+	hasCell bool
+	alarms  []wire.AlarmInfo
+	// fired collects alarm IDs the server reported triggered, in delivery
+	// order; the simulation reads them for the accuracy check.
+	fired []uint64
+}
+
+// New creates a client. All clients of a simulation may share one
+// metrics.Client aggregate; the TCP binary gives each its own.
+func New(user uint64, strategy wire.Strategy, met *metrics.Client) *Client {
+	return &Client{user: user, strategy: strategy, met: met, lastSent: -1}
+}
+
+// User returns the client's identifier.
+func (c *Client) User() uint64 { return c.user }
+
+// Strategy returns the client's processing strategy.
+func (c *Client) Strategy() wire.Strategy { return c.strategy }
+
+// Fired returns the alarm IDs delivered to this client so far. The
+// returned slice is owned by the client.
+func (c *Client) Fired() []uint64 { return c.fired }
+
+// Tick advances the client to the given tick at position pos and returns
+// a position report to send, or nil when the client can prove itself safe.
+func (c *Client) Tick(tick int, pos geom.Point) *wire.PositionUpdate {
+	if c.strategy == wire.StrategyPeriodic {
+		// Periodic clients expect no response; they report unconditionally.
+		return c.report(tick, pos)
+	}
+	if c.awaiting {
+		// A report is outstanding; re-send only after a timeout so a lost
+		// response cannot silence the client forever.
+		if tick-c.lastSent < resendAfterTicks {
+			return nil
+		}
+		return c.report(tick, pos)
+	}
+	if !c.everSent {
+		return c.report(tick, pos)
+	}
+	switch c.strategy {
+	case wire.StrategySafePeriod:
+		if !c.hasPeriod || tick >= c.safeUntil {
+			return c.report(tick, pos)
+		}
+		return nil
+	case wire.StrategyMWPSR:
+		c.met.AddCheck(1)
+		if !c.hasRect || !c.rect.ContainsStrict(pos) {
+			return c.report(tick, pos)
+		}
+		return nil
+	case wire.StrategyPBSR:
+		if c.region == nil {
+			return c.report(tick, pos)
+		}
+		inside, probes := c.region.ContainsProbes(pos)
+		if !inside {
+			for _, p := range c.patches {
+				probes++
+				if p.ContainsStrict(pos) {
+					inside = true
+					break
+				}
+			}
+		}
+		c.met.AddCheck(probes)
+		if !inside {
+			return c.report(tick, pos)
+		}
+		return nil
+	case wire.StrategyOptimal:
+		if !c.hasCell {
+			return c.report(tick, pos)
+		}
+		// Full local evaluation against every pushed alarm: this is the
+		// "clients have very high capacity" assumption of the OPT bound.
+		c.met.AddCheck(maxInt(len(c.alarms), 1))
+		if !c.cell.ContainsStrict(pos) {
+			return c.report(tick, pos)
+		}
+		for _, a := range c.alarms {
+			if a.Region.Contains(pos) {
+				return c.report(tick, pos)
+			}
+		}
+		return nil
+	default:
+		return c.report(tick, pos)
+	}
+}
+
+func (c *Client) report(tick int, pos geom.Point) *wire.PositionUpdate {
+	c.seq++
+	c.lastSent = tick
+	c.awaiting = true
+	c.everSent = true
+	c.met.MessagesSent++
+	return &wire.PositionUpdate{User: c.user, Seq: c.seq, Pos: pos}
+}
+
+// acceptSeq decides whether a monitoring-state message applies: Seq equal
+// to the outstanding report is the reply (and resumes monitoring); Seq 0
+// is a server-initiated push (moving-target invalidation), always applied
+// without touching the awaiting state.
+func (c *Client) acceptSeq(seq uint32) bool {
+	switch seq {
+	case c.seq:
+		c.awaiting = false
+		return true
+	case 0:
+		return true
+	default:
+		return false
+	}
+}
+
+// Handle applies a server message received at the given tick. Responses to
+// superseded reports (stale Seq) are ignored except for AlarmFired, which
+// is always honoured, and server-initiated pushes (Seq 0), which update
+// monitoring state without counting as a reply.
+func (c *Client) Handle(tick int, m wire.Message) error {
+	switch v := m.(type) {
+	case wire.AlarmFired:
+		c.fired = append(c.fired, v.Alarms...)
+		// Fired alarms vanish from the OPT local set immediately.
+		if len(c.alarms) > 0 {
+			kept := c.alarms[:0]
+			for _, a := range c.alarms {
+				if !contains(v.Alarms, a.ID) {
+					kept = append(kept, a)
+				}
+			}
+			c.alarms = kept
+		}
+		return nil
+	case wire.RectRegion:
+		if !c.acceptSeq(v.Seq) {
+			return nil
+		}
+		if c.strategy == wire.StrategyPBSR {
+			// Quick-update patch: extend the bitmap region with a
+			// rectangle proven safe by the server.
+			c.patches = append(c.patches, v.Rect)
+			if len(c.patches) > maxPatches {
+				c.patches = c.patches[len(c.patches)-maxPatches:]
+			}
+			return nil
+		}
+		c.rect, c.hasRect = v.Rect, true
+		return nil
+	case wire.BitmapRegion:
+		if !c.acceptSeq(v.Seq) {
+			return nil
+		}
+		reg, err := pyramid.Decode(v.Bitmap())
+		if err != nil {
+			return fmt.Errorf("client %d: decode bitmap: %w", c.user, err)
+		}
+		c.region = reg
+		c.patches = c.patches[:0] // patches belong to the previous bitmap
+		return nil
+	case wire.SafePeriod:
+		if !c.acceptSeq(v.Seq) {
+			return nil
+		}
+		// Report again at tick + Ticks, not one later: when the distance is
+		// an exact multiple of v_max·dt the client can touch the nearest
+		// alarm boundary (inclusive containment) exactly Ticks ticks after
+		// the report, so that tick must itself be evaluated.
+		c.safeUntil = tick + int(v.Ticks)
+		c.hasPeriod = true
+		return nil
+	case wire.AlarmPush:
+		if !c.acceptSeq(v.Seq) {
+			return nil
+		}
+		c.cell, c.hasCell = v.Cell, true
+		c.alarms = append(c.alarms[:0], v.Alarms...)
+		return nil
+	case wire.Ack:
+		c.acceptSeq(v.Seq)
+		return nil
+	default:
+		return fmt.Errorf("client %d: unexpected message %v", c.user, m.Kind())
+	}
+}
+
+// Acknowledge clears the awaiting flag for strategies that get no
+// monitoring payload back (periodic clients).
+func (c *Client) Acknowledge() { c.awaiting = false }
+
+func contains(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

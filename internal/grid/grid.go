@@ -1,0 +1,159 @@
+// Package grid implements the uniform grid overlaid on the Universe of
+// Discourse (paper §2.2). The grid focuses safe region computation on the
+// alarms in the vicinity of a mobile client: safe regions are always
+// contained in the client's current grid cell, and only alarms intersecting
+// that cell participate in the computation.
+//
+// Cell sizes are specified by area (the paper sweeps 0.4–10 km²); cells are
+// square. Cells are identified by (column, row) packed into a CellID.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// CellID identifies a grid cell: the column in the high 32 bits and the row
+// in the low 32 bits.
+type CellID uint64
+
+// MakeCellID packs a (col, row) pair. col and row must be non-negative.
+func MakeCellID(col, row int) CellID {
+	return CellID(uint64(uint32(col))<<32 | uint64(uint32(row)))
+}
+
+// Col returns the cell column.
+func (id CellID) Col() int { return int(uint32(id >> 32)) }
+
+// Row returns the cell row.
+func (id CellID) Row() int { return int(uint32(id)) }
+
+// String implements fmt.Stringer.
+func (id CellID) String() string { return fmt.Sprintf("cell(%d,%d)", id.Col(), id.Row()) }
+
+// Grid is a uniform square-cell decomposition of a rectangular universe.
+type Grid struct {
+	universe   geom.Rect
+	cellSide   float64
+	cols, rows int
+}
+
+// New creates a grid over universe with cells of the given area in square
+// metres. Cells on the top/right fringe may extend past the universe so
+// that every point of the universe belongs to exactly one cell. It returns
+// an error for a degenerate universe or non-positive cell area.
+func New(universe geom.Rect, cellAreaM2 float64) (*Grid, error) {
+	if universe.Empty() {
+		return nil, fmt.Errorf("grid: empty universe %v", universe)
+	}
+	if cellAreaM2 <= 0 {
+		return nil, fmt.Errorf("grid: non-positive cell area %v", cellAreaM2)
+	}
+	side := math.Sqrt(cellAreaM2)
+	cols := int(math.Ceil(universe.Width() / side))
+	rows := int(math.Ceil(universe.Height() / side))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{universe: universe, cellSide: side, cols: cols, rows: rows}, nil
+}
+
+// NewWithCellArea is like New but takes the cell area in km², matching the
+// units of the paper's figures.
+func NewWithCellArea(universe geom.Rect, cellAreaKM2 float64) (*Grid, error) {
+	return New(universe, cellAreaKM2*1e6)
+}
+
+// Universe returns the covered region.
+func (g *Grid) Universe() geom.Rect { return g.universe }
+
+// CellSide returns the side length of a cell in metres.
+func (g *Grid) CellSide() float64 { return g.cellSide }
+
+// CellArea returns the area of a cell in square metres.
+func (g *Grid) CellArea() float64 { return g.cellSide * g.cellSide }
+
+// Dims returns the number of columns and rows.
+func (g *Grid) Dims() (cols, rows int) { return g.cols, g.rows }
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.cols * g.rows }
+
+// Locate returns the cell containing p. Points outside the universe are
+// clamped to the nearest cell, so a client that drifts off the map edge
+// still has a well-defined current cell.
+func (g *Grid) Locate(p geom.Point) CellID {
+	col := int(math.Floor((p.X - g.universe.MinX) / g.cellSide))
+	row := int(math.Floor((p.Y - g.universe.MinY) / g.cellSide))
+	col = clampInt(col, 0, g.cols-1)
+	row = clampInt(row, 0, g.rows-1)
+	return MakeCellID(col, row)
+}
+
+// CellRect returns the rectangle of the given cell.
+func (g *Grid) CellRect(id CellID) geom.Rect {
+	x := g.universe.MinX + float64(id.Col())*g.cellSide
+	y := g.universe.MinY + float64(id.Row())*g.cellSide
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + g.cellSide, MaxY: y + g.cellSide}
+}
+
+// Contains reports whether id is a valid cell of this grid.
+func (g *Grid) Contains(id CellID) bool {
+	return id.Col() >= 0 && id.Col() < g.cols && id.Row() >= 0 && id.Row() < g.rows
+}
+
+// Neighbors appends to dst the IDs of the up-to-8 cells adjacent to id that
+// exist in the grid, and returns the extended slice.
+func (g *Grid) Neighbors(id CellID, dst []CellID) []CellID {
+	for dc := -1; dc <= 1; dc++ {
+		for dr := -1; dr <= 1; dr++ {
+			if dc == 0 && dr == 0 {
+				continue
+			}
+			c, r := id.Col()+dc, id.Row()+dr
+			if c >= 0 && c < g.cols && r >= 0 && r < g.rows {
+				dst = append(dst, MakeCellID(c, r))
+			}
+		}
+	}
+	return dst
+}
+
+// CellsIntersecting appends to dst the IDs of all cells intersecting w and
+// returns the extended slice.
+func (g *Grid) CellsIntersecting(w geom.Rect, dst []CellID) []CellID {
+	w = w.Intersect(geom.Rect{
+		MinX: g.universe.MinX,
+		MinY: g.universe.MinY,
+		MaxX: g.universe.MinX + float64(g.cols)*g.cellSide,
+		MaxY: g.universe.MinY + float64(g.rows)*g.cellSide,
+	})
+	if !w.Valid() {
+		return dst
+	}
+	c0 := clampInt(int(math.Floor((w.MinX-g.universe.MinX)/g.cellSide)), 0, g.cols-1)
+	c1 := clampInt(int(math.Floor((w.MaxX-g.universe.MinX)/g.cellSide)), 0, g.cols-1)
+	r0 := clampInt(int(math.Floor((w.MinY-g.universe.MinY)/g.cellSide)), 0, g.rows-1)
+	r1 := clampInt(int(math.Floor((w.MaxY-g.universe.MinY)/g.cellSide)), 0, g.rows-1)
+	for c := c0; c <= c1; c++ {
+		for r := r0; r <= r1; r++ {
+			dst = append(dst, MakeCellID(c, r))
+		}
+	}
+	return dst
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

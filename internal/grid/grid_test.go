@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+func mustGrid(t testing.TB, universe geom.Rect, area float64) *Grid {
+	t.Helper()
+	g, err := New(universe, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Rect{}, 100); err == nil {
+		t.Error("expected error for empty universe")
+	}
+	if _, err := New(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 0); err == nil {
+		t.Error("expected error for zero cell area")
+	}
+	if _, err := New(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, -5); err == nil {
+		t.Error("expected error for negative cell area")
+	}
+}
+
+func TestDimsAndCoverage(t *testing.T) {
+	// 1000 x 1000 universe with 100x100 cells -> 10x10 grid.
+	g := mustGrid(t, geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 10000)
+	cols, rows := g.Dims()
+	if cols != 10 || rows != 10 {
+		t.Fatalf("Dims = %d,%d want 10,10", cols, rows)
+	}
+	if g.NumCells() != 100 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+	if math.Abs(g.CellSide()-100) > 1e-9 {
+		t.Errorf("CellSide = %v", g.CellSide())
+	}
+	if math.Abs(g.CellArea()-10000) > 1e-6 {
+		t.Errorf("CellArea = %v", g.CellArea())
+	}
+}
+
+func TestNonDivisibleUniverse(t *testing.T) {
+	// 1050 wide with 100-side cells -> 11 columns; fringe cell extends past.
+	g := mustGrid(t, geom.Rect{MinX: 0, MinY: 0, MaxX: 1050, MaxY: 1050}, 10000)
+	cols, rows := g.Dims()
+	if cols != 11 || rows != 11 {
+		t.Fatalf("Dims = %d,%d want 11,11", cols, rows)
+	}
+	id := g.Locate(geom.Pt(1049, 1049))
+	if id.Col() != 10 || id.Row() != 10 {
+		t.Errorf("Locate fringe = %v", id)
+	}
+	if !g.CellRect(id).Contains(geom.Pt(1049, 1049)) {
+		t.Error("fringe cell does not contain its point")
+	}
+}
+
+func TestLocateCellRectConsistency(t *testing.T) {
+	g := mustGrid(t, geom.Rect{MinX: -500, MinY: 200, MaxX: 4500, MaxY: 5200}, 62500)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := geom.Pt(-500+rng.Float64()*5000, 200+rng.Float64()*5000)
+		id := g.Locate(p)
+		if !g.Contains(id) {
+			t.Fatalf("Locate(%v) = invalid cell %v", p, id)
+		}
+		if !g.CellRect(id).Contains(p) {
+			t.Fatalf("CellRect(%v)=%v does not contain %v", id, g.CellRect(id), p)
+		}
+	}
+}
+
+func TestLocateClampsOutside(t *testing.T) {
+	g := mustGrid(t, geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 10000)
+	tests := []struct {
+		p        geom.Point
+		col, row int
+	}{
+		{geom.Pt(-50, 500), 0, 5},
+		{geom.Pt(2000, 500), 9, 5},
+		{geom.Pt(500, -1), 5, 0},
+		{geom.Pt(500, 5000), 5, 9},
+		{geom.Pt(-10, -10), 0, 0},
+	}
+	for _, tt := range tests {
+		id := g.Locate(tt.p)
+		if id.Col() != tt.col || id.Row() != tt.row {
+			t.Errorf("Locate(%v) = (%d,%d), want (%d,%d)", tt.p, id.Col(), id.Row(), tt.col, tt.row)
+		}
+	}
+}
+
+func TestCellIDPacking(t *testing.T) {
+	f := func(col, row uint16) bool {
+		id := MakeCellID(int(col), int(row))
+		return id.Col() == int(col) && id.Row() == int(row)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := mustGrid(t, geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 10000)
+	tests := []struct {
+		name     string
+		col, row int
+		want     int
+	}{
+		{"interior", 5, 5, 8},
+		{"corner", 0, 0, 3},
+		{"edge", 0, 5, 5},
+		{"opposite corner", 9, 9, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := g.Neighbors(MakeCellID(tt.col, tt.row), nil)
+			if len(got) != tt.want {
+				t.Errorf("Neighbors = %d cells, want %d", len(got), tt.want)
+			}
+			for _, n := range got {
+				if !g.Contains(n) {
+					t.Errorf("neighbor %v out of grid", n)
+				}
+				if n == MakeCellID(tt.col, tt.row) {
+					t.Error("cell is its own neighbor")
+				}
+			}
+		})
+	}
+}
+
+func TestCellsIntersecting(t *testing.T) {
+	g := mustGrid(t, geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 10000)
+	t.Run("single cell interior window", func(t *testing.T) {
+		got := g.CellsIntersecting(geom.Rect{MinX: 110, MinY: 110, MaxX: 190, MaxY: 190}, nil)
+		if len(got) != 1 || got[0] != MakeCellID(1, 1) {
+			t.Errorf("got %v", got)
+		}
+	})
+	t.Run("spanning window", func(t *testing.T) {
+		got := g.CellsIntersecting(geom.Rect{MinX: 50, MinY: 50, MaxX: 250, MaxY: 150}, nil)
+		if len(got) != 3*2 {
+			t.Errorf("got %d cells, want 6", len(got))
+		}
+	})
+	t.Run("window outside universe", func(t *testing.T) {
+		got := g.CellsIntersecting(geom.Rect{MinX: 5000, MinY: 5000, MaxX: 6000, MaxY: 6000}, nil)
+		if len(got) != 0 {
+			t.Errorf("got %v, want none", got)
+		}
+	})
+	t.Run("whole universe", func(t *testing.T) {
+		got := g.CellsIntersecting(g.Universe(), nil)
+		if len(got) != g.NumCells() {
+			t.Errorf("got %d, want %d", len(got), g.NumCells())
+		}
+	})
+}
+
+// Property: every point of the universe maps to a unique cell whose rect
+// contains it, and cell rects of distinct IDs do not strictly overlap.
+func TestQuickLocateBijection(t *testing.T) {
+	g := mustGrid(t, geom.Rect{MinX: 0, MinY: 0, MaxX: 31623, MaxY: 31623}, 2.5e6)
+	f := func(xs, ys uint32) bool {
+		x := float64(xs%31623) + 0.5
+		y := float64(ys%31623) + 0.5
+		p := geom.Pt(x, y)
+		id := g.Locate(p)
+		return g.Contains(id) && g.CellRect(id).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

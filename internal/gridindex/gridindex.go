@@ -1,0 +1,226 @@
+// Package gridindex implements a uniform bucket-grid spatial index with
+// the same query surface as the R*-tree. The paper indexes alarms in an
+// R*-tree (§5.1); this index exists to ablate that choice: bucket grids
+// are the standard straw-man alternative for uniformly distributed
+// regions, trading the tree's adaptivity for O(1) bucket addressing.
+// `alarmbench ablate-index` compares the two under identical workloads.
+//
+// Each rectangle is registered in every bucket it intersects; queries
+// visit the buckets covering the query range and deduplicate. Nearest-
+// neighbour queries expand ring by ring until the best hit provably beats
+// every unvisited ring.
+package gridindex
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/rstar"
+)
+
+// Index is a bucket-grid spatial index. Create with New; not safe for
+// concurrent mutation (matching rstar.Tree).
+type Index struct {
+	bounds   geom.Rect
+	cellSide float64
+	cols     int
+	rows     int
+	buckets  [][]rstar.Item
+	size     int
+
+	accesses atomic.Uint64
+}
+
+// New creates an index over bounds with roughly targetBuckets buckets.
+func New(bounds geom.Rect, targetBuckets int) *Index {
+	if targetBuckets < 1 {
+		targetBuckets = 1
+	}
+	if bounds.Empty() {
+		bounds = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	side := math.Sqrt(bounds.Area() / float64(targetBuckets))
+	cols := int(math.Ceil(bounds.Width() / side))
+	rows := int(math.Ceil(bounds.Height() / side))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Index{
+		bounds:   bounds,
+		cellSide: side,
+		cols:     cols,
+		rows:     rows,
+		buckets:  make([][]rstar.Item, cols*rows),
+	}
+}
+
+// Len returns the number of stored items.
+func (x *Index) Len() int { return x.size }
+
+// NodeAccesses returns bucket visits since the last ResetStats (the
+// bucket-grid analogue of the R*-tree's node accesses).
+func (x *Index) NodeAccesses() uint64 { return x.accesses.Load() }
+
+// ResetStats zeroes the access counter.
+func (x *Index) ResetStats() { x.accesses.Store(0) }
+
+func (x *Index) clampCol(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= x.cols {
+		return x.cols - 1
+	}
+	return c
+}
+
+func (x *Index) clampRow(r int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= x.rows {
+		return x.rows - 1
+	}
+	return r
+}
+
+// bucketRange returns the clamped bucket coordinates covering r.
+func (x *Index) bucketRange(r geom.Rect) (c0, r0, c1, r1 int) {
+	c0 = x.clampCol(int(math.Floor((r.MinX - x.bounds.MinX) / x.cellSide)))
+	c1 = x.clampCol(int(math.Floor((r.MaxX - x.bounds.MinX) / x.cellSide)))
+	r0 = x.clampRow(int(math.Floor((r.MinY - x.bounds.MinY) / x.cellSide)))
+	r1 = x.clampRow(int(math.Floor((r.MaxY - x.bounds.MinY) / x.cellSide)))
+	return
+}
+
+// Insert adds an item (registered in every bucket its rect intersects).
+func (x *Index) Insert(it rstar.Item) {
+	c0, r0, c1, r1 := x.bucketRange(it.Rect)
+	for c := c0; c <= c1; c++ {
+		for r := r0; r <= r1; r++ {
+			b := r*x.cols + c
+			x.buckets[b] = append(x.buckets[b], it)
+		}
+	}
+	x.size++
+}
+
+// InsertBatch adds many items.
+func (x *Index) InsertBatch(items []rstar.Item) {
+	for _, it := range items {
+		x.Insert(it)
+	}
+}
+
+// Delete removes the first item matching (rect, id); it reports whether
+// an item was removed.
+func (x *Index) Delete(it rstar.Item) bool {
+	c0, r0, c1, r1 := x.bucketRange(it.Rect)
+	found := false
+	for c := c0; c <= c1; c++ {
+		for r := r0; r <= r1; r++ {
+			b := r*x.cols + c
+			for i, cand := range x.buckets[b] {
+				if cand.ID == it.ID && cand.Rect == it.Rect {
+					x.buckets[b] = append(x.buckets[b][:i], x.buckets[b][i+1:]...)
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if found {
+		x.size--
+	}
+	return found
+}
+
+// SearchPoint appends the IDs of all rectangles containing p.
+func (x *Index) SearchPoint(p geom.Point, dst []uint64) []uint64 {
+	// Bucket addressing clamps to the fringe (out-of-bounds rectangles are
+	// registered into edge buckets too); the containment test below uses
+	// the original point.
+	addr := x.bounds.ClampPoint(p)
+	c := x.clampCol(int(math.Floor((addr.X - x.bounds.MinX) / x.cellSide)))
+	r := x.clampRow(int(math.Floor((addr.Y - x.bounds.MinY) / x.cellSide)))
+	x.accesses.Add(1)
+	for _, it := range x.buckets[r*x.cols+c] {
+		if it.Rect.Contains(p) {
+			dst = append(dst, it.ID)
+		}
+	}
+	return dst
+}
+
+// SearchRect appends the IDs of all rectangles intersecting w, without
+// duplicates.
+func (x *Index) SearchRect(w geom.Rect, dst []uint64) []uint64 {
+	c0, r0, c1, r1 := x.bucketRange(w)
+	seen := make(map[uint64]struct{}, 16)
+	for c := c0; c <= c1; c++ {
+		for r := r0; r <= r1; r++ {
+			x.accesses.Add(1)
+			for _, it := range x.buckets[r*x.cols+c] {
+				if !it.Rect.Intersects(w) {
+					continue
+				}
+				if _, dup := seen[it.ID]; dup {
+					continue
+				}
+				seen[it.ID] = struct{}{}
+				dst = append(dst, it.ID)
+			}
+		}
+	}
+	return dst
+}
+
+// NearestDist returns the minimum distance from p to any item accepted by
+// filter (+Inf when none qualifies), expanding outward bucket ring by
+// bucket ring.
+func (x *Index) NearestDist(p geom.Point, filter func(id uint64) bool) float64 {
+	if x.size == 0 {
+		return math.Inf(1)
+	}
+	pc := x.clampCol(int(math.Floor((p.X - x.bounds.MinX) / x.cellSide)))
+	pr := x.clampRow(int(math.Floor((p.Y - x.bounds.MinY) / x.cellSide)))
+	best := math.Inf(1)
+	maxRing := x.cols
+	if x.rows > maxRing {
+		maxRing = x.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once the best hit is closer than the nearest possible point of
+		// the next unvisited ring, stop.
+		if ringDist := (float64(ring) - 1) * x.cellSide; ringDist > 0 && best <= ringDist {
+			break
+		}
+		scanned := false
+		for c := pc - ring; c <= pc+ring; c++ {
+			for r := pr - ring; r <= pr+ring; r++ {
+				onRing := c == pc-ring || c == pc+ring || r == pr-ring || r == pr+ring
+				if !onRing || c < 0 || c >= x.cols || r < 0 || r >= x.rows {
+					continue
+				}
+				scanned = true
+				x.accesses.Add(1)
+				for _, it := range x.buckets[r*x.cols+c] {
+					if filter != nil && !filter(it.ID) {
+						continue
+					}
+					if d := it.Rect.MinDist(p); d < best {
+						best = d
+					}
+				}
+			}
+		}
+		if !scanned && ring > 0 && !math.IsInf(best, 1) {
+			break
+		}
+	}
+	return best
+}

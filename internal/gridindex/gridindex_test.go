@@ -1,0 +1,175 @@
+package gridindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/rstar"
+)
+
+var world = geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+
+func randItem(rng *rand.Rand, id uint64) rstar.Item {
+	w, h := rng.Float64()*300+1, rng.Float64()*300+1
+	x, y := rng.Float64()*(10000-w), rng.Float64()*(10000-h)
+	return rstar.Item{ID: id, Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}}
+}
+
+func buildBoth(t testing.TB, n int, seed int64) (*Index, []rstar.Item) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	idx := New(world, 256)
+	items := make([]rstar.Item, n)
+	for i := range items {
+		items[i] = randItem(rng, uint64(i))
+		idx.Insert(items[i])
+	}
+	return idx, items
+}
+
+func sortedIDs(ids []uint64) []uint64 {
+	out := append([]uint64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []uint64) bool {
+	a, b = sortedIDs(a), sortedIDs(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := New(world, 64)
+	if idx.Len() != 0 {
+		t.Fatal("not empty")
+	}
+	if got := idx.SearchPoint(geom.Pt(5, 5), nil); len(got) != 0 {
+		t.Errorf("SearchPoint = %v", got)
+	}
+	if d := idx.NearestDist(geom.Pt(5, 5), nil); !math.IsInf(d, 1) {
+		t.Errorf("NearestDist = %v", d)
+	}
+}
+
+func TestDegenerateConstruction(t *testing.T) {
+	idx := New(geom.Rect{}, 0)
+	idx.Insert(rstar.Item{ID: 1, Rect: geom.R(0, 0, 1, 1)})
+	if got := idx.SearchPoint(geom.Pt(0.5, 0.5), nil); len(got) != 1 {
+		t.Errorf("degenerate-bounds index lost item: %v", got)
+	}
+}
+
+func TestQueriesMatchBruteForce(t *testing.T) {
+	idx, items := buildBoth(t, 2000, 1)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 300; q++ {
+		p := geom.Pt(rng.Float64()*11000-500, rng.Float64()*11000-500) // includes out-of-bounds
+		var want []uint64
+		for _, it := range items {
+			if it.Rect.Contains(p) {
+				want = append(want, it.ID)
+			}
+		}
+		if got := idx.SearchPoint(p, nil); !equalIDs(got, want) {
+			t.Fatalf("SearchPoint(%v): got %d want %d", p, len(got), len(want))
+		}
+		w := geom.RectAround(geom.Pt(rng.Float64()*10000, rng.Float64()*10000), rng.Float64()*3000)
+		want = want[:0]
+		for _, it := range items {
+			if it.Rect.Intersects(w) {
+				want = append(want, it.ID)
+			}
+		}
+		if got := idx.SearchRect(w, nil); !equalIDs(got, want) {
+			t.Fatalf("SearchRect(%v): got %d want %d", w, len(got), len(want))
+		}
+	}
+}
+
+func TestNearestDistMatchesBruteForce(t *testing.T) {
+	idx, items := buildBoth(t, 800, 3)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 200; q++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		filter := func(id uint64) bool { return id%3 != 0 }
+		want := math.Inf(1)
+		for _, it := range items {
+			if !filter(it.ID) {
+				continue
+			}
+			if d := it.Rect.MinDist(p); d < want {
+				want = d
+			}
+		}
+		if got := idx.NearestDist(p, filter); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("NearestDist(%v) = %v, want %v", p, got, want)
+		}
+	}
+	// Filter rejecting everything.
+	if d := idx.NearestDist(geom.Pt(1, 1), func(uint64) bool { return false }); !math.IsInf(d, 1) {
+		t.Errorf("all-rejecting filter: %v", d)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx, items := buildBoth(t, 500, 5)
+	for _, it := range items[:250] {
+		if !idx.Delete(it) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+	}
+	if idx.Len() != 250 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if idx.Delete(items[0]) {
+		t.Error("double delete succeeded")
+	}
+	remaining := items[250:]
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 100; q++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		var want []uint64
+		for _, it := range remaining {
+			if it.Rect.Contains(p) {
+				want = append(want, it.ID)
+			}
+		}
+		if got := idx.SearchPoint(p, nil); !equalIDs(got, want) {
+			t.Fatalf("post-delete mismatch at %v", p)
+		}
+	}
+}
+
+func TestSearchRectDeduplicates(t *testing.T) {
+	idx := New(world, 256)
+	// A huge rect spanning many buckets must be returned once.
+	idx.Insert(rstar.Item{ID: 42, Rect: geom.R(100, 100, 9000, 9000)})
+	got := idx.SearchRect(geom.R(0, 0, 10000, 10000), nil)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("got %v, want exactly [42]", got)
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	idx, _ := buildBoth(t, 100, 7)
+	idx.ResetStats()
+	idx.SearchPoint(geom.Pt(5000, 5000), nil)
+	if idx.NodeAccesses() != 1 {
+		t.Errorf("point query accesses = %d, want 1", idx.NodeAccesses())
+	}
+	idx.SearchRect(geom.R(0, 0, 10000, 10000), nil)
+	if idx.NodeAccesses() < 100 {
+		t.Errorf("full-range accesses = %d, want every bucket", idx.NodeAccesses())
+	}
+}

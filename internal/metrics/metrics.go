@@ -1,0 +1,222 @@
+// Package metrics holds the evaluation counters and the deterministic
+// server cost model behind the paper's Figures 4(b) and 6(d).
+//
+// The paper reports server load as CPU minutes split into "alarm
+// processing" (evaluating position updates against the R*-tree alarm
+// index) and "safe region computation". Re-measuring wall-clock time would
+// make every run noisy and machine-dependent, so SABRE instead charges a
+// fixed cost per elementary operation — R*-tree node accesses, alarm
+// containment checks, skyline candidate/corner work, bitmap intersection
+// tests — and converts operation counts to seconds with per-operation
+// constants. The constants are calibrated so the default paper-scale
+// workload lands in the same few-minutes range as the paper's Figure 4(b);
+// only the shape of the curves (which approach wins, where the total is
+// minimized) is meaningful, as explained in DESIGN.md §2.
+package metrics
+
+// CostParams converts operation counts into seconds of simulated server
+// CPU time.
+type CostParams struct {
+	// NodeAccessSeconds per R*-tree node visited during alarm evaluation
+	// or nearest-alarm (safe period) queries.
+	NodeAccessSeconds float64
+	// AlarmCheckSeconds per alarm region examined during update
+	// processing (relevance filtering, containment).
+	AlarmCheckSeconds float64
+	// CandidateSeconds per MWPSR candidate point processed and
+	// CornerSeconds per component-rectangle corner evaluated.
+	CandidateSeconds float64
+	CornerSeconds    float64
+	// BitmapTestSeconds per rect-vs-alarm intersection test performed
+	// while encoding a GBSR/PBSR bitmap.
+	BitmapTestSeconds float64
+}
+
+// DefaultCosts is calibrated to put the default workload's totals in the
+// paper's range: per-update index work (node accesses, per-alarm checks)
+// is priced like the buffered-I/O-heavy operation it is on a loaded
+// server, while the in-memory geometry of safe region construction is
+// priced orders of magnitude cheaper. At the paper-scale default workload
+// this puts periodic evaluation near the ~150 server-minutes of
+// Figure 6(d) and the MWPSR total in the 2–15 minute band of Figure 4(b).
+func DefaultCosts() CostParams {
+	return CostParams{
+		NodeAccessSeconds: 25e-6,
+		AlarmCheckSeconds: 5e-6,
+		CandidateSeconds:  18e-6,
+		CornerSeconds:     6e-6,
+		BitmapTestSeconds: 0.2e-6,
+	}
+}
+
+// Server accumulates the server-side counters for one simulation run.
+// It is not safe for concurrent use; the TCP server guards it itself.
+type Server struct {
+	costs CostParams
+
+	// Uplink (client → server).
+	UplinkMessages uint64
+	UplinkBytes    uint64
+	// Downlink (server → client).
+	DownlinkMessages uint64
+	DownlinkBytes    uint64
+	// Triggers delivered (alarm, subscriber) pairs.
+	AlarmsTriggered uint64
+
+	// Operation counters feeding the cost model.
+	nodeAccesses     uint64
+	alarmChecks      uint64
+	srCandidates     uint64
+	srCorners        uint64
+	srBitmapTests    uint64
+	srNodeAccesses   uint64
+	srComputations   uint64
+	rectClips        uint64
+	alarmEvaluations uint64
+}
+
+// NewServer returns a counter set using the given cost model.
+func NewServer(costs CostParams) *Server {
+	return &Server{costs: costs}
+}
+
+// AddUplink records a client→server message of the given encoded size.
+func (s *Server) AddUplink(bytes int) {
+	s.UplinkMessages++
+	s.UplinkBytes += uint64(bytes)
+}
+
+// AddDownlink records a server→client message of the given encoded size.
+func (s *Server) AddDownlink(bytes int) {
+	s.DownlinkMessages++
+	s.DownlinkBytes += uint64(bytes)
+}
+
+// AddAlarmEvaluation charges one position-update evaluation: the R*-tree
+// node accesses it performed and the alarm regions it examined.
+func (s *Server) AddAlarmEvaluation(nodeAccesses, alarmChecks uint64) {
+	s.alarmEvaluations++
+	s.nodeAccesses += nodeAccesses
+	s.alarmChecks += alarmChecks
+}
+
+// AddRectComputation charges one MWPSR safe region computation. clips is
+// the number of post-assembly soundness clips that were needed; the
+// skyline construction keeps it at zero, and the ablate-clipping benchmark
+// reports it as evidence.
+func (s *Server) AddRectComputation(candidates, corners, clips int) {
+	s.srComputations++
+	s.srCandidates += uint64(candidates)
+	s.srCorners += uint64(corners)
+	s.rectClips += uint64(clips)
+}
+
+// RectClips returns the cumulative soundness clips applied to MWPSR
+// regions.
+func (s *Server) RectClips() uint64 { return s.rectClips }
+
+// AddBitmapComputation charges one GBSR/PBSR safe region computation.
+func (s *Server) AddBitmapComputation(intersectionTests int) {
+	s.srComputations++
+	s.srBitmapTests += uint64(intersectionTests)
+}
+
+// AddSafeRegionIndexWork charges R*-tree node accesses performed while
+// gathering the relevant alarms for a safe region computation (the
+// SearchRect per update); it books into the safe-region bucket without
+// counting as a separate computation.
+func (s *Server) AddSafeRegionIndexWork(nodeAccesses uint64) {
+	s.srNodeAccesses += nodeAccesses
+}
+
+// AddSafePeriodComputation charges one safe-period computation (the SP
+// baseline's nearest-alarm query); the paper's Figure 6(d) buckets this
+// with safe region computation.
+func (s *Server) AddSafePeriodComputation(nodeAccesses uint64) {
+	s.srComputations++
+	s.srNodeAccesses += nodeAccesses
+}
+
+// AlarmEvaluations returns the number of position updates evaluated.
+func (s *Server) AlarmEvaluations() uint64 { return s.alarmEvaluations }
+
+// SafeRegionComputations returns the number of safe regions computed.
+func (s *Server) SafeRegionComputations() uint64 { return s.srComputations }
+
+// AlarmProcessingSeconds converts the alarm evaluation work to seconds.
+func (s *Server) AlarmProcessingSeconds() float64 {
+	return float64(s.nodeAccesses)*s.costs.NodeAccessSeconds +
+		float64(s.alarmChecks)*s.costs.AlarmCheckSeconds
+}
+
+// SafeRegionSeconds converts the safe region computation work to seconds.
+func (s *Server) SafeRegionSeconds() float64 {
+	return float64(s.srCandidates)*s.costs.CandidateSeconds +
+		float64(s.srCorners)*s.costs.CornerSeconds +
+		float64(s.srBitmapTests)*s.costs.BitmapTestSeconds +
+		float64(s.srNodeAccesses)*s.costs.NodeAccessSeconds
+}
+
+// TotalSeconds is alarm processing plus safe region computation.
+func (s *Server) TotalSeconds() float64 {
+	return s.AlarmProcessingSeconds() + s.SafeRegionSeconds()
+}
+
+// DownlinkMbps converts downstream bytes over a trace duration to the
+// megabits per second the paper's Figure 6(b) plots.
+func (s *Server) DownlinkMbps(traceSeconds float64) float64 {
+	if traceSeconds <= 0 {
+		return 0
+	}
+	return float64(s.DownlinkBytes) * 8 / traceSeconds / 1e6
+}
+
+// Client accumulates per-fleet client-side counters.
+type Client struct {
+	// ContainmentChecks is the number of safe region containment checks
+	// performed, and Probes the total elementary probe operations those
+	// checks cost (1 for a rectangle, up to h for a pyramid descent, one
+	// per alarm for the OPT local scan).
+	ContainmentChecks uint64
+	Probes            uint64
+	// MessagesSent counts client→server reports.
+	MessagesSent uint64
+}
+
+// AddCheck records one containment check costing the given probes.
+func (c *Client) AddCheck(probes int) {
+	c.ContainmentChecks++
+	c.Probes += uint64(probes)
+}
+
+// Merge folds other into c (used to aggregate per-client counters).
+func (c *Client) Merge(other Client) {
+	c.ContainmentChecks += other.ContainmentChecks
+	c.Probes += other.Probes
+	c.MessagesSent += other.MessagesSent
+}
+
+// EnergyParams converts client-side work into energy, mirroring the
+// paper's mWh reporting (the paper omits its exact energy calculation; the
+// constants below are calibrated to land the default workload in the same
+// hundreds-of-mWh range as Figures 5(b)/6(c)).
+type EnergyParams struct {
+	// ProbeMilliWattHours per elementary containment probe.
+	ProbeMilliWattHours float64
+	// RadioMilliWattHours per message transmitted.
+	RadioMilliWattHours float64
+}
+
+// DefaultEnergy returns the calibrated energy model.
+func DefaultEnergy() EnergyParams {
+	return EnergyParams{
+		ProbeMilliWattHours: 0.004,
+		RadioMilliWattHours: 0.05,
+	}
+}
+
+// Energy returns the fleet energy in milliwatt-hours under p.
+func (c Client) Energy(p EnergyParams) float64 {
+	return float64(c.Probes)*p.ProbeMilliWattHours +
+		float64(c.MessagesSent)*p.RadioMilliWattHours
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestServerCounters(t *testing.T) {
+	s := NewServer(DefaultCosts())
+	s.AddUplink(29)
+	s.AddUplink(29)
+	s.AddDownlink(37)
+	if s.UplinkMessages != 2 || s.UplinkBytes != 58 {
+		t.Errorf("uplink = %d msgs %d bytes", s.UplinkMessages, s.UplinkBytes)
+	}
+	if s.DownlinkMessages != 1 || s.DownlinkBytes != 37 {
+		t.Errorf("downlink = %d msgs %d bytes", s.DownlinkMessages, s.DownlinkBytes)
+	}
+}
+
+func TestCostModelSeconds(t *testing.T) {
+	costs := CostParams{
+		NodeAccessSeconds: 1,
+		AlarmCheckSeconds: 10,
+		CandidateSeconds:  100,
+		CornerSeconds:     1000,
+		BitmapTestSeconds: 10000,
+	}
+	s := NewServer(costs)
+	s.AddAlarmEvaluation(3, 2)
+	s.AddRectComputation(4, 5, 1)
+	s.AddBitmapComputation(6)
+	if got := s.AlarmProcessingSeconds(); got != 3*1+2*10 {
+		t.Errorf("AlarmProcessingSeconds = %v", got)
+	}
+	if got := s.SafeRegionSeconds(); got != 4*100+5*1000+6*10000 {
+		t.Errorf("SafeRegionSeconds = %v", got)
+	}
+	if got := s.TotalSeconds(); got != 23+65400 {
+		t.Errorf("TotalSeconds = %v", got)
+	}
+	if s.AlarmEvaluations() != 1 || s.SafeRegionComputations() != 2 {
+		t.Errorf("evaluations=%d computations=%d", s.AlarmEvaluations(), s.SafeRegionComputations())
+	}
+	if s.RectClips() != 1 {
+		t.Errorf("RectClips = %d", s.RectClips())
+	}
+}
+
+func TestDownlinkMbps(t *testing.T) {
+	s := NewServer(DefaultCosts())
+	s.AddDownlink(1e6 / 8) // one megabit
+	if got := s.DownlinkMbps(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DownlinkMbps = %v, want 1", got)
+	}
+	if got := s.DownlinkMbps(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DownlinkMbps over 2s = %v, want 0.5", got)
+	}
+	if got := s.DownlinkMbps(0); got != 0 {
+		t.Errorf("DownlinkMbps with zero duration = %v", got)
+	}
+}
+
+func TestClientCountersAndEnergy(t *testing.T) {
+	var c Client
+	c.AddCheck(1)
+	c.AddCheck(5)
+	c.MessagesSent = 3
+	if c.ContainmentChecks != 2 || c.Probes != 6 {
+		t.Errorf("checks=%d probes=%d", c.ContainmentChecks, c.Probes)
+	}
+	p := EnergyParams{ProbeMilliWattHours: 2, RadioMilliWattHours: 10}
+	if got := c.Energy(p); got != 6*2+3*10 {
+		t.Errorf("Energy = %v", got)
+	}
+	var agg Client
+	agg.Merge(c)
+	agg.Merge(c)
+	if agg.Probes != 12 || agg.MessagesSent != 6 || agg.ContainmentChecks != 4 {
+		t.Errorf("merge wrong: %+v", agg)
+	}
+}
+
+func TestDefaultsPositive(t *testing.T) {
+	c := DefaultCosts()
+	for name, v := range map[string]float64{
+		"NodeAccess": c.NodeAccessSeconds,
+		"AlarmCheck": c.AlarmCheckSeconds,
+		"Candidate":  c.CandidateSeconds,
+		"Corner":     c.CornerSeconds,
+		"BitmapTest": c.BitmapTestSeconds,
+	} {
+		if v <= 0 {
+			t.Errorf("%s cost not positive", name)
+		}
+	}
+	e := DefaultEnergy()
+	if e.ProbeMilliWattHours <= 0 || e.RadioMilliWattHours <= 0 {
+		t.Error("energy params not positive")
+	}
+}

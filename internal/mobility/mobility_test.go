@@ -1,0 +1,221 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/roadnet"
+)
+
+func testNet(t testing.TB) *roadnet.Network {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Config{
+		Side: 5000, Spacing: 500, Jitter: 0.2, DropProb: 0.1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func mustSim(t testing.TB, net *roadnet.Network, cfg Config) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig(10, 1)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero vehicles", func(c *Config) { c.Vehicles = 0 }},
+		{"zero tick", func(c *Config) { c.TickSeconds = 0 }},
+		{"negative pause", func(c *Config) { c.PauseMaxSeconds = -1 }},
+		{"zero min speed", func(c *Config) { c.MinSpeedFactor = 0 }},
+		{"speed factor > 1", func(c *Config) { c.MaxSpeedFactor = 1.5 }},
+		{"min > max speed", func(c *Config) { c.MinSpeedFactor = 0.9; c.MaxSpeedFactor = 0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := NewSimulator(testNet(t), cfg); err == nil {
+				t.Error("expected config error")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	net := testNet(t)
+	run := func() []geom.Point {
+		s := mustSim(t, net, DefaultConfig(20, 99))
+		for i := 0; i < 300; i++ {
+			s.Step()
+		}
+		out := make([]geom.Point, s.NumVehicles())
+		s.Positions(out)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vehicle %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Different seed should diverge.
+	s2 := mustSim(t, net, DefaultConfig(20, 100))
+	for i := 0; i < 300; i++ {
+		s2.Step()
+	}
+	c := make([]geom.Point, s2.NumVehicles())
+	s2.Positions(c)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestSpeedBound: per-tick displacement must never exceed MaxSpeed·dt —
+// the invariant the safe-period baseline and ground-truth accuracy rest on.
+func TestSpeedBound(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig(50, 7)
+	s := mustSim(t, net, cfg)
+	bound := s.MaxSpeed()*cfg.TickSeconds + 1e-9
+	prev := make([]geom.Point, s.NumVehicles())
+	cur := make([]geom.Point, s.NumVehicles())
+	s.Positions(prev)
+	for tick := 0; tick < 600; tick++ {
+		s.Step()
+		s.Positions(cur)
+		for i := range cur {
+			if d := cur[i].DistanceTo(prev[i]); d > bound {
+				t.Fatalf("tick %d vehicle %d moved %v > bound %v", tick, i, d, bound)
+			}
+		}
+		copy(prev, cur)
+	}
+	if s.Tick() != 600 {
+		t.Errorf("Tick = %d, want 600", s.Tick())
+	}
+}
+
+// TestVehiclesStayInBounds: positions remain within (slightly expanded)
+// network bounds.
+func TestVehiclesStayInBounds(t *testing.T) {
+	net := testNet(t)
+	s := mustSim(t, net, DefaultConfig(30, 3))
+	world := net.Bounds().Expand(500)
+	for tick := 0; tick < 500; tick++ {
+		s.Step()
+		for i := 0; i < s.NumVehicles(); i++ {
+			if !world.Contains(s.Position(i)) {
+				t.Fatalf("tick %d: vehicle %d escaped to %v", tick, i, s.Position(i))
+			}
+		}
+	}
+}
+
+// TestVehiclesActuallyMove: over a long window every vehicle should cover
+// real distance (no one stays parked forever).
+func TestVehiclesActuallyMove(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig(25, 5)
+	s := mustSim(t, net, cfg)
+	start := make([]geom.Point, s.NumVehicles())
+	s.Positions(start)
+	travelled := make([]float64, s.NumVehicles())
+	prev := append([]geom.Point(nil), start...)
+	cur := make([]geom.Point, s.NumVehicles())
+	for tick := 0; tick < 900; tick++ {
+		s.Step()
+		s.Positions(cur)
+		for i := range cur {
+			travelled[i] += cur[i].DistanceTo(prev[i])
+		}
+		copy(prev, cur)
+	}
+	for i, d := range travelled {
+		if d < 100 {
+			t.Errorf("vehicle %d travelled only %.1f m in 900 s", i, d)
+		}
+	}
+}
+
+// TestPauseBehaviour: with a huge pause and tiny duration, vehicles stay
+// near their start nodes initially.
+func TestPauseBehaviour(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig(10, 2)
+	cfg.PauseMaxSeconds = 100000
+	s := mustSim(t, net, cfg)
+	start := make([]geom.Point, s.NumVehicles())
+	s.Positions(start)
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	cur := make([]geom.Point, s.NumVehicles())
+	s.Positions(cur)
+	moved := 0
+	for i := range cur {
+		if cur[i] != start[i] {
+			moved++
+		}
+	}
+	// With pauses uniform in [0, 100000] s, almost nobody moves in 10 s.
+	if moved > 3 {
+		t.Errorf("%d of %d vehicles moved during huge pause", moved, len(cur))
+	}
+}
+
+// TestAverageSpeedPlausible: mean moving speed should be within road speed
+// range (sanity check against unit errors km/h vs m/s).
+func TestAverageSpeedPlausible(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig(40, 9)
+	cfg.PauseMaxSeconds = 0 // keep them driving
+	s := mustSim(t, net, cfg)
+	prev := make([]geom.Point, s.NumVehicles())
+	cur := make([]geom.Point, s.NumVehicles())
+	s.Positions(prev)
+	var sum float64
+	var n int
+	for tick := 0; tick < 600; tick++ {
+		s.Step()
+		s.Positions(cur)
+		for i := range cur {
+			d := cur[i].DistanceTo(prev[i])
+			if d > 0 {
+				sum += d
+				n++
+			}
+		}
+		copy(prev, cur)
+	}
+	mean := sum / float64(n)
+	// Local roads at 35 km/h ≈ 9.7 m/s; highways 110 km/h ≈ 30.6 m/s.
+	// Straight-line per-tick displacement can dip below road speed at
+	// turns, so accept a broad plausible band.
+	if mean < 5 || mean > 31 {
+		t.Errorf("mean per-second displacement %.2f m implausible", mean)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("no movement recorded")
+	}
+}

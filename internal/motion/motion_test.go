@@ -1,0 +1,323 @@
+package motion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+func integratePDF(m Model, lo, hi float64, steps int) float64 {
+	h := (hi - lo) / float64(steps)
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += m.PDF(lo+(float64(i)+0.5)*h) * h
+	}
+	return sum
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		y, z    float64
+		wantErr bool
+	}{
+		{"paper default", 1, 32, false},
+		{"z=2", 1, 2, false},
+		{"y/z = 1 invalid", 4, 4, true},
+		{"y/z > 1 invalid", 8, 4, true},
+		{"negative y", -1, 4, true},
+		{"z < 1", 0.5, 0.5, true},
+		{"y=0 uniform", 0, 4, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := New(tt.y, tt.z)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%v,%v) err = %v, wantErr %v", tt.y, tt.z, err, tt.wantErr)
+			}
+			if err == nil && tt.y == 0 && !m.IsUniform() {
+				t.Error("y=0 should give the uniform model")
+			}
+		})
+	}
+}
+
+func TestUniformPDF(t *testing.T) {
+	m := Uniform()
+	want := 1 / (2 * math.Pi)
+	for _, phi := range []float64{0, 1, -2, math.Pi, -math.Pi} {
+		if got := m.PDF(phi); math.Abs(got-want) > 1e-12 {
+			t.Errorf("PDF(%v) = %v, want %v", phi, got, want)
+		}
+	}
+	if got := m.SectorProb(0, math.Pi); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SectorProb half circle = %v", got)
+	}
+	if got := m.SectorProb(-math.Pi, math.Pi); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SectorProb full circle = %v", got)
+	}
+}
+
+func TestPDFNormalization(t *testing.T) {
+	for _, z := range []float64{2, 4, 8, 16, 32} {
+		m := MustNew(1, z)
+		if got := integratePDF(m, -math.Pi, math.Pi, 100000); math.Abs(got-1) > 1e-6 {
+			t.Errorf("z=%v: integral = %v, want 1", z, got)
+		}
+	}
+}
+
+// TestPDFShape checks the qualitative properties of Figure 1(b): symmetry,
+// a flat plateau on [0, π/z), monotone non-increasing in |φ|, forward bias.
+func TestPDFShape(t *testing.T) {
+	for _, z := range []float64{2, 4, 8} {
+		m := MustNew(1, z)
+		// Symmetry.
+		for _, phi := range []float64{0.1, 0.5, 1.2, 2.9} {
+			if math.Abs(m.PDF(phi)-m.PDF(-phi)) > 1e-12 {
+				t.Errorf("z=%v: PDF not symmetric at %v", z, phi)
+			}
+		}
+		// Plateau: constant on [0, π/z).
+		plateau := m.PDF(0)
+		if got := m.PDF(math.Pi/z - 1e-9); math.Abs(got-plateau) > 1e-12 {
+			t.Errorf("z=%v: plateau broken: PDF(π/z-) = %v vs PDF(0) = %v", z, got, plateau)
+		}
+		// Decreases after the first band.
+		if got := m.PDF(math.Pi/z + 1e-9); got >= plateau {
+			t.Errorf("z=%v: no decrease past π/z: %v >= %v", z, got, plateau)
+		}
+		// Monotone non-increasing in |φ|.
+		prev := math.Inf(1)
+		for k := 0; k <= 64; k++ {
+			phi := float64(k) / 64 * math.Pi
+			v := m.PDF(phi)
+			if v > prev+1e-12 {
+				t.Errorf("z=%v: PDF increased at %v", z, phi)
+			}
+			prev = v
+		}
+		// Forward bias: heavier than uniform near 0, lighter near π.
+		uniform := 1 / (2 * math.Pi)
+		if m.PDF(0) <= uniform {
+			t.Errorf("z=%v: PDF(0) = %v not above uniform", z, m.PDF(0))
+		}
+		if m.PDF(math.Pi) >= uniform {
+			t.Errorf("z=%v: PDF(π) = %v not below uniform", z, m.PDF(math.Pi))
+		}
+		// Strictly positive everywhere (soundness of weighted safe regions).
+		if m.PDF(math.Pi) <= 0 {
+			t.Errorf("z=%v: PDF(π) not positive", z)
+		}
+	}
+}
+
+// Larger z concentrates the same y/z bias into finer bands; the peak
+// density should not decrease as z grows with y/z fixed at the paper's
+// Figure 1(b) style sweep (y=1, z in {2,4,8}).
+func TestPDFPeakOrdering(t *testing.T) {
+	p2 := MustNew(1, 2).PDF(0)
+	p4 := MustNew(1, 4).PDF(0)
+	p8 := MustNew(1, 8).PDF(0)
+	if !(p2 > p4 && p4 > p8) {
+		t.Errorf("peak ordering: z=2:%v z=4:%v z=8:%v; want decreasing", p2, p4, p8)
+	}
+	// All peaks above uniform.
+	u := 1 / (2 * math.Pi)
+	for _, p := range []float64{p2, p4, p8} {
+		if p <= u {
+			t.Errorf("peak %v not above uniform %v", p, u)
+		}
+	}
+}
+
+func TestSectorProbAgainstNumericIntegration(t *testing.T) {
+	m := MustNew(1, 4)
+	tests := []struct{ lo, hi float64 }{
+		{0, math.Pi / 4},
+		{-math.Pi / 4, math.Pi / 4},
+		{math.Pi / 2, math.Pi},
+		{-math.Pi, math.Pi},
+		{-3, -1},
+		{2.5, 3.1},
+		{3, 4}, // crosses π, wraps
+		{-4, -3},
+	}
+	for _, tt := range tests {
+		want := integratePDF(m, tt.lo, tt.hi, 200000)
+		got := m.SectorProb(tt.lo, tt.hi)
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("SectorProb(%v,%v) = %v, want %v", tt.lo, tt.hi, got, want)
+		}
+	}
+	if got := m.SectorProb(1, 1); got != 0 {
+		t.Errorf("empty sector = %v", got)
+	}
+	if got := m.SectorProb(2, 1); got != 0 {
+		t.Errorf("inverted sector = %v", got)
+	}
+	if got := m.SectorProb(-10, 10); got != 1 {
+		t.Errorf("super-full sector = %v", got)
+	}
+}
+
+// Property: SectorProb is additive: P(a,c) = P(a,b) + P(b,c).
+func TestQuickSectorAdditivity(t *testing.T) {
+	m := MustNew(1, 8)
+	f := func(a, b, c float64) bool {
+		xs := []float64{clampAngle(a), clampAngle(b), clampAngle(c)}
+		lo, mid, hi := sort3(xs[0], xs[1], xs[2])
+		total := m.SectorProb(lo, hi)
+		split := m.SectorProb(lo, mid) + m.SectorProb(mid, hi)
+		return math.Abs(total-split) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampAngle(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, math.Pi)
+}
+
+func sort3(a, b, c float64) (lo, mid, hi float64) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+func TestHeading(t *testing.T) {
+	h, ok := Heading(geom.Pt(0, 0), geom.Pt(1, 1))
+	if !ok || math.Abs(h-math.Pi/4) > 1e-12 {
+		t.Errorf("Heading = %v ok=%v", h, ok)
+	}
+	if _, ok := Heading(geom.Pt(3, 3), geom.Pt(3, 3)); ok {
+		t.Error("identical fixes should report ok=false")
+	}
+}
+
+func TestSideWeights(t *testing.T) {
+	m := MustNew(1, 8)
+	// Heading east: the right side should carry the most mass.
+	r, tp, l, b := m.SideWeights(0)
+	sum := r + tp + l + b
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("side weights sum = %v, want 1", sum)
+	}
+	if !(r > tp && r > b && r > l) {
+		t.Errorf("heading east: right %v should dominate (top %v left %v bottom %v)", r, tp, l, b)
+	}
+	if math.Abs(tp-b) > 1e-9 {
+		t.Errorf("heading east: top %v and bottom %v should be symmetric", tp, b)
+	}
+	if l >= tp {
+		t.Errorf("heading east: left %v should be smallest (top %v)", l, tp)
+	}
+	// Heading north: top dominates.
+	_, tp2, _, b2 := m.SideWeights(math.Pi / 2)
+	if tp2 <= b2 {
+		t.Errorf("heading north: top %v should beat bottom %v", tp2, b2)
+	}
+	// Uniform model: all sides equal.
+	ur, ut, ul, ub := Uniform().SideWeights(1.234)
+	for _, w := range []float64{ur, ut, ul, ub} {
+		if math.Abs(w-0.25) > 1e-12 {
+			t.Errorf("uniform side weight = %v, want 0.25", w)
+		}
+	}
+}
+
+func TestQuadrantWeights(t *testing.T) {
+	m := MustNew(1, 8)
+	// Heading along +x+y diagonal: quadrant I dominates, III smallest.
+	w := m.QuadrantWeights(math.Pi / 4)
+	sum := w[0] + w[1] + w[2] + w[3]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("quadrant weights sum = %v", sum)
+	}
+	if !(w[0] > w[1] && w[0] > w[3] && w[0] > w[2]) {
+		t.Errorf("quadrant I should dominate: %v", w)
+	}
+	if !(w[2] < w[1] && w[2] < w[3]) {
+		t.Errorf("quadrant III should be smallest: %v", w)
+	}
+	// Symmetry: II and IV equal for diagonal heading.
+	if math.Abs(w[1]-w[3]) > 1e-9 {
+		t.Errorf("quadrants II and IV should tie: %v", w)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with invalid params should panic")
+		}
+	}()
+	MustNew(10, 2)
+}
+
+func TestHeadingTracker(t *testing.T) {
+	var h HeadingTracker
+	// First fix: no heading yet.
+	if _, ok := h.Observe(geom.Pt(0, 0)); ok {
+		t.Error("heading before any movement")
+	}
+	// Steady east: converges to 0.
+	for i := 1; i <= 10; i++ {
+		h.Observe(geom.Pt(float64(i*10), 0))
+	}
+	got, ok := h.Observe(geom.Pt(110, 0))
+	if !ok || math.Abs(got) > 1e-9 {
+		t.Errorf("steady east heading = %v ok=%v", got, ok)
+	}
+	// One noisy fix barely moves the EMA.
+	noisy, _ := h.Observe(geom.Pt(115, 8))
+	if math.Abs(noisy) > math.Pi/4 {
+		t.Errorf("single noisy fix swung heading to %v", noisy)
+	}
+	// A sustained turn eventually wins.
+	for i := 1; i <= 30; i++ {
+		got, _ = h.Observe(geom.Pt(115, 8+float64(i*10)))
+	}
+	if math.Abs(got-math.Pi/2) > 0.05 {
+		t.Errorf("sustained north turn: heading = %v, want ≈π/2", got)
+	}
+	// Parked: heading persists.
+	kept, ok := h.Observe(geom.Pt(115, 308))
+	if !ok || math.Abs(kept-got) > 1e-9 {
+		t.Errorf("parked heading = %v ok=%v, want %v", kept, ok, got)
+	}
+	// Reset clears state but keeps Alpha.
+	h2 := HeadingTracker{Alpha: 0.9}
+	h2.Observe(geom.Pt(0, 0))
+	h2.Observe(geom.Pt(1, 0))
+	h2.Reset()
+	if h2.Alpha != 0.9 {
+		t.Error("Reset lost Alpha")
+	}
+	if _, ok := h2.Observe(geom.Pt(5, 5)); ok {
+		t.Error("Reset did not clear position history")
+	}
+}
+
+func TestHeadingTrackerAlphaOne(t *testing.T) {
+	h := HeadingTracker{Alpha: 1}
+	h.Observe(geom.Pt(0, 0))
+	h.Observe(geom.Pt(10, 0))
+	got, ok := h.Observe(geom.Pt(10, 10)) // raw two-fix heading: north
+	if !ok || math.Abs(got-math.Pi/2) > 1e-9 {
+		t.Errorf("alpha=1 heading = %v, want π/2", got)
+	}
+}

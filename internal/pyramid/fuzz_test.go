@@ -1,0 +1,41 @@
+package pyramid
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// FuzzDecode throws arbitrary bit strings at the bitmap decoder: it must
+// reject or accept without panicking, and accepted regions must answer
+// containment queries within the probe bound.
+func FuzzDecode(f *testing.F) {
+	cell := geom.Rect{MinX: 0, MinY: 0, MaxX: 900, MaxY: 900}
+	alarms := []geom.Rect{{MinX: 100, MinY: 100, MaxX: 300, MaxY: 250}}
+	if good, err := Encode(cell, DefaultParams(3), blockedBy(alarms)); err == nil {
+		f.Add(uint8(3), uint8(3), uint8(3), good.NBits, good.Data)
+	}
+	f.Add(uint8(3), uint8(3), uint8(1), 1, []byte{0x80})
+	f.Add(uint8(2), uint8(2), uint8(2), 10, []byte{0x00, 0xFF})
+	f.Fuzz(func(t *testing.T, u, v, h uint8, nbits int, data []byte) {
+		bm := &Bitmap{
+			Params: Params{U: int(u), V: int(v), Height: int(h)},
+			Cell:   cell,
+			Data:   data,
+			NBits:  nbits,
+		}
+		reg, err := Decode(bm)
+		if err != nil {
+			return
+		}
+		for _, p := range []geom.Point{{X: 1, Y: 1}, {X: 450, Y: 450}, {X: 899, Y: 899}, {X: -5, Y: 5}} {
+			_, probes := reg.ContainsProbes(p)
+			if probes > int(h)+1 {
+				t.Fatalf("probe bound exceeded: %d > %d", probes, h+1)
+			}
+		}
+		if c := reg.Coverage(); c < 0 || c > 1+1e-9 {
+			t.Fatalf("coverage out of range: %v", c)
+		}
+	})
+}

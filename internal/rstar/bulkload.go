@@ -1,0 +1,113 @@
+package rstar
+
+import (
+	"math"
+	"sort"
+)
+
+// BulkLoad builds a tree from a full item set using Sort-Tile-Recursive
+// packing (Leutenegger et al., ICDE 1997): items are sorted into
+// √(n/M) vertical slabs by centre x, each slab sorted by centre y and cut
+// into full leaves. Packed trees are built in O(n log n) — the alarm
+// server uses it to index a complete alarm table at startup instead of
+// inserting one by one — and their near-100% fill keeps query fan-out low.
+// Mutations (Insert/Delete) work normally afterwards.
+func BulkLoad(items []Item, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	leafItems := append([]Item(nil), items...)
+	leaves := packLeaves(leafItems, t.maxEntries)
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		level = packInner(level, t.maxEntries)
+		height++
+	}
+	t.root = level[0]
+	t.height = height
+	t.size = len(items)
+	return t
+}
+
+// InsertBatch adds many items. An empty tree is STR bulk-loaded (see
+// BulkLoad); a non-empty one takes individual inserts.
+func (t *Tree) InsertBatch(items []Item) {
+	if t.size == 0 && len(items) > t.maxEntries {
+		packed := BulkLoad(items, t.maxEntries)
+		t.root = packed.root
+		t.height = packed.height
+		t.size = packed.size
+		return
+	}
+	for _, it := range items {
+		t.Insert(it)
+	}
+}
+
+// packLeaves tiles items into leaf nodes.
+func packLeaves(items []Item, m int) []*node {
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: it.Rect, id: it.ID}
+	}
+	groups := strTile(entries, m)
+	out := make([]*node, len(groups))
+	for i, g := range groups {
+		n := &node{leaf: true, entries: g}
+		n.recomputeRect()
+		out[i] = n
+	}
+	return out
+}
+
+// packInner tiles child nodes into parent nodes.
+func packInner(children []*node, m int) []*node {
+	entries := make([]entry, len(children))
+	for i, c := range children {
+		entries[i] = entry{rect: c.rect, child: c}
+	}
+	groups := strTile(entries, m)
+	out := make([]*node, len(groups))
+	for i, g := range groups {
+		n := &node{leaf: false, entries: g}
+		n.recomputeRect()
+		out[i] = n
+	}
+	return out
+}
+
+// strTile partitions entries into groups of at most m using the STR
+// slab-then-run tiling.
+func strTile(entries []entry, m int) [][]entry {
+	n := len(entries)
+	numNodes := (n + m - 1) / m
+	slabCount := int(math.Ceil(math.Sqrt(float64(numNodes))))
+	slabSize := slabCount * m
+
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].rect.Center().X < entries[j].rect.Center().X
+	})
+	var groups [][]entry
+	for start := 0; start < n; start += slabSize {
+		end := start + slabSize
+		if end > n {
+			end = n
+		}
+		slab := entries[start:end]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].rect.Center().Y < slab[j].rect.Center().Y
+		})
+		for s := 0; s < len(slab); s += m {
+			e := s + m
+			if e > len(slab) {
+				e = len(slab)
+			}
+			group := make([]entry, e-s)
+			copy(group, slab[s:e])
+			groups = append(groups, group)
+		}
+	}
+	return groups
+}

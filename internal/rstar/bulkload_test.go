@@ -1,0 +1,152 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, DefaultMaxEntries)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.SearchPoint(geom.Pt(0, 0), nil); len(got) != 0 {
+		t.Errorf("query on empty bulk tree: %v", got)
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 5, 32, 33, 500, 3000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: uint64(i), Rect: randRect(rng, 10000, 300)}
+		}
+		tr := BulkLoad(items, DefaultMaxEntries)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckStructure(); err != nil {
+			t.Fatalf("n=%d: structure: %v", n, err)
+		}
+		for q := 0; q < 50; q++ {
+			p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			if !equalIDs(tr.SearchPoint(p, nil), bruteSearchPoint(items, p)) {
+				t.Fatalf("n=%d: point query mismatch at %v", n, p)
+			}
+			w := randRect(rng, 10000, 2000)
+			if !equalIDs(tr.SearchRect(w, nil), bruteSearchRect(items, w)) {
+				t.Fatalf("n=%d: range query mismatch at %v", n, w)
+			}
+		}
+	}
+}
+
+// TestBulkLoadMutable: a packed tree must accept inserts and deletes and
+// stay correct.
+func TestBulkLoadMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := make([]Item, 800)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Rect: randRect(rng, 5000, 200)}
+	}
+	tr := BulkLoad(items, 16)
+	live := map[uint64]Item{}
+	for _, it := range items {
+		live[it.ID] = it
+	}
+	for i := 0; i < 300; i++ {
+		it := Item{ID: uint64(1000 + i), Rect: randRect(rng, 5000, 200)}
+		tr.Insert(it)
+		live[it.ID] = it
+	}
+	for _, it := range items[:400] {
+		if !tr.Delete(it) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+		delete(live, it.ID)
+	}
+	all := make([]Item, 0, len(live))
+	for _, it := range live {
+		all = append(all, it)
+	}
+	for q := 0; q < 50; q++ {
+		w := randRect(rng, 5000, 1000)
+		if !equalIDs(tr.SearchRect(w, nil), bruteSearchRect(all, w)) {
+			t.Fatalf("post-mutation query mismatch")
+		}
+	}
+}
+
+// TestBulkLoadShallower: packing yields equal-or-shallower trees than
+// repeated insertion (its purpose).
+func TestBulkLoadShallower(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := make([]Item, 5000)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Rect: randRect(rng, 31623, 400)}
+	}
+	packed := BulkLoad(items, DefaultMaxEntries)
+	inserted := New(DefaultMaxEntries)
+	for _, it := range items {
+		inserted.Insert(it)
+	}
+	if packed.Height() > inserted.Height() {
+		t.Errorf("packed height %d > inserted height %d", packed.Height(), inserted.Height())
+	}
+	// Query cost: packed should touch no more nodes than inserted on
+	// average (allow slack; both prune well).
+	packed.ResetStats()
+	inserted.ResetStats()
+	for q := 0; q < 500; q++ {
+		p := geom.Pt(rng.Float64()*31623, rng.Float64()*31623)
+		packed.SearchPoint(p, nil)
+		inserted.SearchPoint(p, nil)
+	}
+	if float64(packed.NodeAccesses()) > 1.5*float64(inserted.NodeAccesses()) {
+		t.Errorf("packed accesses %d vs inserted %d", packed.NodeAccesses(), inserted.NodeAccesses())
+	}
+}
+
+// Property: for random item sets, bulk-loaded and insert-built trees
+// answer identically.
+func TestQuickBulkEquivalence(t *testing.T) {
+	f := func(seed int64, count uint16) bool {
+		n := int(count%400) + 1
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: uint64(i), Rect: randRect(rng, 2000, 150)}
+		}
+		packed := BulkLoad(items, 8)
+		built := New(8)
+		for _, it := range items {
+			built.Insert(it)
+		}
+		for q := 0; q < 10; q++ {
+			p := geom.Pt(rng.Float64()*2000, rng.Float64()*2000)
+			if !equalIDs(packed.SearchPoint(p, nil), built.SearchPoint(p, nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Rect: randRect(rng, 31623, 500)}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		BulkLoad(items, DefaultMaxEntries)
+	}
+}

@@ -1,0 +1,757 @@
+// Package rstar implements an R*-tree (Beckmann, Kriegel, Schneider, Seeger:
+// "The R*-Tree: An Efficient and Robust Access Method for Points and
+// Rectangles", SIGMOD 1990).
+//
+// The alarm server indexes every installed spatial alarm region in an
+// R*-tree (paper §5.1) and evaluates position updates against it. The tree
+// supports:
+//
+//   - insertion with forced reinsertion on overflow,
+//   - the R* topological split (margin-driven axis choice, overlap-driven
+//     distribution choice),
+//   - deletion with tree condensation,
+//   - point queries (all rectangles containing a point),
+//   - range queries (all rectangles intersecting a window), and
+//   - best-first nearest-neighbour queries by MINDIST (used by the
+//     safe-period baseline).
+//
+// Every query reports the number of node accesses it performed so the
+// server's deterministic cost model (internal/metrics) can charge I/O-like
+// work per evaluation, mirroring how the paper accounts server load.
+//
+// The tree is not safe for concurrent mutation; the server serializes
+// access (see internal/server).
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+const (
+	// DefaultMaxEntries is M, the node capacity. 32 keeps the tree shallow
+	// for the paper's default 10,000 alarms (3 levels) while keeping splits
+	// cheap.
+	DefaultMaxEntries = 32
+	// minFillRatio is m/M; the R* paper recommends 40%.
+	minFillRatio = 0.4
+	// reinsertRatio is p/M for forced reinsertion; the R* paper found 30%
+	// of M to perform best.
+	reinsertRatio = 0.3
+)
+
+// Item is a spatially indexed payload: an opaque identifier and its
+// bounding rectangle. For SABRE the ID is the alarm ID and the rectangle
+// the alarm region.
+type Item struct {
+	ID   uint64
+	Rect geom.Rect
+}
+
+// Tree is an R*-tree. Use New to create one.
+type Tree struct {
+	root       *node
+	maxEntries int
+	minEntries int
+	size       int
+	height     int
+
+	// nodeAccesses counts node visits across all queries since the last
+	// ResetStats call. Mutating operations do not count. Atomic so that
+	// concurrent readers (queries under a caller-held read lock) can count
+	// without a data race.
+	nodeAccesses atomic.Uint64
+}
+
+type node struct {
+	leaf    bool
+	rect    geom.Rect // bounding box of all entries; undefined when empty
+	entries []entry
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node  // nil at leaves
+	id    uint64 // valid at leaves
+}
+
+// New returns an empty R*-tree with node capacity maxEntries. Capacities
+// below 4 are raised to 4 so the split distributions are well-defined.
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	minEntries := int(math.Floor(float64(maxEntries) * minFillRatio))
+	if minEntries < 2 {
+		minEntries = 2
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: minEntries,
+		height:     1,
+	}
+}
+
+// Len returns the number of items stored.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf root).
+func (t *Tree) Height() int { return t.height }
+
+// NodeAccesses returns the number of node visits performed by queries since
+// the last ResetStats.
+func (t *Tree) NodeAccesses() uint64 { return t.nodeAccesses.Load() }
+
+// ResetStats zeroes the node access counter.
+func (t *Tree) ResetStats() { t.nodeAccesses.Store(0) }
+
+// Insert adds an item to the tree. Duplicate IDs are permitted; deletion
+// removes the first match by (rect, id).
+func (t *Tree) Insert(it Item) {
+	// reinsertedLevels tracks which levels already performed forced
+	// reinsertion during this insertion (R* performs it at most once per
+	// level per insert).
+	reinserted := make(map[int]bool)
+	t.insertEntry(entry{rect: it.Rect, id: it.ID}, t.leafLevel(), reinserted)
+	t.size++
+}
+
+// leafLevel returns the level number of leaves; the root is level
+// t.height-1 and leaves are level 0.
+func (t *Tree) leafLevel() int { return 0 }
+
+// insertEntry inserts e at the given level (0 = leaf).
+func (t *Tree) insertEntry(e entry, level int, reinserted map[int]bool) {
+	path, idxs := t.choosePath(e.rect, level)
+	n := path[len(path)-1]
+	n.entries = append(n.entries, e)
+	adjustAlongPath(path, idxs)
+	if len(n.entries) > t.maxEntries {
+		t.overflowTreatment(path, idxs, level, reinserted)
+	}
+}
+
+// choosePath descends from the root to the node at the target level
+// following the R* criteria: minimum overlap enlargement when the children
+// are leaves, minimum area enlargement otherwise. It returns the node path
+// (path[0] = root) and, for each non-root node, its entry index within its
+// parent (idxs[i] is the index of path[i+1] inside path[i]).
+func (t *Tree) choosePath(r geom.Rect, level int) (path []*node, idxs []int) {
+	n := t.root
+	path = append(path, n)
+	depth := t.height - 1 // level of n
+	for depth > level {
+		childrenAreLeaves := depth-1 == 0
+		var idx int
+		if childrenAreLeaves {
+			idx = chooseMinOverlap(n.entries, r)
+		} else {
+			idx = chooseMinEnlargement(n.entries, r)
+		}
+		idxs = append(idxs, idx)
+		n = n.entries[idx].child
+		path = append(path, n)
+		depth--
+	}
+	return path, idxs
+}
+
+// adjustAlongPath recomputes bounding rectangles bottom-up along an
+// insertion path and mirrors them into the parent entries.
+func adjustAlongPath(path []*node, idxs []int) {
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].recomputeRect()
+		if i > 0 {
+			path[i-1].entries[idxs[i-1]].rect = path[i].rect
+		}
+	}
+}
+
+// chooseMinOverlap selects the entry whose rectangle needs the least overlap
+// enlargement to include r, resolving ties by least area enlargement, then
+// least area. It returns the entry index.
+func chooseMinOverlap(entries []entry, r geom.Rect) int {
+	bestIdx := 0
+	bestOverlap := math.Inf(1)
+	bestEnlarge := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range entries {
+		e := &entries[i]
+		enlarged := e.rect.Union(r)
+		var overlapDelta float64
+		for j := range entries {
+			if j == i {
+				continue
+			}
+			overlapDelta += enlarged.OverlapArea(entries[j].rect) - e.rect.OverlapArea(entries[j].rect)
+		}
+		enlarge := enlarged.Area() - e.rect.Area()
+		area := e.rect.Area()
+		if overlapDelta < bestOverlap ||
+			(overlapDelta == bestOverlap && enlarge < bestEnlarge) ||
+			(overlapDelta == bestOverlap && enlarge == bestEnlarge && area < bestArea) {
+			bestIdx, bestOverlap, bestEnlarge, bestArea = i, overlapDelta, enlarge, area
+		}
+	}
+	return bestIdx
+}
+
+// chooseMinEnlargement selects the entry with least area enlargement,
+// resolving ties by least area. It returns the entry index.
+func chooseMinEnlargement(entries []entry, r geom.Rect) int {
+	bestIdx := 0
+	bestEnlarge := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range entries {
+		e := &entries[i]
+		enlarge := e.rect.EnlargementArea(r)
+		area := e.rect.Area()
+		if enlarge < bestEnlarge || (enlarge == bestEnlarge && area < bestArea) {
+			bestIdx, bestEnlarge, bestArea = i, enlarge, area
+		}
+	}
+	return bestIdx
+}
+
+// overflowTreatment handles the node at the end of path holding M+1
+// entries: forced reinsertion the first time a level overflows during an
+// insertion, a split otherwise.
+func (t *Tree) overflowTreatment(path []*node, idxs []int, level int, reinserted map[int]bool) {
+	n := path[len(path)-1]
+	if n != t.root && !reinserted[level] {
+		reinserted[level] = true
+		t.reinsert(path, idxs, level, reinserted)
+		return
+	}
+	t.splitNode(path, idxs, level)
+}
+
+// reinsert removes the p entries farthest from the node centre and inserts
+// them again from the top (R* forced reinsertion, "far reinsert" variant).
+func (t *Tree) reinsert(path []*node, idxs []int, level int, reinserted map[int]bool) {
+	n := path[len(path)-1]
+	p := int(math.Round(float64(t.maxEntries) * reinsertRatio))
+	if p < 1 {
+		p = 1
+	}
+	center := n.rect.Center()
+	sort.Slice(n.entries, func(i, j int) bool {
+		return n.entries[i].rect.Center().DistanceSqTo(center) >
+			n.entries[j].rect.Center().DistanceSqTo(center)
+	})
+	evicted := make([]entry, p)
+	copy(evicted, n.entries[:p])
+	n.entries = append(n.entries[:0], n.entries[p:]...)
+	adjustAlongPath(path, idxs)
+	for _, e := range evicted {
+		t.insertEntry(e, level, reinserted)
+	}
+}
+
+// splitNode performs the R* topological split of the overflowing node at
+// the end of path, propagating splits upward along the path as needed.
+func (t *Tree) splitNode(path []*node, idxs []int, level int) {
+	n := path[len(path)-1]
+	left, right := t.chooseSplit(n.entries)
+	if n == t.root {
+		newRoot := &node{leaf: false}
+		ln := &node{leaf: n.leaf, entries: left}
+		rn := &node{leaf: n.leaf, entries: right}
+		ln.recomputeRect()
+		rn.recomputeRect()
+		newRoot.entries = []entry{
+			{rect: ln.rect, child: ln},
+			{rect: rn.rect, child: rn},
+		}
+		newRoot.recomputeRect()
+		t.root = newRoot
+		t.height++
+		return
+	}
+	parent := path[len(path)-2]
+	idx := idxs[len(idxs)-1]
+	rn := &node{leaf: n.leaf, entries: right}
+	rn.recomputeRect()
+	n.entries = left
+	n.recomputeRect()
+	parent.entries[idx].rect = n.rect
+	parent.entries = append(parent.entries, entry{rect: rn.rect, child: rn})
+	adjustAlongPath(path[:len(path)-1], idxs[:len(idxs)-1])
+	if len(parent.entries) > t.maxEntries {
+		t.splitNode(path[:len(path)-1], idxs[:len(idxs)-1], level+1)
+	}
+}
+
+// findParent locates the parent of target; depth is the level of cur and
+// parentLevel the level the parent lives at. Returns the parent node and
+// the index of target within it. Only the delete path uses it.
+func (t *Tree) findParent(cur *node, target *node, depth, parentLevel int) (*node, int) {
+	if depth < parentLevel {
+		return nil, -1
+	}
+	for i := range cur.entries {
+		if cur.entries[i].child == target {
+			return cur, i
+		}
+	}
+	if depth == parentLevel {
+		return nil, -1
+	}
+	for i := range cur.entries {
+		if cur.entries[i].child == nil {
+			continue
+		}
+		if !cur.entries[i].rect.Intersects(target.rect) {
+			continue
+		}
+		if p, idx := t.findParent(cur.entries[i].child, target, depth-1, parentLevel); p != nil {
+			return p, idx
+		}
+	}
+	return nil, -1
+}
+
+// chooseSplit implements the R* split: pick the axis with the minimum sum
+// of distribution margins, then the distribution with minimum overlap
+// (ties: minimum combined area).
+func (t *Tree) chooseSplit(entries []entry) (left, right []entry) {
+	m := t.minEntries
+	type dist struct{ left, right []entry }
+	bestForAxis := func(byLower, byUpper []entry) ([]dist, float64) {
+		var dists []dist
+		var marginSum float64
+		for _, sorted := range [][]entry{byLower, byUpper} {
+			for k := 0; k <= t.maxEntries-2*m+1; k++ {
+				split := m + k
+				l := sorted[:split]
+				r := sorted[split:]
+				marginSum += boundOf(l).Margin() + boundOf(r).Margin()
+				dists = append(dists, dist{left: l, right: r})
+			}
+		}
+		return dists, marginSum
+	}
+
+	byLowerX := sortedBy(entries, func(a, b entry) bool {
+		if a.rect.MinX != b.rect.MinX {
+			return a.rect.MinX < b.rect.MinX
+		}
+		return a.rect.MaxX < b.rect.MaxX
+	})
+	byUpperX := sortedBy(entries, func(a, b entry) bool {
+		if a.rect.MaxX != b.rect.MaxX {
+			return a.rect.MaxX < b.rect.MaxX
+		}
+		return a.rect.MinX < b.rect.MinX
+	})
+	byLowerY := sortedBy(entries, func(a, b entry) bool {
+		if a.rect.MinY != b.rect.MinY {
+			return a.rect.MinY < b.rect.MinY
+		}
+		return a.rect.MaxY < b.rect.MaxY
+	})
+	byUpperY := sortedBy(entries, func(a, b entry) bool {
+		if a.rect.MaxY != b.rect.MaxY {
+			return a.rect.MaxY < b.rect.MaxY
+		}
+		return a.rect.MinY < b.rect.MinY
+	})
+
+	distsX, marginX := bestForAxis(byLowerX, byUpperX)
+	distsY, marginY := bestForAxis(byLowerY, byUpperY)
+	dists := distsX
+	if marginY < marginX {
+		dists = distsY
+	}
+
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	var best dist
+	for _, d := range dists {
+		lb, rb := boundOf(d.left), boundOf(d.right)
+		overlap := lb.OverlapArea(rb)
+		area := lb.Area() + rb.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestOverlap, bestArea, best = overlap, area, d
+		}
+	}
+	// Copy out: the distributions alias the sort buffers.
+	left = append([]entry(nil), best.left...)
+	right = append([]entry(nil), best.right...)
+	return left, right
+}
+
+func sortedBy(entries []entry, less func(a, b entry) bool) []entry {
+	out := append([]entry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func boundOf(entries []entry) geom.Rect {
+	if len(entries) == 0 {
+		return geom.Rect{}
+	}
+	r := entries[0].rect
+	for _, e := range entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+func (n *node) recomputeRect() { n.rect = boundOf(n.entries) }
+
+// refreshAllRects recomputes every bounding rectangle bottom-up. It is used
+// only on the (rare) delete path, where entries can leave arbitrary nodes;
+// inserts maintain rectangles incrementally along their path.
+func (t *Tree) refreshAllRects() { refreshRects(t.root) }
+
+func refreshRects(n *node) geom.Rect {
+	if !n.leaf {
+		for i := range n.entries {
+			n.entries[i].rect = refreshRects(n.entries[i].child)
+		}
+	}
+	n.recomputeRect()
+	return n.rect
+}
+
+// Delete removes the first item matching (rect, id). It returns true if an
+// item was removed.
+func (t *Tree) Delete(it Item) bool {
+	leaf, idx := t.findLeaf(t.root, it)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	t.refreshAllRects()
+	// Shrink the root if it has a single child and is not a leaf.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, it Item) (*node, int) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == it.ID && n.entries[i].rect == it.Rect {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.ContainsRect(it.Rect) {
+			if leaf, idx := t.findLeaf(n.entries[i].child, it); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense reinserts the entries of underflowing nodes on the path from
+// leaf to root (simplified condense-tree: because refreshAllRects keeps all
+// rectangles exact, we only need to handle underflow).
+func (t *Tree) condense(leaf *node) {
+	if leaf == t.root || len(leaf.entries) >= t.minEntries {
+		return
+	}
+	parent, idx := t.findParent(t.root, leaf, t.height-1, 1)
+	if parent == nil {
+		return
+	}
+	orphans := append([]entry(nil), leaf.entries...)
+	parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
+	t.refreshAllRects()
+	t.condenseInner(parent, t.height-1)
+	reinserted := make(map[int]bool)
+	for _, e := range orphans {
+		t.insertEntry(e, 0, reinserted)
+	}
+}
+
+// condenseInner handles underflow of internal nodes after a child removal.
+func (t *Tree) condenseInner(n *node, rootLevel int) {
+	if n == t.root || len(n.entries) >= t.minEntries {
+		return
+	}
+	level := t.levelOf(n)
+	parent, idx := t.findParent(t.root, n, rootLevel, level+1)
+	if parent == nil {
+		return
+	}
+	orphans := append([]entry(nil), n.entries...)
+	parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
+	t.refreshAllRects()
+	t.condenseInner(parent, rootLevel)
+	reinserted := make(map[int]bool)
+	for _, e := range orphans {
+		// Orphan entries were stored in n (level `level`), so they must be
+		// reinserted at that same level to keep all leaves at equal depth.
+		t.insertEntry(e, level, reinserted)
+	}
+}
+
+// levelOf returns the level of n (leaves are 0). Linear search; only used
+// on the rare inner-underflow path.
+func (t *Tree) levelOf(target *node) int {
+	level := -1
+	var walk func(n *node, depth int) bool
+	walk = func(n *node, depth int) bool {
+		if n == target {
+			level = depth
+			return true
+		}
+		if n.leaf {
+			return false
+		}
+		for i := range n.entries {
+			if walk(n.entries[i].child, depth-1) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(t.root, t.height-1)
+	return level
+}
+
+// SearchPoint appends to dst the IDs of all rectangles containing p and
+// returns the extended slice.
+func (t *Tree) SearchPoint(p geom.Point, dst []uint64) []uint64 {
+	return t.searchPoint(t.root, p, dst)
+}
+
+func (t *Tree) searchPoint(n *node, p geom.Point, dst []uint64) []uint64 {
+	t.nodeAccesses.Add(1)
+	for i := range n.entries {
+		if !n.entries[i].rect.Contains(p) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, n.entries[i].id)
+		} else {
+			dst = t.searchPoint(n.entries[i].child, p, dst)
+		}
+	}
+	return dst
+}
+
+// SearchRect appends to dst the IDs of all rectangles intersecting window w
+// and returns the extended slice.
+func (t *Tree) SearchRect(w geom.Rect, dst []uint64) []uint64 {
+	return t.searchRect(t.root, w, dst)
+}
+
+func (t *Tree) searchRect(n *node, w geom.Rect, dst []uint64) []uint64 {
+	t.nodeAccesses.Add(1)
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, n.entries[i].id)
+		} else {
+			dst = t.searchRect(n.entries[i].child, w, dst)
+		}
+	}
+	return dst
+}
+
+// SearchRectItems appends to dst all items intersecting window w.
+func (t *Tree) SearchRectItems(w geom.Rect, dst []Item) []Item {
+	return t.searchRectItems(t.root, w, dst)
+}
+
+func (t *Tree) searchRectItems(n *node, w geom.Rect, dst []Item) []Item {
+	t.nodeAccesses.Add(1)
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, Item{ID: n.entries[i].id, Rect: n.entries[i].rect})
+		} else {
+			dst = t.searchRectItems(n.entries[i].child, w, dst)
+		}
+	}
+	return dst
+}
+
+// Neighbor is a nearest-neighbour result: an item and its MINDIST from the
+// query point.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// NearestK returns the k items nearest to p by MINDIST, ascending. A filter
+// may be supplied to skip items (e.g. alarms irrelevant to a user); pass
+// nil to accept everything. The search is best-first with a binary heap of
+// nodes and items ordered by MINDIST.
+func (t *Tree) NearestK(p geom.Point, k int, filter func(id uint64) bool) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &minHeap{}
+	h.push(heapElem{node: t.root, dist: t.root.rect.MinDist(p)})
+	out := make([]Neighbor, 0, k)
+	for h.len() > 0 {
+		e := h.pop()
+		if e.node != nil {
+			t.nodeAccesses.Add(1)
+			for i := range e.node.entries {
+				ent := &e.node.entries[i]
+				d := ent.rect.MinDist(p)
+				if e.node.leaf {
+					if filter == nil || filter(ent.id) {
+						h.push(heapElem{item: &Item{ID: ent.id, Rect: ent.rect}, dist: d})
+					}
+				} else {
+					h.push(heapElem{node: ent.child, dist: d})
+				}
+			}
+			continue
+		}
+		out = append(out, Neighbor{Item: *e.item, Dist: e.dist})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// NearestDist returns the MINDIST from p to the nearest item accepted by
+// the filter, or +Inf if no item qualifies. This is the distance the
+// safe-period baseline divides by v_max.
+func (t *Tree) NearestDist(p geom.Point, filter func(id uint64) bool) float64 {
+	n := t.NearestK(p, 1, filter)
+	if len(n) == 0 {
+		return math.Inf(1)
+	}
+	return n[0].Dist
+}
+
+// Items returns all items in the tree in unspecified order.
+func (t *Tree) Items() []Item {
+	out := make([]Item, 0, t.size)
+	var walk func(n *node)
+	walk = func(n *node) {
+		for i := range n.entries {
+			if n.leaf {
+				out = append(out, Item{ID: n.entries[i].id, Rect: n.entries[i].rect})
+			} else {
+				walk(n.entries[i].child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// CheckInvariants verifies structural invariants (bounding boxes contain
+// children, fill factors respected, all leaves at the same depth). It is
+// used by tests and returns a descriptive error on the first violation.
+// Bulk-loaded trees may legitimately contain underfull fringe nodes; use
+// CheckStructure for those.
+func (t *Tree) CheckInvariants() error { return t.check(true) }
+
+// CheckStructure is CheckInvariants without the minimum fill check.
+func (t *Tree) CheckStructure() error { return t.check(false) }
+
+func (t *Tree) check(fill bool) error {
+	leafDepth := -1
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n != t.root && fill {
+			if len(n.entries) < t.minEntries {
+				return fmt.Errorf("node at depth %d underfull: %d < %d", depth, len(n.entries), t.minEntries)
+			}
+		}
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("node at depth %d overfull: %d > %d", depth, len(n.entries), t.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaves at different depths: %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("inner node entry %d has nil child", i)
+			}
+			if e.child.rect != e.rect {
+				return fmt.Errorf("entry rect %v != child rect %v", e.rect, e.child.rect)
+			}
+			if !e.rect.ContainsRect(boundOf(e.child.entries)) {
+				return fmt.Errorf("entry rect %v does not contain child bound", e.rect)
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0)
+}
+
+// heapElem is either a node or an item, ordered by dist.
+type heapElem struct {
+	node *node
+	item *Item
+	dist float64
+}
+
+type minHeap struct{ elems []heapElem }
+
+func (h *minHeap) len() int { return len(h.elems) }
+
+func (h *minHeap) push(e heapElem) {
+	h.elems = append(h.elems, e)
+	i := len(h.elems) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.elems[parent].dist <= h.elems[i].dist {
+			break
+		}
+		h.elems[parent], h.elems[i] = h.elems[i], h.elems[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() heapElem {
+	top := h.elems[0]
+	last := len(h.elems) - 1
+	h.elems[0] = h.elems[last]
+	h.elems = h.elems[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.elems) && h.elems[l].dist < h.elems[smallest].dist {
+			smallest = l
+		}
+		if r < len(h.elems) && h.elems[r].dist < h.elems[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.elems[i], h.elems[smallest] = h.elems[smallest], h.elems[i]
+		i = smallest
+	}
+	return top
+}

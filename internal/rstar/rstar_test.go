@@ -1,0 +1,419 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+func randRect(rng *rand.Rand, worldSide, maxSide float64) geom.Rect {
+	w := rng.Float64()*maxSide + 0.1
+	h := rng.Float64()*maxSide + 0.1
+	x := rng.Float64() * (worldSide - w)
+	y := rng.Float64() * (worldSide - h)
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+func buildRandom(t testing.TB, n int, seed int64) (*Tree, []Item) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tree := New(DefaultMaxEntries)
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		it := Item{ID: uint64(i), Rect: randRect(rng, 10000, 300)}
+		items = append(items, it)
+		tree.Insert(it)
+	}
+	return tree, items
+}
+
+func bruteSearchPoint(items []Item, p geom.Point) []uint64 {
+	var out []uint64
+	for _, it := range items {
+		if it.Rect.Contains(p) {
+			out = append(out, it.ID)
+		}
+	}
+	return out
+}
+
+func bruteSearchRect(items []Item, w geom.Rect) []uint64 {
+	var out []uint64
+	for _, it := range items {
+		if it.Rect.Intersects(w) {
+			out = append(out, it.ID)
+		}
+	}
+	return out
+}
+
+func sortedIDs(ids []uint64) []uint64 {
+	out := append([]uint64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []uint64) bool {
+	a, b = sortedIDs(a), sortedIDs(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(8)
+	if tree.Len() != 0 || tree.Height() != 1 {
+		t.Fatalf("empty tree Len=%d Height=%d", tree.Len(), tree.Height())
+	}
+	if got := tree.SearchPoint(geom.Pt(1, 1), nil); len(got) != 0 {
+		t.Errorf("SearchPoint on empty = %v", got)
+	}
+	if got := tree.NearestK(geom.Pt(1, 1), 3, nil); got != nil {
+		t.Errorf("NearestK on empty = %v", got)
+	}
+	if d := tree.NearestDist(geom.Pt(1, 1), nil); !math.IsInf(d, 1) {
+		t.Errorf("NearestDist on empty = %v", d)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestSmallCapacityClamped(t *testing.T) {
+	tree := New(1)
+	for i := 0; i < 100; i++ {
+		tree.Insert(Item{ID: uint64(i), Rect: geom.RectAround(geom.Pt(float64(i), 0), 1)})
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if tree.Len() != 100 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+}
+
+func TestInsertAndPointQuery(t *testing.T) {
+	tree, items := buildRandom(t, 2000, 1)
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after build: %v", err)
+	}
+	if tree.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", tree.Len())
+	}
+	if tree.Height() < 2 {
+		t.Errorf("expected height >= 2 for 2000 items, got %d", tree.Height())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := tree.SearchPoint(p, nil)
+		want := bruteSearchPoint(items, p)
+		if !equalIDs(got, want) {
+			t.Fatalf("SearchPoint(%v): got %d ids, want %d", p, len(got), len(want))
+		}
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	tree, items := buildRandom(t, 1500, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		w := randRect(rng, 10000, 2000)
+		got := tree.SearchRect(w, nil)
+		want := bruteSearchRect(items, w)
+		if !equalIDs(got, want) {
+			t.Fatalf("SearchRect(%v): got %d, want %d", w, len(got), len(want))
+		}
+		gotItems := tree.SearchRectItems(w, nil)
+		if len(gotItems) != len(want) {
+			t.Fatalf("SearchRectItems count %d != %d", len(gotItems), len(want))
+		}
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	tree, items := buildRandom(t, 1000, 5)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		k := 1 + rng.Intn(10)
+		got := tree.NearestK(p, k, nil)
+		// Brute-force k nearest by MinDist.
+		type nd struct {
+			id uint64
+			d  float64
+		}
+		all := make([]nd, len(items))
+		for j, it := range items {
+			all[j] = nd{it.ID, it.Rect.MinDist(p)}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		if len(got) != k {
+			t.Fatalf("NearestK returned %d, want %d", len(got), k)
+		}
+		for j := 0; j < k; j++ {
+			if math.Abs(got[j].Dist-all[j].d) > 1e-9 {
+				t.Fatalf("neighbor %d dist %v, want %v", j, got[j].Dist, all[j].d)
+			}
+		}
+	}
+}
+
+func TestNearestKWithFilter(t *testing.T) {
+	tree, items := buildRandom(t, 500, 7)
+	p := geom.Pt(5000, 5000)
+	filter := func(id uint64) bool { return id%2 == 0 }
+	got := tree.NearestK(p, 5, filter)
+	for _, n := range got {
+		if n.Item.ID%2 != 0 {
+			t.Errorf("filter violated: id %d", n.Item.ID)
+		}
+	}
+	// Compare best distance against brute force over even IDs.
+	best := math.Inf(1)
+	for _, it := range items {
+		if it.ID%2 == 0 {
+			if d := it.Rect.MinDist(p); d < best {
+				best = d
+			}
+		}
+	}
+	if d := tree.NearestDist(p, filter); math.Abs(d-best) > 1e-9 {
+		t.Errorf("NearestDist = %v, want %v", d, best)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tree, items := buildRandom(t, 800, 8)
+	rng := rand.New(rand.NewSource(9))
+	// Delete half the items in random order.
+	perm := rng.Perm(len(items))
+	deleted := make(map[uint64]bool)
+	for _, idx := range perm[:400] {
+		it := items[idx]
+		if !tree.Delete(it) {
+			t.Fatalf("Delete(%v) returned false", it)
+		}
+		deleted[it.ID] = true
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after delete %d: %v", it.ID, err)
+		}
+	}
+	if tree.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", tree.Len())
+	}
+	// Remaining items must all be findable; deleted ones must not.
+	var remaining []Item
+	for _, it := range items {
+		if !deleted[it.ID] {
+			remaining = append(remaining, it)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := tree.SearchPoint(p, nil)
+		want := bruteSearchPoint(remaining, p)
+		if !equalIDs(got, want) {
+			t.Fatalf("post-delete SearchPoint mismatch at %v", p)
+		}
+	}
+	// Deleting a non-existent item returns false.
+	if tree.Delete(Item{ID: 99999, Rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}) {
+		t.Error("Delete of absent item returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tree, items := buildRandom(t, 300, 10)
+	for _, it := range items {
+		if !tree.Delete(it) {
+			t.Fatalf("Delete(%d) failed", it.ID)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tree.Len())
+	}
+	if got := tree.SearchRect(geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}, nil); len(got) != 0 {
+		t.Errorf("tree not empty: %v", got)
+	}
+	// Tree remains usable.
+	tree.Insert(Item{ID: 1, Rect: geom.RectAround(geom.Pt(5, 5), 2)})
+	if got := tree.SearchPoint(geom.Pt(5, 5), nil); len(got) != 1 {
+		t.Errorf("reinsertion after empty failed: %v", got)
+	}
+}
+
+func TestItems(t *testing.T) {
+	tree, items := buildRandom(t, 250, 11)
+	got := tree.Items()
+	if len(got) != len(items) {
+		t.Fatalf("Items len = %d, want %d", len(got), len(items))
+	}
+	ids := make([]uint64, len(got))
+	for i, it := range got {
+		ids[i] = it.ID
+	}
+	want := make([]uint64, len(items))
+	for i, it := range items {
+		want[i] = it.ID
+	}
+	if !equalIDs(ids, want) {
+		t.Error("Items returned different id set")
+	}
+}
+
+func TestNodeAccessCounting(t *testing.T) {
+	tree, _ := buildRandom(t, 1000, 12)
+	tree.ResetStats()
+	if tree.NodeAccesses() != 0 {
+		t.Fatal("ResetStats did not zero counter")
+	}
+	tree.SearchPoint(geom.Pt(5000, 5000), nil)
+	first := tree.NodeAccesses()
+	if first == 0 {
+		t.Fatal("query did not count node accesses")
+	}
+	tree.SearchPoint(geom.Pt(5000, 5000), nil)
+	if tree.NodeAccesses() != 2*first {
+		t.Errorf("expected %d accesses after two identical queries, got %d", 2*first, tree.NodeAccesses())
+	}
+	// A point query must touch far fewer nodes than a full scan would.
+	totalNodes := countNodes(tree.root)
+	if int(first) >= totalNodes {
+		t.Errorf("point query touched %d of %d nodes; index not pruning", first, totalNodes)
+	}
+}
+
+func countNodes(n *node) int {
+	if n.leaf {
+		return 1
+	}
+	total := 1
+	for i := range n.entries {
+		total += countNodes(n.entries[i].child)
+	}
+	return total
+}
+
+func TestDuplicateRects(t *testing.T) {
+	tree := New(8)
+	r := geom.Rect{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20}
+	for i := 0; i < 50; i++ {
+		tree.Insert(Item{ID: uint64(i), Rect: r})
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants with duplicates: %v", err)
+	}
+	got := tree.SearchPoint(geom.Pt(15, 15), nil)
+	if len(got) != 50 {
+		t.Fatalf("expected 50 hits, got %d", len(got))
+	}
+	for i := 0; i < 50; i++ {
+		if !tree.Delete(Item{ID: uint64(i), Rect: r}) {
+			t.Fatalf("delete duplicate %d failed", i)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+}
+
+func TestMixedInsertDeleteStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tree := New(16)
+	live := map[uint64]Item{}
+	nextID := uint64(0)
+	for op := 0; op < 3000; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			it := Item{ID: nextID, Rect: randRect(rng, 5000, 200)}
+			nextID++
+			tree.Insert(it)
+			live[it.ID] = it
+		} else {
+			// Delete a random live item.
+			var victim Item
+			n := rng.Intn(len(live))
+			for _, it := range live {
+				if n == 0 {
+					victim = it
+					break
+				}
+				n--
+			}
+			if !tree.Delete(victim) {
+				t.Fatalf("op %d: delete %d failed", op, victim.ID)
+			}
+			delete(live, victim.ID)
+		}
+		if op%250 == 0 {
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: invariants: %v", op, err)
+			}
+			if tree.Len() != len(live) {
+				t.Fatalf("op %d: Len %d != %d", op, tree.Len(), len(live))
+			}
+		}
+	}
+	// Final full verification against brute force.
+	items := make([]Item, 0, len(live))
+	for _, it := range live {
+		items = append(items, it)
+	}
+	for i := 0; i < 50; i++ {
+		w := randRect(rng, 5000, 1000)
+		if !equalIDs(tree.SearchRect(w, nil), bruteSearchRect(items, w)) {
+			t.Fatalf("final range query mismatch for %v", w)
+		}
+	}
+}
+
+func BenchmarkInsert10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]geom.Rect, 10000)
+	for i := range rects {
+		rects[i] = randRect(rng, 31623, 500)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tree := New(DefaultMaxEntries)
+		for i, r := range rects {
+			tree.Insert(Item{ID: uint64(i), Rect: r})
+		}
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	tree, _ := buildRandom(b, 10000, 1)
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	var dst []uint64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		dst = tree.SearchPoint(pts[n%len(pts)], dst[:0])
+	}
+}
+
+func BenchmarkNearestK(b *testing.B) {
+	tree, _ := buildRandom(b, 10000, 1)
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tree.NearestK(pts[n%len(pts)], 1, nil)
+	}
+}

@@ -1,0 +1,56 @@
+package saferegion
+
+import (
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+)
+
+// BitmapResult is the outcome of a GBSR/PBSR computation.
+type BitmapResult struct {
+	// Bitmap is the encoded safe region to ship to the client.
+	Bitmap *pyramid.Bitmap
+	// IntersectionTests counts rect-vs-alarm tests performed, feeding the
+	// server cost model.
+	IntersectionTests int
+}
+
+// ComputeBitmap computes the bitmap-encoded safe region of the grid cell
+// against the relevant alarm regions (paper §4). params.Height = 1 yields
+// the GBSR; greater heights the PBSR. A cell (at any pyramid level) is
+// marked safe only if it touches no alarm region at all — closed
+// intersection — which makes the encoding sound for boundary positions.
+//
+// precomputed, when non-nil, is a bitmap of the same cell and params
+// covering a fixed alarm subset (the public-alarm precomputation of §4.2):
+// cells unsafe in precomputed are treated as blocked without re-testing
+// the alarms it covers.
+func ComputeBitmap(cell geom.Rect, params pyramid.Params, alarms []geom.Rect, precomputed *pyramid.Region) (BitmapResult, error) {
+	res := BitmapResult{}
+	cover := func(r geom.Rect) pyramid.Coverage {
+		cov := pyramid.CoverNone
+		if precomputed != nil {
+			res.IntersectionTests++ // one pyramid probe charged
+			cov = precomputed.RectCoverage(r)
+			if cov == pyramid.CoverFull {
+				return cov
+			}
+		}
+		for _, a := range alarms {
+			res.IntersectionTests++
+			if !a.Intersects(r) {
+				continue
+			}
+			if a.ContainsRect(r) {
+				return pyramid.CoverFull
+			}
+			cov = pyramid.CoverPartial
+		}
+		return cov
+	}
+	bm, err := pyramid.Encode(cell, params, cover)
+	if err != nil {
+		return BitmapResult{}, err
+	}
+	res.Bitmap = bm
+	return res, nil
+}

@@ -1,0 +1,505 @@
+// Package server implements the SABRE alarm server engine: the
+// transport-independent core that evaluates client position updates
+// against the alarm index and answers with safe regions, safe periods or
+// alarm pushes depending on each client's registered strategy.
+//
+// The engine realizes the paper's distributed partitioning scheme (§2):
+// heavy, globally informed work — alarm evaluation against the R*-tree,
+// safe region computation — stays on the server; clients only monitor
+// their own position against the compact region the server hands them.
+// One engine serves heterogeneous clients: every strategy of §5 (PRD, SP,
+// MWPSR, PBSR with per-client pyramid height, OPT) can be active at once.
+//
+// The engine is safe for concurrent use (the TCP front end calls it from
+// one goroutine per connection); the in-process simulation drives it
+// single-threaded.
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/grid"
+	"github.com/sabre-geo/sabre/internal/gridindex"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/saferegion"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// Universe is the region covered by the grid overlay.
+	Universe geom.Rect
+	// CellAreaM2 is the grid cell area in square metres (paper Figure 4
+	// sweeps 0.4–10 km²; 2.5 km² is the paper's optimum).
+	CellAreaM2 float64
+	// Model weights MWPSR safe regions; motion.Uniform() gives the
+	// non-weighted variant.
+	Model motion.Model
+	// PyramidParams shapes PBSR bitmaps. A client's registered MaxHeight
+	// caps the height per client (device heterogeneity, paper §4).
+	PyramidParams pyramid.Params
+	// MaxSpeed is the system-wide speed bound v_max used by safe periods.
+	MaxSpeed float64
+	// TickSeconds is the position sampling interval.
+	TickSeconds float64
+	// PrecomputePublicBitmaps enables the §4.2 optimization: per grid
+	// cell, the pyramid bitmap of all public alarms is computed once and
+	// reused for every PBSR client in that cell.
+	PrecomputePublicBitmaps bool
+	// ExhaustiveAssembly switches MWPSR to the quartic-time optimal
+	// component-rectangle assembly (ablation).
+	ExhaustiveAssembly bool
+	// UseBucketIndex replaces the R*-tree alarm index with a uniform
+	// bucket grid (ablation of the paper's §5.1 index choice).
+	UseBucketIndex bool
+	// SafePeriodSpeedFactor scales the v_max bound used by safe-period
+	// computation. 0 or 1 is the paper's pessimistic guarantee; smaller
+	// values assume clients move slower than the bound, shrinking message
+	// counts at the cost of missed or late triggers (the trade-off the
+	// paper cites as SP's weakness; see ablate-safeperiod).
+	SafePeriodSpeedFactor float64
+	// Costs is the server cost model; zero value means metrics.DefaultCosts.
+	Costs metrics.CostParams
+}
+
+// Pusher delivers server-initiated messages (moving-target safe region
+// invalidations) to a connected client. It is called with the engine lock
+// held and must not call back into the engine; queue or send, then return.
+type Pusher func(user alarm.UserID, msgs []wire.Message)
+
+// Engine is the alarm server core.
+type Engine struct {
+	cfg    Config
+	grid   *grid.Grid
+	reg    *alarm.Registry
+	pusher Pusher
+
+	mu      sync.Mutex
+	met     *metrics.Server
+	clients map[alarm.UserID]*clientState
+	// publicBitmaps caches the precomputed public-alarm pyramid region per
+	// grid cell (invalidated wholesale when alarms change).
+	publicBitmaps map[grid.CellID]*pyramid.Region
+}
+
+type clientState struct {
+	strategy  wire.Strategy
+	maxHeight int
+	lastPos   geom.Point
+	hasPos    bool
+	// heading smooths the client's direction of travel across reports for
+	// the MWPSR motion weighting.
+	heading motion.HeadingTracker
+	// PBSR cell-recompute policy (§4.2): the cell the client's current
+	// bitmap was computed for. While the client stays in that cell and
+	// triggers nothing, the server answers with a bare Ack instead of
+	// recomputing and re-shipping the bitmap.
+	bitmapCell    grid.CellID
+	hasBitmapCell bool
+}
+
+// New creates an engine. The registry starts empty; install alarms through
+// Registry().
+func New(cfg Config) (*Engine, error) {
+	if cfg.Costs == (metrics.CostParams{}) {
+		cfg.Costs = metrics.DefaultCosts()
+	}
+	if cfg.PyramidParams == (pyramid.Params{}) {
+		cfg.PyramidParams = pyramid.DefaultParams(5)
+	}
+	if err := cfg.PyramidParams.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TickSeconds <= 0 {
+		return nil, fmt.Errorf("server: non-positive tick %v", cfg.TickSeconds)
+	}
+	if cfg.MaxSpeed <= 0 {
+		return nil, fmt.Errorf("server: non-positive max speed %v", cfg.MaxSpeed)
+	}
+	g, err := grid.New(cfg.Universe, cfg.CellAreaM2)
+	if err != nil {
+		return nil, err
+	}
+	reg := alarm.NewRegistry()
+	if cfg.UseBucketIndex {
+		// Roughly one bucket per 0.5 km² keeps per-bucket alarm lists
+		// short at the paper's default densities.
+		buckets := int(cfg.Universe.Area() / 5e5)
+		reg = alarm.NewRegistryWithIndex(gridindex.New(cfg.Universe, buckets))
+	}
+	return &Engine{
+		cfg:           cfg,
+		grid:          g,
+		reg:           reg,
+		met:           metrics.NewServer(cfg.Costs),
+		clients:       make(map[alarm.UserID]*clientState),
+		publicBitmaps: make(map[grid.CellID]*pyramid.Region),
+	}, nil
+}
+
+// Registry exposes the alarm store for installation and inspection.
+func (e *Engine) Registry() *alarm.Registry { return e.reg }
+
+// ReplaceRegistry swaps in a restored alarm registry (snapshot load at
+// startup) and drops any precomputed public bitmaps. It must be called
+// before clients connect.
+func (e *Engine) ReplaceRegistry(r *alarm.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reg = r
+	e.publicBitmaps = make(map[grid.CellID]*pyramid.Region)
+}
+
+// Grid exposes the grid overlay.
+func (e *Engine) Grid() *grid.Grid { return e.grid }
+
+// Metrics returns the server counters. The caller must not race it with
+// in-flight updates.
+func (e *Engine) Metrics() *metrics.Server { return e.met }
+
+// SetPusher installs the callback used to push fresh monitoring state to
+// clients whose safe regions were invalidated by a moving alarm target.
+// Without a pusher, moving-target alarms require their subscribers to use
+// frequent reporting (the target's motion cannot reach silent clients).
+func (e *Engine) SetPusher(p Pusher) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pusher = p
+}
+
+// InvalidatePublicBitmaps drops the precomputed public-alarm bitmaps; call
+// after installing or removing public alarms.
+func (e *Engine) InvalidatePublicBitmaps() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.publicBitmaps = make(map[grid.CellID]*pyramid.Region)
+}
+
+// Register enrolls (or re-enrolls) a client with its strategy and, for
+// PBSR, the maximum pyramid height its hardware can decode.
+func (e *Engine) Register(m wire.Register) error {
+	switch m.Strategy {
+	case wire.StrategyPeriodic, wire.StrategySafePeriod, wire.StrategyMWPSR,
+		wire.StrategyPBSR, wire.StrategyOptimal:
+	default:
+		return fmt.Errorf("server: unknown strategy %d", m.Strategy)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Registration is not charged as uplink: the paper's message counts
+	// are location messages only, and registration happens once per client.
+	e.clients[alarm.UserID(m.User)] = &clientState{
+		strategy:  m.Strategy,
+		maxHeight: int(m.MaxHeight),
+	}
+	return nil
+}
+
+// HandleUpdate processes one client position report and returns the
+// messages to send back: any AlarmFired notification first, then the
+// strategy-specific monitoring state (safe region, safe period or alarm
+// push). Unknown clients are treated as periodic.
+func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if err := e.validatePosition(u.Pos); err != nil {
+		return nil, err
+	}
+	user := alarm.UserID(u.User)
+	st := e.clients[user]
+	if st == nil {
+		st = &clientState{strategy: wire.StrategyPeriodic}
+		e.clients[user] = st
+	}
+	e.met.AddUplink(wire.EncodedSize(u))
+
+	// Moving-target alarms (paper §1 classes 2 and 3): when the reporting
+	// user is an alarm target, re-anchor those alarm regions to the new
+	// position and push fresh monitoring state to affected subscribers —
+	// their held safe regions no longer prove anything.
+	if e.reg.IsTarget(user) {
+		movedRegions := make(map[alarm.ID]geom.Rect)
+		for _, id := range e.reg.MoveTarget(user, u.Pos) {
+			if a, ok := e.reg.Get(id); ok {
+				movedRegions[id] = a.Region // region at its new anchor
+			}
+		}
+		if len(movedRegions) > 0 {
+			e.pushInvalidations(user, movedRegions)
+		}
+	}
+
+	// Alarm evaluation against the R*-tree (every strategy does this; it
+	// is the "alarm processing" bucket of Figures 4(b)/6(d)).
+	before := e.reg.IndexAccesses()
+	triggered, candidates := e.reg.EvaluateCounted(u.Pos, user)
+	e.met.AddAlarmEvaluation(e.reg.IndexAccesses()-before, uint64(candidates))
+
+	var out []wire.Message
+	if len(triggered) > 0 {
+		fired := wire.AlarmFired{Seq: u.Seq, Alarms: make([]uint64, len(triggered))}
+		for i, id := range triggered {
+			// One-shot semantics: retire the pair before recomputing the
+			// safe region so the fired alarm becomes free space (§4.2).
+			e.reg.MarkFired(id, user)
+			fired.Alarms[i] = uint64(id)
+			e.met.AlarmsTriggered++
+		}
+		out = e.send(out, fired)
+	}
+
+	switch st.strategy {
+	case wire.StrategyPeriodic:
+		// Server-centric periodic evaluation: nothing goes back.
+	case wire.StrategySafePeriod:
+		out = e.send(out, e.safePeriodFor(u))
+	case wire.StrategyMWPSR:
+		out = e.send(out, e.rectRegionFor(u, st))
+	case wire.StrategyPBSR:
+		cellID := e.grid.Locate(u.Pos)
+		sameCell := st.hasBitmapCell && st.bitmapCell == cellID
+		switch {
+		case sameCell && len(triggered) == 0:
+			// §4.2: no recomputation while the client stays in its base
+			// cell without triggering; a 5-byte Ack resumes monitoring.
+			// When earlier triggers made the client's bitmap stale (fired
+			// alarms still appear blocked), a rectangular patch restores
+			// coverage around the client instead.
+			if e.reg.AnyFiredIn(e.grid.CellRect(cellID), user) {
+				out = e.send(out, e.rectRegionFor(u, st))
+			} else {
+				out = e.send(out, wire.Ack{Seq: u.Seq})
+			}
+		case sameCell:
+			// §4.2 quick update: the triggered alarm just became free
+			// space. Instead of recomputing and re-shipping the bitmap,
+			// send a small rectangular patch around the client that avoids
+			// every remaining alarm; the client ORs it into its region.
+			out = e.send(out, e.rectRegionFor(u, st))
+		default:
+			msg, err := e.bitmapRegionFor(u, st, cellID)
+			if err != nil {
+				return nil, err
+			}
+			st.bitmapCell = cellID
+			st.hasBitmapCell = true
+			out = e.send(out, msg)
+		}
+	case wire.StrategyOptimal:
+		out = e.send(out, e.alarmPushFor(u))
+	}
+
+	st.lastPos = u.Pos
+	st.hasPos = true
+	return out, nil
+}
+
+// validatePosition rejects positions the geometry cannot handle: NaN and
+// infinities poison every downstream computation silently, and positions
+// far outside the universe indicate a confused or hostile client rather
+// than grid-fringe drift.
+func (e *Engine) validatePosition(p geom.Point) error {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return fmt.Errorf("server: non-finite position %v", p)
+	}
+	// Allow one cell side of slack beyond the universe.
+	slack := e.grid.CellSide()
+	if !e.cfg.Universe.Expand(slack).Contains(p) {
+		return fmt.Errorf("server: position %v outside universe %v", p, e.cfg.Universe)
+	}
+	return nil
+}
+
+// send charges a downlink message and appends it.
+func (e *Engine) send(out []wire.Message, m wire.Message) []wire.Message {
+	e.met.AddDownlink(wire.EncodedSize(m))
+	return append(out, m)
+}
+
+// pushInvalidations recomputes and pushes monitoring state for every
+// online subscriber affected by moved alarms. Server-initiated messages
+// carry Seq 0, which clients accept without treating them as a reply.
+func (e *Engine) pushInvalidations(mover alarm.UserID, moved map[alarm.ID]geom.Rect) {
+	if e.pusher == nil {
+		return
+	}
+	affected := make(map[alarm.UserID]bool)
+	for id := range moved {
+		a, ok := e.reg.Get(id)
+		if !ok {
+			continue
+		}
+		if subs := e.reg.SubscribersOf(id); subs != nil {
+			for _, s := range subs {
+				affected[s] = true
+			}
+			continue
+		}
+		// Public moving-target alarm: push to every online client whose
+		// current cell intersects the alarm's new region. Clients near the
+		// vacated location keep a safe region that merely under-covers
+		// (the alarm is gone from there), which is conservative, not
+		// unsafe; they refresh on their next report.
+		for user, st := range e.clients {
+			if affected[user] || !st.hasPos {
+				continue
+			}
+			cell := e.grid.CellRect(e.grid.Locate(st.lastPos))
+			if cell.Intersects(a.Region) || cell.Intersects(moved[id]) {
+				affected[user] = true
+			}
+		}
+	}
+	delete(affected, mover) // the mover's own update handles itself
+	for user := range affected {
+		st := e.clients[user]
+		if st == nil || !st.hasPos {
+			continue
+		}
+		fake := wire.PositionUpdate{User: uint64(user), Seq: 0, Pos: st.lastPos}
+		var msg wire.Message
+		switch st.strategy {
+		case wire.StrategySafePeriod:
+			msg = e.safePeriodFor(fake)
+		case wire.StrategyMWPSR:
+			msg = e.rectRegionFor(fake, st)
+		case wire.StrategyPBSR:
+			cellID := e.grid.Locate(st.lastPos)
+			bm, err := e.bitmapRegionFor(fake, st, cellID)
+			if err != nil {
+				continue
+			}
+			st.bitmapCell = cellID
+			st.hasBitmapCell = true
+			msg = bm
+		case wire.StrategyOptimal:
+			msg = e.alarmPushFor(fake)
+		default:
+			continue // periodic clients re-report next tick anyway
+		}
+		e.met.AddDownlink(wire.EncodedSize(msg))
+		e.pusher(user, []wire.Message{msg})
+	}
+}
+
+func (e *Engine) safePeriodFor(u wire.PositionUpdate) wire.SafePeriod {
+	before := e.reg.IndexAccesses()
+	dist := e.reg.NearestRelevantDist(u.Pos, alarm.UserID(u.User))
+	e.met.AddSafePeriodComputation(e.reg.IndexAccesses() - before)
+	vmax := e.cfg.MaxSpeed
+	if f := e.cfg.SafePeriodSpeedFactor; f > 0 {
+		vmax *= f
+	}
+	ticks := saferegion.SafePeriodTicks(dist, vmax, e.cfg.TickSeconds, 1<<30)
+	return wire.SafePeriod{Seq: u.Seq, Ticks: uint32(ticks)}
+}
+
+func (e *Engine) rectRegionFor(u wire.PositionUpdate, st *clientState) wire.RectRegion {
+	user := alarm.UserID(u.User)
+	cellRect := e.grid.CellRect(e.grid.Locate(u.Pos))
+	before := e.reg.IndexAccesses()
+	relevant := e.reg.RelevantIn(cellRect, user, nil)
+	e.met.AddSafeRegionIndexWork(e.reg.IndexAccesses() - before)
+	rects := make([]geom.Rect, len(relevant))
+	for i, a := range relevant {
+		rects[i] = a.Region
+	}
+	model := e.cfg.Model
+	heading, ok := st.heading.Observe(u.Pos)
+	if !ok {
+		model = motion.Uniform() // no sustained motion: no heading info
+	}
+	res := saferegion.ComputeRect(u.Pos, cellRect, rects, saferegion.RectOptions{
+		Model:      model,
+		Heading:    heading,
+		Exhaustive: e.cfg.ExhaustiveAssembly,
+	})
+	e.met.AddRectComputation(res.Candidates, res.Corners, res.Clips)
+	return wire.RectRegion{Seq: u.Seq, Rect: res.Rect}
+}
+
+func (e *Engine) bitmapRegionFor(u wire.PositionUpdate, st *clientState, cellID grid.CellID) (wire.BitmapRegion, error) {
+	user := alarm.UserID(u.User)
+	cellRect := e.grid.CellRect(cellID)
+	params := e.cfg.PyramidParams
+	if st.maxHeight > 0 && st.maxHeight < params.Height {
+		params.Height = st.maxHeight
+	}
+
+	var (
+		rects []geom.Rect
+		pre   *pyramid.Region
+		err   error
+	)
+	before := e.reg.IndexAccesses()
+	defer func() { e.met.AddSafeRegionIndexWork(e.reg.IndexAccesses() - before) }()
+	// The shared public bitmap cannot reflect this user's fired public
+	// alarms; use it only when the user has none in this cell.
+	if e.cfg.PrecomputePublicBitmaps && !e.reg.AnyFiredPublicIn(cellRect, user) {
+		pre, err = e.publicBitmapFor(cellID, cellRect)
+		if err != nil {
+			return wire.BitmapRegion{}, err
+		}
+		for _, a := range e.reg.RelevantNonPublicIn(cellRect, user, nil) {
+			rects = append(rects, a.Region)
+		}
+	} else {
+		for _, a := range e.reg.RelevantIn(cellRect, user, nil) {
+			rects = append(rects, a.Region)
+		}
+	}
+	res, err := saferegion.ComputeBitmap(cellRect, params, rects, pre)
+	if err != nil {
+		return wire.BitmapRegion{}, err
+	}
+	e.met.AddBitmapComputation(res.IntersectionTests)
+	return wire.FromBitmap(u.Seq, res.Bitmap), nil
+}
+
+// publicBitmapFor returns (computing and caching on first use) the pyramid
+// region of all public alarms in a cell, at the engine's full height so it
+// can serve clients of any capability.
+func (e *Engine) publicBitmapFor(id grid.CellID, cellRect geom.Rect) (*pyramid.Region, error) {
+	if reg, ok := e.publicBitmaps[id]; ok {
+		return reg, nil
+	}
+	publics := e.reg.PublicIn(cellRect, nil)
+	// The shared bitmap is computed without a bit budget: it never goes on
+	// the wire, and keeping it exact makes the per-user budgeted encode
+	// bit-identical to a direct computation.
+	params := e.cfg.PyramidParams
+	params.MaxBits = 0
+	res, err := saferegion.ComputeBitmap(cellRect, params, publics, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The precomputation itself is charged once per cell; this is the
+	// offline step of §4.2.
+	e.met.AddBitmapComputation(res.IntersectionTests)
+	reg, err := pyramid.Decode(res.Bitmap)
+	if err != nil {
+		return nil, err
+	}
+	e.publicBitmaps[id] = reg
+	return reg, nil
+}
+
+func (e *Engine) alarmPushFor(u wire.PositionUpdate) wire.AlarmPush {
+	user := alarm.UserID(u.User)
+	cellRect := e.grid.CellRect(e.grid.Locate(u.Pos))
+	before := e.reg.IndexAccesses()
+	relevant := e.reg.RelevantIn(cellRect, user, nil)
+	e.met.AddSafeRegionIndexWork(e.reg.IndexAccesses() - before)
+	push := wire.AlarmPush{Seq: u.Seq, Cell: cellRect, Alarms: make([]wire.AlarmInfo, len(relevant))}
+	for i, a := range relevant {
+		push.Alarms[i] = wire.AlarmInfo{ID: uint64(a.ID), Region: a.Region}
+	}
+	return push
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// TCPServer fronts an Engine with a TCP listener speaking length-prefixed
+// wire frames: one connection per client, one serving goroutine per
+// connection. It demonstrates the engine outside the in-process
+// simulation; cmd/alarmserver wraps it.
+type TCPServer struct {
+	eng *Engine
+	ln  net.Listener
+	log *log.Logger
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	// userConns maps registered users to their connection so the engine's
+	// moving-target pushes reach them.
+	userConns map[uint64]transport.Conn
+	wg        sync.WaitGroup
+}
+
+// NewTCPServer starts listening on addr (e.g. ":7700"). Serving starts
+// with Serve.
+func NewTCPServer(eng *Engine, addr string, logger *log.Logger) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &TCPServer{
+		eng:       eng,
+		ln:        ln,
+		log:       logger,
+		conns:     make(map[net.Conn]struct{}),
+		userConns: make(map[uint64]transport.Conn),
+	}
+	// Deliver moving-target invalidations (Seq-0 pushes) to connected
+	// clients. The engine holds its lock while pushing, so sends must not
+	// call back into the engine; transport.Conn.Send only writes.
+	eng.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+		s.mu.Lock()
+		conn := s.userConns[uint64(user)]
+		s.mu.Unlock()
+		if conn == nil {
+			return
+		}
+		for _, m := range msgs {
+			if err := conn.Send(m); err != nil {
+				s.log.Printf("push to user %d: %v", user, err)
+				return
+			}
+		}
+	})
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts and serves connections until Close. It always returns a
+// non-nil error; after Close the error wraps net.ErrClosed.
+func (s *TCPServer) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return fmt.Errorf("server: closed: %w", err)
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return errors.New("server: closed")
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// Close stops the listener and all connections, then waits for the
+// serving goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) serveConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	conn := transport.NewTCP(nc)
+	var registeredUser uint64
+	defer func() {
+		if registeredUser != 0 {
+			s.mu.Lock()
+			if s.userConns[registeredUser] == conn {
+				delete(s.userConns, registeredUser)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("conn %s: recv: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case wire.Register:
+			if err := s.eng.Register(m); err != nil {
+				s.log.Printf("conn %s: register: %v", nc.RemoteAddr(), err)
+				return
+			}
+			registeredUser = m.User
+			s.mu.Lock()
+			s.userConns[m.User] = conn
+			s.mu.Unlock()
+		case wire.PositionUpdate:
+			responses, err := s.eng.HandleUpdate(m)
+			if err != nil {
+				s.log.Printf("conn %s: update: %v", nc.RemoteAddr(), err)
+				return
+			}
+			// Always answer something so the client can resume monitoring
+			// (periodic clients get a bare Ack).
+			if len(responses) == 0 {
+				responses = []wire.Message{wire.Ack{Seq: m.Seq}}
+			}
+			for _, r := range responses {
+				if err := conn.Send(r); err != nil {
+					s.log.Printf("conn %s: send: %v", nc.RemoteAddr(), err)
+					return
+				}
+			}
+		default:
+			s.log.Printf("conn %s: unexpected %v", nc.RemoteAddr(), msg.Kind())
+			return
+		}
+	}
+}

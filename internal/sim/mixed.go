@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/stats"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// MixedClass describes one device class in a heterogeneous fleet.
+type MixedClass struct {
+	Name string
+	// Strategy is the processing approach for this class.
+	Strategy wire.Strategy
+	// PyramidHeight caps PBSR resolution for the class (0 = server
+	// default) — the per-device capability knob of paper §4.
+	PyramidHeight int
+	// Fraction is the share of the fleet in this class; fractions are
+	// normalized over the class list.
+	Fraction float64
+}
+
+// ClassReport summarizes one class of a mixed run.
+type ClassReport struct {
+	Name              string
+	Strategy          string
+	Vehicles          int
+	UplinkMessages    uint64
+	ContainmentChecks uint64
+	Probes            uint64
+	EnergyMWh         float64
+	PerClientMessages stats.Summary
+}
+
+// MixedReport is the outcome of a heterogeneous-fleet run.
+type MixedReport struct {
+	Classes  []ClassReport
+	Triggers []Trigger
+
+	DownlinkBytes      uint64
+	TotalServerMinutes float64
+}
+
+// RunMixed executes one simulation in which the fleet is partitioned
+// across device classes served by a single engine — the paper's
+// heterogeneity argument (§4) at workload scale. The base StrategyConfig
+// supplies the shared server knobs (cell size, motion model, precompute);
+// its Strategy field is ignored.
+func RunMixed(w *Workload, classes []MixedClass, base StrategyConfig) (*MixedReport, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("sim: no classes")
+	}
+	if base.PyramidHeight == 0 {
+		base.PyramidHeight = 5
+	}
+	if base.BitmapMaxBits == 0 {
+		base.BitmapMaxBits = 2048
+	}
+	if base.CellAreaKM2 == 0 {
+		base.CellAreaKM2 = 2.5
+	}
+	var totalFrac float64
+	for _, c := range classes {
+		if c.Fraction < 0 {
+			return nil, fmt.Errorf("sim: negative fraction for class %q", c.Name)
+		}
+		totalFrac += c.Fraction
+	}
+	if totalFrac <= 0 {
+		return nil, fmt.Errorf("sim: class fractions sum to zero")
+	}
+
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := server.New(server.Config{
+		Universe:                w.Net.Bounds().Expand(50),
+		CellAreaM2:              base.CellAreaKM2 * 1e6,
+		Model:                   base.Model,
+		PyramidParams:           pyramidParams(base),
+		MaxSpeed:                mob.MaxSpeed(),
+		TickSeconds:             mobCfg.TickSeconds,
+		PrecomputePublicBitmaps: base.PrecomputePublicBitmaps,
+		Costs:                   metrics.DefaultCosts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Registry().InstallBatch(w.Alarms); err != nil {
+		return nil, err
+	}
+
+	// Assign vehicles to classes by cumulative fraction, preserving the
+	// class order (deterministic).
+	classOf := make([]int, w.Config.Vehicles)
+	bound := 0
+	for ci, c := range classes {
+		share := int(float64(w.Config.Vehicles) * c.Fraction / totalFrac)
+		if ci == len(classes)-1 {
+			share = w.Config.Vehicles - bound // remainder
+		}
+		for i := bound; i < bound+share && i < w.Config.Vehicles; i++ {
+			classOf[i] = ci
+		}
+		bound += share
+	}
+
+	perClient := make([]metrics.Client, w.Config.Vehicles)
+	clients := make([]*client.Client, w.Config.Vehicles)
+	for i := range clients {
+		user := uint64(i + 1)
+		c := classes[classOf[i]]
+		h := c.PyramidHeight
+		if h == 0 {
+			h = base.PyramidHeight
+		}
+		clients[i] = client.New(user, c.Strategy, &perClient[i])
+		if err := eng.Register(wire.Register{
+			User:      user,
+			Strategy:  c.Strategy,
+			MaxHeight: uint8(h),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	curTick := 0
+	eng.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+		idx := int(user) - 1
+		if idx < 0 || idx >= len(clients) {
+			return
+		}
+		for _, m := range msgs {
+			_ = clients[idx].Handle(curTick, m)
+		}
+	})
+
+	var triggers []Trigger
+	for tick := 0; tick < w.Config.DurationTicks; tick++ {
+		curTick = tick
+		mob.Step()
+		for i, cl := range clients {
+			upd := cl.Tick(tick, mob.Position(i))
+			if upd == nil {
+				continue
+			}
+			responses, err := eng.HandleUpdate(*upd)
+			if err != nil {
+				return nil, fmt.Errorf("tick %d user %d: %w", tick, upd.User, err)
+			}
+			for _, resp := range responses {
+				if fired, ok := resp.(wire.AlarmFired); ok {
+					for _, id := range fired.Alarms {
+						triggers = append(triggers, Trigger{User: upd.User, Alarm: id, Tick: tick})
+					}
+				}
+				if err := cl.Handle(tick, resp); err != nil {
+					return nil, err
+				}
+			}
+			if len(responses) == 0 {
+				cl.Acknowledge()
+			}
+		}
+	}
+
+	out := &MixedReport{
+		Triggers:           triggers,
+		DownlinkBytes:      eng.Metrics().DownlinkBytes,
+		TotalServerMinutes: eng.Metrics().TotalSeconds() / 60,
+	}
+	energy := metrics.DefaultEnergy()
+	for ci, c := range classes {
+		cr := ClassReport{Name: c.Name, Strategy: c.Strategy.String()}
+		var msgs []uint64
+		for i := range clients {
+			if classOf[i] != ci {
+				continue
+			}
+			cr.Vehicles++
+			cr.UplinkMessages += perClient[i].MessagesSent
+			cr.ContainmentChecks += perClient[i].ContainmentChecks
+			cr.Probes += perClient[i].Probes
+			cr.EnergyMWh += perClient[i].Energy(energy)
+			msgs = append(msgs, perClient[i].MessagesSent)
+		}
+		cr.PerClientMessages = stats.SummarizeUints(msgs)
+		out.Classes = append(out.Classes, cr)
+	}
+	return out, nil
+}

@@ -1,0 +1,394 @@
+// Package sim runs end-to-end SABRE experiments: it wires a road-network
+// mobility trace, a generated alarm workload, the server engine and a
+// fleet of per-strategy clients, steps them tick by tick, and returns the
+// evaluation metrics the paper reports (client→server messages, downstream
+// bandwidth, client energy, server processing time) together with the
+// exact set of delivered (user, alarm, tick) triggers.
+//
+// Determinism: for a fixed Workload, every strategy run sees bit-for-bit
+// the same vehicle trace and alarm set, so trigger sets are directly
+// comparable — the paper's "100% of the alarms are triggered in all
+// scenarios" (§5) becomes an assertable equality against the periodic
+// (PRD) ground truth.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/roadnet"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/stats"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// WorkloadConfig describes one experiment workload (paper §5.1 defaults:
+// 1000 km², 10,000 vehicles, 1 h at 1 Hz, 10,000 alarms, 10% public,
+// private:shared 2:1).
+type WorkloadConfig struct {
+	Seed           int64
+	Vehicles       int
+	DurationTicks  int
+	NumAlarms      int
+	PublicFraction float64
+	// SharedSubscribers is how many extra subscribers each shared alarm
+	// gets besides its owner.
+	SharedSubscribers int
+	// Alarm region side lengths in metres, drawn uniformly.
+	AlarmMinSide, AlarmMaxSide float64
+	// Network selects the road substrate; zero value means the paper-scale
+	// default network.
+	Network roadnet.Config
+}
+
+// DefaultWorkload returns the paper-scale configuration.
+func DefaultWorkload(seed int64) WorkloadConfig {
+	return WorkloadConfig{
+		Seed:              seed,
+		Vehicles:          10000,
+		DurationTicks:     3600,
+		NumAlarms:         10000,
+		PublicFraction:    0.10,
+		SharedSubscribers: 2,
+		AlarmMinSide:      100,
+		AlarmMaxSide:      400,
+		Network:           roadnet.DefaultConfig(seed),
+	}
+}
+
+// SmallWorkload returns a laptop-scale configuration for tests and quick
+// benchmarks, preserving the default's densities (vehicles and alarms per
+// km²) on a smaller universe.
+func SmallWorkload(seed int64) WorkloadConfig {
+	return WorkloadConfig{
+		Seed:              seed,
+		Vehicles:          150,
+		DurationTicks:     400,
+		NumAlarms:         150,
+		PublicFraction:    0.10,
+		SharedSubscribers: 2,
+		AlarmMinSide:      100,
+		AlarmMaxSide:      400,
+		Network:           roadnet.Config{Side: 4000, Spacing: 500, Jitter: 0.25, DropProb: 0.12, Seed: seed},
+	}
+}
+
+// Validate reports configuration problems.
+func (c WorkloadConfig) Validate() error {
+	if c.Vehicles <= 0 || c.DurationTicks <= 0 {
+		return fmt.Errorf("sim: need positive vehicles and duration")
+	}
+	if c.NumAlarms < 0 {
+		return fmt.Errorf("sim: negative alarm count")
+	}
+	if c.PublicFraction < 0 || c.PublicFraction > 1 {
+		return fmt.Errorf("sim: public fraction %v out of [0,1]", c.PublicFraction)
+	}
+	if c.AlarmMinSide <= 0 || c.AlarmMaxSide < c.AlarmMinSide {
+		return fmt.Errorf("sim: alarm sides [%v, %v] invalid", c.AlarmMinSide, c.AlarmMaxSide)
+	}
+	return nil
+}
+
+// Workload is a fully materialized experiment input, reusable across
+// strategy runs.
+type Workload struct {
+	Config WorkloadConfig
+	Net    *roadnet.Network
+	Alarms []alarm.Alarm
+}
+
+// BuildWorkload generates the road network and alarm set.
+func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := roadnet.Generate(cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
+	bounds := net.Bounds()
+	alarms := make([]alarm.Alarm, 0, cfg.NumAlarms)
+	numPublic := int(float64(cfg.NumAlarms) * cfg.PublicFraction)
+	// Non-public alarms split private:shared = 2:1 (paper §5.1).
+	numShared := (cfg.NumAlarms - numPublic) / 3
+	for i := 0; i < cfg.NumAlarms; i++ {
+		side := cfg.AlarmMinSide + rng.Float64()*(cfg.AlarmMaxSide-cfg.AlarmMinSide)
+		target := geom.Pt(
+			bounds.MinX+rng.Float64()*bounds.Width(),
+			bounds.MinY+rng.Float64()*bounds.Height(),
+		)
+		a := alarm.Alarm{
+			Owner:  alarm.UserID(rng.Intn(cfg.Vehicles) + 1),
+			Region: geom.RectAround(target, side),
+		}
+		switch {
+		case i < numPublic:
+			a.Scope = alarm.Public
+		case i < numPublic+numShared:
+			a.Scope = alarm.Shared
+			subs := []alarm.UserID{a.Owner}
+			for s := 0; s < cfg.SharedSubscribers; s++ {
+				subs = append(subs, alarm.UserID(rng.Intn(cfg.Vehicles)+1))
+			}
+			a.Subscribers = subs
+		default:
+			a.Scope = alarm.Private
+		}
+		alarms = append(alarms, a)
+	}
+	return &Workload{Config: cfg, Net: net, Alarms: alarms}, nil
+}
+
+// StrategyConfig selects the processing approach for one run.
+type StrategyConfig struct {
+	Strategy wire.Strategy
+	// Model is the MWPSR motion model; the zero value (uniform) is the
+	// paper's non-weighted variant.
+	Model motion.Model
+	// PyramidHeight is the PBSR height (h=1 is the GBSR); 0 defaults to 5,
+	// the paper's comparison configuration.
+	PyramidHeight int
+	// BitmapMaxBits caps PBSR bitmap sizes (paper §4.2's size/coverage
+	// trade-off); 0 defaults to 2048 bits (256 bytes on the wire).
+	BitmapMaxBits int
+	// CellAreaKM2 is the grid cell size; 0 defaults to 2.5 km², the
+	// paper's optimum.
+	CellAreaKM2 float64
+	// PrecomputePublicBitmaps enables the §4.2 PBSR optimization.
+	PrecomputePublicBitmaps bool
+	// ExhaustiveAssembly switches MWPSR to the optimal quartic assembly.
+	ExhaustiveAssembly bool
+	// BucketIndex swaps the R*-tree alarm index for a uniform bucket grid
+	// (index ablation).
+	BucketIndex bool
+	// SafePeriodSpeedFactor scales the SP baseline's v_max bound (0 or
+	// 1 = the paper's pessimistic guarantee; <1 trades accuracy for fewer
+	// messages — the ablate-safeperiod experiment).
+	SafePeriodSpeedFactor float64
+}
+
+// Trigger is one delivered alarm: alarm ID, subscriber, and the tick of
+// delivery.
+type Trigger struct {
+	User  uint64
+	Alarm uint64
+	Tick  int
+}
+
+// Report is the outcome of one strategy run.
+type Report struct {
+	Strategy      string
+	Vehicles      int
+	DurationTicks int
+
+	UplinkMessages   uint64
+	UplinkBytes      uint64
+	DownlinkMessages uint64
+	DownlinkBytes    uint64
+	DownlinkMbps     float64
+
+	ClientChecks uint64
+	ClientProbes uint64
+	// ClientEnergyMWh is total client energy (containment probes plus
+	// radio); ClientProbeEnergyMWh counts the containment-detection work
+	// only, which is what the paper's Figure 5(b) measures.
+	ClientEnergyMWh      float64
+	ClientProbeEnergyMWh float64
+	// PerClientMessages summarizes the distribution of reports across the
+	// fleet (fairness: a low total hiding a few chatty clients would show
+	// up here).
+	PerClientMessages stats.Summary
+
+	AlarmProcessingMinutes float64
+	SafeRegionMinutes      float64
+	TotalServerMinutes     float64
+	// MeasuredServerSeconds is actual wall-clock spent inside
+	// Engine.HandleUpdate — machine-dependent, complementing the
+	// deterministic cost-model minutes above.
+	MeasuredServerSeconds  float64
+	SafeRegionComputations uint64
+	AlarmEvaluations       uint64
+	RectClips              uint64
+
+	Triggers []Trigger
+}
+
+// TriggersEqual reports whether two runs delivered exactly the same
+// (user, alarm, tick) set — the 100% accuracy check.
+func TriggersEqual(a, b []Trigger) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]Trigger(nil), a...)
+	bs := append([]Trigger(nil), b...)
+	less := func(s []Trigger) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].User != s[j].User {
+				return s[i].User < s[j].User
+			}
+			if s[i].Alarm != s[j].Alarm {
+				return s[i].Alarm < s[j].Alarm
+			}
+			return s[i].Tick < s[j].Tick
+		}
+	}
+	sort.Slice(as, less(as))
+	sort.Slice(bs, less(bs))
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pyramidParams(sc StrategyConfig) pyramid.Params {
+	p := pyramid.DefaultParams(sc.PyramidHeight)
+	p.MaxBits = sc.BitmapMaxBits
+	return p
+}
+
+// Run executes one strategy over the workload and returns its report.
+func Run(w *Workload, sc StrategyConfig) (*Report, error) {
+	if sc.PyramidHeight == 0 {
+		sc.PyramidHeight = 5
+	}
+	if sc.BitmapMaxBits == 0 {
+		sc.BitmapMaxBits = 2048
+	}
+	if sc.CellAreaKM2 == 0 {
+		sc.CellAreaKM2 = 2.5
+	}
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return nil, err
+	}
+	// The grid universe must strictly enclose the road network: the hull
+	// roads run exactly along the network bounds, and a client on the
+	// universe boundary could never be strictly inside a safe region.
+	universe := w.Net.Bounds().Expand(50)
+	eng, err := server.New(server.Config{
+		Universe:                universe,
+		CellAreaM2:              sc.CellAreaKM2 * 1e6,
+		Model:                   sc.Model,
+		PyramidParams:           pyramidParams(sc),
+		MaxSpeed:                mob.MaxSpeed(),
+		TickSeconds:             mobCfg.TickSeconds,
+		PrecomputePublicBitmaps: sc.PrecomputePublicBitmaps,
+		ExhaustiveAssembly:      sc.ExhaustiveAssembly,
+		UseBucketIndex:          sc.BucketIndex,
+		SafePeriodSpeedFactor:   sc.SafePeriodSpeedFactor,
+		Costs:                   metrics.DefaultCosts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Registry().InstallBatch(w.Alarms); err != nil {
+		return nil, err
+	}
+
+	perClient := make([]metrics.Client, w.Config.Vehicles)
+	clients := make([]*client.Client, w.Config.Vehicles)
+	for i := range clients {
+		user := uint64(i + 1)
+		clients[i] = client.New(user, sc.Strategy, &perClient[i])
+		if err := eng.Register(wire.Register{
+			User:      user,
+			Strategy:  sc.Strategy,
+			MaxHeight: uint8(sc.PyramidHeight),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Moving-target invalidations reach silent clients through the push
+	// callback (Seq-0 messages).
+	curTick := 0
+	eng.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+		idx := int(user) - 1
+		if idx < 0 || idx >= len(clients) {
+			return
+		}
+		for _, m := range msgs {
+			// Push decode errors cannot happen with in-process messages.
+			_ = clients[idx].Handle(curTick, m)
+		}
+	})
+
+	var triggers []Trigger
+	var serverWall time.Duration
+	for tick := 0; tick < w.Config.DurationTicks; tick++ {
+		curTick = tick
+		mob.Step()
+		for i, cl := range clients {
+			upd := cl.Tick(tick, mob.Position(i))
+			if upd == nil {
+				continue
+			}
+			start := time.Now()
+			responses, err := eng.HandleUpdate(*upd)
+			serverWall += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("tick %d user %d: %w", tick, upd.User, err)
+			}
+			for _, resp := range responses {
+				if fired, ok := resp.(wire.AlarmFired); ok {
+					for _, id := range fired.Alarms {
+						triggers = append(triggers, Trigger{User: upd.User, Alarm: id, Tick: tick})
+					}
+				}
+				if err := cl.Handle(tick, resp); err != nil {
+					return nil, err
+				}
+			}
+			if len(responses) == 0 {
+				cl.Acknowledge()
+			}
+		}
+	}
+
+	clientMet := &metrics.Client{}
+	msgsPerClient := make([]uint64, len(perClient))
+	for i := range perClient {
+		clientMet.Merge(perClient[i])
+		msgsPerClient[i] = perClient[i].MessagesSent
+	}
+
+	met := eng.Metrics()
+	traceSeconds := float64(w.Config.DurationTicks) * mobCfg.TickSeconds
+	return &Report{
+		Strategy:               sc.Strategy.String(),
+		Vehicles:               w.Config.Vehicles,
+		DurationTicks:          w.Config.DurationTicks,
+		UplinkMessages:         met.UplinkMessages,
+		UplinkBytes:            met.UplinkBytes,
+		DownlinkMessages:       met.DownlinkMessages,
+		DownlinkBytes:          met.DownlinkBytes,
+		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		ClientChecks:           clientMet.ContainmentChecks,
+		ClientProbes:           clientMet.Probes,
+		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
+		ClientProbeEnergyMWh:   float64(clientMet.Probes) * metrics.DefaultEnergy().ProbeMilliWattHours,
+		PerClientMessages:      stats.SummarizeUints(msgsPerClient),
+		AlarmProcessingMinutes: met.AlarmProcessingSeconds() / 60,
+		SafeRegionMinutes:      met.SafeRegionSeconds() / 60,
+		TotalServerMinutes:     met.TotalSeconds() / 60,
+		SafeRegionComputations: met.SafeRegionComputations(),
+		AlarmEvaluations:       met.AlarmEvaluations(),
+		RectClips:              met.RectClips(),
+		MeasuredServerSeconds:  serverWall.Seconds(),
+		Triggers:               triggers,
+	}, nil
+}

@@ -1,0 +1,83 @@
+// Package stats provides the small summary-statistics helpers the
+// experiment harness uses to report distributions (per-client message
+// counts, safe region sizes) rather than bare totals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample distribution.
+type Summary struct {
+	Count              int
+	Min, Max           float64
+	Mean               float64
+	P25, P50, P90, P95 float64
+}
+
+// Summarize computes a Summary. The input is not modified. An empty
+// sample yields the zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for _, v := range sorted {
+		total += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  total / float64(len(sorted)),
+		P25:   Percentile(sorted, 0.25),
+		P50:   Percentile(sorted, 0.50),
+		P90:   Percentile(sorted, 0.90),
+		P95:   Percentile(sorted, 0.95),
+	}
+}
+
+// SummarizeUints is Summarize over unsigned counts.
+func SummarizeUints(sample []uint64) Summary {
+	fs := make([]float64, len(sample))
+	for i, v := range sample {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks.
+func Percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String implements fmt.Stringer with a compact one-line rendering.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g p50=%.3g p90=%.3g p95=%.3g max=%.3g mean=%.3g",
+		s.Count, s.Min, s.P25, s.P50, s.P90, s.P95, s.Max, s.Mean)
+}

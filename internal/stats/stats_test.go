@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.String() != "n=0" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("basic fields wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.P50-3) > 1e-12 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.P25-2) > 1e-12 {
+		t.Errorf("P25 = %v", s.P25)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("q=0: %v", got)
+	}
+	if got := Percentile(sorted, 1); got != 40 {
+		t.Errorf("q=1: %v", got)
+	}
+	if got := Percentile(sorted, 0.5); math.Abs(got-25) > 1e-12 {
+		t.Errorf("q=0.5: %v (linear interpolation)", got)
+	}
+	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty: %v", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton: %v", got)
+	}
+}
+
+func TestSummarizeUints(t *testing.T) {
+	s := SummarizeUints([]uint64{1, 2, 3})
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("%+v", s)
+	}
+}
+
+// Properties: percentiles are monotone in q and bounded by min/max.
+func TestQuickPercentileProperties(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		sample := make([]float64, count)
+		for i := range sample {
+			sample[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(sample)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Percentile(sample, q)
+			if v < prev-1e-9 || v < sample[0]-1e-9 || v > sample[count-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		s := Summarize(sample)
+		return s.Min <= s.P25 && s.P25 <= s.P50 && s.P50 <= s.P90 &&
+			s.P90 <= s.P95 && s.P95 <= s.Max &&
+			s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

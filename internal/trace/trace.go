@@ -1,0 +1,244 @@
+// Package trace reads and writes mobility traces — the (tick, user, x, y)
+// position streams produced by cmd/tracegen and replayed by
+// cmd/alarmclient.
+//
+// Two interchangeable formats:
+//
+//   - CSV ("tick,user,x,y" with a header line), greppable and
+//     spreadsheet-friendly;
+//   - a compact binary format ("SBTR" magic, little-endian, one 16-byte
+//     record per fix: tick u32, user u32, x and y as signed millimetres
+//     i32) that is ~40% smaller and an order of magnitude faster to parse
+//     — the difference at the paper's 36 M-fix scale is a sub-600 MB file
+//     and seconds instead of minutes of parsing. Millimetre quantization
+//     matches the CSV's three decimals.
+//
+// Readers sniff the format from the first bytes, so consumers never need
+// a format flag.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// Fix is one position sample.
+type Fix struct {
+	Tick int
+	User uint64
+	Pos  geom.Point
+}
+
+// binaryMagic starts every binary trace file.
+var binaryMagic = [4]byte{'S', 'B', 'T', 'R'}
+
+const binaryVersion = 1
+
+// ErrBadFormat reports an unrecognized or corrupt trace stream.
+var ErrBadFormat = errors.New("trace: unrecognized or corrupt trace")
+
+// Writer emits fixes in one of the two formats.
+type Writer struct {
+	w      *bufio.Writer
+	binary bool
+	headed bool
+}
+
+// NewCSVWriter returns a writer producing the CSV format.
+func NewCSVWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// NewBinaryWriter returns a writer producing the binary format.
+func NewBinaryWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), binary: true}
+}
+
+// Write appends one fix.
+func (t *Writer) Write(f Fix) error {
+	if !t.headed {
+		t.headed = true
+		if t.binary {
+			if _, err := t.w.Write(binaryMagic[:]); err != nil {
+				return err
+			}
+			if err := t.w.WriteByte(binaryVersion); err != nil {
+				return err
+			}
+		} else {
+			if _, err := t.w.WriteString("tick,user,x,y\n"); err != nil {
+				return err
+			}
+		}
+	}
+	if t.binary {
+		var rec [16]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(f.Tick))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(f.User))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(toMM(f.Pos.X)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(toMM(f.Pos.Y)))
+		_, err := t.w.Write(rec[:])
+		return err
+	}
+	var sb strings.Builder
+	sb.Grow(48)
+	sb.WriteString(strconv.Itoa(f.Tick))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.FormatUint(f.User, 10))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.FormatFloat(f.Pos.X, 'f', 3, 64))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.FormatFloat(f.Pos.Y, 'f', 3, 64))
+	sb.WriteByte('\n')
+	_, err := t.w.WriteString(sb.String())
+	return err
+}
+
+// Flush commits buffered output; call before closing the underlying file.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader parses either format, sniffing from the stream head.
+type Reader struct {
+	br      *bufio.Reader
+	binary  bool
+	inited  bool
+	line    int
+	pending string // first CSV line when it was data, not a header
+}
+
+// NewReader wraps a trace stream.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+func (t *Reader) init() error {
+	head, err := t.br.Peek(5)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return err
+	}
+	if [4]byte{head[0], head[1], head[2], head[3]} == binaryMagic {
+		if head[4] != binaryVersion {
+			return fmt.Errorf("%w: binary version %d", ErrBadFormat, head[4])
+		}
+		if _, err := t.br.Discard(5); err != nil {
+			return err
+		}
+		t.binary = true
+		t.inited = true
+		return nil
+	}
+	// CSV: consume the header line if present.
+	line, err := t.br.ReadString('\n')
+	if err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	t.line++
+	t.inited = true
+	if strings.HasPrefix(strings.TrimSpace(line), "tick,") {
+		return nil // header consumed
+	}
+	// Not a header: it was the first record; stash it for Read.
+	t.pending = strings.TrimSpace(line)
+	return nil
+}
+
+// Read returns the next fix or io.EOF.
+func (t *Reader) Read() (Fix, error) {
+	if !t.inited {
+		if err := t.init(); err != nil {
+			return Fix{}, err
+		}
+	}
+	if t.binary {
+		var rec [16]byte
+		if _, err := io.ReadFull(t.br, rec[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Fix{}, fmt.Errorf("%w: truncated record", ErrBadFormat)
+			}
+			return Fix{}, err
+		}
+		return Fix{
+			Tick: int(binary.LittleEndian.Uint32(rec[0:])),
+			User: uint64(binary.LittleEndian.Uint32(rec[4:])),
+			Pos: geom.Pt(
+				fromMM(int32(binary.LittleEndian.Uint32(rec[8:]))),
+				fromMM(int32(binary.LittleEndian.Uint32(rec[12:]))),
+			),
+		}, nil
+	}
+	for {
+		var text string
+		if t.pending != "" {
+			text, t.pending = t.pending, ""
+		} else {
+			line, err := t.br.ReadString('\n')
+			if err != nil && (!errors.Is(err, io.EOF) || line == "") {
+				return Fix{}, err
+			}
+			t.line++
+			text = strings.TrimSpace(line)
+			if text == "" {
+				if err != nil {
+					return Fix{}, io.EOF
+				}
+				continue
+			}
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return Fix{}, fmt.Errorf("%w: line %d: want 4 fields, got %d", ErrBadFormat, t.line, len(parts))
+		}
+		tick, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return Fix{}, fmt.Errorf("%w: line %d: tick: %v", ErrBadFormat, t.line, err)
+		}
+		user, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return Fix{}, fmt.Errorf("%w: line %d: user: %v", ErrBadFormat, t.line, err)
+		}
+		x, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return Fix{}, fmt.Errorf("%w: line %d: x: %v", ErrBadFormat, t.line, err)
+		}
+		y, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return Fix{}, fmt.Errorf("%w: line %d: y: %v", ErrBadFormat, t.line, err)
+		}
+		return Fix{Tick: tick, User: user, Pos: geom.Pt(x, y)}, nil
+	}
+}
+
+// ReadUserPath collects the tick-ordered positions of one user from a
+// trace stream.
+func ReadUserPath(r io.Reader, user uint64) ([]geom.Point, error) {
+	tr := NewReader(r)
+	var out []geom.Point
+	for {
+		f, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if f.User == user {
+			out = append(out, f.Pos)
+		}
+	}
+}
+
+// toMM quantizes a coordinate to signed millimetres (range ±2147 km).
+func toMM(v float64) int32 { return int32(math.Round(v * 1000)) }
+
+func fromMM(mm int32) float64 { return float64(mm) / 1000 }

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+func sampleFixes(n int, seed int64) []Fix {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fix, n)
+	for i := range out {
+		out[i] = Fix{
+			Tick: i / 3,
+			User: uint64(i%3 + 1),
+			Pos:  geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+		}
+	}
+	return out
+}
+
+func writeAll(t *testing.T, w *Writer, fixes []Fix) {
+	t.Helper()
+	for _, f := range fixes {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, r io.Reader) []Fix {
+	t.Helper()
+	tr := NewReader(r)
+	var out []Fix
+	for {
+		f, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	fixes := sampleFixes(100, 1)
+	var buf bytes.Buffer
+	writeAll(t, NewCSVWriter(&buf), fixes)
+	if !strings.HasPrefix(buf.String(), "tick,user,x,y\n") {
+		t.Fatal("missing CSV header")
+	}
+	got := readAll(t, &buf)
+	if len(got) != len(fixes) {
+		t.Fatalf("read %d of %d fixes", len(got), len(fixes))
+	}
+	for i := range got {
+		if got[i].Tick != fixes[i].Tick || got[i].User != fixes[i].User {
+			t.Fatalf("fix %d: %+v vs %+v", i, got[i], fixes[i])
+		}
+		// CSV stores 3 decimals (millimetres).
+		if got[i].Pos.DistanceTo(fixes[i].Pos) > 0.002 {
+			t.Fatalf("fix %d position drifted: %v vs %v", i, got[i].Pos, fixes[i].Pos)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	fixes := sampleFixes(500, 2)
+	var buf bytes.Buffer
+	writeAll(t, NewBinaryWriter(&buf), fixes)
+	got := readAll(t, &buf)
+	if len(got) != len(fixes) {
+		t.Fatalf("read %d of %d fixes", len(got), len(fixes))
+	}
+	for i := range got {
+		if got[i].Tick != fixes[i].Tick || got[i].User != fixes[i].User {
+			t.Fatalf("fix %d: %+v vs %+v", i, got[i], fixes[i])
+		}
+		// Millimetre quantization, matching the CSV precision.
+		if got[i].Pos.DistanceTo(fixes[i].Pos) > 0.001 {
+			t.Fatalf("fix %d position drifted: %v vs %v", i, got[i].Pos, fixes[i].Pos)
+		}
+	}
+	// Negative coordinates survive.
+	var nbuf bytes.Buffer
+	neg := []Fix{{0, 1, geom.Pt(-123.456, -0.001)}}
+	writeAll(t, NewBinaryWriter(&nbuf), neg)
+	back := readAll(t, &nbuf)
+	if back[0].Pos.DistanceTo(neg[0].Pos) > 0.001 {
+		t.Fatalf("negative coords: %v vs %v", back[0].Pos, neg[0].Pos)
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	fixes := sampleFixes(2000, 3)
+	var csvBuf, binBuf bytes.Buffer
+	writeAll(t, NewCSVWriter(&csvBuf), fixes)
+	writeAll(t, NewBinaryWriter(&binBuf), fixes)
+	if binBuf.Len() >= csvBuf.Len() {
+		t.Errorf("binary %d >= csv %d bytes", binBuf.Len(), csvBuf.Len())
+	}
+}
+
+func TestHeaderlessCSVAccepted(t *testing.T) {
+	got := readAll(t, strings.NewReader("0,1,10.5,20.5\n1,1,11.5,21.5\n"))
+	if len(got) != 2 || got[0].Pos != geom.Pt(10.5, 20.5) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBlankLinesSkipped(t *testing.T) {
+	got := readAll(t, strings.NewReader("tick,user,x,y\n\n0,1,1,1\n\n\n1,1,2,2\n"))
+	if len(got) != 2 {
+		t.Fatalf("got %d fixes", len(got))
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "tick,user,x,y\n1,2,3\n",
+		"bad tick":       "x,2,3,4\n",
+		"bad user":       "1,u,3,4\n",
+		"bad x":          "1,2,x,4\n",
+		"bad y":          "1,2,3,y\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr := NewReader(strings.NewReader(in))
+			_, err := tr.Read()
+			if !errors.Is(err, ErrBadFormat) {
+				t.Errorf("err = %v, want ErrBadFormat", err)
+			}
+		})
+	}
+	t.Run("truncated binary", func(t *testing.T) {
+		var buf bytes.Buffer
+		writeAll(t, NewBinaryWriter(&buf), sampleFixes(2, 4))
+		data := buf.Bytes()[:buf.Len()-5]
+		tr := NewReader(bytes.NewReader(data))
+		if _, err := tr.Read(); err != nil {
+			t.Fatalf("first record should parse: %v", err)
+		}
+		if _, err := tr.Read(); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("truncated record: %v", err)
+		}
+	})
+	t.Run("bad binary version", func(t *testing.T) {
+		tr := NewReader(bytes.NewReader([]byte{'S', 'B', 'T', 'R', 99, 0, 0}))
+		if _, err := tr.Read(); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("bad version: %v", err)
+		}
+	})
+}
+
+func TestEmptyStream(t *testing.T) {
+	tr := NewReader(strings.NewReader(""))
+	if _, err := tr.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestReadUserPath(t *testing.T) {
+	fixes := []Fix{
+		{0, 1, geom.Pt(1, 1)},
+		{0, 2, geom.Pt(9, 9)},
+		{1, 1, geom.Pt(2, 2)},
+		{1, 2, geom.Pt(8, 8)},
+		{2, 1, geom.Pt(3, 3)},
+	}
+	for _, mk := range []func(io.Writer) *Writer{NewCSVWriter, NewBinaryWriter} {
+		var buf bytes.Buffer
+		writeAll(t, mk(&buf), fixes)
+		path, err := ReadUserPath(&buf, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 3 || path[2] != geom.Pt(3, 3) {
+			t.Fatalf("path = %v", path)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package transport moves wire messages between clients and the server.
+//
+// Two implementations share one Conn interface: an in-process channel pipe
+// (used by simulations and tests, optionally with injected message loss)
+// and a TCP transport with 4-byte length-prefixed frames (used by the
+// cmd/alarmserver and cmd/alarmclient binaries). The client state machine
+// already tolerates lost responses via its resend timeout, so the lossy
+// wrapper doubles as the failure-injection harness.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// MaxFrameBytes bounds a single message frame; larger frames indicate a
+// corrupt or hostile peer.
+const MaxFrameBytes = 1 << 20
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a bidirectional, ordered message pipe.
+type Conn interface {
+	// Send transmits one message. It is safe for concurrent use.
+	Send(m wire.Message) error
+	// Recv blocks for the next message.
+	Recv() (wire.Message, error)
+	// Close releases the connection; pending and future Recv calls fail.
+	Close() error
+}
+
+// Pipe returns two connected in-process endpoints with the given buffer
+// capacity per direction.
+func Pipe(capacity int) (Conn, Conn) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ab := make(chan wire.Message, capacity)
+	ba := make(chan wire.Message, capacity)
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() error {
+		once.Do(func() { close(done) })
+		return nil
+	}
+	a := &pipeConn{send: ab, recv: ba, done: done, close: closeFn}
+	b := &pipeConn{send: ba, recv: ab, done: done, close: closeFn}
+	return a, b
+}
+
+type pipeConn struct {
+	send  chan wire.Message
+	recv  chan wire.Message
+	done  chan struct{}
+	close func() error
+}
+
+func (c *pipeConn) Send(m wire.Message) error {
+	// Check done first: a two-way select picks randomly when both cases
+	// are ready, which would let sends sneak through after Close.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case c.send <- m:
+		return nil
+	}
+}
+
+func (c *pipeConn) Recv() (wire.Message, error) {
+	select {
+	case <-c.done:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return nil, ErrClosed
+	case m := <-c.recv:
+		return m, nil
+	}
+}
+
+func (c *pipeConn) Close() error { return c.close() }
+
+// Lossy wraps a Conn, dropping outbound messages with the given
+// probability (deterministic in seed). Receives are unaffected. Used to
+// inject message loss in failure tests.
+func Lossy(inner Conn, dropProb float64, seed int64) Conn {
+	return &lossyConn{inner: inner, dropProb: dropProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+type lossyConn struct {
+	inner    Conn
+	dropProb float64
+	mu       sync.Mutex
+	rng      *rand.Rand
+	dropped  int
+}
+
+func (c *lossyConn) Send(m wire.Message) error {
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.dropProb
+	if drop {
+		c.dropped++
+	}
+	c.mu.Unlock()
+	if drop {
+		return nil // silently lost, like the network would
+	}
+	return c.inner.Send(m)
+}
+
+func (c *lossyConn) Recv() (wire.Message, error) { return c.inner.Recv() }
+func (c *lossyConn) Close() error                { return c.inner.Close() }
+
+// Dropped reports how many messages the lossy wrapper discarded.
+func (c *lossyConn) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, m wire.Message) error {
+	payload := wire.Encode(m)
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (wire.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: invalid frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	return wire.Decode(payload)
+}
+
+// tcpConn adapts a net.Conn to the Conn interface with framed messages.
+type tcpConn struct {
+	nc net.Conn
+	wm sync.Mutex
+	rm sync.Mutex
+}
+
+// NewTCP wraps an established network connection.
+func NewTCP(nc net.Conn) Conn { return &tcpConn{nc: nc} }
+
+// Dial connects to a SABRE server at addr.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCP(nc), nil
+}
+
+func (c *tcpConn) Send(m wire.Message) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	return WriteFrame(c.nc, m)
+}
+
+func (c *tcpConn) Recv() (wire.Message, error) {
+	c.rm.Lock()
+	defer c.rm.Unlock()
+	return ReadFrame(c.nc)
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }

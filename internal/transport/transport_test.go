@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(4)
+	defer a.Close()
+	want := wire.PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(3, 4)}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// And the reverse direction.
+	if err := b.Send(wire.Ack{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := a.Recv(); err != nil || m.(wire.Ack).Seq != 2 {
+		t.Errorf("reverse direction: %v %v", m, err)
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b := Pipe(1)
+	a.Close()
+	if err := a.Send(wire.Ack{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after close: %v", err)
+	}
+}
+
+func TestPipeBlockedRecvUnblocksOnClose(t *testing.T) {
+	a, b := Pipe(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("blocked Recv returned %v", err)
+	}
+}
+
+func TestLossyDropsDeterministically(t *testing.T) {
+	a, _ := Pipe(1024)
+	lossy := Lossy(a, 0.5, 42).(*lossyConn)
+	for i := 0; i < 1000; i++ {
+		if err := lossy.Send(wire.Ack{Seq: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := lossy.Dropped()
+	if dropped < 400 || dropped > 600 {
+		t.Errorf("dropped %d of 1000 at p=0.5", dropped)
+	}
+	// Same seed, same drops.
+	a2, _ := Pipe(1024)
+	lossy2 := Lossy(a2, 0.5, 42).(*lossyConn)
+	for i := 0; i < 1000; i++ {
+		lossy2.Send(wire.Ack{Seq: uint32(i)})
+	}
+	if lossy2.Dropped() != dropped {
+		t.Errorf("drop pattern not deterministic: %d vs %d", lossy2.Dropped(), dropped)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []wire.Message{
+		wire.Register{User: 5, Strategy: wire.StrategyPBSR, MaxHeight: 3},
+		wire.PositionUpdate{User: 5, Seq: 1, Pos: geom.Pt(10, 20)},
+		wire.SafePeriod{Seq: 1, Ticks: 30},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("expected EOF at end, got %v", err)
+	}
+}
+
+func TestFrameRejectsHostileLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("zero frame accepted")
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, wire.Ack{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestTCPConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nc, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn := NewTCP(nc)
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		upd, ok := m.(wire.PositionUpdate)
+		if !ok {
+			t.Errorf("server got %v", m)
+			return
+		}
+		conn.Send(wire.RectRegion{Seq: upd.Seq, Rect: geom.R(0, 0, 10, 10)})
+	}()
+
+	cli, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Send(wire.PositionUpdate{User: 9, Seq: 7, Pos: geom.Pt(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr, ok := resp.(wire.RectRegion); !ok || rr.Seq != 7 {
+		t.Errorf("client got %v", resp)
+	}
+	wg.Wait()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	a, b := Pipe(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := a.Send(wire.Ack{Seq: uint32(g*1000 + i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 800; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// FuzzDecode exercises the codec against arbitrary bytes: Decode must
+// never panic, and whatever it accepts must re-encode to the same
+// semantic message (decode∘encode∘decode is the identity).
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		Register{User: 42, Strategy: StrategyPBSR, MaxHeight: 5},
+		PositionUpdate{User: 7, Seq: 1234, Pos: geom.Pt(123.456, -9.75)},
+		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)},
+		BitmapRegion{Seq: 3, Cell: geom.R(0, 0, 900, 900), U: 3, V: 3, Height: 4,
+			NBits: 19, Data: []byte{0xAB, 0xCD, 0xE0}},
+		AlarmPush{Seq: 5, Cell: geom.R(0, 0, 100, 100), Alarms: []AlarmInfo{
+			{ID: 1, Region: geom.R(1, 1, 2, 2)},
+		}},
+		SafePeriod{Seq: 8, Ticks: 300},
+		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
+		Ack{Seq: 77},
+	}
+	for _, m := range seeds {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		re := Encode(m)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if !bytes.Equal(re, Encode(m2)) {
+			t.Fatalf("encode not stable: % x vs % x", re, Encode(m2))
+		}
+	})
+}

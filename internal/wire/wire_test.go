@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf := Encode(m)
+	if got := EncodedSize(m); got != len(buf) {
+		t.Errorf("%v: EncodedSize = %d, actual %d", m.Kind(), got, len(buf))
+	}
+	out, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("%v: Decode: %v", m.Kind(), err)
+	}
+	return out
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	msgs := []Message{
+		Register{User: 42, Strategy: StrategyPBSR, MaxHeight: 5},
+		PositionUpdate{User: 7, Seq: 1234, Pos: geom.Pt(123.456, -9.75)},
+		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)},
+		BitmapRegion{Seq: 3, Cell: geom.R(0, 0, 900, 900), U: 3, V: 3, Height: 4,
+			NBits: 19, Data: []byte{0xAB, 0xCD, 0xE0}},
+		AlarmPush{Seq: 5, Cell: geom.R(0, 0, 100, 100), Alarms: []AlarmInfo{
+			{ID: 1, Region: geom.R(1, 1, 2, 2)},
+			{ID: 99, Region: geom.R(50, 50, 60, 60)},
+		}},
+		SafePeriod{Seq: 8, Ticks: 300},
+		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
+	}
+	for _, m := range msgs {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			got := roundTrip(t, m)
+			if !reflect.DeepEqual(got, m) {
+				t.Errorf("round trip mismatch:\n got  %#v\n want %#v", got, m)
+			}
+		})
+	}
+}
+
+func TestEmptyCollections(t *testing.T) {
+	gotPush := roundTrip(t, AlarmPush{Seq: 1, Cell: geom.R(0, 0, 1, 1)}).(AlarmPush)
+	if len(gotPush.Alarms) != 0 {
+		t.Errorf("alarms = %v", gotPush.Alarms)
+	}
+	gotFired := roundTrip(t, AlarmFired{Seq: 1}).(AlarmFired)
+	if len(gotFired.Alarms) != 0 {
+		t.Errorf("alarms = %v", gotFired.Alarms)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil buf: %v", err)
+	}
+	if _, err := Decode([]byte{0xFF, 1, 2}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind: %v", err)
+	}
+	// Truncate every valid message at every byte boundary: must error, not
+	// panic.
+	msgs := []Message{
+		Register{User: 1, Strategy: StrategyMWPSR, MaxHeight: 2},
+		PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(3, 4)},
+		RectRegion{Seq: 1, Rect: geom.R(0, 0, 5, 5)},
+		AlarmPush{Seq: 1, Cell: geom.R(0, 0, 1, 1), Alarms: []AlarmInfo{{ID: 9, Region: geom.R(0, 0, 1, 1)}}},
+		SafePeriod{Seq: 1, Ticks: 2},
+		AlarmFired{Seq: 1, Alarms: []uint64{1, 2}},
+	}
+	for _, m := range msgs {
+		full := Encode(m)
+		for cut := 1; cut < len(full); cut++ {
+			if _, err := Decode(full[:cut]); err == nil {
+				t.Errorf("%v truncated at %d decoded successfully", m.Kind(), cut)
+			}
+		}
+	}
+}
+
+func TestHostileLengthPrefix(t *testing.T) {
+	// A crafted AlarmPush claiming 2^31 alarms must be rejected without
+	// allocating.
+	m := AlarmPush{Seq: 1, Cell: geom.R(0, 0, 1, 1)}
+	buf := Encode(m)
+	// Overwrite the count field (after kind+seq+cell = 1+4+32 bytes).
+	buf[37], buf[38], buf[39], buf[40] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(buf); err == nil {
+		t.Error("hostile alarm count accepted")
+	}
+	f := AlarmFired{Seq: 1}
+	fbuf := Encode(f)
+	fbuf[5], fbuf[6], fbuf[7], fbuf[8] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(fbuf); err == nil {
+		t.Error("hostile fired count accepted")
+	}
+}
+
+func TestBitmapRegionPyramidRoundTrip(t *testing.T) {
+	cell := geom.R(0, 0, 900, 900)
+	alarm := geom.R(100, 100, 200, 200)
+	bm, err := pyramid.Encode(cell, pyramid.DefaultParams(3), func(r geom.Rect) pyramid.Coverage {
+		return pyramid.CoverageOf(r, []geom.Rect{alarm})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := FromBitmap(77, bm)
+	got := roundTrip(t, msg).(BitmapRegion)
+	back := got.Bitmap()
+	if back.String() != bm.String() {
+		t.Errorf("bitmap bits changed: %s vs %s", back.String(), bm.String())
+	}
+	if _, err := pyramid.Decode(back); err != nil {
+		t.Errorf("decoded bitmap unusable: %v", err)
+	}
+	if got.Seq != 77 {
+		t.Errorf("seq = %d", got.Seq)
+	}
+}
+
+func TestKindAndStrategyStrings(t *testing.T) {
+	for k := KindRegister; k <= KindAlarmFired; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind string")
+	}
+	for s := StrategyPeriodic; s <= StrategyOptimal; s++ {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Strategy(") {
+			t.Errorf("strategy %d has no name", s)
+		}
+	}
+	if Strategy(200).String() != "Strategy(200)" {
+		t.Error("unknown strategy string")
+	}
+}
+
+func TestDecodeFuzzRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(128)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Must never panic; errors are fine.
+		_, _ = Decode(buf)
+	}
+}
+
+func BenchmarkEncodePositionUpdate(b *testing.B) {
+	m := PositionUpdate{User: 7, Seq: 1, Pos: geom.Pt(123.4, 567.8)}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodePositionUpdate(b *testing.B) {
+	buf := Encode(PositionUpdate{User: 7, Seq: 1, Pos: geom.Pt(123.4, 567.8)})
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: position updates and rect regions round-trip for arbitrary
+// finite values.
+func TestQuickRoundTripProperties(t *testing.T) {
+	posF := func(user uint64, seq uint32, x, y float64) bool {
+		if x != x || y != y { // skip NaN: NaN != NaN breaks equality checks
+			return true
+		}
+		m := PositionUpdate{User: user, Seq: seq, Pos: geom.Pt(x, y)}
+		got, err := Decode(Encode(m))
+		return err == nil && got == m
+	}
+	if err := quick.Check(posF, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	rectF := func(seq uint32, a, b, c, d float64) bool {
+		if a != a || b != b || c != c || d != d {
+			return true
+		}
+		m := RectRegion{Seq: seq, Rect: geom.Rect{MinX: a, MinY: b, MaxX: c, MaxY: d}}
+		got, err := Decode(Encode(m))
+		return err == nil && got == m
+	}
+	if err := quick.Check(rectF, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

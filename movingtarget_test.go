@@ -1,0 +1,110 @@
+package sabre
+
+import "testing"
+
+// TestMovingTargetPushInvalidation exercises the paper's "moving
+// subscriber with moving target" class end to end: a subscriber sits
+// silent inside its safe region while the alarm target drives toward it;
+// the target's own position reports move the alarm region, the service
+// pushes a fresh (smaller) safe region to the subscriber, and the
+// subscriber's next containment check fails exactly when the region
+// reaches it — delivering the alarm without the subscriber ever polling.
+func TestMovingTargetPushInvalidation(t *testing.T) {
+	for _, strategy := range []Strategy{StrategyMWPSR, StrategyPBSR, StrategySafePeriod, StrategyOptimal} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			svc := newTestService(t, nil)
+
+			const (
+				targetUser     = UserID(1)
+				subscriberUser = UserID(2)
+			)
+			// "Alert me when the delivery van is within 300 m of me"-style
+			// alarm: region anchored to the target user.
+			id, err := svc.InstallAlarm(Alarm{
+				Scope:       Shared,
+				Owner:       subscriberUser,
+				Subscribers: []UserID{subscriberUser},
+				Region:      RectAround(Pt(1000, 5000), 600),
+				Target:      targetUser,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The target reports periodically (the server needs its motion);
+			// the subscriber uses the strategy under test.
+			if err := svc.RegisterClient(targetUser, StrategyPeriodic, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.RegisterClient(subscriberUser, strategy, 0); err != nil {
+				t.Fatal(err)
+			}
+			targetMon := NewMonitor(targetUser, StrategyPeriodic)
+			subMon := NewMonitor(subscriberUser, strategy)
+
+			// Route pushes to the right monitor.
+			svc.SetPushHandler(func(user UserID, msgs []Message) {
+				if user != subscriberUser {
+					return
+				}
+				for _, m := range msgs {
+					if err := subMon.Handle(curTick, m); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+
+			subscriberPos := Pt(8000, 5000) // parked
+			firedAt := -1
+			for curTick = 0; curTick < 500 && firedAt < 0; curTick++ {
+				// The target drives east toward the subscriber, 20 m/s.
+				targetPos := Pt(1000+float64(curTick)*20, 5000)
+				step(t, svc, targetMon, curTick, targetPos)
+				step(t, svc, subMon, curTick, subscriberPos)
+				for _, got := range subMon.Fired() {
+					if got == id {
+						firedAt = curTick
+					}
+				}
+			}
+			if firedAt < 0 {
+				t.Fatal("moving-target alarm never fired for the stationary subscriber")
+			}
+			// The region reaches the subscriber when the target is within
+			// 300 m: target x = 7700 at tick 335. Allow slack for grid
+			// effects and the subscriber's report round trip.
+			if firedAt < 330 || firedAt > 345 {
+				t.Errorf("fired at tick %d, want ≈335 (first geometric contact)", firedAt)
+			}
+			// The subscriber must have stayed almost entirely silent.
+			if strategy != StrategySafePeriod && subMon.MessagesSent() > 25 {
+				t.Errorf("subscriber sent %d messages; pushes should keep it silent", subMon.MessagesSent())
+			}
+		})
+	}
+}
+
+// curTick is shared between the loop and the push handler (single
+// goroutine).
+var curTick int
+
+// step forwards one monitor tick through the service.
+func step(t *testing.T, svc *Service, mon *Monitor, tick int, pos Point) {
+	t.Helper()
+	upd := mon.Tick(tick, pos)
+	if upd == nil {
+		return
+	}
+	responses, err := svc.HandleUpdate(*upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range responses {
+		if err := mon.Handle(tick, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(responses) == 0 {
+		mon.Acknowledge()
+	}
+}
