@@ -1,0 +1,25 @@
+# SABRE build and verification targets.
+#
+#   make tier1   build + full test suite (the repo's baseline gate)
+#   make race    full test suite under the race detector
+#   make bench   engine throughput sweep at 1/2/4/8 procs; writes
+#                BENCH_engine.json via cmd/alarmbench
+#   make figures the paper-figure benchmark series
+
+GO ?= go
+
+.PHONY: tier1 race bench figures
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .
+	$(GO) run ./cmd/alarmbench -scale small bench-engine
+
+figures:
+	$(GO) test -run xxx -bench 'Fig|Ablation' .

@@ -13,6 +13,7 @@
 package sabre_test
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/sabre-geo/sabre/internal/motion"
@@ -21,11 +22,18 @@ import (
 )
 
 // benchWorkload caches the workload across benchmarks (building the road
-// network is not what we are measuring).
-var benchWorkloads = map[float64]*sim.Workload{}
+// network is not what we are measuring). The mutex keeps the cache safe
+// when benchmarks run with parallel test binaries or from RunParallel
+// bodies.
+var (
+	benchWorkloadsMu sync.Mutex
+	benchWorkloads   = map[float64]*sim.Workload{}
+)
 
 func workloadFor(b *testing.B, publicFraction float64) *sim.Workload {
 	b.Helper()
+	benchWorkloadsMu.Lock()
+	defer benchWorkloadsMu.Unlock()
 	if w, ok := benchWorkloads[publicFraction]; ok {
 		return w
 	}

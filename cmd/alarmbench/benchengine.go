@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/sim"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// benchEngineUpdates is how many HandleUpdate calls each goroutine issues
+// per measured point; at roughly 50–100 µs per update the whole sweep
+// stays under a minute at small scale.
+const benchEngineUpdates = 10000
+
+// benchEnginePoint is one measured (strategy, goroutines) cell of the
+// engine throughput sweep.
+type benchEnginePoint struct {
+	Strategy     string  `json:"strategy"`
+	Goroutines   int     `json:"goroutines"`
+	Updates      uint64  `json:"updates"`
+	Seconds      float64 `json:"seconds"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	NsPerUpdate  float64 `json:"ns_per_update"`
+	SpeedupVsOne float64 `json:"speedup_vs_1"`
+}
+
+type benchEngineReport struct {
+	Scale      string             `json:"scale"`
+	Vehicles   int                `json:"vehicles"`
+	Alarms     int                `json:"alarms"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Series     []benchEnginePoint `json:"series"`
+}
+
+// runBenchEngine measures raw Engine.HandleUpdate throughput at 1, 2, 4
+// and 8 client goroutines (disjoint client fleets replaying pre-generated
+// mobility traces) and writes the series to BENCH_engine.json. Note the
+// observable speedup is bounded by GOMAXPROCS: on a single-core host all
+// points collapse to serial throughput, which the JSON records so readers
+// can judge the numbers.
+func runBenchEngine(opts options) error {
+	cfg, err := workload(opts, -1)
+	if err != nil {
+		return err
+	}
+	w, err := sim.BuildWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	const traceTicks = 256
+	report := benchEngineReport{
+		Scale:      opts.scale,
+		Vehicles:   cfg.Vehicles,
+		Alarms:     len(w.Alarms),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	header := []string{"strategy", "goroutines", "ops/sec", "ns/update", "speedup vs 1"}
+	var rows [][]string
+	for _, strategy := range []wire.Strategy{wire.StrategyMWPSR, wire.StrategyPBSR} {
+		var baseline float64
+		for _, procs := range []int{1, 2, 4, 8} {
+			pt, err := benchEngineOnce(w, strategy, procs, traceTicks)
+			if err != nil {
+				return err
+			}
+			if procs == 1 {
+				baseline = pt.OpsPerSec
+			}
+			if baseline > 0 {
+				pt.SpeedupVsOne = pt.OpsPerSec / baseline
+			}
+			report.Series = append(report.Series, pt)
+			rows = append(rows, []string{pt.Strategy, fmtCount(uint64(procs)),
+				fmt.Sprintf("%.0f", pt.OpsPerSec),
+				fmt.Sprintf("%.0f", pt.NsPerUpdate),
+				fmt.Sprintf("%.2fx", pt.SpeedupVsOne)})
+		}
+	}
+	table(fmt.Sprintf("Engine update throughput (GOMAXPROCS=%d)", report.GOMAXPROCS), header, rows)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_engine.json")
+	return nil
+}
+
+// benchEngineOnce builds a fresh engine for one sweep point and hammers it
+// from `procs` goroutines, each owning a disjoint slice of the fleet.
+func benchEngineOnce(w *sim.Workload, strategy wire.Strategy, procs, traceTicks int) (benchEnginePoint, error) {
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return benchEnginePoint{}, err
+	}
+	eng, err := server.New(server.Config{
+		Universe:      w.Net.Bounds().Expand(50),
+		CellAreaM2:    2.5e6,
+		Model:         motion.MustNew(1, 32),
+		PyramidParams: pyramid.DefaultParams(5),
+		MaxSpeed:      mob.MaxSpeed(),
+		TickSeconds:   mobCfg.TickSeconds,
+		Costs:         metrics.DefaultCosts(),
+	})
+	if err != nil {
+		return benchEnginePoint{}, err
+	}
+	if _, err := eng.Registry().InstallBatch(w.Alarms); err != nil {
+		return benchEnginePoint{}, err
+	}
+	traces := make([][]geom.Point, w.Config.Vehicles)
+	for i := range traces {
+		traces[i] = make([]geom.Point, traceTicks)
+	}
+	for t := 0; t < traceTicks; t++ {
+		mob.Step()
+		for i := range traces {
+			traces[i][t] = mob.Position(i)
+		}
+	}
+	for i := 0; i < w.Config.Vehicles; i++ {
+		if err := eng.Register(wire.Register{
+			User: uint64(i + 1), Strategy: strategy, MaxHeight: 5,
+		}); err != nil {
+			return benchEnginePoint{}, err
+		}
+	}
+
+	var total atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Disjoint fleet slice: worker p drives vehicles p, p+procs, …
+			// so no two goroutines ever share a client mutex.
+			seq := uint32(0)
+			for n := 0; n < benchEngineUpdates; n++ {
+				idx := (worker + n*procs) % len(traces)
+				seq++
+				upd := wire.PositionUpdate{
+					User: uint64(idx + 1),
+					Seq:  seq,
+					Pos:  traces[idx][n%traceTicks],
+				}
+				if _, err := eng.HandleUpdate(upd); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				total.Add(1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return benchEnginePoint{}, err
+	}
+	updates := total.Load()
+	return benchEnginePoint{
+		Strategy:    strategy.String(),
+		Goroutines:  procs,
+		Updates:     updates,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(updates) / elapsed.Seconds(),
+		NsPerUpdate: float64(elapsed.Nanoseconds()) / float64(updates),
+	}, nil
+}

@@ -20,6 +20,8 @@
 //	ablate-weighting     greedy vs exhaustive MWPSR assembly
 //	ablate-clipping      MWPSR soundness clip counts
 //	ablate-publicbitmap  PBSR with vs without public-alarm precomputation
+//	bench-engine         concurrent HandleUpdate throughput at 1/2/4/8
+//	         goroutines; writes BENCH_engine.json (not part of "all")
 //	all      every figure above in order
 //
 // Flags select the workload scale: -scale small (default, seconds),
@@ -115,6 +117,7 @@ var runners = map[string]func(options) error{
 	"mixed":               runMixed,
 	"coverage":            runCoverage,
 	"scalability":         runScalability,
+	"bench-engine":        runBenchEngine,
 }
 
 // workload returns the scale-appropriate configuration with the given

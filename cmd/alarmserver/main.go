@@ -122,7 +122,7 @@ func run() error {
 		fmt.Printf("saved alarm table to %s\n", *snap)
 	}
 
-	m := eng.Metrics()
+	m := eng.Metrics().Snapshot()
 	fmt.Printf("\n--- session counters ---\n")
 	fmt.Printf("uplink:    %d msgs, %d bytes\n", m.UplinkMessages, m.UplinkBytes)
 	fmt.Printf("downlink:  %d msgs, %d bytes\n", m.DownlinkMessages, m.DownlinkBytes)

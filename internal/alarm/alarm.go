@@ -117,6 +117,13 @@ type SpatialIndex interface {
 	SearchPoint(geom.Point, []uint64) []uint64
 	SearchRect(geom.Rect, []uint64) []uint64
 	NearestDist(geom.Point, func(uint64) bool) float64
+	// Counted variants additionally return the node (or bucket) accesses
+	// performed by that query alone. Concurrent callers each get their own
+	// exact cost, which the server's cost model charges per update; the
+	// cumulative NodeAccesses counter still advances.
+	SearchPointCounted(geom.Point, []uint64) ([]uint64, uint64)
+	SearchRectCounted(geom.Rect, []uint64) ([]uint64, uint64)
+	NearestDistCounted(geom.Point, func(uint64) bool) (float64, uint64)
 	NodeAccesses() uint64
 	ResetStats()
 	Len() int
@@ -404,9 +411,16 @@ func (r *Registry) ResetFired() {
 // already fired for u, and returns the extended slice. The returned
 // pointers must be treated as read-only snapshots.
 func (r *Registry) RelevantIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
+	dst, _ = r.RelevantInCounted(w, u, dst)
+	return dst
+}
+
+// RelevantInCounted is RelevantIn plus the index node accesses this query
+// performed, so concurrent callers can charge their own exact cost.
+func (r *Registry) RelevantInCounted(w geom.Rect, u UserID, dst []Alarm) ([]Alarm, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	ids := r.index.SearchRect(w, nil)
+	ids, accesses := r.index.SearchRectCounted(w, nil)
 	for _, raw := range ids {
 		id := ID(raw)
 		a := r.alarms[id]
@@ -418,7 +432,7 @@ func (r *Registry) RelevantIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
 		}
 		dst = append(dst, *a)
 	}
-	return dst
+	return dst, accesses
 }
 
 // Evaluate returns the alarms that trigger for user u at position p:
@@ -426,17 +440,17 @@ func (r *Registry) RelevantIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
 // trigger state; callers decide when to MarkFired (the server does so when
 // it delivers the alert).
 func (r *Registry) Evaluate(p geom.Point, u UserID) []ID {
-	ids, _ := r.EvaluateCounted(p, u)
+	ids, _, _ := r.EvaluateCounted(p, u)
 	return ids
 }
 
 // EvaluateCounted is Evaluate plus the number of candidate alarm regions
-// the index query surfaced (relevant or not) — the per-update work the
-// server cost model charges.
-func (r *Registry) EvaluateCounted(p geom.Point, u UserID) ([]ID, int) {
+// the index query surfaced (relevant or not) and the index node accesses
+// it performed — the per-update work the server cost model charges.
+func (r *Registry) EvaluateCounted(p geom.Point, u UserID) ([]ID, int, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	ids := r.index.SearchPoint(p, nil)
+	ids, accesses := r.index.SearchPointCounted(p, nil)
 	var out []ID
 	for _, raw := range ids {
 		id := ID(raw)
@@ -449,22 +463,30 @@ func (r *Registry) EvaluateCounted(p geom.Point, u UserID) ([]ID, int) {
 		}
 		out = append(out, id)
 	}
-	return out, len(ids)
+	return out, len(ids), accesses
 }
 
 // PublicIn appends to dst the regions of all public alarms intersecting w,
 // regardless of per-user trigger state — the input to the PBSR public-
 // alarm bitmap precomputation (paper §4.2).
 func (r *Registry) PublicIn(w geom.Rect, dst []geom.Rect) []geom.Rect {
+	dst, _ = r.PublicInCounted(w, dst)
+	return dst
+}
+
+// PublicInCounted is PublicIn plus the index node accesses this query
+// performed.
+func (r *Registry) PublicInCounted(w geom.Rect, dst []geom.Rect) ([]geom.Rect, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, raw := range r.index.SearchRect(w, nil) {
+	ids, accesses := r.index.SearchRectCounted(w, nil)
+	for _, raw := range ids {
 		a := r.alarms[ID(raw)]
 		if a != nil && a.Scope == Public {
 			dst = append(dst, a.Region)
 		}
 	}
-	return dst
+	return dst, accesses
 }
 
 // AnyFiredPublicIn reports whether any public alarm intersecting w has
@@ -473,19 +495,27 @@ func (r *Registry) PublicIn(w geom.Rect, dst []geom.Rect) []geom.Rect {
 // server falls back to direct computation for exactly these users to keep
 // their safe regions maximal.
 func (r *Registry) AnyFiredPublicIn(w geom.Rect, u UserID) bool {
+	fired, _ := r.AnyFiredPublicInCounted(w, u)
+	return fired
+}
+
+// AnyFiredPublicInCounted is AnyFiredPublicIn plus the index node accesses
+// this query performed.
+func (r *Registry) AnyFiredPublicInCounted(w geom.Rect, u UserID) (bool, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, raw := range r.index.SearchRect(w, nil) {
+	ids, accesses := r.index.SearchRectCounted(w, nil)
+	for _, raw := range ids {
 		id := ID(raw)
 		a := r.alarms[id]
 		if a == nil || a.Scope != Public {
 			continue
 		}
 		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
-			return true
+			return true, accesses
 		}
 	}
-	return false
+	return false, accesses
 }
 
 // AnyFiredIn reports whether any alarm relevant to user u intersecting w
@@ -511,9 +541,17 @@ func (r *Registry) AnyFiredIn(w geom.Rect, u UserID) bool {
 // alarms; combined with a precomputed public bitmap it covers the full
 // relevant set.
 func (r *Registry) RelevantNonPublicIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
+	dst, _ = r.RelevantNonPublicInCounted(w, u, dst)
+	return dst
+}
+
+// RelevantNonPublicInCounted is RelevantNonPublicIn plus the index node
+// accesses this query performed.
+func (r *Registry) RelevantNonPublicInCounted(w geom.Rect, u UserID, dst []Alarm) ([]Alarm, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, raw := range r.index.SearchRect(w, nil) {
+	ids, accesses := r.index.SearchRectCounted(w, nil)
+	for _, raw := range ids {
 		id := ID(raw)
 		a := r.alarms[id]
 		if a == nil || a.Scope == Public || !r.relevantToLocked(a, u) {
@@ -524,16 +562,23 @@ func (r *Registry) RelevantNonPublicIn(w geom.Rect, u UserID, dst []Alarm) []Ala
 		}
 		dst = append(dst, *a)
 	}
-	return dst
+	return dst, accesses
 }
 
 // NearestRelevantDist returns the minimum distance from p to the region of
 // any alarm relevant to u and not yet fired for u; +Inf when none exists.
 // The safe-period baseline divides this distance by the maximum speed.
 func (r *Registry) NearestRelevantDist(p geom.Point, u UserID) float64 {
+	d, _ := r.NearestRelevantDistCounted(p, u)
+	return d
+}
+
+// NearestRelevantDistCounted is NearestRelevantDist plus the index node
+// accesses this query performed.
+func (r *Registry) NearestRelevantDistCounted(p geom.Point, u UserID) (float64, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.index.NearestDist(p, func(raw uint64) bool {
+	return r.index.NearestDistCounted(p, func(raw uint64) bool {
 		id := ID(raw)
 		a := r.alarms[id]
 		if a == nil || !r.relevantToLocked(a, u) {

@@ -141,6 +141,13 @@ func (x *Index) Delete(it rstar.Item) bool {
 
 // SearchPoint appends the IDs of all rectangles containing p.
 func (x *Index) SearchPoint(p geom.Point, dst []uint64) []uint64 {
+	dst, _ = x.SearchPointCounted(p, dst)
+	return dst
+}
+
+// SearchPointCounted is SearchPoint plus the number of bucket visits this
+// query performed.
+func (x *Index) SearchPointCounted(p geom.Point, dst []uint64) ([]uint64, uint64) {
 	// Bucket addressing clamps to the fringe (out-of-bounds rectangles are
 	// registered into edge buckets too); the containment test below uses
 	// the original point.
@@ -153,17 +160,25 @@ func (x *Index) SearchPoint(p geom.Point, dst []uint64) []uint64 {
 			dst = append(dst, it.ID)
 		}
 	}
-	return dst
+	return dst, 1
 }
 
 // SearchRect appends the IDs of all rectangles intersecting w, without
 // duplicates.
 func (x *Index) SearchRect(w geom.Rect, dst []uint64) []uint64 {
+	dst, _ = x.SearchRectCounted(w, dst)
+	return dst
+}
+
+// SearchRectCounted is SearchRect plus the number of bucket visits this
+// query performed.
+func (x *Index) SearchRectCounted(w geom.Rect, dst []uint64) ([]uint64, uint64) {
 	c0, r0, c1, r1 := x.bucketRange(w)
 	seen := make(map[uint64]struct{}, 16)
+	var accesses uint64
 	for c := c0; c <= c1; c++ {
 		for r := r0; r <= r1; r++ {
-			x.accesses.Add(1)
+			accesses++
 			for _, it := range x.buckets[r*x.cols+c] {
 				if !it.Rect.Intersects(w) {
 					continue
@@ -176,19 +191,28 @@ func (x *Index) SearchRect(w geom.Rect, dst []uint64) []uint64 {
 			}
 		}
 	}
-	return dst
+	x.accesses.Add(accesses)
+	return dst, accesses
 }
 
 // NearestDist returns the minimum distance from p to any item accepted by
 // filter (+Inf when none qualifies), expanding outward bucket ring by
 // bucket ring.
 func (x *Index) NearestDist(p geom.Point, filter func(id uint64) bool) float64 {
+	d, _ := x.NearestDistCounted(p, filter)
+	return d
+}
+
+// NearestDistCounted is NearestDist plus the number of bucket visits this
+// query performed.
+func (x *Index) NearestDistCounted(p geom.Point, filter func(id uint64) bool) (float64, uint64) {
 	if x.size == 0 {
-		return math.Inf(1)
+		return math.Inf(1), 0
 	}
 	pc := x.clampCol(int(math.Floor((p.X - x.bounds.MinX) / x.cellSide)))
 	pr := x.clampRow(int(math.Floor((p.Y - x.bounds.MinY) / x.cellSide)))
 	best := math.Inf(1)
+	var accesses uint64
 	maxRing := x.cols
 	if x.rows > maxRing {
 		maxRing = x.rows
@@ -207,7 +231,7 @@ func (x *Index) NearestDist(p geom.Point, filter func(id uint64) bool) float64 {
 					continue
 				}
 				scanned = true
-				x.accesses.Add(1)
+				accesses++
 				for _, it := range x.buckets[r*x.cols+c] {
 					if filter != nil && !filter(it.ID) {
 						continue
@@ -222,5 +246,6 @@ func (x *Index) NearestDist(p geom.Point, filter func(id uint64) bool) float64 {
 			break
 		}
 	}
-	return best
+	x.accesses.Add(accesses)
+	return best, accesses
 }

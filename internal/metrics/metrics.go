@@ -14,6 +14,8 @@
 // minimized) is meaningful, as explained in DESIGN.md §2.
 package metrics
 
+import "sync/atomic"
+
 // CostParams converts operation counts into seconds of simulated server
 // CPU time.
 type CostParams struct {
@@ -49,30 +51,56 @@ func DefaultCosts() CostParams {
 	}
 }
 
-// Server accumulates the server-side counters for one simulation run.
-// It is not safe for concurrent use; the TCP server guards it itself.
+// Server accumulates the server-side counters for one simulation run. All
+// counters are atomics, so concurrent update handlers account without any
+// external lock and Snapshot can be read while updates are in flight.
 type Server struct {
 	costs CostParams
 
 	// Uplink (client → server).
-	UplinkMessages uint64
-	UplinkBytes    uint64
+	uplinkMessages atomic.Uint64
+	uplinkBytes    atomic.Uint64
 	// Downlink (server → client).
-	DownlinkMessages uint64
-	DownlinkBytes    uint64
+	downlinkMessages atomic.Uint64
+	downlinkBytes    atomic.Uint64
 	// Triggers delivered (alarm, subscriber) pairs.
-	AlarmsTriggered uint64
+	alarmsTriggered atomic.Uint64
 
 	// Operation counters feeding the cost model.
-	nodeAccesses     uint64
-	alarmChecks      uint64
-	srCandidates     uint64
-	srCorners        uint64
-	srBitmapTests    uint64
-	srNodeAccesses   uint64
-	srComputations   uint64
-	rectClips        uint64
-	alarmEvaluations uint64
+	nodeAccesses     atomic.Uint64
+	alarmChecks      atomic.Uint64
+	srCandidates     atomic.Uint64
+	srCorners        atomic.Uint64
+	srBitmapTests    atomic.Uint64
+	srNodeAccesses   atomic.Uint64
+	srComputations   atomic.Uint64
+	rectClips        atomic.Uint64
+	alarmEvaluations atomic.Uint64
+}
+
+// Snapshot is a consistent-enough point-in-time copy of the server
+// counters: each field is an atomic load, so a snapshot taken while
+// updates are in flight may split one update's charges across two
+// snapshots but never tears an individual counter. Once the workload
+// quiesces, Snapshot is exact.
+type Snapshot struct {
+	Costs CostParams
+
+	UplinkMessages   uint64
+	UplinkBytes      uint64
+	DownlinkMessages uint64
+	DownlinkBytes    uint64
+	AlarmsTriggered  uint64
+
+	NodeAccesses           uint64
+	AlarmChecks            uint64
+	SRCandidates           uint64
+	SRCorners              uint64
+	SRBitmapTests          uint64
+	SRNodeAccesses         uint64
+	SafeRegionComputations uint64
+	RectClips              uint64
+	AlarmEvaluations       uint64
 }
 
 // NewServer returns a counter set using the given cost model.
@@ -80,24 +108,51 @@ func NewServer(costs CostParams) *Server {
 	return &Server{costs: costs}
 }
 
+// Snapshot returns a copy of every counter. Safe to call concurrently
+// with in-flight updates.
+func (s *Server) Snapshot() Snapshot {
+	return Snapshot{
+		Costs:                  s.costs,
+		UplinkMessages:         s.uplinkMessages.Load(),
+		UplinkBytes:            s.uplinkBytes.Load(),
+		DownlinkMessages:       s.downlinkMessages.Load(),
+		DownlinkBytes:          s.downlinkBytes.Load(),
+		AlarmsTriggered:        s.alarmsTriggered.Load(),
+		NodeAccesses:           s.nodeAccesses.Load(),
+		AlarmChecks:            s.alarmChecks.Load(),
+		SRCandidates:           s.srCandidates.Load(),
+		SRCorners:              s.srCorners.Load(),
+		SRBitmapTests:          s.srBitmapTests.Load(),
+		SRNodeAccesses:         s.srNodeAccesses.Load(),
+		SafeRegionComputations: s.srComputations.Load(),
+		RectClips:              s.rectClips.Load(),
+		AlarmEvaluations:       s.alarmEvaluations.Load(),
+	}
+}
+
 // AddUplink records a client→server message of the given encoded size.
 func (s *Server) AddUplink(bytes int) {
-	s.UplinkMessages++
-	s.UplinkBytes += uint64(bytes)
+	s.uplinkMessages.Add(1)
+	s.uplinkBytes.Add(uint64(bytes))
 }
 
 // AddDownlink records a server→client message of the given encoded size.
 func (s *Server) AddDownlink(bytes int) {
-	s.DownlinkMessages++
-	s.DownlinkBytes += uint64(bytes)
+	s.downlinkMessages.Add(1)
+	s.downlinkBytes.Add(uint64(bytes))
+}
+
+// AddAlarmsTriggered records delivered (alarm, subscriber) trigger pairs.
+func (s *Server) AddAlarmsTriggered(n uint64) {
+	s.alarmsTriggered.Add(n)
 }
 
 // AddAlarmEvaluation charges one position-update evaluation: the R*-tree
 // node accesses it performed and the alarm regions it examined.
 func (s *Server) AddAlarmEvaluation(nodeAccesses, alarmChecks uint64) {
-	s.alarmEvaluations++
-	s.nodeAccesses += nodeAccesses
-	s.alarmChecks += alarmChecks
+	s.alarmEvaluations.Add(1)
+	s.nodeAccesses.Add(nodeAccesses)
+	s.alarmChecks.Add(alarmChecks)
 }
 
 // AddRectComputation charges one MWPSR safe region computation. clips is
@@ -105,20 +160,20 @@ func (s *Server) AddAlarmEvaluation(nodeAccesses, alarmChecks uint64) {
 // skyline construction keeps it at zero, and the ablate-clipping benchmark
 // reports it as evidence.
 func (s *Server) AddRectComputation(candidates, corners, clips int) {
-	s.srComputations++
-	s.srCandidates += uint64(candidates)
-	s.srCorners += uint64(corners)
-	s.rectClips += uint64(clips)
+	s.srComputations.Add(1)
+	s.srCandidates.Add(uint64(candidates))
+	s.srCorners.Add(uint64(corners))
+	s.rectClips.Add(uint64(clips))
 }
 
 // RectClips returns the cumulative soundness clips applied to MWPSR
 // regions.
-func (s *Server) RectClips() uint64 { return s.rectClips }
+func (s *Server) RectClips() uint64 { return s.rectClips.Load() }
 
 // AddBitmapComputation charges one GBSR/PBSR safe region computation.
 func (s *Server) AddBitmapComputation(intersectionTests int) {
-	s.srComputations++
-	s.srBitmapTests += uint64(intersectionTests)
+	s.srComputations.Add(1)
+	s.srBitmapTests.Add(uint64(intersectionTests))
 }
 
 // AddSafeRegionIndexWork charges R*-tree node accesses performed while
@@ -126,49 +181,64 @@ func (s *Server) AddBitmapComputation(intersectionTests int) {
 // SearchRect per update); it books into the safe-region bucket without
 // counting as a separate computation.
 func (s *Server) AddSafeRegionIndexWork(nodeAccesses uint64) {
-	s.srNodeAccesses += nodeAccesses
+	s.srNodeAccesses.Add(nodeAccesses)
 }
 
 // AddSafePeriodComputation charges one safe-period computation (the SP
 // baseline's nearest-alarm query); the paper's Figure 6(d) buckets this
 // with safe region computation.
 func (s *Server) AddSafePeriodComputation(nodeAccesses uint64) {
-	s.srComputations++
-	s.srNodeAccesses += nodeAccesses
+	s.srComputations.Add(1)
+	s.srNodeAccesses.Add(nodeAccesses)
 }
 
 // AlarmEvaluations returns the number of position updates evaluated.
-func (s *Server) AlarmEvaluations() uint64 { return s.alarmEvaluations }
+func (s *Server) AlarmEvaluations() uint64 { return s.alarmEvaluations.Load() }
 
 // SafeRegionComputations returns the number of safe regions computed.
-func (s *Server) SafeRegionComputations() uint64 { return s.srComputations }
+func (s *Server) SafeRegionComputations() uint64 { return s.srComputations.Load() }
 
 // AlarmProcessingSeconds converts the alarm evaluation work to seconds.
-func (s *Server) AlarmProcessingSeconds() float64 {
-	return float64(s.nodeAccesses)*s.costs.NodeAccessSeconds +
-		float64(s.alarmChecks)*s.costs.AlarmCheckSeconds
-}
+func (s *Server) AlarmProcessingSeconds() float64 { return s.Snapshot().AlarmProcessingSeconds() }
 
 // SafeRegionSeconds converts the safe region computation work to seconds.
-func (s *Server) SafeRegionSeconds() float64 {
-	return float64(s.srCandidates)*s.costs.CandidateSeconds +
-		float64(s.srCorners)*s.costs.CornerSeconds +
-		float64(s.srBitmapTests)*s.costs.BitmapTestSeconds +
-		float64(s.srNodeAccesses)*s.costs.NodeAccessSeconds
-}
+func (s *Server) SafeRegionSeconds() float64 { return s.Snapshot().SafeRegionSeconds() }
 
 // TotalSeconds is alarm processing plus safe region computation.
-func (s *Server) TotalSeconds() float64 {
-	return s.AlarmProcessingSeconds() + s.SafeRegionSeconds()
-}
+func (s *Server) TotalSeconds() float64 { return s.Snapshot().TotalSeconds() }
 
 // DownlinkMbps converts downstream bytes over a trace duration to the
 // megabits per second the paper's Figure 6(b) plots.
 func (s *Server) DownlinkMbps(traceSeconds float64) float64 {
+	return s.Snapshot().DownlinkMbps(traceSeconds)
+}
+
+// AlarmProcessingSeconds converts the alarm evaluation work to seconds.
+func (sn Snapshot) AlarmProcessingSeconds() float64 {
+	return float64(sn.NodeAccesses)*sn.Costs.NodeAccessSeconds +
+		float64(sn.AlarmChecks)*sn.Costs.AlarmCheckSeconds
+}
+
+// SafeRegionSeconds converts the safe region computation work to seconds.
+func (sn Snapshot) SafeRegionSeconds() float64 {
+	return float64(sn.SRCandidates)*sn.Costs.CandidateSeconds +
+		float64(sn.SRCorners)*sn.Costs.CornerSeconds +
+		float64(sn.SRBitmapTests)*sn.Costs.BitmapTestSeconds +
+		float64(sn.SRNodeAccesses)*sn.Costs.NodeAccessSeconds
+}
+
+// TotalSeconds is alarm processing plus safe region computation.
+func (sn Snapshot) TotalSeconds() float64 {
+	return sn.AlarmProcessingSeconds() + sn.SafeRegionSeconds()
+}
+
+// DownlinkMbps converts downstream bytes over a trace duration to the
+// megabits per second the paper's Figure 6(b) plots.
+func (sn Snapshot) DownlinkMbps(traceSeconds float64) float64 {
 	if traceSeconds <= 0 {
 		return 0
 	}
-	return float64(s.DownlinkBytes) * 8 / traceSeconds / 1e6
+	return float64(sn.DownlinkBytes) * 8 / traceSeconds / 1e6
 }
 
 // Client accumulates per-fleet client-side counters.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -10,11 +11,12 @@ func TestServerCounters(t *testing.T) {
 	s.AddUplink(29)
 	s.AddUplink(29)
 	s.AddDownlink(37)
-	if s.UplinkMessages != 2 || s.UplinkBytes != 58 {
-		t.Errorf("uplink = %d msgs %d bytes", s.UplinkMessages, s.UplinkBytes)
+	snap := s.Snapshot()
+	if snap.UplinkMessages != 2 || snap.UplinkBytes != 58 {
+		t.Errorf("uplink = %d msgs %d bytes", snap.UplinkMessages, snap.UplinkBytes)
 	}
-	if s.DownlinkMessages != 1 || s.DownlinkBytes != 37 {
-		t.Errorf("downlink = %d msgs %d bytes", s.DownlinkMessages, s.DownlinkBytes)
+	if snap.DownlinkMessages != 1 || snap.DownlinkBytes != 37 {
+		t.Errorf("downlink = %d msgs %d bytes", snap.DownlinkMessages, snap.DownlinkBytes)
 	}
 }
 
@@ -45,6 +47,11 @@ func TestCostModelSeconds(t *testing.T) {
 	if s.RectClips() != 1 {
 		t.Errorf("RectClips = %d", s.RectClips())
 	}
+	// The snapshot computes the same seconds as the live accessors.
+	snap := s.Snapshot()
+	if snap.TotalSeconds() != s.TotalSeconds() {
+		t.Errorf("snapshot TotalSeconds %v != server %v", snap.TotalSeconds(), s.TotalSeconds())
+	}
 }
 
 func TestDownlinkMbps(t *testing.T) {
@@ -58,6 +65,68 @@ func TestDownlinkMbps(t *testing.T) {
 	}
 	if got := s.DownlinkMbps(0); got != 0 {
 		t.Errorf("DownlinkMbps with zero duration = %v", got)
+	}
+}
+
+// TestConcurrentAccounting drives every Add method from many goroutines
+// and asserts exact totals: atomic counters must not lose increments.
+// Run with -race to additionally verify the absence of data races between
+// writers and Snapshot readers.
+func TestConcurrentAccounting(t *testing.T) {
+	s := NewServer(DefaultCosts())
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// A concurrent snapshot reader exercising the read path under load.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = s.Snapshot()
+				_ = s.TotalSeconds()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.AddUplink(10)
+				s.AddDownlink(20)
+				s.AddAlarmsTriggered(1)
+				s.AddAlarmEvaluation(2, 3)
+				s.AddRectComputation(1, 2, 0)
+				s.AddBitmapComputation(4)
+				s.AddSafeRegionIndexWork(5)
+				s.AddSafePeriodComputation(6)
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	snap := s.Snapshot()
+	n := uint64(workers * perWorker)
+	if snap.UplinkMessages != n || snap.UplinkBytes != 10*n {
+		t.Errorf("uplink = %d/%d, want %d/%d", snap.UplinkMessages, snap.UplinkBytes, n, 10*n)
+	}
+	if snap.DownlinkMessages != n || snap.DownlinkBytes != 20*n {
+		t.Errorf("downlink = %d/%d", snap.DownlinkMessages, snap.DownlinkBytes)
+	}
+	if snap.AlarmsTriggered != n {
+		t.Errorf("triggered = %d, want %d", snap.AlarmsTriggered, n)
+	}
+	if snap.AlarmEvaluations != n || snap.NodeAccesses != 2*n || snap.AlarmChecks != 3*n {
+		t.Errorf("evaluation counters wrong: %+v", snap)
+	}
+	if snap.SafeRegionComputations != 3*n { // rect + bitmap + safe period
+		t.Errorf("SR computations = %d, want %d", snap.SafeRegionComputations, 3*n)
+	}
+	if snap.SRNodeAccesses != 11*n {
+		t.Errorf("SR node accesses = %d, want %d", snap.SRNodeAccesses, 11*n)
 	}
 }
 

@@ -528,11 +528,22 @@ func (t *Tree) levelOf(target *node) int {
 // SearchPoint appends to dst the IDs of all rectangles containing p and
 // returns the extended slice.
 func (t *Tree) SearchPoint(p geom.Point, dst []uint64) []uint64 {
-	return t.searchPoint(t.root, p, dst)
+	dst, _ = t.SearchPointCounted(p, dst)
+	return dst
 }
 
-func (t *Tree) searchPoint(n *node, p geom.Point, dst []uint64) []uint64 {
-	t.nodeAccesses.Add(1)
+// SearchPointCounted is SearchPoint plus the number of node accesses this
+// query performed. Queries count locally and fold into the global counter
+// once, so concurrent queries each learn their own exact cost.
+func (t *Tree) SearchPointCounted(p geom.Point, dst []uint64) ([]uint64, uint64) {
+	var accesses uint64
+	dst = t.searchPoint(t.root, p, dst, &accesses)
+	t.nodeAccesses.Add(accesses)
+	return dst, accesses
+}
+
+func (t *Tree) searchPoint(n *node, p geom.Point, dst []uint64, accesses *uint64) []uint64 {
+	*accesses++
 	for i := range n.entries {
 		if !n.entries[i].rect.Contains(p) {
 			continue
@@ -540,7 +551,7 @@ func (t *Tree) searchPoint(n *node, p geom.Point, dst []uint64) []uint64 {
 		if n.leaf {
 			dst = append(dst, n.entries[i].id)
 		} else {
-			dst = t.searchPoint(n.entries[i].child, p, dst)
+			dst = t.searchPoint(n.entries[i].child, p, dst, accesses)
 		}
 	}
 	return dst
@@ -549,11 +560,21 @@ func (t *Tree) searchPoint(n *node, p geom.Point, dst []uint64) []uint64 {
 // SearchRect appends to dst the IDs of all rectangles intersecting window w
 // and returns the extended slice.
 func (t *Tree) SearchRect(w geom.Rect, dst []uint64) []uint64 {
-	return t.searchRect(t.root, w, dst)
+	dst, _ = t.SearchRectCounted(w, dst)
+	return dst
 }
 
-func (t *Tree) searchRect(n *node, w geom.Rect, dst []uint64) []uint64 {
-	t.nodeAccesses.Add(1)
+// SearchRectCounted is SearchRect plus the number of node accesses this
+// query performed.
+func (t *Tree) SearchRectCounted(w geom.Rect, dst []uint64) ([]uint64, uint64) {
+	var accesses uint64
+	dst = t.searchRect(t.root, w, dst, &accesses)
+	t.nodeAccesses.Add(accesses)
+	return dst, accesses
+}
+
+func (t *Tree) searchRect(n *node, w geom.Rect, dst []uint64, accesses *uint64) []uint64 {
+	*accesses++
 	for i := range n.entries {
 		if !n.entries[i].rect.Intersects(w) {
 			continue
@@ -561,7 +582,7 @@ func (t *Tree) searchRect(n *node, w geom.Rect, dst []uint64) []uint64 {
 		if n.leaf {
 			dst = append(dst, n.entries[i].id)
 		} else {
-			dst = t.searchRect(n.entries[i].child, w, dst)
+			dst = t.searchRect(n.entries[i].child, w, dst, accesses)
 		}
 	}
 	return dst
@@ -569,11 +590,14 @@ func (t *Tree) searchRect(n *node, w geom.Rect, dst []uint64) []uint64 {
 
 // SearchRectItems appends to dst all items intersecting window w.
 func (t *Tree) SearchRectItems(w geom.Rect, dst []Item) []Item {
-	return t.searchRectItems(t.root, w, dst)
+	var accesses uint64
+	dst = t.searchRectItems(t.root, w, dst, &accesses)
+	t.nodeAccesses.Add(accesses)
+	return dst
 }
 
-func (t *Tree) searchRectItems(n *node, w geom.Rect, dst []Item) []Item {
-	t.nodeAccesses.Add(1)
+func (t *Tree) searchRectItems(n *node, w geom.Rect, dst []Item, accesses *uint64) []Item {
+	*accesses++
 	for i := range n.entries {
 		if !n.entries[i].rect.Intersects(w) {
 			continue
@@ -581,7 +605,7 @@ func (t *Tree) searchRectItems(n *node, w geom.Rect, dst []Item) []Item {
 		if n.leaf {
 			dst = append(dst, Item{ID: n.entries[i].id, Rect: n.entries[i].rect})
 		} else {
-			dst = t.searchRectItems(n.entries[i].child, w, dst)
+			dst = t.searchRectItems(n.entries[i].child, w, dst, accesses)
 		}
 	}
 	return dst
@@ -599,16 +623,25 @@ type Neighbor struct {
 // nil to accept everything. The search is best-first with a binary heap of
 // nodes and items ordered by MINDIST.
 func (t *Tree) NearestK(p geom.Point, k int, filter func(id uint64) bool) []Neighbor {
+	out, _ := t.NearestKCounted(p, k, filter)
+	return out
+}
+
+// NearestKCounted is NearestK plus the number of node accesses this query
+// performed.
+func (t *Tree) NearestKCounted(p geom.Point, k int, filter func(id uint64) bool) ([]Neighbor, uint64) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, 0
 	}
+	var accesses uint64
+	defer func() { t.nodeAccesses.Add(accesses) }()
 	h := &minHeap{}
 	h.push(heapElem{node: t.root, dist: t.root.rect.MinDist(p)})
 	out := make([]Neighbor, 0, k)
 	for h.len() > 0 {
 		e := h.pop()
 		if e.node != nil {
-			t.nodeAccesses.Add(1)
+			accesses++
 			for i := range e.node.entries {
 				ent := &e.node.entries[i]
 				d := ent.rect.MinDist(p)
@@ -627,18 +660,25 @@ func (t *Tree) NearestK(p geom.Point, k int, filter func(id uint64) bool) []Neig
 			break
 		}
 	}
-	return out
+	return out, accesses
 }
 
 // NearestDist returns the MINDIST from p to the nearest item accepted by
 // the filter, or +Inf if no item qualifies. This is the distance the
 // safe-period baseline divides by v_max.
 func (t *Tree) NearestDist(p geom.Point, filter func(id uint64) bool) float64 {
-	n := t.NearestK(p, 1, filter)
+	d, _ := t.NearestDistCounted(p, filter)
+	return d
+}
+
+// NearestDistCounted is NearestDist plus the number of node accesses this
+// query performed.
+func (t *Tree) NearestDistCounted(p geom.Point, filter func(id uint64) bool) (float64, uint64) {
+	n, accesses := t.NearestKCounted(p, 1, filter)
 	if len(n) == 0 {
-		return math.Inf(1)
+		return math.Inf(1), accesses
 	}
-	return n[0].Dist
+	return n[0].Dist, accesses
 }
 
 // Items returns all items in the tree in unspecified order.

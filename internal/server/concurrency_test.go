@@ -1,0 +1,256 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// stressStrategies cycles every strategy through the concurrent fleet so
+// the shared paths (public bitmap cache, registry reads, metric counters)
+// see mixed traffic.
+var stressStrategies = []wire.Strategy{
+	wire.StrategyPeriodic,
+	wire.StrategySafePeriod,
+	wire.StrategyMWPSR,
+	wire.StrategyPBSR,
+	wire.StrategyOptimal,
+}
+
+// checkResponseShape asserts a response list is well-formed for the
+// strategy that produced it: optional AlarmFired messages first, then at
+// most one strategy-specific payload.
+func checkResponseShape(s wire.Strategy, msgs []wire.Message) error {
+	payloads := 0
+	for _, m := range msgs {
+		switch m.(type) {
+		case wire.AlarmFired:
+			continue
+		case wire.SafePeriod:
+			if s != wire.StrategySafePeriod {
+				return fmt.Errorf("strategy %v got SafePeriod", s)
+			}
+		case wire.RectRegion:
+			if s != wire.StrategyMWPSR && s != wire.StrategyPBSR {
+				return fmt.Errorf("strategy %v got RectRegion", s)
+			}
+		case wire.BitmapRegion, wire.Ack:
+			if s != wire.StrategyPBSR {
+				return fmt.Errorf("strategy %v got %T", s, m)
+			}
+		case wire.AlarmPush:
+			if s != wire.StrategyOptimal {
+				return fmt.Errorf("strategy %v got AlarmPush", s)
+			}
+		default:
+			return fmt.Errorf("unexpected message %T", m)
+		}
+		payloads++
+	}
+	if payloads > 1 {
+		return fmt.Errorf("strategy %v got %d payloads", s, payloads)
+	}
+	if s == wire.StrategyPeriodic && payloads != 0 {
+		return fmt.Errorf("periodic got a payload")
+	}
+	return nil
+}
+
+// TestConcurrentStress hammers one engine from many goroutines with mixed
+// strategies while a moving-target user continuously drives the push
+// (invalidation) path. Run with -race. Invariants checked afterwards:
+// exact uplink accounting, exact downlink accounting (every response and
+// every push charged exactly once), Seq-0 pushes only, and per-strategy
+// response shapes throughout.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		users      = 24
+		perUser    = 150
+		targetUser = 1
+	)
+	e := newEngine(t, func(c *Config) { c.PrecomputePublicBitmaps = true })
+
+	// A spread of public alarms (shared bitmap cache traffic) plus one
+	// private alarm per user along its path (trigger traffic).
+	for i := 0; i < 12; i++ {
+		install(t, e, alarm.Alarm{
+			Scope:  alarm.Public,
+			Owner:  1,
+			Region: geom.RectAround(geom.Pt(float64(800+i*700), float64(900+i*650)), 180),
+		})
+	}
+	for u := 1; u <= users; u++ {
+		install(t, e, alarm.Alarm{
+			Scope:  alarm.Private,
+			Owner:  alarm.UserID(u),
+			Region: geom.RectAround(geom.Pt(float64(500+u*350), 5000), 150),
+		})
+	}
+	// The moving-target alarm every other user subscribes to: each report
+	// from targetUser re-anchors it and pushes invalidations.
+	subs := make([]alarm.UserID, 0, users)
+	for u := 2; u <= users; u++ {
+		subs = append(subs, alarm.UserID(u))
+	}
+	install(t, e, alarm.Alarm{
+		Scope:       alarm.Shared,
+		Owner:       2,
+		Subscribers: subs,
+		Region:      geom.RectAround(geom.Pt(2000, 2000), 200),
+		Target:      targetUser,
+	})
+
+	strategyOf := make(map[uint64]wire.Strategy, users)
+	for u := 1; u <= users; u++ {
+		s := stressStrategies[(u-1)%len(stressStrategies)]
+		if uint64(u) == targetUser {
+			s = wire.StrategyPeriodic // the mover itself stays silent
+		}
+		strategyOf[uint64(u)] = s
+		register(t, e, uint64(u), s)
+	}
+
+	var pushMu sync.Mutex
+	var pushMsgs uint64
+	e.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+		pushMu.Lock()
+		defer pushMu.Unlock()
+		for _, m := range msgs {
+			if seq := seqOf(m); seq != 0 {
+				t.Errorf("push for user %d has Seq %d, want 0", user, seq)
+			}
+			pushMsgs++
+		}
+	})
+
+	var wg sync.WaitGroup
+	var respMsgs, updates atomic64
+	errs := make(chan error, users)
+	for u := 1; u <= users; u++ {
+		wg.Add(1)
+		go func(user uint64) {
+			defer wg.Done()
+			s := strategyOf[user]
+			for i := 0; i < perUser; i++ {
+				// Deterministic per-user walk that crosses its private
+				// alarm and several grid cells.
+				x := 500 + float64(user)*350 + float64(i%40)*9
+				y := 4000 + float64((int(user)*37+i*53)%2000)
+				out, err := e.HandleUpdate(wire.PositionUpdate{
+					User: user, Seq: uint32(i + 1), Pos: geom.Pt(x, y),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := checkResponseShape(s, out); err != nil {
+					errs <- err
+					return
+				}
+				respMsgs.add(uint64(len(out)))
+				updates.add(1)
+			}
+		}(uint64(u))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := e.Metrics().Snapshot()
+	if snap.UplinkMessages != updates.load() {
+		t.Errorf("uplink = %d, want %d", snap.UplinkMessages, updates.load())
+	}
+	pushMu.Lock()
+	wantDown := respMsgs.load() + pushMsgs
+	pushMu.Unlock()
+	if snap.DownlinkMessages != wantDown {
+		t.Errorf("downlink = %d, want %d (responses %d + pushes %d)",
+			snap.DownlinkMessages, wantDown, respMsgs.load(), pushMsgs)
+	}
+	if snap.AlarmsTriggered == 0 {
+		t.Error("stress run fired no alarms; workload too timid to mean anything")
+	}
+	if pushMsgs == 0 {
+		t.Error("moving target drove no pushes; invalidation path not exercised")
+	}
+}
+
+// seqOf extracts the sequence number of any server→client message.
+func seqOf(m wire.Message) uint32 {
+	switch v := m.(type) {
+	case wire.AlarmFired:
+		return v.Seq
+	case wire.SafePeriod:
+		return v.Seq
+	case wire.RectRegion:
+		return v.Seq
+	case wire.BitmapRegion:
+		return v.Seq
+	case wire.AlarmPush:
+		return v.Seq
+	case wire.Ack:
+		return v.Seq
+	default:
+		return 0
+	}
+}
+
+// atomic64 is a tiny counter wrapper keeping the stress test readable.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(n uint64) { a.mu.Lock(); a.v += n; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+// TestPusherReentrancy is the regression test for the push contract: the
+// engine must invoke the Pusher outside every internal lock, so a Pusher
+// that synchronously calls back into HandleUpdate (as a store-and-forward
+// transport might, to refresh another session) must complete rather than
+// deadlock.
+func TestPusherReentrancy(t *testing.T) {
+	e := newEngine(t, nil)
+	install(t, e, alarm.Alarm{
+		Scope:       alarm.Shared,
+		Owner:       2,
+		Subscribers: []alarm.UserID{2},
+		Region:      geom.RectAround(geom.Pt(1000, 1000), 200),
+		Target:      1,
+	})
+	register(t, e, 1, wire.StrategyPeriodic)
+	register(t, e, 2, wire.StrategyMWPSR)
+
+	reentered := false
+	e.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+		// Re-enter the engine from inside the push callback — for the
+		// pushed user itself, the hardest case (its state was just
+		// recomputed).
+		if _, err := e.HandleUpdate(wire.PositionUpdate{User: uint64(user), Seq: 9, Pos: geom.Pt(5100, 5100)}); err != nil {
+			t.Errorf("reentrant HandleUpdate: %v", err)
+		}
+		reentered = true
+	})
+
+	handle(t, e, 2, 1, geom.Pt(5000, 5000)) // subscriber position known
+	done := make(chan struct{})
+	go func() {
+		handle(t, e, 1, 1, geom.Pt(4000, 4000)) // target moves → push → reentry
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("HandleUpdate deadlocked while pushing (pusher re-entered the engine)")
+	}
+	if !reentered {
+		t.Fatal("pusher never invoked; moving-target push path broken")
+	}
+}

@@ -10,15 +10,21 @@
 // One engine serves heterogeneous clients: every strategy of §5 (PRD, SP,
 // MWPSR, PBSR with per-client pyramid height, OPT) can be active at once.
 //
-// The engine is safe for concurrent use (the TCP front end calls it from
-// one goroutine per connection); the in-process simulation drives it
-// single-threaded.
+// The engine is safe for concurrent use and its update path scales with
+// cores: per-client state lives in striped shards with one mutex per
+// client, metric accounting is atomic, the alarm registry serves readers
+// under an RWMutex, and the public-bitmap cache computes each cell once
+// (singleflight) no matter how many PBSR clients enter it concurrently.
+// Updates for distinct clients run in parallel; updates for one client
+// serialize on that client's mutex. See DESIGN.md "Concurrency" for the
+// lock ordering rules.
 package server
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
 	"github.com/sabre-geo/sabre/internal/geom"
@@ -69,26 +75,63 @@ type Config struct {
 }
 
 // Pusher delivers server-initiated messages (moving-target safe region
-// invalidations) to a connected client. It is called with the engine lock
-// held and must not call back into the engine; queue or send, then return.
+// invalidations) to a connected client. It is invoked after the engine has
+// released every internal lock, so a Pusher may block, send synchronously,
+// or even call back into the engine (including HandleUpdate) without
+// deadlocking. Pushes for one update are delivered sequentially from the
+// goroutine handling that update.
 type Pusher func(user alarm.UserID, msgs []wire.Message)
+
+// clientShards stripes the per-client state map so concurrent updates for
+// distinct users rarely contend on the same map lock. Must be a power of
+// two.
+const clientShards = 64
+
+type clientShard struct {
+	mu sync.RWMutex
+	m  map[alarm.UserID]*clientState
+}
 
 // Engine is the alarm server core.
 type Engine struct {
-	cfg    Config
-	grid   *grid.Grid
-	reg    *alarm.Registry
-	pusher Pusher
+	cfg  Config
+	grid *grid.Grid
+	met  *metrics.Server
 
-	mu      sync.Mutex
-	met     *metrics.Server
-	clients map[alarm.UserID]*clientState
+	// reg is swapped wholesale by ReplaceRegistry; the pointer is atomic so
+	// in-flight updates always observe a consistent registry. The registry
+	// itself is internally synchronized (RWMutex read paths).
+	reg atomic.Pointer[alarm.Registry]
+
+	pusherMu sync.RWMutex
+	pusher   Pusher
+
+	// shards stripe per-client state; each clientState additionally carries
+	// its own mutex so one client's updates serialize while distinct
+	// clients proceed in parallel.
+	shards [clientShards]clientShard
+
 	// publicBitmaps caches the precomputed public-alarm pyramid region per
-	// grid cell (invalidated wholesale when alarms change).
-	publicBitmaps map[grid.CellID]*pyramid.Region
+	// grid cell (invalidated wholesale when alarms change). Each entry is
+	// computed exactly once via its sync.Once: N PBSR clients entering a
+	// fresh cell concurrently wait for one computation instead of
+	// recomputing the same pyramid N times.
+	pbMu          sync.RWMutex
+	publicBitmaps map[grid.CellID]*publicBitmapEntry
+}
+
+type publicBitmapEntry struct {
+	once sync.Once
+	reg  *pyramid.Region
+	err  error
 }
 
 type clientState struct {
+	// mu guards every field below. Lock ordering: a clientState mutex may
+	// be held while taking registry or bitmap-cache read locks, never the
+	// reverse, and no code path holds two clientState mutexes at once.
+	mu sync.Mutex
+
 	strategy  wire.Strategy
 	maxHeight int
 	lastPos   geom.Point
@@ -102,6 +145,13 @@ type clientState struct {
 	// recomputing and re-shipping the bitmap.
 	bitmapCell    grid.CellID
 	hasBitmapCell bool
+}
+
+// pendingPush is a computed invalidation push awaiting delivery once the
+// engine has released its locks.
+type pendingPush struct {
+	user alarm.UserID
+	msgs []wire.Message
 }
 
 // New creates an engine. The registry starts empty; install alarms through
@@ -133,34 +183,36 @@ func New(cfg Config) (*Engine, error) {
 		buckets := int(cfg.Universe.Area() / 5e5)
 		reg = alarm.NewRegistryWithIndex(gridindex.New(cfg.Universe, buckets))
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:           cfg,
 		grid:          g,
-		reg:           reg,
 		met:           metrics.NewServer(cfg.Costs),
-		clients:       make(map[alarm.UserID]*clientState),
-		publicBitmaps: make(map[grid.CellID]*pyramid.Region),
-	}, nil
+		publicBitmaps: make(map[grid.CellID]*publicBitmapEntry),
+	}
+	e.reg.Store(reg)
+	for i := range e.shards {
+		e.shards[i].m = make(map[alarm.UserID]*clientState)
+	}
+	return e, nil
 }
 
 // Registry exposes the alarm store for installation and inspection.
-func (e *Engine) Registry() *alarm.Registry { return e.reg }
+func (e *Engine) Registry() *alarm.Registry { return e.reg.Load() }
 
 // ReplaceRegistry swaps in a restored alarm registry (snapshot load at
-// startup) and drops any precomputed public bitmaps. It must be called
-// before clients connect.
+// startup) and drops any precomputed public bitmaps. Updates already in
+// flight finish against the registry they started with.
 func (e *Engine) ReplaceRegistry(r *alarm.Registry) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.reg = r
-	e.publicBitmaps = make(map[grid.CellID]*pyramid.Region)
+	e.reg.Store(r)
+	e.InvalidatePublicBitmaps()
 }
 
 // Grid exposes the grid overlay.
 func (e *Engine) Grid() *grid.Grid { return e.grid }
 
-// Metrics returns the server counters. The caller must not race it with
-// in-flight updates.
+// Metrics returns the server counters. The counters are atomic: read a
+// consistent copy with Metrics().Snapshot(), safe to call concurrently
+// with in-flight updates.
 func (e *Engine) Metrics() *metrics.Server { return e.met }
 
 // SetPusher installs the callback used to push fresh monitoring state to
@@ -168,17 +220,47 @@ func (e *Engine) Metrics() *metrics.Server { return e.met }
 // Without a pusher, moving-target alarms require their subscribers to use
 // frequent reporting (the target's motion cannot reach silent clients).
 func (e *Engine) SetPusher(p Pusher) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.pusherMu.Lock()
+	defer e.pusherMu.Unlock()
 	e.pusher = p
+}
+
+func (e *Engine) getPusher() Pusher {
+	e.pusherMu.RLock()
+	defer e.pusherMu.RUnlock()
+	return e.pusher
 }
 
 // InvalidatePublicBitmaps drops the precomputed public-alarm bitmaps; call
 // after installing or removing public alarms.
 func (e *Engine) InvalidatePublicBitmaps() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.publicBitmaps = make(map[grid.CellID]*pyramid.Region)
+	e.pbMu.Lock()
+	defer e.pbMu.Unlock()
+	e.publicBitmaps = make(map[grid.CellID]*publicBitmapEntry)
+}
+
+// shardFor returns the shard striping user's client state.
+func (e *Engine) shardFor(user alarm.UserID) *clientShard {
+	return &e.shards[uint64(user)&(clientShards-1)]
+}
+
+// clientFor returns the state for user, creating it with the given default
+// strategy when absent.
+func (e *Engine) clientFor(user alarm.UserID, defaultStrategy wire.Strategy) *clientState {
+	sh := e.shardFor(user)
+	sh.mu.RLock()
+	st := sh.m[user]
+	sh.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st = sh.m[user]; st == nil {
+		st = &clientState{strategy: defaultStrategy}
+		sh.m[user] = st
+	}
+	return st
 }
 
 // Register enrolls (or re-enrolls) a client with its strategy and, for
@@ -190,11 +272,15 @@ func (e *Engine) Register(m wire.Register) error {
 	default:
 		return fmt.Errorf("server: unknown strategy %d", m.Strategy)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	user := alarm.UserID(m.User)
+	sh := e.shardFor(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// Registration is not charged as uplink: the paper's message counts
 	// are location messages only, and registration happens once per client.
-	e.clients[alarm.UserID(m.User)] = &clientState{
+	// Re-enrollment replaces the state; updates already holding the old
+	// state finish against it.
+	sh.m[user] = &clientState{
 		strategy:  m.Strategy,
 		maxHeight: int(m.MaxHeight),
 	}
@@ -205,42 +291,63 @@ func (e *Engine) Register(m wire.Register) error {
 // messages to send back: any AlarmFired notification first, then the
 // strategy-specific monitoring state (safe region, safe period or alarm
 // push). Unknown clients are treated as periodic.
+//
+// HandleUpdate is safe for concurrent use; updates for distinct users run
+// in parallel, updates for one user serialize.
 func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	if err := e.validatePosition(u.Pos); err != nil {
 		return nil, err
 	}
 	user := alarm.UserID(u.User)
-	st := e.clients[user]
-	if st == nil {
-		st = &clientState{strategy: wire.StrategyPeriodic}
-		e.clients[user] = st
-	}
+	st := e.clientFor(user, wire.StrategyPeriodic)
+	reg := e.reg.Load()
 	e.met.AddUplink(wire.EncodedSize(u))
 
 	// Moving-target alarms (paper §1 classes 2 and 3): when the reporting
 	// user is an alarm target, re-anchor those alarm regions to the new
 	// position and push fresh monitoring state to affected subscribers —
-	// their held safe regions no longer prove anything.
-	if e.reg.IsTarget(user) {
+	// their held safe regions no longer prove anything. Push messages are
+	// computed now (the mover's own state is not yet locked) but delivered
+	// only after every lock is released.
+	var pushes []pendingPush
+	if reg.IsTarget(user) {
 		movedRegions := make(map[alarm.ID]geom.Rect)
-		for _, id := range e.reg.MoveTarget(user, u.Pos) {
-			if a, ok := e.reg.Get(id); ok {
+		for _, id := range reg.MoveTarget(user, u.Pos) {
+			if a, ok := reg.Get(id); ok {
 				movedRegions[id] = a.Region // region at its new anchor
 			}
 		}
 		if len(movedRegions) > 0 {
-			e.pushInvalidations(user, movedRegions)
+			pushes = e.collectInvalidations(reg, user, movedRegions)
 		}
 	}
 
+	st.mu.Lock()
+	out, err := e.processUpdate(reg, u, user, st)
+	st.mu.Unlock()
+
+	// Deliver invalidation pushes outside all engine locks: the Pusher may
+	// block or re-enter the engine freely.
+	if len(pushes) > 0 {
+		if pusher := e.getPusher(); pusher != nil {
+			for _, p := range pushes {
+				pusher(p.user, p.msgs)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// processUpdate runs alarm evaluation and the strategy response for one
+// update. The caller holds st.mu.
+func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState) ([]wire.Message, error) {
 	// Alarm evaluation against the R*-tree (every strategy does this; it
 	// is the "alarm processing" bucket of Figures 4(b)/6(d)).
-	before := e.reg.IndexAccesses()
-	triggered, candidates := e.reg.EvaluateCounted(u.Pos, user)
-	e.met.AddAlarmEvaluation(e.reg.IndexAccesses()-before, uint64(candidates))
+	triggered, candidates, accesses := reg.EvaluateCounted(u.Pos, user)
+	e.met.AddAlarmEvaluation(accesses, uint64(candidates))
 
 	var out []wire.Message
 	if len(triggered) > 0 {
@@ -248,10 +355,10 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 		for i, id := range triggered {
 			// One-shot semantics: retire the pair before recomputing the
 			// safe region so the fired alarm becomes free space (§4.2).
-			e.reg.MarkFired(id, user)
+			reg.MarkFired(id, user)
 			fired.Alarms[i] = uint64(id)
-			e.met.AlarmsTriggered++
 		}
+		e.met.AddAlarmsTriggered(uint64(len(triggered)))
 		out = e.send(out, fired)
 	}
 
@@ -259,9 +366,9 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 	case wire.StrategyPeriodic:
 		// Server-centric periodic evaluation: nothing goes back.
 	case wire.StrategySafePeriod:
-		out = e.send(out, e.safePeriodFor(u))
+		out = e.send(out, e.safePeriodFor(reg, u))
 	case wire.StrategyMWPSR:
-		out = e.send(out, e.rectRegionFor(u, st))
+		out = e.send(out, e.rectRegionFor(reg, u, st))
 	case wire.StrategyPBSR:
 		cellID := e.grid.Locate(u.Pos)
 		sameCell := st.hasBitmapCell && st.bitmapCell == cellID
@@ -272,8 +379,8 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 			// When earlier triggers made the client's bitmap stale (fired
 			// alarms still appear blocked), a rectangular patch restores
 			// coverage around the client instead.
-			if e.reg.AnyFiredIn(e.grid.CellRect(cellID), user) {
-				out = e.send(out, e.rectRegionFor(u, st))
+			if reg.AnyFiredIn(e.grid.CellRect(cellID), user) {
+				out = e.send(out, e.rectRegionFor(reg, u, st))
 			} else {
 				out = e.send(out, wire.Ack{Seq: u.Seq})
 			}
@@ -282,9 +389,9 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 			// space. Instead of recomputing and re-shipping the bitmap,
 			// send a small rectangular patch around the client that avoids
 			// every remaining alarm; the client ORs it into its region.
-			out = e.send(out, e.rectRegionFor(u, st))
+			out = e.send(out, e.rectRegionFor(reg, u, st))
 		default:
-			msg, err := e.bitmapRegionFor(u, st, cellID)
+			msg, err := e.bitmapRegionFor(reg, u, st, cellID)
 			if err != nil {
 				return nil, err
 			}
@@ -293,7 +400,7 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 			out = e.send(out, msg)
 		}
 	case wire.StrategyOptimal:
-		out = e.send(out, e.alarmPushFor(u))
+		out = e.send(out, e.alarmPushFor(reg, u))
 	}
 
 	st.lastPos = u.Pos
@@ -323,20 +430,23 @@ func (e *Engine) send(out []wire.Message, m wire.Message) []wire.Message {
 	return append(out, m)
 }
 
-// pushInvalidations recomputes and pushes monitoring state for every
-// online subscriber affected by moved alarms. Server-initiated messages
-// carry Seq 0, which clients accept without treating them as a reply.
-func (e *Engine) pushInvalidations(mover alarm.UserID, moved map[alarm.ID]geom.Rect) {
-	if e.pusher == nil {
-		return
+// collectInvalidations recomputes monitoring state for every online
+// subscriber affected by moved alarms and returns the pushes to deliver.
+// Server-initiated messages carry Seq 0, which clients accept without
+// treating them as a reply. Each affected client's mutex is taken one at a
+// time (the mover's state is not locked here), so two movers invalidating
+// each other's subscribers cannot deadlock.
+func (e *Engine) collectInvalidations(reg *alarm.Registry, mover alarm.UserID, moved map[alarm.ID]geom.Rect) []pendingPush {
+	if e.getPusher() == nil {
+		return nil
 	}
 	affected := make(map[alarm.UserID]bool)
 	for id := range moved {
-		a, ok := e.reg.Get(id)
+		a, ok := reg.Get(id)
 		if !ok {
 			continue
 		}
-		if subs := e.reg.SubscribersOf(id); subs != nil {
+		if subs := reg.SubscribersOf(id); subs != nil {
 			for _, s := range subs {
 				affected[s] = true
 			}
@@ -347,52 +457,77 @@ func (e *Engine) pushInvalidations(mover alarm.UserID, moved map[alarm.ID]geom.R
 		// vacated location keep a safe region that merely under-covers
 		// (the alarm is gone from there), which is conservative, not
 		// unsafe; they refresh on their next report.
-		for user, st := range e.clients {
-			if affected[user] || !st.hasPos {
+		for user, st := range e.clientsSnapshot() {
+			if affected[user] || user == mover {
 				continue
 			}
-			cell := e.grid.CellRect(e.grid.Locate(st.lastPos))
+			st.mu.Lock()
+			hasPos, lastPos := st.hasPos, st.lastPos
+			st.mu.Unlock()
+			if !hasPos {
+				continue
+			}
+			cell := e.grid.CellRect(e.grid.Locate(lastPos))
 			if cell.Intersects(a.Region) || cell.Intersects(moved[id]) {
 				affected[user] = true
 			}
 		}
 	}
 	delete(affected, mover) // the mover's own update handles itself
+	var pushes []pendingPush
 	for user := range affected {
-		st := e.clients[user]
-		if st == nil || !st.hasPos {
+		sh := e.shardFor(user)
+		sh.mu.RLock()
+		st := sh.m[user]
+		sh.mu.RUnlock()
+		if st == nil {
 			continue
 		}
-		fake := wire.PositionUpdate{User: uint64(user), Seq: 0, Pos: st.lastPos}
-		var msg wire.Message
-		switch st.strategy {
-		case wire.StrategySafePeriod:
-			msg = e.safePeriodFor(fake)
-		case wire.StrategyMWPSR:
-			msg = e.rectRegionFor(fake, st)
-		case wire.StrategyPBSR:
-			cellID := e.grid.Locate(st.lastPos)
-			bm, err := e.bitmapRegionFor(fake, st, cellID)
-			if err != nil {
-				continue
-			}
-			st.bitmapCell = cellID
-			st.hasBitmapCell = true
-			msg = bm
-		case wire.StrategyOptimal:
-			msg = e.alarmPushFor(fake)
-		default:
-			continue // periodic clients re-report next tick anyway
+		st.mu.Lock()
+		msg := e.invalidationFor(reg, user, st)
+		st.mu.Unlock()
+		if msg == nil {
+			continue
 		}
 		e.met.AddDownlink(wire.EncodedSize(msg))
-		e.pusher(user, []wire.Message{msg})
+		pushes = append(pushes, pendingPush{user: user, msgs: []wire.Message{msg}})
+	}
+	return pushes
+}
+
+// invalidationFor computes the fresh monitoring state pushed to one
+// affected client. The caller holds st.mu. Returns nil when the client has
+// no pushable state (no position yet, or a strategy that re-reports on its
+// own).
+func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *clientState) wire.Message {
+	if !st.hasPos {
+		return nil
+	}
+	fake := wire.PositionUpdate{User: uint64(user), Seq: 0, Pos: st.lastPos}
+	switch st.strategy {
+	case wire.StrategySafePeriod:
+		return e.safePeriodFor(reg, fake)
+	case wire.StrategyMWPSR:
+		return e.rectRegionFor(reg, fake, st)
+	case wire.StrategyPBSR:
+		cellID := e.grid.Locate(st.lastPos)
+		bm, err := e.bitmapRegionFor(reg, fake, st, cellID)
+		if err != nil {
+			return nil
+		}
+		st.bitmapCell = cellID
+		st.hasBitmapCell = true
+		return bm
+	case wire.StrategyOptimal:
+		return e.alarmPushFor(reg, fake)
+	default:
+		return nil // periodic clients re-report next tick anyway
 	}
 }
 
-func (e *Engine) safePeriodFor(u wire.PositionUpdate) wire.SafePeriod {
-	before := e.reg.IndexAccesses()
-	dist := e.reg.NearestRelevantDist(u.Pos, alarm.UserID(u.User))
-	e.met.AddSafePeriodComputation(e.reg.IndexAccesses() - before)
+func (e *Engine) safePeriodFor(reg *alarm.Registry, u wire.PositionUpdate) wire.SafePeriod {
+	dist, accesses := reg.NearestRelevantDistCounted(u.Pos, alarm.UserID(u.User))
+	e.met.AddSafePeriodComputation(accesses)
 	vmax := e.cfg.MaxSpeed
 	if f := e.cfg.SafePeriodSpeedFactor; f > 0 {
 		vmax *= f
@@ -401,12 +536,11 @@ func (e *Engine) safePeriodFor(u wire.PositionUpdate) wire.SafePeriod {
 	return wire.SafePeriod{Seq: u.Seq, Ticks: uint32(ticks)}
 }
 
-func (e *Engine) rectRegionFor(u wire.PositionUpdate, st *clientState) wire.RectRegion {
+func (e *Engine) rectRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *clientState) wire.RectRegion {
 	user := alarm.UserID(u.User)
 	cellRect := e.grid.CellRect(e.grid.Locate(u.Pos))
-	before := e.reg.IndexAccesses()
-	relevant := e.reg.RelevantIn(cellRect, user, nil)
-	e.met.AddSafeRegionIndexWork(e.reg.IndexAccesses() - before)
+	relevant, accesses := reg.RelevantInCounted(cellRect, user, nil)
+	e.met.AddSafeRegionIndexWork(accesses)
 	rects := make([]geom.Rect, len(relevant))
 	for i, a := range relevant {
 		rects[i] = a.Region
@@ -425,7 +559,7 @@ func (e *Engine) rectRegionFor(u wire.PositionUpdate, st *clientState) wire.Rect
 	return wire.RectRegion{Seq: u.Seq, Rect: res.Rect}
 }
 
-func (e *Engine) bitmapRegionFor(u wire.PositionUpdate, st *clientState, cellID grid.CellID) (wire.BitmapRegion, error) {
+func (e *Engine) bitmapRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *clientState, cellID grid.CellID) (wire.BitmapRegion, error) {
 	user := alarm.UserID(u.User)
 	cellRect := e.grid.CellRect(cellID)
 	params := e.cfg.PyramidParams
@@ -434,27 +568,37 @@ func (e *Engine) bitmapRegionFor(u wire.PositionUpdate, st *clientState, cellID 
 	}
 
 	var (
-		rects []geom.Rect
-		pre   *pyramid.Region
-		err   error
+		rects    []geom.Rect
+		pre      *pyramid.Region
+		err      error
+		accesses uint64
 	)
-	before := e.reg.IndexAccesses()
-	defer func() { e.met.AddSafeRegionIndexWork(e.reg.IndexAccesses() - before) }()
 	// The shared public bitmap cannot reflect this user's fired public
 	// alarms; use it only when the user has none in this cell.
-	if e.cfg.PrecomputePublicBitmaps && !e.reg.AnyFiredPublicIn(cellRect, user) {
-		pre, err = e.publicBitmapFor(cellID, cellRect)
+	usePre := false
+	if e.cfg.PrecomputePublicBitmaps {
+		firedPublic, fpAccesses := reg.AnyFiredPublicInCounted(cellRect, user)
+		accesses += fpAccesses
+		usePre = !firedPublic
+	}
+	if usePre {
+		pre, err = e.publicBitmapFor(reg, cellID, cellRect)
 		if err != nil {
 			return wire.BitmapRegion{}, err
 		}
-		for _, a := range e.reg.RelevantNonPublicIn(cellRect, user, nil) {
+		nonPublic, npAccesses := reg.RelevantNonPublicInCounted(cellRect, user, nil)
+		accesses += npAccesses
+		for _, a := range nonPublic {
 			rects = append(rects, a.Region)
 		}
 	} else {
-		for _, a := range e.reg.RelevantIn(cellRect, user, nil) {
+		relevant, rAccesses := reg.RelevantInCounted(cellRect, user, nil)
+		accesses += rAccesses
+		for _, a := range relevant {
 			rects = append(rects, a.Region)
 		}
 	}
+	e.met.AddSafeRegionIndexWork(accesses)
 	res, err := saferegion.ComputeBitmap(cellRect, params, rects, pre)
 	if err != nil {
 		return wire.BitmapRegion{}, err
@@ -465,41 +609,65 @@ func (e *Engine) bitmapRegionFor(u wire.PositionUpdate, st *clientState, cellID 
 
 // publicBitmapFor returns (computing and caching on first use) the pyramid
 // region of all public alarms in a cell, at the engine's full height so it
-// can serve clients of any capability.
-func (e *Engine) publicBitmapFor(id grid.CellID, cellRect geom.Rect) (*pyramid.Region, error) {
-	if reg, ok := e.publicBitmaps[id]; ok {
-		return reg, nil
+// can serve clients of any capability. Concurrent callers for the same
+// fresh cell wait on a single computation (singleflight) instead of
+// recomputing the same pyramid; its cost is charged exactly once per cell.
+func (e *Engine) publicBitmapFor(reg *alarm.Registry, id grid.CellID, cellRect geom.Rect) (*pyramid.Region, error) {
+	e.pbMu.RLock()
+	ent := e.publicBitmaps[id]
+	e.pbMu.RUnlock()
+	if ent == nil {
+		e.pbMu.Lock()
+		if ent = e.publicBitmaps[id]; ent == nil {
+			ent = &publicBitmapEntry{}
+			e.publicBitmaps[id] = ent
+		}
+		e.pbMu.Unlock()
 	}
-	publics := e.reg.PublicIn(cellRect, nil)
-	// The shared bitmap is computed without a bit budget: it never goes on
-	// the wire, and keeping it exact makes the per-user budgeted encode
-	// bit-identical to a direct computation.
-	params := e.cfg.PyramidParams
-	params.MaxBits = 0
-	res, err := saferegion.ComputeBitmap(cellRect, params, publics, nil)
-	if err != nil {
-		return nil, err
-	}
-	// The precomputation itself is charged once per cell; this is the
-	// offline step of §4.2.
-	e.met.AddBitmapComputation(res.IntersectionTests)
-	reg, err := pyramid.Decode(res.Bitmap)
-	if err != nil {
-		return nil, err
-	}
-	e.publicBitmaps[id] = reg
-	return reg, nil
+	ent.once.Do(func() {
+		publics, accesses := reg.PublicInCounted(cellRect, nil)
+		// The shared bitmap is computed without a bit budget: it never goes
+		// on the wire, and keeping it exact makes the per-user budgeted
+		// encode bit-identical to a direct computation.
+		params := e.cfg.PyramidParams
+		params.MaxBits = 0
+		res, err := saferegion.ComputeBitmap(cellRect, params, publics, nil)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		// The precomputation itself is charged once per cell; this is the
+		// offline step of §4.2.
+		e.met.AddSafeRegionIndexWork(accesses)
+		e.met.AddBitmapComputation(res.IntersectionTests)
+		ent.reg, ent.err = pyramid.Decode(res.Bitmap)
+	})
+	return ent.reg, ent.err
 }
 
-func (e *Engine) alarmPushFor(u wire.PositionUpdate) wire.AlarmPush {
+func (e *Engine) alarmPushFor(reg *alarm.Registry, u wire.PositionUpdate) wire.AlarmPush {
 	user := alarm.UserID(u.User)
 	cellRect := e.grid.CellRect(e.grid.Locate(u.Pos))
-	before := e.reg.IndexAccesses()
-	relevant := e.reg.RelevantIn(cellRect, user, nil)
-	e.met.AddSafeRegionIndexWork(e.reg.IndexAccesses() - before)
+	relevant, accesses := reg.RelevantInCounted(cellRect, user, nil)
+	e.met.AddSafeRegionIndexWork(accesses)
 	push := wire.AlarmPush{Seq: u.Seq, Cell: cellRect, Alarms: make([]wire.AlarmInfo, len(relevant))}
 	for i, a := range relevant {
 		push.Alarms[i] = wire.AlarmInfo{ID: uint64(a.ID), Region: a.Region}
 	}
 	return push
+}
+
+// clientsSnapshot copies the (user, state) pairs out of every shard so
+// callers can iterate without holding shard locks.
+func (e *Engine) clientsSnapshot() map[alarm.UserID]*clientState {
+	out := make(map[alarm.UserID]*clientState)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for u, st := range sh.m {
+			out[u] = st
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }

@@ -93,8 +93,8 @@ func TestPeriodicNoResponse(t *testing.T) {
 	if len(out) != 0 {
 		t.Errorf("periodic got responses: %v", out)
 	}
-	if e.Metrics().UplinkMessages != 1 {
-		t.Errorf("uplink = %d", e.Metrics().UplinkMessages)
+	if e.Metrics().Snapshot().UplinkMessages != 1 {
+		t.Errorf("uplink = %d", e.Metrics().Snapshot().UplinkMessages)
 	}
 }
 
@@ -133,8 +133,8 @@ func TestTriggerAndOneShot(t *testing.T) {
 	if !region.Rect.Contains(geom.Pt(500, 500)) {
 		t.Errorf("region %v lost client", region.Rect)
 	}
-	if e.Metrics().AlarmsTriggered != 1 {
-		t.Errorf("AlarmsTriggered = %d", e.Metrics().AlarmsTriggered)
+	if e.Metrics().Snapshot().AlarmsTriggered != 1 {
+		t.Errorf("AlarmsTriggered = %d", e.Metrics().Snapshot().AlarmsTriggered)
 	}
 	// Same position again: one-shot means no second fire.
 	out = handle(t, e, 1, 2, geom.Pt(500, 500))
@@ -291,11 +291,11 @@ func TestDownlinkAccounting(t *testing.T) {
 	for _, m := range out {
 		want += uint64(wire.EncodedSize(m))
 	}
-	if e.Metrics().DownlinkBytes != want {
-		t.Errorf("DownlinkBytes = %d, want %d", e.Metrics().DownlinkBytes, want)
+	if e.Metrics().Snapshot().DownlinkBytes != want {
+		t.Errorf("DownlinkBytes = %d, want %d", e.Metrics().Snapshot().DownlinkBytes, want)
 	}
-	if e.Metrics().DownlinkMessages != uint64(len(out)) {
-		t.Errorf("DownlinkMessages = %d, want %d", e.Metrics().DownlinkMessages, len(out))
+	if e.Metrics().Snapshot().DownlinkMessages != uint64(len(out)) {
+		t.Errorf("DownlinkMessages = %d, want %d", e.Metrics().Snapshot().DownlinkMessages, len(out))
 	}
 }
 

@@ -32,7 +32,7 @@ func TestMovingTargetPushes(t *testing.T) {
 	// Subscribers report once so the server knows their positions.
 	handle(t, e, 2, 1, geom.Pt(5000, 5000))
 	handle(t, e, 3, 1, geom.Pt(6000, 6000))
-	downBefore := e.Metrics().DownlinkBytes
+	downBefore := e.Metrics().Snapshot().DownlinkBytes
 
 	// The target moves: both subscribers must get fresh state.
 	handle(t, e, 1, 1, geom.Pt(4000, 4000))
@@ -48,7 +48,7 @@ func TestMovingTargetPushes(t *testing.T) {
 	if bm, ok := pushed[3][0].(wire.BitmapRegion); !ok || bm.Seq != 0 {
 		t.Errorf("subscriber 3 push = %#v, want Seq-0 BitmapRegion", pushed[3][0])
 	}
-	if e.Metrics().DownlinkBytes <= downBefore {
+	if e.Metrics().Snapshot().DownlinkBytes <= downBefore {
 		t.Error("pushes not charged to downlink")
 	}
 	// The pushed MWPSR region must exclude the moved alarm.

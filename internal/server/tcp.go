@@ -49,8 +49,8 @@ func NewTCPServer(eng *Engine, addr string, logger *log.Logger) (*TCPServer, err
 		userConns: make(map[uint64]transport.Conn),
 	}
 	// Deliver moving-target invalidations (Seq-0 pushes) to connected
-	// clients. The engine holds its lock while pushing, so sends must not
-	// call back into the engine; transport.Conn.Send only writes.
+	// clients. The engine invokes the pusher after releasing its locks, so
+	// a blocking Send (or even a callback into the engine) is safe here.
 	eng.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
 		s.mu.Lock()
 		conn := s.userConns[uint64(user)]

@@ -93,8 +93,8 @@ func TestTCPEndToEnd(t *testing.T) {
 	if met.MessagesSent == 0 || met.MessagesSent > 50 {
 		t.Errorf("MessagesSent = %d; monitoring should suppress most reports", met.MessagesSent)
 	}
-	if eng.Metrics().AlarmsTriggered != 1 {
-		t.Errorf("server AlarmsTriggered = %d", eng.Metrics().AlarmsTriggered)
+	if eng.Metrics().Snapshot().AlarmsTriggered != 1 {
+		t.Errorf("server AlarmsTriggered = %d", eng.Metrics().Snapshot().AlarmsTriggered)
 	}
 }
 
@@ -153,7 +153,7 @@ func TestTCPMultipleClients(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	if got := eng.Metrics().AlarmsTriggered; got != 4 {
+	if got := eng.Metrics().Snapshot().AlarmsTriggered; got != 4 {
 		t.Errorf("AlarmsTriggered = %d, want 4 (public alarm per user)", got)
 	}
 }

@@ -173,7 +173,7 @@ func RunMixed(w *Workload, classes []MixedClass, base StrategyConfig) (*MixedRep
 
 	out := &MixedReport{
 		Triggers:           triggers,
-		DownlinkBytes:      eng.Metrics().DownlinkBytes,
+		DownlinkBytes:      eng.Metrics().Snapshot().DownlinkBytes,
 		TotalServerMinutes: eng.Metrics().TotalSeconds() / 60,
 	}
 	energy := metrics.DefaultEnergy()

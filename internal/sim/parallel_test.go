@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/roadnet"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// parallelTestWorkload is small enough to run every strategy twice (serial
+// and parallel) under -race in a few seconds while still crossing grid
+// cells and firing alarms.
+func parallelTestWorkload(t *testing.T) *Workload {
+	t.Helper()
+	cfg := WorkloadConfig{
+		Seed:              7,
+		Vehicles:          60,
+		DurationTicks:     150,
+		NumAlarms:         80,
+		PublicFraction:    0.15,
+		SharedSubscribers: 2,
+		AlarmMinSide:      100,
+		AlarmMaxSide:      400,
+		Network:           roadnet.Config{Side: 3000, Spacing: 500, Jitter: 0.25, DropProb: 0.1, Seed: 7},
+	}
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestParallelMatchesSerial verifies the parallel tick driver is a pure
+// performance change: for every strategy, the report it produces —
+// messages, bytes, triggers, and the deterministic cost-model totals —
+// equals the serial driver's bit for bit. (Generated workloads have no
+// moving-target alarms, so even push timing cannot differ.)
+func TestParallelMatchesSerial(t *testing.T) {
+	w := parallelTestWorkload(t)
+	cases := []StrategyConfig{
+		{Strategy: wire.StrategyPeriodic},
+		{Strategy: wire.StrategySafePeriod},
+		{Strategy: wire.StrategyMWPSR},
+		{Strategy: wire.StrategyPBSR},
+		{Strategy: wire.StrategyPBSR, PrecomputePublicBitmaps: true},
+		{Strategy: wire.StrategyOptimal},
+	}
+	for _, sc := range cases {
+		sc := sc
+		name := sc.Strategy.String()
+		if sc.PrecomputePublicBitmaps {
+			name += "-precomputed"
+		}
+		t.Run(name, func(t *testing.T) {
+			serial, err := Run(w, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := sc
+			par.Parallel = true
+			par.Workers = 4
+			parallel, err := Run(w, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !TriggersEqual(serial.Triggers, parallel.Triggers) {
+				t.Errorf("trigger sets differ: serial %d, parallel %d",
+					len(serial.Triggers), len(parallel.Triggers))
+			}
+			// Triggers must match not just as a set but in exact order:
+			// the parallel driver reassembles per-tick results in client
+			// index order, reproducing the serial loop's append order.
+			for i := range serial.Triggers {
+				if i >= len(parallel.Triggers) || serial.Triggers[i] != parallel.Triggers[i] {
+					t.Errorf("trigger order diverges at %d", i)
+					break
+				}
+			}
+			if serial.UplinkMessages != parallel.UplinkMessages ||
+				serial.UplinkBytes != parallel.UplinkBytes {
+				t.Errorf("uplink differs: serial %d/%d, parallel %d/%d",
+					serial.UplinkMessages, serial.UplinkBytes,
+					parallel.UplinkMessages, parallel.UplinkBytes)
+			}
+			if serial.DownlinkMessages != parallel.DownlinkMessages ||
+				serial.DownlinkBytes != parallel.DownlinkBytes {
+				t.Errorf("downlink differs: serial %d/%d, parallel %d/%d",
+					serial.DownlinkMessages, serial.DownlinkBytes,
+					parallel.DownlinkMessages, parallel.DownlinkBytes)
+			}
+			if serial.TotalServerMinutes != parallel.TotalServerMinutes {
+				t.Errorf("cost-model minutes differ: serial %v, parallel %v",
+					serial.TotalServerMinutes, parallel.TotalServerMinutes)
+			}
+			if serial.SafeRegionComputations != parallel.SafeRegionComputations ||
+				serial.AlarmEvaluations != parallel.AlarmEvaluations {
+				t.Errorf("work counters differ: serial %d/%d, parallel %d/%d",
+					serial.SafeRegionComputations, serial.AlarmEvaluations,
+					parallel.SafeRegionComputations, parallel.AlarmEvaluations)
+			}
+			if serial.ClientChecks != parallel.ClientChecks ||
+				serial.ClientProbes != parallel.ClientProbes {
+				t.Errorf("client counters differ: serial %d/%d, parallel %d/%d",
+					serial.ClientChecks, serial.ClientProbes,
+					parallel.ClientChecks, parallel.ClientProbes)
+			}
+		})
+	}
+}
+
+// TestParallelWorkerCounts: the report must not depend on the pool size.
+func TestParallelWorkerCounts(t *testing.T) {
+	w := parallelTestWorkload(t)
+	base, err := Run(w, StrategyConfig{Strategy: wire.StrategyMWPSR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		r, err := Run(w, StrategyConfig{Strategy: wire.StrategyMWPSR, Parallel: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !TriggersEqual(base.Triggers, r.Triggers) ||
+			base.UplinkMessages != r.UplinkMessages ||
+			base.DownlinkBytes != r.DownlinkBytes ||
+			base.TotalServerMinutes != r.TotalServerMinutes {
+			t.Errorf("workers=%d diverges from serial run", workers)
+		}
+	}
+}

@@ -264,7 +264,7 @@ type Stats struct {
 
 // Stats returns current counters.
 func (s *Service) Stats() Stats {
-	m := s.eng.Metrics()
+	m := s.eng.Metrics().Snapshot()
 	return Stats{
 		UplinkMessages:         m.UplinkMessages,
 		UplinkBytes:            m.UplinkBytes,
