@@ -1,6 +1,9 @@
 // Command alarmclient connects a mobile client to a running alarmserver
 // and replays a mobility trace (produced by cmd/tracegen) through the
-// client-side monitoring state machine. It prints each alarm the server
+// fault-tolerant session layer: it enrolls with Hello, heartbeats on idle
+// links, reconnects with exponential backoff when the server goes away,
+// resumes its session by token, and queues reports while offline so no
+// alarm firing is lost or duplicated. It prints each alarm the server
 // delivers and, at the end, the client's message and energy statistics —
 // a live demonstration of how few reports safe region monitoring needs.
 //
@@ -47,7 +50,15 @@ func run() error {
 		strat     = flag.String("strategy", "mwpsr", "processing strategy: periodic, sp, mwpsr, pbsr, opt")
 		height    = flag.Int("max-height", 5, "PBSR: maximum pyramid height this device decodes")
 		tracePath = flag.String("trace", "", "trace file from tracegen (csv or bin; required)")
-		realtime  = flag.Bool("realtime", false, "replay at 1 tick per second instead of full speed")
+		tickMS    = flag.Int("tick-ms", 10, "wall-clock milliseconds per trace tick")
+		realtime  = flag.Bool("realtime", false, "replay at 1 tick per second instead of -tick-ms")
+
+		heartbeat = flag.Int("heartbeat-every", 8, "idle ticks between heartbeats")
+		deadAfter = flag.Int("dead-after", 25, "ticks without any inbound message before the link is declared dead")
+		resend    = flag.Int("resend-every", 5, "ticks before an unacknowledged report is resent")
+		backoff   = flag.Int("backoff-max", 16, "maximum reconnect backoff in ticks")
+		maxQueue  = flag.Int("max-queue", 512, "offline report queue bound (oldest evicted)")
+		jitter    = flag.Int64("jitter-seed", 0, "reconnect jitter seed (0 derives from the user id)")
 	)
 	flag.Parse()
 	strategy, ok := strategies[strings.ToLower(*strat)]
@@ -70,53 +81,77 @@ func run() error {
 		return fmt.Errorf("trace has no positions for user %d", *user)
 	}
 
-	conn, err := transport.Dial(*addr)
-	if err != nil {
-		return err
+	tickDur := time.Duration(*tickMS) * time.Millisecond
+	if *realtime {
+		tickDur = time.Second
 	}
-	defer conn.Close()
-	if err := conn.Send(wire.Register{User: *user, Strategy: strategy, MaxHeight: uint8(*height)}); err != nil {
-		return err
+	seed := *jitter
+	if seed == 0 {
+		seed = int64(*user)
+	}
+	dial := func() (transport.Conn, error) {
+		// The read deadline must outlive the heartbeat interval so only a
+		// truly dead link times out.
+		readTimeout := time.Duration(*deadAfter) * tickDur * 2
+		return transport.DialDeadline(*addr, 3*time.Second, readTimeout, 10*time.Second)
 	}
 
 	met := &metrics.Client{}
 	cl := client.New(*user, strategy, met)
+	sess := client.NewSession(cl, dial, client.SessionConfig{
+		MaxHeight:      uint8(*height),
+		HeartbeatEvery: *heartbeat,
+		DeadAfterTicks: *deadAfter,
+		ResendEvery:    *resend,
+		BackoffMax:     *backoff,
+		MaxQueue:       *maxQueue,
+		JitterSeed:     seed,
+	}, met)
+
 	fmt.Printf("user %d (%s) replaying %d ticks against %s\n", *user, strategy, len(path), *addr)
 	start := time.Now()
-	for tick, pos := range path {
-		if *realtime && tick > 0 {
-			time.Sleep(time.Second)
-		}
-		upd := cl.Tick(tick, pos)
-		if upd == nil {
-			continue
-		}
-		if err := conn.Send(*upd); err != nil {
-			return err
-		}
-		for {
-			msg, err := conn.Recv()
-			if err != nil {
-				return err
-			}
-			if fired, ok := msg.(wire.AlarmFired); ok {
-				for _, id := range fired.Alarms {
-					fmt.Printf("tick %4d at (%.0f, %.0f): ALARM %d fired\n", tick, pos.X, pos.Y, id)
-				}
-			}
-			if err := cl.Handle(tick, msg); err != nil {
-				return err
-			}
-			if _, again := msg.(wire.AlarmFired); !again {
-				break
-			}
+	curTick := 0
+	sess.OnFired = func(ids []uint64) {
+		pos := path[minInt(curTick, len(path)-1)]
+		for _, id := range ids {
+			fmt.Printf("tick %4d at (%.0f, %.0f): ALARM %d fired\n", curTick, pos.X, pos.Y, id)
 		}
 	}
+	for tick, pos := range path {
+		if tick > 0 {
+			time.Sleep(tickDur)
+		}
+		curTick = tick
+		sess.Step(tick, pos)
+	}
+	// Drain: keep the session alive until queued reports and pending acks
+	// settle, so a firing in flight at the last tick still lands.
+	for tick := len(path); tick < len(path)+4**deadAfter; tick++ {
+		if sess.QueueLen() == 0 && sess.Connected() {
+			break
+		}
+		time.Sleep(tickDur)
+		curTick = tick
+		sess.Quiesce(tick)
+	}
+	if qs := sess.QueueLen(); qs > 0 {
+		fmt.Printf("warning: %d reports never confirmed by the server\n", qs)
+	}
+
 	fmt.Printf("\ndone in %v: %d of %d ticks reported (%.1f%%), %d containment checks, %.2f mWh\n",
 		time.Since(start).Round(time.Millisecond),
 		met.MessagesSent, len(path),
 		100*float64(met.MessagesSent)/float64(len(path)),
 		met.ContainmentChecks,
 		met.Energy(metrics.DefaultEnergy()))
+	fmt.Printf("session: %d connects, resumed=%v, %d heartbeats, %d report redeliveries, %d reports dropped\n",
+		met.Reconnects, sess.Resumed(), met.HeartbeatsSent, met.RedeliveredReports, met.DroppedReports)
 	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -45,6 +45,7 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "alarm generation seed")
 		quiet   = flag.Bool("quiet", false, "suppress per-connection logging")
 		snap    = flag.String("snapshot", "", "snapshot file: load alarm table at startup (if present) and save it on shutdown")
+		idle    = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "reap connections silent for this long (0 disables); session state survives for a token resume")
 	)
 	flag.Parse()
 
@@ -88,7 +89,7 @@ func run() error {
 		installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed)
 	}
 
-	srv, err := server.NewTCPServer(eng, *addr, logger)
+	srv, err := server.NewTCPServerIdle(eng, *addr, logger, *idle)
 	if err != nil {
 		return err
 	}
@@ -127,6 +128,10 @@ func run() error {
 	fmt.Printf("uplink:    %d msgs, %d bytes\n", m.UplinkMessages, m.UplinkBytes)
 	fmt.Printf("downlink:  %d msgs, %d bytes\n", m.DownlinkMessages, m.DownlinkBytes)
 	fmt.Printf("triggers:  %d\n", m.AlarmsTriggered)
+	fmt.Printf("sessions:  %d opened, %d resumed, %d heartbeats\n",
+		m.SessionsOpened, m.SessionsResumed, m.Heartbeats)
+	fmt.Printf("recovery:  %d duplicate updates, %d firing redeliveries\n",
+		m.RedeliveredUpdates, m.FiredRedeliveries)
 	fmt.Printf("cpu model: alarm processing %.3fs, safe region %.3fs\n",
 		m.AlarmProcessingSeconds(), m.SafeRegionSeconds())
 	return nil

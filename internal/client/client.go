@@ -56,8 +56,11 @@ type Client struct {
 	hasCell bool
 	alarms  []wire.AlarmInfo
 	// fired collects alarm IDs the server reported triggered, in delivery
-	// order; the simulation reads them for the accuracy check.
-	fired []uint64
+	// order; the simulation reads them for the accuracy check. firedSeen
+	// dedups redeliveries: a reliable server re-sends unacknowledged
+	// firings, and each must land in fired exactly once.
+	fired     []uint64
+	firedSeen map[uint64]struct{}
 }
 
 // New creates a client. All clients of a simulation may share one
@@ -94,21 +97,28 @@ func (c *Client) Tick(tick int, pos geom.Point) *wire.PositionUpdate {
 	if !c.everSent {
 		return c.report(tick, pos)
 	}
+	if c.SafeNow(tick, pos) {
+		return nil
+	}
+	return c.report(tick, pos)
+}
+
+// SafeNow reports whether the client's current monitoring state proves
+// pos safe at tick, charging the containment probes to the client
+// metrics. It is the pure evaluation half of Tick: the session layer
+// calls it directly so a disconnected client keeps evaluating its last
+// (still sound, for static alarms) state and queues a report whenever
+// safety cannot be proven. Periodic clients are never provably safe.
+func (c *Client) SafeNow(tick int, pos geom.Point) bool {
 	switch c.strategy {
 	case wire.StrategySafePeriod:
-		if !c.hasPeriod || tick >= c.safeUntil {
-			return c.report(tick, pos)
-		}
-		return nil
+		return c.hasPeriod && tick < c.safeUntil
 	case wire.StrategyMWPSR:
 		c.met.AddCheck(1)
-		if !c.hasRect || !c.rect.ContainsStrict(pos) {
-			return c.report(tick, pos)
-		}
-		return nil
+		return c.hasRect && c.rect.ContainsStrict(pos)
 	case wire.StrategyPBSR:
 		if c.region == nil {
-			return c.report(tick, pos)
+			return false
 		}
 		inside, probes := c.region.ContainsProbes(pos)
 		if !inside {
@@ -121,29 +131,33 @@ func (c *Client) Tick(tick int, pos geom.Point) *wire.PositionUpdate {
 			}
 		}
 		c.met.AddCheck(probes)
-		if !inside {
-			return c.report(tick, pos)
-		}
-		return nil
+		return inside
 	case wire.StrategyOptimal:
 		if !c.hasCell {
-			return c.report(tick, pos)
+			return false
 		}
 		// Full local evaluation against every pushed alarm: this is the
 		// "clients have very high capacity" assumption of the OPT bound.
 		c.met.AddCheck(maxInt(len(c.alarms), 1))
 		if !c.cell.ContainsStrict(pos) {
-			return c.report(tick, pos)
+			return false
 		}
 		for _, a := range c.alarms {
 			if a.Region.Contains(pos) {
-				return c.report(tick, pos)
+				return false
 			}
 		}
-		return nil
+		return true
 	default:
-		return c.report(tick, pos)
+		return false
 	}
+}
+
+// Report unconditionally generates a position report, advancing the seq.
+// The session layer uses it instead of Tick when it has already decided
+// (via SafeNow) that a report is due.
+func (c *Client) Report(tick int, pos geom.Point) *wire.PositionUpdate {
+	return c.report(tick, pos)
 }
 
 func (c *Client) report(tick int, pos geom.Point) *wire.PositionUpdate {
@@ -178,7 +192,16 @@ func (c *Client) acceptSeq(seq uint32) bool {
 func (c *Client) Handle(tick int, m wire.Message) error {
 	switch v := m.(type) {
 	case wire.AlarmFired:
-		c.fired = append(c.fired, v.Alarms...)
+		for _, id := range v.Alarms {
+			if c.firedSeen == nil {
+				c.firedSeen = make(map[uint64]struct{})
+			}
+			if _, dup := c.firedSeen[id]; dup {
+				continue // redelivered firing: already recorded
+			}
+			c.firedSeen[id] = struct{}{}
+			c.fired = append(c.fired, id)
+		}
 		// Fired alarms vanish from the OPT local set immediately.
 		if len(c.alarms) > 0 {
 			kept := c.alarms[:0]

@@ -240,6 +240,73 @@ func TestResendAfterTimeout(t *testing.T) {
 	}
 }
 
+// TestResponseOneTickLate: the original response arrives one tick after
+// the resend boundary — by then a new report (new Seq) is outstanding, so
+// the late response must be dropped and the fresh one honoured.
+func TestResponseOneTickLate(t *testing.T) {
+	met := &metrics.Client{}
+	c := New(1, wire.StrategyMWPSR, met)
+	first := c.Tick(0, geom.Pt(10, 10))
+	second := c.Tick(resendAfterTicks, geom.Pt(10, 10))
+	if second == nil || second.Seq != first.Seq+1 {
+		t.Fatalf("no resend at the timeout boundary: %+v", second)
+	}
+	// The first response limps in one tick late.
+	if err := c.Handle(resendAfterTicks+1, wire.RectRegion{Seq: first.Seq, Rect: geom.R(0, 0, 5, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.hasRect || !c.awaiting {
+		t.Error("late response to a superseded report was applied")
+	}
+	// The response to the resend applies normally.
+	c.Handle(resendAfterTicks+1, wire.RectRegion{Seq: second.Seq, Rect: geom.R(0, 0, 100, 100)})
+	if !c.hasRect || c.awaiting {
+		t.Error("response to the resend not applied")
+	}
+	if met.MessagesSent != 2 {
+		t.Errorf("MessagesSent = %d, want 2", met.MessagesSent)
+	}
+}
+
+// TestResponseJustInTime: a response landing on the last tick before the
+// resend boundary suppresses the resend entirely.
+func TestResponseJustInTime(t *testing.T) {
+	met := &metrics.Client{}
+	c := New(1, wire.StrategyMWPSR, met)
+	upd := c.Tick(0, geom.Pt(10, 10))
+	c.Handle(resendAfterTicks-1, wire.RectRegion{Seq: upd.Seq, Rect: geom.R(0, 0, 100, 100)})
+	if c.Tick(resendAfterTicks, geom.Pt(10, 10)) != nil {
+		t.Error("resent after the response already arrived")
+	}
+	if met.MessagesSent != 1 {
+		t.Errorf("MessagesSent = %d, want 1", met.MessagesSent)
+	}
+}
+
+// TestDuplicateResponseSuppression: a duplicated network frame delivers
+// the same response twice; the second copy must be harmless, and a
+// duplicated AlarmFired must not double-record the firing.
+func TestDuplicateResponseSuppression(t *testing.T) {
+	c := New(1, wire.StrategyMWPSR, &metrics.Client{})
+	upd := c.Tick(0, geom.Pt(10, 10))
+	region := wire.RectRegion{Seq: upd.Seq, Rect: geom.R(0, 0, 100, 100)}
+	if err := c.Handle(0, region); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Handle(0, region); err != nil {
+		t.Fatalf("duplicate response rejected: %v", err)
+	}
+	if !c.hasRect || c.awaiting {
+		t.Error("duplicate response corrupted monitoring state")
+	}
+	fired := wire.AlarmFired{Seq: 0, Alarms: []uint64{7, 9}}
+	c.Handle(1, fired)
+	c.Handle(1, fired) // redelivered frame
+	if got := c.Fired(); len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Errorf("Fired = %v, want [7 9] exactly once each", got)
+	}
+}
+
 func TestUnexpectedMessageError(t *testing.T) {
 	c := New(1, wire.StrategyMWPSR, &metrics.Client{})
 	if err := c.Handle(0, wire.PositionUpdate{}); err == nil {

@@ -1,0 +1,371 @@
+package client
+
+import (
+	"math/rand"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// This file implements the fault-tolerant session layer above Client
+// (PROTOCOL.md "Sessions"). A Session owns the connection lifecycle —
+// Hello/Resume enrollment, heartbeat dead-peer detection, reconnect with
+// exponential backoff and jitter — and the delivery guarantees: position
+// reports that could carry a trigger are queued until the server provably
+// processed them, and alarm firings are acknowledged so the server can
+// stop redelivering. While disconnected the client degrades gracefully,
+// evaluating its last safe region locally (sound for static alarms) and
+// queuing reports for redelivery.
+//
+// The machine is tick-driven, not clock-driven: the owner calls Step once
+// per position sample. That makes it byte-for-byte deterministic under
+// the simulator's scripted fault schedules while mapping directly onto
+// wall-clock ticks in cmd/alarmclient.
+
+// Dialer opens a fresh connection to the server. The session calls it on
+// every (re)connect attempt.
+type Dialer func() (transport.Conn, error)
+
+// SessionConfig tunes the session state machine. Zero values select the
+// defaults noted on each field.
+type SessionConfig struct {
+	// MaxHeight is the PBSR capability declared in Hello.
+	MaxHeight uint8
+	// HeartbeatEvery is the idle ticks after the last outbound message
+	// before a heartbeat goes out (default 8).
+	HeartbeatEvery int
+	// DeadAfterTicks without any inbound message declares the link dead
+	// and forces a reconnect (default 25).
+	DeadAfterTicks int
+	// ResendEvery is the tick interval between resends of an
+	// unacknowledged queued report (default 5, matching the plain
+	// client's resend timeout).
+	ResendEvery int
+	// BackoffBase and BackoffMax bound the exponential reconnect backoff
+	// in ticks (defaults 2 and 16).
+	BackoffBase, BackoffMax int
+	// JitterSeed seeds the deterministic backoff jitter.
+	JitterSeed int64
+	// MaxQueue bounds the offline report queue; the oldest reports are
+	// evicted (and counted) when it overflows (default 512).
+	MaxQueue int
+}
+
+func (c *SessionConfig) fillDefaults() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 8
+	}
+	if c.DeadAfterTicks <= 0 {
+		c.DeadAfterTicks = 25
+	}
+	if c.ResendEvery <= 0 {
+		c.ResendEvery = resendAfterTicks
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = 16
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 512
+	}
+}
+
+// queuedReport is a position report the server has not provably
+// processed yet.
+type queuedReport struct {
+	msg      wire.PositionUpdate
+	lastSent int // tick of the last transmission attempt
+}
+
+// Session drives one Client over an unreliable connection.
+type Session struct {
+	c    *Client
+	cfg  SessionConfig
+	dial Dialer
+	met  *metrics.Client
+	rng  *rand.Rand
+
+	conn      transport.PollingConn
+	connected bool
+	// established turns true when the server's Resume confirms our Hello.
+	// Until then no reports, resends or acks go out: an update processed
+	// before the Hello would enroll us server-side as an unreliable
+	// periodic client, silently forfeiting the exactly-once guarantee.
+	established bool
+	helloTick   int    // tick the last unconfirmed Hello went out
+	token       uint64 // resume token minted by the server, 0 before first Resume
+	resumed     bool   // last Hello was answered with Resumed=true
+
+	lastInTick   int // last tick any inbound message arrived
+	lastOutTick  int // last tick any outbound message was sent
+	nextDialTick int
+	backoff      int
+
+	queue      []queuedReport
+	ackPending []uint64 // fired alarm IDs to acknowledge
+	hbNonce    uint32
+
+	// OnFired, when set, is invoked with the newly delivered (deduplicated)
+	// alarm IDs.
+	OnFired func(ids []uint64)
+}
+
+// NewSession wraps c in a session that connects through dial. The session
+// starts disconnected; the first Step dials.
+func NewSession(c *Client, dial Dialer, cfg SessionConfig, met *metrics.Client) *Session {
+	cfg.fillDefaults()
+	return &Session{
+		c:           c,
+		cfg:         cfg,
+		dial:        dial,
+		met:         met,
+		rng:         rand.New(rand.NewSource(cfg.JitterSeed)),
+		lastInTick:  -1,
+		lastOutTick: -1,
+	}
+}
+
+// Client returns the wrapped monitoring client.
+func (s *Session) Client() *Client { return s.c }
+
+// Connected reports whether the session currently holds a live link.
+func (s *Session) Connected() bool { return s.connected }
+
+// Resumed reports whether the most recent connection resumed the previous
+// server-side session rather than starting fresh.
+func (s *Session) Resumed() bool { return s.resumed }
+
+// QueueLen returns the number of reports awaiting server confirmation.
+func (s *Session) QueueLen() int { return len(s.queue) }
+
+// Step advances the session one tick: processes inbound messages,
+// maintains the link (reconnect, heartbeat, dead-peer detection),
+// evaluates the position against the client's monitoring state, and
+// queues/sends a report when safety cannot be proven.
+func (s *Session) Step(tick int, pos geom.Point) {
+	s.drainInbound(tick)
+	s.maintainLink(tick)
+
+	if !s.c.SafeNow(tick, pos) {
+		rep := s.c.Report(tick, pos)
+		s.enqueue(tick, *rep)
+	}
+	s.flush(tick)
+}
+
+// Quiesce runs a maintenance-only tick: inbound processing, link upkeep
+// and queue/ack flushing, without generating a new report. The fault
+// simulator uses it after the trace ends so in-flight reports, firings
+// and acks settle to a quiescent state.
+func (s *Session) Quiesce(tick int) {
+	s.drainInbound(tick)
+	s.maintainLink(tick)
+	s.flush(tick)
+}
+
+// drainInbound applies every waiting message. A receive error tears the
+// link down; the next Step reconnects after backoff.
+func (s *Session) drainInbound(tick int) {
+	if !s.connected {
+		return
+	}
+	for {
+		m, ok, err := s.conn.TryRecv()
+		if err != nil {
+			s.disconnect(tick)
+			return
+		}
+		if !ok {
+			return
+		}
+		s.lastInTick = tick
+		s.handleInbound(tick, m)
+	}
+}
+
+func (s *Session) handleInbound(tick int, m wire.Message) {
+	// Any response seq proves the server processed that report: every
+	// trigger it caused is in the server's pending set (reliable sessions)
+	// and will reach us, so the queued report has done its job.
+	if seq, ok := wire.SeqOf(m); ok && seq != 0 {
+		s.unqueue(seq)
+	}
+	switch v := m.(type) {
+	case wire.Resume:
+		s.token = v.Token
+		s.resumed = v.Resumed
+		if !s.established {
+			s.established = true
+			// The session is confirmed: replay every queued report now.
+			for i := range s.queue {
+				if !s.connected {
+					break
+				}
+				if s.sendOn(tick, s.queue[i].msg) {
+					s.queue[i].lastSent = tick
+					s.met.RedeliveredReports++
+				}
+			}
+		}
+		return
+	case wire.Heartbeat:
+		return // echo; lastInTick already refreshed
+	case wire.AlarmFired:
+		before := len(s.c.fired)
+		_ = s.c.Handle(tick, v)
+		fresh := s.c.fired[before:]
+		// Acknowledge everything delivered — including redeliveries we
+		// deduplicated, or the server would retry them forever.
+		s.ackPending = append(s.ackPending, v.Alarms...)
+		if len(fresh) > 0 && s.OnFired != nil {
+			s.OnFired(fresh)
+		}
+		return
+	}
+	_ = s.c.Handle(tick, m)
+}
+
+// maintainLink reconnects when due, detects dead peers, and heartbeats on
+// idle links.
+func (s *Session) maintainLink(tick int) {
+	if s.connected {
+		if tick-s.lastInTick >= s.cfg.DeadAfterTicks {
+			s.disconnect(tick)
+		} else if tick-s.lastOutTick >= s.cfg.HeartbeatEvery {
+			s.hbNonce++
+			if s.sendOn(tick, wire.Heartbeat{Nonce: s.hbNonce}) {
+				s.met.HeartbeatsSent++
+			}
+		}
+		return
+	}
+	if tick < s.nextDialTick {
+		return
+	}
+	conn, err := s.dial()
+	if err != nil {
+		s.backoffMore(tick)
+		return
+	}
+	s.conn = transport.Poller(conn)
+	if err := s.conn.Send(s.helloMsg()); err != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.backoffMore(tick)
+		return
+	}
+	s.connected = true
+	s.established = false
+	s.helloTick = tick
+	s.backoff = 0
+	s.lastInTick = tick // grace: dead-peer countdown restarts now
+	s.lastOutTick = tick
+	s.met.Reconnects++
+	// The queue replays when the Resume confirms the session.
+}
+
+func (s *Session) helloMsg() wire.Hello {
+	return wire.Hello{
+		User:      s.c.User(),
+		Token:     s.token,
+		Strategy:  s.c.Strategy(),
+		MaxHeight: s.cfg.MaxHeight,
+	}
+}
+
+func (s *Session) disconnect(tick int) {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.connected = false
+	s.established = false
+	s.backoffMore(tick)
+}
+
+// backoffMore schedules the next dial attempt with exponential backoff
+// plus deterministic jitter in [0, backoff).
+func (s *Session) backoffMore(tick int) {
+	if s.backoff == 0 {
+		s.backoff = s.cfg.BackoffBase
+	} else {
+		s.backoff *= 2
+		if s.backoff > s.cfg.BackoffMax {
+			s.backoff = s.cfg.BackoffMax
+		}
+	}
+	s.nextDialTick = tick + s.backoff + s.rng.Intn(s.backoff)
+}
+
+// enqueue adds a report to the redelivery queue (evicting the oldest on
+// overflow) and transmits it when the link is up.
+func (s *Session) enqueue(tick int, rep wire.PositionUpdate) {
+	if len(s.queue) >= s.cfg.MaxQueue {
+		drop := len(s.queue) - s.cfg.MaxQueue + 1
+		s.queue = append(s.queue[:0], s.queue[drop:]...)
+		s.met.DroppedReports += uint64(drop)
+	}
+	s.queue = append(s.queue, queuedReport{msg: rep, lastSent: tick})
+	if s.connected && s.established {
+		s.sendOn(tick, rep)
+	}
+}
+
+// unqueue removes the report with the given seq, if still queued.
+func (s *Session) unqueue(seq uint32) {
+	for i := range s.queue {
+		if s.queue[i].msg.Seq == seq {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// flush resends overdue queued reports and pushes out pending FiredAcks.
+// On an unconfirmed session it instead retries the Hello: a lost Hello or
+// Resume must not stall the handshake until dead-peer detection fires.
+func (s *Session) flush(tick int) {
+	if !s.connected {
+		return
+	}
+	if !s.established {
+		if tick-s.helloTick >= s.cfg.ResendEvery {
+			if s.sendOn(tick, s.helloMsg()) {
+				s.helloTick = tick
+			}
+		}
+		return
+	}
+	for i := range s.queue {
+		if !s.connected {
+			return
+		}
+		if tick-s.queue[i].lastSent >= s.cfg.ResendEvery {
+			if s.sendOn(tick, s.queue[i].msg) {
+				s.queue[i].lastSent = tick
+				s.met.RedeliveredReports++
+			}
+		}
+	}
+	if s.connected && len(s.ackPending) > 0 {
+		if s.sendOn(tick, wire.FiredAck{Alarms: s.ackPending}) {
+			// A lost ack is harmless: the server redelivers, we re-ack.
+			s.ackPending = s.ackPending[:0]
+		}
+	}
+}
+
+// sendOn transmits one message, tearing the link down on error. Reports
+// whether the send succeeded.
+func (s *Session) sendOn(tick int, m wire.Message) bool {
+	if err := s.conn.Send(m); err != nil {
+		s.disconnect(tick)
+		return false
+	}
+	s.lastOutTick = tick
+	return true
+}

@@ -1,0 +1,281 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// fakeServer is the server end of a pipe, driven inline from the test: it
+// answers position updates with a fixed safe region and lets tests script
+// Hello/Resume behaviour and injected pushes.
+type fakeServer struct {
+	t    *testing.T
+	conn transport.PollingConn
+	rect geom.Rect
+
+	token      uint64
+	dropHellos int // swallow this many Hellos before answering
+	updates    []wire.PositionUpdate
+	hellos     []wire.Hello
+	heartbeats []wire.Heartbeat
+	acks       [][]uint64
+}
+
+// serve drains and answers everything the client sent this tick.
+func (f *fakeServer) serve() {
+	f.t.Helper()
+	for {
+		m, ok, err := f.conn.TryRecv()
+		if err != nil || !ok {
+			return
+		}
+		switch v := m.(type) {
+		case wire.Hello:
+			f.hellos = append(f.hellos, v)
+			if f.dropHellos > 0 {
+				f.dropHellos--
+				continue
+			}
+			resumed := v.Token != 0 && v.Token == f.token
+			if !resumed {
+				f.token++
+			}
+			f.send(wire.Resume{Token: f.token, Resumed: resumed})
+		case wire.PositionUpdate:
+			f.updates = append(f.updates, v)
+			f.send(wire.RectRegion{Seq: v.Seq, Rect: f.rect})
+		case wire.Heartbeat:
+			f.heartbeats = append(f.heartbeats, v)
+			f.send(v)
+		case wire.FiredAck:
+			f.acks = append(f.acks, v.Alarms)
+		default:
+			f.t.Errorf("fake server got %v", m.Kind())
+		}
+	}
+}
+
+func (f *fakeServer) send(m wire.Message) {
+	f.t.Helper()
+	if err := f.conn.Send(m); err != nil {
+		f.t.Fatalf("fake server send: %v", err)
+	}
+}
+
+// newSessionPair wires a session to a fake server over a fresh pipe per
+// dial. dials counts connection attempts.
+func newSessionPair(t *testing.T, cfg SessionConfig) (*Session, *fakeServer, *metrics.Client, *int) {
+	t.Helper()
+	srv := &fakeServer{t: t, rect: geom.R(0, 0, 100, 100)}
+	dials := 0
+	dial := func() (transport.Conn, error) {
+		dials++
+		cli, s := transport.Pipe(64)
+		srv.conn = transport.Poller(s)
+		return cli, nil
+	}
+	met := &metrics.Client{}
+	sess := NewSession(New(1, wire.StrategyMWPSR, met), dial, cfg, met)
+	return sess, srv, met, &dials
+}
+
+// TestSessionHandshakeGatesReports: no position report may leave before
+// the server's Resume confirms the Hello — an update processed first would
+// enroll the client as unreliable — and the queued backlog replays as soon
+// as the session is confirmed.
+func TestSessionHandshakeGatesReports(t *testing.T) {
+	sess, srv, _, _ := newSessionPair(t, SessionConfig{ResendEvery: 3})
+	srv.dropHellos = 1
+
+	// Tick 0 dials and sends the Hello (which the server swallows). The
+	// client is unsafe (no region yet) so a report queues — but must not
+	// be transmitted.
+	for tick := 0; tick < 3; tick++ {
+		sess.Step(tick, geom.Pt(10, 10))
+		srv.serve()
+	}
+	if len(srv.updates) != 0 {
+		t.Fatalf("%d reports sent before the session was confirmed", len(srv.updates))
+	}
+	if sess.QueueLen() == 0 {
+		t.Fatal("no reports queued while unconfirmed")
+	}
+	// Tick 3 is ResendEvery past the swallowed Hello: the retry goes out,
+	// the server answers, and tick 4 drains the Resume and replays the
+	// queue.
+	sess.Step(3, geom.Pt(10, 10))
+	srv.serve()
+	if len(srv.hellos) != 2 {
+		t.Fatalf("hellos = %d, want retry after ResendEvery", len(srv.hellos))
+	}
+	sess.Step(4, geom.Pt(10, 10))
+	srv.serve()
+	if len(srv.updates) == 0 {
+		t.Fatal("queue did not replay after Resume")
+	}
+	sess.Step(5, geom.Pt(10, 10)) // drain the region replies
+	if sess.QueueLen() != 0 {
+		t.Errorf("queue = %d after server answered everything", sess.QueueLen())
+	}
+	if !sess.Connected() {
+		t.Error("session not connected")
+	}
+}
+
+// TestSessionResumePresentsToken: after a link loss the reconnect Hello
+// carries the token from the first Resume.
+func TestSessionResumePresentsToken(t *testing.T) {
+	sess, srv, met, dials := newSessionPair(t, SessionConfig{BackoffBase: 1, BackoffMax: 1, JitterSeed: 3})
+	sess.Step(0, geom.Pt(10, 10))
+	srv.serve()
+	sess.Step(1, geom.Pt(10, 10))
+	srv.serve()
+	if sess.Resumed() {
+		t.Fatal("first connect claims resumed")
+	}
+
+	srv.conn.Close() // hard link loss
+	tick := 2
+	for ; *dials < 2 && tick < 20; tick++ {
+		sess.Step(tick, geom.Pt(10, 10))
+		srv.serve()
+	}
+	if *dials != 2 {
+		t.Fatalf("dials = %d, want a reconnect", *dials)
+	}
+	for end := tick + 3; tick < end; tick++ {
+		sess.Step(tick, geom.Pt(10, 10))
+		srv.serve()
+	}
+	last := srv.hellos[len(srv.hellos)-1]
+	if last.Token == 0 || last.Token != srv.token {
+		t.Errorf("reconnect Hello token = %d, want %d", last.Token, srv.token)
+	}
+	if !sess.Resumed() {
+		t.Error("session did not resume")
+	}
+	if met.Reconnects != 2 {
+		t.Errorf("Reconnects = %d", met.Reconnects)
+	}
+}
+
+// TestSessionBackoffGrowsExponentially: consecutive failed dials space out
+// by at least the doubling backoff (jitter only adds delay).
+func TestSessionBackoffGrowsExponentially(t *testing.T) {
+	var attempts []int
+	dial := func() (transport.Conn, error) {
+		return nil, errors.New("down")
+	}
+	met := &metrics.Client{}
+	sess := NewSession(New(1, wire.StrategyMWPSR, met), func() (transport.Conn, error) {
+		attempts = append(attempts, -1) // placeholder, fixed below
+		return dial()
+	}, SessionConfig{BackoffBase: 2, BackoffMax: 16, JitterSeed: 1}, met)
+	for tick := 0; tick < 120; tick++ {
+		if n := len(attempts); n > 0 && attempts[n-1] == -1 {
+			attempts[n-1] = tick - 1 // dial happened during the previous Step
+		}
+		sess.Step(tick, geom.Pt(10, 10))
+	}
+	if len(attempts) < 4 {
+		t.Fatalf("only %d dial attempts in 120 ticks", len(attempts))
+	}
+	wantMin := 2
+	for i := 1; i < len(attempts) && i < 5; i++ {
+		gap := attempts[i] - attempts[i-1]
+		if gap < wantMin {
+			t.Errorf("gap %d→%d = %d ticks, want >= %d", i-1, i, gap, wantMin)
+		}
+		if wantMin < 16 {
+			wantMin *= 2
+		}
+	}
+}
+
+// TestSessionHeartbeatAndDeadPeer: an idle link heartbeats on schedule,
+// and a peer that stops answering is declared dead and redialed.
+func TestSessionHeartbeatAndDeadPeer(t *testing.T) {
+	cfg := SessionConfig{HeartbeatEvery: 4, DeadAfterTicks: 10, BackoffBase: 1, BackoffMax: 2, JitterSeed: 5}
+	sess, srv, met, dials := newSessionPair(t, cfg)
+	// Establish and install a region so the client goes quiet.
+	for tick := 0; tick < 3; tick++ {
+		sess.Step(tick, geom.Pt(50, 50))
+		srv.serve()
+	}
+	if !sess.Connected() || sess.QueueLen() != 0 {
+		t.Fatalf("not settled: connected=%v queue=%d", sess.Connected(), sess.QueueLen())
+	}
+	// Idle inside the safe region: heartbeats keep the link warm.
+	for tick := 3; tick < 20; tick++ {
+		sess.Step(tick, geom.Pt(50, 50))
+		srv.serve()
+	}
+	if len(srv.heartbeats) < 3 {
+		t.Errorf("heartbeats = %d, want a steady idle cadence", len(srv.heartbeats))
+	}
+	if met.HeartbeatsSent != uint64(len(srv.heartbeats)) {
+		t.Errorf("HeartbeatsSent = %d, server saw %d", met.HeartbeatsSent, len(srv.heartbeats))
+	}
+	// Server goes mute (answers nothing, link stays up): dead-peer
+	// detection must tear down and redial within DeadAfterTicks + backoff.
+	before := *dials
+	for tick := 20; tick < 20+cfg.DeadAfterTicks+5; tick++ {
+		sess.Step(tick, geom.Pt(50, 50)) // srv.serve() withheld
+	}
+	if *dials <= before {
+		t.Error("mute peer never declared dead")
+	}
+}
+
+// TestSessionOfflineQueueEviction: a long outage overflows the bounded
+// queue oldest-first, and the drops are counted.
+func TestSessionOfflineQueueEviction(t *testing.T) {
+	dial := func() (transport.Conn, error) { return nil, errors.New("down") }
+	met := &metrics.Client{}
+	sess := NewSession(New(1, wire.StrategyMWPSR, met), dial, SessionConfig{MaxQueue: 4, JitterSeed: 2}, met)
+	for tick := 0; tick < 10; tick++ {
+		sess.Step(tick, geom.Pt(10, 10)) // never safe: queues every tick
+	}
+	if sess.QueueLen() != 4 {
+		t.Errorf("queue = %d, want capped at 4", sess.QueueLen())
+	}
+	if met.DroppedReports != 6 {
+		t.Errorf("DroppedReports = %d, want 6", met.DroppedReports)
+	}
+}
+
+// TestSessionFiredDeliveryAndAck: firings arrive through OnFired exactly
+// once even when redelivered, and every delivery is acknowledged.
+func TestSessionFiredDeliveryAndAck(t *testing.T) {
+	sess, srv, _, _ := newSessionPair(t, SessionConfig{})
+	var delivered []uint64
+	sess.OnFired = func(ids []uint64) { delivered = append(delivered, ids...) }
+	for tick := 0; tick < 3; tick++ {
+		sess.Step(tick, geom.Pt(50, 50))
+		srv.serve()
+	}
+	// Server pushes the same firing twice (a redelivery).
+	srv.send(wire.AlarmFired{Seq: 0, Alarms: []uint64{42}})
+	srv.send(wire.AlarmFired{Seq: 0, Alarms: []uint64{42}})
+	for tick := 3; tick < 6; tick++ {
+		sess.Step(tick, geom.Pt(50, 50))
+		srv.serve()
+	}
+	if len(delivered) != 1 || delivered[0] != 42 {
+		t.Fatalf("delivered = %v, want [42] exactly once", delivered)
+	}
+	var acked []uint64
+	for _, a := range srv.acks {
+		acked = append(acked, a...)
+	}
+	// Both copies are acknowledged — the server must learn its redelivery
+	// landed too.
+	if len(acked) < 2 {
+		t.Errorf("acked = %v, want both delivered copies acknowledged", acked)
+	}
+}

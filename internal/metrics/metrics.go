@@ -76,6 +76,13 @@ type Server struct {
 	srComputations   atomic.Uint64
 	rectClips        atomic.Uint64
 	alarmEvaluations atomic.Uint64
+
+	// Session lifecycle counters (fault-tolerant connection path).
+	sessionsOpened     atomic.Uint64
+	sessionsResumed    atomic.Uint64
+	heartbeats         atomic.Uint64
+	redeliveredUpdates atomic.Uint64
+	firedRedeliveries  atomic.Uint64
 }
 
 // Snapshot is a consistent-enough point-in-time copy of the server
@@ -101,6 +108,12 @@ type Snapshot struct {
 	SafeRegionComputations uint64
 	RectClips              uint64
 	AlarmEvaluations       uint64
+
+	SessionsOpened     uint64
+	SessionsResumed    uint64
+	Heartbeats         uint64
+	RedeliveredUpdates uint64
+	FiredRedeliveries  uint64
 }
 
 // NewServer returns a counter set using the given cost model.
@@ -127,8 +140,30 @@ func (s *Server) Snapshot() Snapshot {
 		SafeRegionComputations: s.srComputations.Load(),
 		RectClips:              s.rectClips.Load(),
 		AlarmEvaluations:       s.alarmEvaluations.Load(),
+		SessionsOpened:         s.sessionsOpened.Load(),
+		SessionsResumed:        s.sessionsResumed.Load(),
+		Heartbeats:             s.heartbeats.Load(),
+		RedeliveredUpdates:     s.redeliveredUpdates.Load(),
+		FiredRedeliveries:      s.firedRedeliveries.Load(),
 	}
 }
+
+// AddSessionOpened records a fresh session established via Hello.
+func (s *Server) AddSessionOpened() { s.sessionsOpened.Add(1) }
+
+// AddSessionResumed records a reconnecting client resuming its session.
+func (s *Server) AddSessionResumed() { s.sessionsResumed.Add(1) }
+
+// AddHeartbeat records a heartbeat received from a client.
+func (s *Server) AddHeartbeat() { s.heartbeats.Add(1) }
+
+// AddRedeliveredUpdates records position updates received more than once
+// (client resend after a lost response).
+func (s *Server) AddRedeliveredUpdates(n uint64) { s.redeliveredUpdates.Add(n) }
+
+// AddFiredRedeliveries records unacknowledged alarm firings re-sent to a
+// reliable client.
+func (s *Server) AddFiredRedeliveries(n uint64) { s.firedRedeliveries.Add(n) }
 
 // AddUplink records a client→server message of the given encoded size.
 func (s *Server) AddUplink(bytes int) {
@@ -251,6 +286,11 @@ type Client struct {
 	Probes            uint64
 	// MessagesSent counts client→server reports.
 	MessagesSent uint64
+	// Session lifecycle counters (fault-tolerant connection path).
+	Reconnects         uint64 // reconnect attempts that established a link
+	HeartbeatsSent     uint64 // heartbeats transmitted
+	RedeliveredReports uint64 // queued reports re-sent after reconnect/timeout
+	DroppedReports     uint64 // reports evicted from a full offline queue
 }
 
 // AddCheck records one containment check costing the given probes.
@@ -264,6 +304,10 @@ func (c *Client) Merge(other Client) {
 	c.ContainmentChecks += other.ContainmentChecks
 	c.Probes += other.Probes
 	c.MessagesSent += other.MessagesSent
+	c.Reconnects += other.Reconnects
+	c.HeartbeatsSent += other.HeartbeatsSent
+	c.RedeliveredReports += other.RedeliveredReports
+	c.DroppedReports += other.DroppedReports
 }
 
 // EnergyParams converts client-side work into energy, mirroring the

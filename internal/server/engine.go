@@ -111,6 +111,13 @@ type Engine struct {
 	// clients proceed in parallel.
 	shards [clientShards]clientShard
 
+	// sessions maps resume tokens to users. Tokens are minted by
+	// HandleHello and survive transport restarts because they live here in
+	// the engine, not in the TCP layer. lastToken is the mint counter.
+	sessMu    sync.Mutex
+	sessions  map[uint64]alarm.UserID
+	lastToken uint64
+
 	// publicBitmaps caches the precomputed public-alarm pyramid region per
 	// grid cell (invalidated wholesale when alarms change). Each entry is
 	// computed exactly once via its sync.Once: N PBSR clients entering a
@@ -145,6 +152,19 @@ type clientState struct {
 	// recomputing and re-shipping the bitmap.
 	bitmapCell    grid.CellID
 	hasBitmapCell bool
+
+	// reliable marks clients enrolled through Hello (the fault-tolerant
+	// session path): their alarm firings are retained in pendingFired until
+	// a FiredAck arrives, and duplicate position updates are counted. Plain
+	// Register clients (the simulator's fault-free path) stay fire-and-
+	// forget, keeping sim.Run byte-identical to pre-session behavior.
+	reliable bool
+	// lastSeq is the seq of the most recent non-zero position update, used
+	// to count client resends.
+	lastSeq uint32
+	// pendingFired holds fired alarm IDs not yet acknowledged; every
+	// AlarmFired to a reliable client carries the full pending set.
+	pendingFired []uint64
 }
 
 // pendingPush is a computed invalidation push awaiting delivery once the
@@ -349,17 +369,39 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 	triggered, candidates, accesses := reg.EvaluateCounted(u.Pos, user)
 	e.met.AddAlarmEvaluation(accesses, uint64(candidates))
 
-	var out []wire.Message
-	if len(triggered) > 0 {
-		fired := wire.AlarmFired{Seq: u.Seq, Alarms: make([]uint64, len(triggered))}
-		for i, id := range triggered {
-			// One-shot semantics: retire the pair before recomputing the
-			// safe region so the fired alarm becomes free space (§4.2).
-			reg.MarkFired(id, user)
-			fired.Alarms[i] = uint64(id)
+	if st.reliable && u.Seq != 0 {
+		if u.Seq == st.lastSeq {
+			e.met.AddRedeliveredUpdates(1)
 		}
-		e.met.AddAlarmsTriggered(uint64(len(triggered)))
-		out = e.send(out, fired)
+		st.lastSeq = u.Seq
+	}
+
+	newFired := make([]uint64, 0, len(triggered))
+	for _, id := range triggered {
+		// One-shot semantics: retire the pair before recomputing the
+		// safe region so the fired alarm becomes free space (§4.2).
+		reg.MarkFired(id, user)
+		newFired = append(newFired, uint64(id))
+	}
+	if len(newFired) > 0 {
+		e.met.AddAlarmsTriggered(uint64(len(newFired)))
+	}
+
+	var out []wire.Message
+	firedIDs := newFired
+	if st.reliable {
+		// Exactly-once delivery: carry every unacknowledged firing on each
+		// response until the client's FiredAck clears it. MarkFired keeps
+		// pendingFired and newFired disjoint (a retired pair never
+		// re-triggers), so the concatenation has no duplicates.
+		if len(st.pendingFired) > 0 {
+			e.met.AddFiredRedeliveries(uint64(len(st.pendingFired)))
+		}
+		firedIDs = append(append(make([]uint64, 0, len(st.pendingFired)+len(newFired)), st.pendingFired...), newFired...)
+		st.pendingFired = firedIDs
+	}
+	if len(firedIDs) > 0 {
+		out = e.send(out, wire.AlarmFired{Seq: u.Seq, Alarms: firedIDs})
 	}
 
 	switch st.strategy {

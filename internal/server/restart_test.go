@@ -1,0 +1,128 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// TestTCPServerKillRestartResume is the end-to-end fault-tolerance check:
+// a session-enrolled client walks toward an alarm over real TCP, the
+// listener is killed and restarted mid-walk (the engine — and with it the
+// session table — survives, as it would behind a crash-restarted
+// front end), and the client must reconnect, resume its session by token,
+// and still receive the firing exactly once.
+func TestTCPServerKillRestartResume(t *testing.T) {
+	eng := newEngine(t, nil)
+	id := install(t, eng, alarm.Alarm{
+		Scope: alarm.Private, Owner: 42,
+		Region: geom.RectAround(geom.Pt(2000, 500), 200),
+	})
+
+	start := func() (*TCPServer, string) {
+		t.Helper()
+		srv, err := NewTCPServerIdle(eng, "127.0.0.1:0", nil, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		return srv, srv.Addr().String()
+	}
+	srv, addr0 := start()
+	defer func() { srv.Close() }()
+
+	var mu sync.Mutex
+	addr := addr0
+	dial := func() (transport.Conn, error) {
+		mu.Lock()
+		a := addr
+		mu.Unlock()
+		return transport.DialDeadline(a, time.Second, 10*time.Second, 10*time.Second)
+	}
+
+	met := &metrics.Client{}
+	cl := client.New(42, wire.StrategyMWPSR, met)
+	sess := client.NewSession(cl, dial, client.SessionConfig{
+		HeartbeatEvery: 3,
+		DeadAfterTicks: 10,
+		ResendEvery:    4,
+		BackoffBase:    1,
+		BackoffMax:     4,
+		JitterSeed:     9,
+	}, met)
+	var delivered []uint64
+	sess.OnFired = func(ids []uint64) { delivered = append(delivered, ids...) }
+
+	const killTick, restartTick = 30, 34
+	firedAt := -1
+	tick := 0
+	step := func() {
+		// Walk east 20 m per tick until the firing, then hold position so
+		// any duplicate delivery would surface.
+		x := 500 + float64(tick)*20
+		if firedAt >= 0 {
+			x = 500 + float64(firedAt)*20
+		}
+		sess.Step(tick, geom.Pt(x, 500))
+		if firedAt < 0 && len(delivered) > 0 {
+			firedAt = tick
+		}
+		tick++
+		time.Sleep(2 * time.Millisecond) // let TCP replies land before the next tick
+	}
+
+	for tick < killTick {
+		step()
+	}
+	srv.Close()
+	for tick < restartTick {
+		step() // ticks against a dead server: degrade, queue, back off
+	}
+	srv, addr1 := start()
+	mu.Lock()
+	addr = addr1
+	mu.Unlock()
+
+	for tick < 400 && (firedAt < 0 || tick < firedAt+60) {
+		step()
+	}
+
+	if len(delivered) != 1 || delivered[0] != uint64(id) {
+		t.Fatalf("delivered = %v, want exactly [%d]", delivered, id)
+	}
+	if got := cl.Fired(); len(got) != 1 || got[0] != uint64(id) {
+		t.Fatalf("client fired log = %v, want [%d]", got, id)
+	}
+	if !sess.Resumed() {
+		t.Error("session did not resume by token after the restart")
+	}
+	if met.Reconnects < 2 {
+		t.Errorf("Reconnects = %d, want at least initial connect + post-restart", met.Reconnects)
+	}
+	snap := eng.Metrics().Snapshot()
+	if snap.SessionsResumed < 1 {
+		t.Errorf("SessionsResumed = %d, want >= 1", snap.SessionsResumed)
+	}
+	if snap.AlarmsTriggered != 1 {
+		t.Errorf("server AlarmsTriggered = %d, want 1", snap.AlarmsTriggered)
+	}
+	// Drain: the ack must eventually clear the pending set, or the server
+	// would redeliver forever.
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.PendingFired(42) != nil && time.Now().Before(deadline) {
+		step()
+	}
+	if got := eng.PendingFired(42); got != nil {
+		t.Errorf("firing never acknowledged; pending = %v", got)
+	}
+	if qs := sess.QueueLen(); qs != 0 {
+		t.Errorf("client still holds %d unconfirmed reports", qs)
+	}
+}

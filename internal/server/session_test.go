@@ -1,0 +1,195 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// hello enrolls user through the reliable session path and returns the
+// minted resume token.
+func hello(t testing.TB, e *Engine, user uint64, s wire.Strategy, token uint64) (uint64, bool, []wire.Message) {
+	t.Helper()
+	out, resumed, err := e.HandleHello(wire.Hello{User: user, Token: token, Strategy: s, MaxHeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("Hello got no reply")
+	}
+	r, ok := out[0].(wire.Resume)
+	if !ok {
+		t.Fatalf("first Hello reply is %v, want Resume", out[0].Kind())
+	}
+	if r.Resumed != resumed {
+		t.Fatalf("Resume.Resumed=%v but HandleHello reported %v", r.Resumed, resumed)
+	}
+	return r.Token, resumed, out
+}
+
+func firedIn(out []wire.Message) []uint64 {
+	var ids []uint64
+	for _, m := range out {
+		if f, ok := m.(wire.AlarmFired); ok {
+			ids = append(ids, f.Alarms...)
+		}
+	}
+	return ids
+}
+
+func TestHelloFreshThenResume(t *testing.T) {
+	e := newEngine(t, nil)
+	tok, resumed, _ := hello(t, e, 1, wire.StrategyMWPSR, 0)
+	if resumed || tok == 0 {
+		t.Fatalf("fresh Hello: token=%d resumed=%v", tok, resumed)
+	}
+	if e.Metrics().Snapshot().SessionsOpened != 1 {
+		t.Errorf("SessionsOpened = %d", e.Metrics().Snapshot().SessionsOpened)
+	}
+	// Give the server a position so the resume can re-push monitoring state.
+	handle(t, e, 1, 1, geom.Pt(300, 300))
+
+	tok2, resumed, out := hello(t, e, 1, wire.StrategyMWPSR, tok)
+	if !resumed || tok2 != tok {
+		t.Fatalf("resume failed: token=%d resumed=%v", tok2, resumed)
+	}
+	// The resume reply re-installs the safe region (Seq-0 push).
+	var push *wire.RectRegion
+	for _, m := range out {
+		if rr, ok := m.(wire.RectRegion); ok {
+			push = &rr
+		}
+	}
+	if push == nil || push.Seq != 0 {
+		t.Fatalf("resume reply lacks a Seq-0 region push: %v", out)
+	}
+	if !push.Rect.Contains(geom.Pt(300, 300)) {
+		t.Errorf("resumed region %v lost the client's last position", push.Rect)
+	}
+	if e.Metrics().Snapshot().SessionsResumed != 1 {
+		t.Errorf("SessionsResumed = %d", e.Metrics().Snapshot().SessionsResumed)
+	}
+}
+
+func TestHelloRejectsUnknownStrategy(t *testing.T) {
+	e := newEngine(t, nil)
+	if _, _, err := e.HandleHello(wire.Hello{User: 1, Strategy: 99}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestHelloStrategyChangeFallsBackToFresh: a token resume only holds when
+// the client re-declares the same strategy and capability; otherwise the
+// retained state is useless and a fresh session starts.
+func TestHelloStrategyChangeFallsBackToFresh(t *testing.T) {
+	e := newEngine(t, nil)
+	tok, _, _ := hello(t, e, 1, wire.StrategyMWPSR, 0)
+	tok2, resumed, _ := hello(t, e, 1, wire.StrategyPBSR, tok)
+	if resumed {
+		t.Error("resumed across a strategy change")
+	}
+	if tok2 == tok {
+		t.Error("fresh fallback reused the old token")
+	}
+}
+
+// TestHelloForeignTokenIgnored: presenting another user's token must not
+// hijack their session.
+func TestHelloForeignTokenIgnored(t *testing.T) {
+	e := newEngine(t, nil)
+	tok, _, _ := hello(t, e, 1, wire.StrategyMWPSR, 0)
+	_, resumed, _ := hello(t, e, 2, wire.StrategyMWPSR, tok)
+	if resumed {
+		t.Error("user 2 resumed user 1's session")
+	}
+}
+
+// TestPendingFiredRetainedUntilAck: a reliable client's firings are
+// redelivered on every response until FiredAck clears them.
+func TestPendingFiredRetainedUntilAck(t *testing.T) {
+	e := newEngine(t, nil)
+	hello(t, e, 1, wire.StrategyMWPSR, 0)
+	id := install(t, e, alarm.Alarm{Scope: alarm.Private, Owner: 1, Region: geom.RectAround(geom.Pt(500, 500), 100)})
+
+	out := handle(t, e, 1, 1, geom.Pt(500, 500))
+	if got := firedIn(out); len(got) != 1 || got[0] != uint64(id) {
+		t.Fatalf("fired = %v, want [%d]", got, id)
+	}
+	// Unacknowledged: the next response redelivers it.
+	out = handle(t, e, 1, 2, geom.Pt(500, 500))
+	if got := firedIn(out); len(got) != 1 || got[0] != uint64(id) {
+		t.Fatalf("redelivery = %v, want [%d]", got, id)
+	}
+	if got := e.PendingFired(1); len(got) != 1 {
+		t.Fatalf("PendingFired = %v", got)
+	}
+	e.AckFired(1, []uint64{uint64(id)})
+	if got := e.PendingFired(1); got != nil {
+		t.Fatalf("PendingFired after ack = %v", got)
+	}
+	out = handle(t, e, 1, 3, geom.Pt(500, 500))
+	if got := firedIn(out); len(got) != 0 {
+		t.Errorf("fired redelivered after ack: %v", got)
+	}
+}
+
+// TestHelloCarriesPendingFiredAcrossFreshEnrollment: when a client lost
+// its token (e.g. the Resume frame was dropped) and re-enrolls fresh, the
+// unacknowledged firings survive the re-enrollment and ride on the reply.
+func TestHelloCarriesPendingFiredAcrossFreshEnrollment(t *testing.T) {
+	e := newEngine(t, nil)
+	hello(t, e, 1, wire.StrategyMWPSR, 0)
+	id := install(t, e, alarm.Alarm{Scope: alarm.Private, Owner: 1, Region: geom.RectAround(geom.Pt(500, 500), 100)})
+	handle(t, e, 1, 1, geom.Pt(500, 500)) // fires, unacknowledged
+
+	_, resumed, out := hello(t, e, 1, wire.StrategyMWPSR, 0)
+	if resumed {
+		t.Fatal("token-0 Hello resumed")
+	}
+	if got := firedIn(out); len(got) != 1 || got[0] != uint64(id) {
+		t.Fatalf("fresh reply carried %v, want [%d]", got, id)
+	}
+	if got := e.PendingFired(1); len(got) != 1 || got[0] != uint64(id) {
+		t.Fatalf("pending set after re-enrollment = %v, want [%d]", got, id)
+	}
+}
+
+// TestHeartbeatEchoAndRedelivery: a heartbeat is echoed and piggybacks any
+// pending firings, so a client whose safe region keeps it silent still
+// hears about a lost AlarmFired.
+func TestHeartbeatEchoAndRedelivery(t *testing.T) {
+	e := newEngine(t, nil)
+	hello(t, e, 1, wire.StrategyMWPSR, 0)
+	id := install(t, e, alarm.Alarm{Scope: alarm.Private, Owner: 1, Region: geom.RectAround(geom.Pt(500, 500), 100)})
+	handle(t, e, 1, 1, geom.Pt(500, 500))
+
+	out := e.HandleHeartbeat(1, wire.Heartbeat{Nonce: 7})
+	if hb, ok := out[0].(wire.Heartbeat); !ok || hb.Nonce != 7 {
+		t.Fatalf("heartbeat not echoed: %v", out)
+	}
+	if got := firedIn(out); len(got) != 1 || got[0] != uint64(id) {
+		t.Fatalf("heartbeat piggyback = %v, want [%d]", got, id)
+	}
+	e.AckFired(1, []uint64{uint64(id)})
+	out = e.HandleHeartbeat(1, wire.Heartbeat{Nonce: 8})
+	if len(out) != 1 {
+		t.Errorf("acked heartbeat reply = %v, want bare echo", out)
+	}
+	if e.Metrics().Snapshot().Heartbeats != 2 {
+		t.Errorf("Heartbeats = %d", e.Metrics().Snapshot().Heartbeats)
+	}
+}
+
+// TestReliableDuplicateUpdateCounted: a redelivered position update (same
+// Seq) is tolerated and counted rather than corrupting state.
+func TestReliableDuplicateUpdateCounted(t *testing.T) {
+	e := newEngine(t, nil)
+	hello(t, e, 1, wire.StrategyMWPSR, 0)
+	handle(t, e, 1, 5, geom.Pt(300, 300))
+	handle(t, e, 1, 5, geom.Pt(300, 300)) // duplicate frame
+	if got := e.Metrics().Snapshot().RedeliveredUpdates; got != 1 {
+		t.Errorf("RedeliveredUpdates = %d, want 1", got)
+	}
+}

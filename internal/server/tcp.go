@@ -6,21 +6,30 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
 	"github.com/sabre-geo/sabre/internal/transport"
 	"github.com/sabre-geo/sabre/internal/wire"
 )
 
+// DefaultIdleTimeout is how long a connection may stay silent before the
+// server reaps it as a dead peer. Clients heartbeat well inside this
+// window, so only a truly dead link times out; its session state stays in
+// the engine for a later resume.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // TCPServer fronts an Engine with a TCP listener speaking length-prefixed
 // wire frames: one connection per client, one serving goroutine per
 // connection. It demonstrates the engine outside the in-process
 // simulation; cmd/alarmserver wraps it.
 type TCPServer struct {
-	eng *Engine
-	ln  net.Listener
-	log *log.Logger
+	eng         *Engine
+	ln          net.Listener
+	log         *log.Logger
+	idleTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -31,9 +40,15 @@ type TCPServer struct {
 	wg        sync.WaitGroup
 }
 
-// NewTCPServer starts listening on addr (e.g. ":7700"). Serving starts
-// with Serve.
+// NewTCPServer starts listening on addr (e.g. ":7700") with the default
+// idle timeout. Serving starts with Serve.
 func NewTCPServer(eng *Engine, addr string, logger *log.Logger) (*TCPServer, error) {
+	return NewTCPServerIdle(eng, addr, logger, DefaultIdleTimeout)
+}
+
+// NewTCPServerIdle is NewTCPServer with an explicit idle timeout; zero
+// disables dead-peer reaping.
+func NewTCPServerIdle(eng *Engine, addr string, logger *log.Logger, idleTimeout time.Duration) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
@@ -42,11 +57,12 @@ func NewTCPServer(eng *Engine, addr string, logger *log.Logger) (*TCPServer, err
 		logger = log.New(io.Discard, "", 0)
 	}
 	s := &TCPServer{
-		eng:       eng,
-		ln:        ln,
-		log:       logger,
-		conns:     make(map[net.Conn]struct{}),
-		userConns: make(map[uint64]transport.Conn),
+		eng:         eng,
+		ln:          ln,
+		log:         logger,
+		idleTimeout: idleTimeout,
+		conns:       make(map[net.Conn]struct{}),
+		userConns:   make(map[uint64]transport.Conn),
 	}
 	// Deliver moving-target invalidations (Seq-0 pushes) to connected
 	// clients. The engine invokes the pusher after releasing its locks, so
@@ -126,7 +142,10 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 		delete(s.conns, nc)
 		s.mu.Unlock()
 	}()
-	conn := transport.NewTCP(nc)
+	// The read deadline doubles as dead-peer detection: a client that
+	// neither reports nor heartbeats within the idle window is reaped. Its
+	// session state stays in the engine for a later Hello+token resume.
+	conn := transport.NewTCPDeadline(nc, s.idleTimeout, 30*time.Second)
 	var registeredUser uint64
 	defer func() {
 		if registeredUser != 0 {
@@ -137,10 +156,29 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			s.mu.Unlock()
 		}
 	}()
+	bind := func(user uint64) {
+		registeredUser = user
+		s.mu.Lock()
+		s.userConns[user] = conn
+		s.mu.Unlock()
+	}
+	reply := func(responses []wire.Message) bool {
+		for _, r := range responses {
+			if err := conn.Send(r); err != nil {
+				s.log.Printf("conn %s: send: %v", nc.RemoteAddr(), err)
+				return false
+			}
+		}
+		return true
+	}
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				s.log.Printf("conn %s: idle timeout, reaping", nc.RemoteAddr())
+			default:
 				s.log.Printf("conn %s: recv: %v", nc.RemoteAddr(), err)
 			}
 			return
@@ -151,10 +189,28 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 				s.log.Printf("conn %s: register: %v", nc.RemoteAddr(), err)
 				return
 			}
-			registeredUser = m.User
-			s.mu.Lock()
-			s.userConns[m.User] = conn
-			s.mu.Unlock()
+			bind(m.User)
+		case wire.Hello:
+			responses, resumed, err := s.eng.HandleHello(m)
+			if err != nil {
+				s.log.Printf("conn %s: hello: %v", nc.RemoteAddr(), err)
+				return
+			}
+			bind(m.User)
+			if !reply(responses) {
+				return
+			}
+			if resumed {
+				s.log.Printf("conn %s: user %d resumed session", nc.RemoteAddr(), m.User)
+			}
+		case wire.Heartbeat:
+			if !reply(s.eng.HandleHeartbeat(alarm.UserID(registeredUser), m)) {
+				return
+			}
+		case wire.FiredAck:
+			if registeredUser != 0 {
+				s.eng.AckFired(alarm.UserID(registeredUser), m.Alarms)
+			}
 		case wire.PositionUpdate:
 			responses, err := s.eng.HandleUpdate(m)
 			if err != nil {

@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/stats"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// FaultPlan scripts a deterministic fault campaign for RunFaulty. Every
+// client link gets its own seeded transport.FaultSchedule derived from
+// Seed, so two runs with the same workload, strategy and plan replay
+// byte-identical fault sequences.
+type FaultPlan struct {
+	Seed int64
+
+	// Probabilistic faults applied (both directions) inside [From, Until).
+	// Until must leave enough fault-free trailing ticks — see DrainTicks —
+	// for queued reports to replay; Until == 0 means the whole trace,
+	// which only converges if DrainTicks is generous.
+	From, Until   int
+	DropProb      float64
+	DupProb       float64
+	DelayProb     float64
+	MaxDelayTicks int
+	ReorderProb   float64
+
+	// PartitionEvery selects every Nth client (1-based user ID divisible
+	// by N) for a network partition over Partition; 0 disables.
+	PartitionEvery int
+	Partition      transport.Window
+
+	// ResetEvery selects every Nth client for a hard connection reset at
+	// ResetTick; 0 disables. A reset kills the whole link (both
+	// directions), forcing the session through reconnect + resume.
+	ResetEvery int
+	ResetTick  int
+
+	// Session tunes the client session state machines; zero fields take
+	// the session defaults.
+	Session client.SessionConfig
+
+	// DrainTicks extends the run past the trace end with positions frozen
+	// and (scheduled) faults over, giving sessions time to reconnect,
+	// replay queues and collect redelivered firings.
+	DrainTicks int
+}
+
+// DefaultFaultPlan returns an aggressive but convergent plan for a trace
+// of the given length: heavy probabilistic faults over the first 3/4 of
+// the trace, a mid-run partition for every 3rd client, a hard reset for
+// every 4th, and a drain window long enough to replay everything.
+func DefaultFaultPlan(seed int64, durationTicks int) FaultPlan {
+	return FaultPlan{
+		Seed:           seed,
+		From:           0,
+		Until:          durationTicks * 3 / 4,
+		DropProb:       0.15,
+		DupProb:        0.10,
+		DelayProb:      0.10,
+		MaxDelayTicks:  3,
+		ReorderProb:    0.10,
+		PartitionEvery: 3,
+		Partition:      transport.Window{From: durationTicks / 5, Until: durationTicks * 3 / 10},
+		ResetEvery:     4,
+		ResetTick:      durationTicks / 2,
+		DrainTicks:     durationTicks*3/4 + 100,
+	}
+}
+
+// faultLink is one client's live connection as the harness sees it: the
+// raw server endpoint is reached through srv (downlink faults), the
+// client endpoint through cli (uplink faults). Both wrappers share the
+// pipe, so one reset kills the pair.
+type faultLink struct {
+	user uint64
+	cli  *transport.FaultyConn
+	srv  *transport.FaultyConn
+}
+
+// schedFor derives the fault schedule for one endpoint. dir is 0 for the
+// client (uplink) side, 1 for the server (downlink) side; incarnation
+// increments per reconnect so a fresh link draws a fresh fault stream.
+func (p FaultPlan) schedFor(user uint64, dir, incarnation int) transport.FaultSchedule {
+	s := transport.FaultSchedule{
+		Seed: p.Seed ^ int64(user)*0x9E3779B9 ^
+			int64(dir+1)<<40 ^ int64(incarnation)<<48,
+		From:          p.From,
+		Until:         p.Until,
+		DropProb:      p.DropProb,
+		DupProb:       p.DupProb,
+		DelayProb:     p.DelayProb,
+		MaxDelayTicks: p.MaxDelayTicks,
+		ReorderProb:   p.ReorderProb,
+	}
+	if p.PartitionEvery > 0 && user%uint64(p.PartitionEvery) == 0 {
+		s.Partitions = []transport.Window{p.Partition}
+	}
+	// Resets live on the uplink wrapper only: closing it tears down the
+	// shared pipe, so one scheduled reset already kills both directions.
+	if dir == 0 && p.ResetEvery > 0 && user%uint64(p.ResetEvery) == 0 {
+		s.ResetAt = []int{p.ResetTick}
+	}
+	return s
+}
+
+// RunFaulty executes one strategy over the workload with every client
+// behind a fault-injected link and the full session layer active
+// (Hello/Resume, heartbeats, reconnect with backoff, report queues,
+// FiredAck). It is single-threaded and fully deterministic. Triggers are
+// recorded at client delivery (deduplicated), so under the exactly-once
+// guarantee the (User, Alarm) pairs equal a fault-free Run's — which
+// TestFaultInjectionDeliveryEquality asserts for each safe-region
+// strategy.
+func RunFaulty(w *Workload, sc StrategyConfig, plan FaultPlan) (*Report, error) {
+	if sc.PyramidHeight == 0 {
+		sc.PyramidHeight = 5
+	}
+	if sc.BitmapMaxBits == 0 {
+		sc.BitmapMaxBits = 2048
+	}
+	if sc.CellAreaKM2 == 0 {
+		sc.CellAreaKM2 = 2.5
+	}
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return nil, err
+	}
+	universe := w.Net.Bounds().Expand(50)
+	eng, err := server.New(server.Config{
+		Universe:                universe,
+		CellAreaM2:              sc.CellAreaKM2 * 1e6,
+		Model:                   sc.Model,
+		PyramidParams:           pyramidParams(sc),
+		MaxSpeed:                mob.MaxSpeed(),
+		TickSeconds:             mobCfg.TickSeconds,
+		PrecomputePublicBitmaps: sc.PrecomputePublicBitmaps,
+		ExhaustiveAssembly:      sc.ExhaustiveAssembly,
+		UseBucketIndex:          sc.BucketIndex,
+		SafePeriodSpeedFactor:   sc.SafePeriodSpeedFactor,
+		Costs:                   metrics.DefaultCosts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Registry().InstallBatch(w.Alarms); err != nil {
+		return nil, err
+	}
+
+	n := w.Config.Vehicles
+	perClient := make([]metrics.Client, n)
+	sessions := make([]*client.Session, n)
+	links := make([]*faultLink, n)
+	incarnation := make([]int, n)
+	curTick := 0
+	var triggers []Trigger
+
+	for i := 0; i < n; i++ {
+		i := i
+		user := uint64(i + 1)
+		cl := client.New(user, sc.Strategy, &perClient[i])
+		scfg := plan.Session
+		scfg.MaxHeight = uint8(sc.PyramidHeight)
+		scfg.JitterSeed = plan.Seed ^ int64(user)<<17
+		dial := func() (transport.Conn, error) {
+			incarnation[i]++
+			cEnd, sEnd := transport.Pipe(4096)
+			ln := &faultLink{
+				user: user,
+				cli:  transport.Faulty(cEnd, plan.schedFor(user, 0, incarnation[i]), curTick),
+				srv:  transport.Faulty(sEnd, plan.schedFor(user, 1, incarnation[i]), curTick),
+			}
+			links[i] = ln
+			return ln.cli, nil
+		}
+		sessions[i] = client.NewSession(cl, dial, scfg, &perClient[i])
+		sessions[i].OnFired = func(ids []uint64) {
+			for _, id := range ids {
+				triggers = append(triggers, Trigger{User: user, Alarm: id, Tick: curTick})
+			}
+		}
+	}
+
+	// Moving-target invalidation pushes travel the faulty downlink like
+	// every other server-initiated message.
+	eng.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+		idx := int(user) - 1
+		if idx < 0 || idx >= n || links[idx] == nil {
+			return
+		}
+		for _, m := range msgs {
+			if links[idx].srv.Send(m) != nil {
+				return
+			}
+		}
+	})
+
+	positions := make([]geom.Point, n)
+	var serverWall time.Duration
+	total := w.Config.DurationTicks + plan.DrainTicks
+	for tick := 0; tick < total; tick++ {
+		curTick = tick
+		if tick < w.Config.DurationTicks {
+			mob.Step()
+			for i := range positions {
+				positions[i] = mob.Position(i)
+			}
+		}
+		// Phase 1: advance every live link's fault clocks, releasing
+		// delayed traffic and firing scheduled resets.
+		for i, ln := range links {
+			if ln == nil {
+				continue
+			}
+			if ln.cli.Advance(tick) != nil || ln.srv.Advance(tick) != nil {
+				links[i] = nil // reset fired; the session reconnects
+			}
+		}
+		// Phase 2: sessions evaluate and (re)send in index order. Once the
+		// trace ends, sessions only settle in-flight traffic (resends,
+		// firing redeliveries, acks) instead of reporting the frozen
+		// position forever — a perpetually-unsafe client would otherwise
+		// keep an entry in flight at every cutoff.
+		for i, s := range sessions {
+			if tick < w.Config.DurationTicks {
+				s.Step(tick, positions[i])
+			} else {
+				s.Quiesce(tick)
+			}
+		}
+		// Phase 3: the server drains each link in index order and replies
+		// down the faulty downlink; responses reach the session next tick.
+		for i, ln := range links {
+			if ln == nil {
+				continue
+			}
+			if err := serveFaultLink(eng, ln, &serverWall); err != nil {
+				if err == transport.ErrClosed {
+					links[i] = nil
+					continue
+				}
+				return nil, fmt.Errorf("tick %d user %d: %w", tick, ln.user, err)
+			}
+		}
+	}
+
+	for i, s := range sessions {
+		if qs := s.QueueLen(); qs > 0 {
+			return nil, fmt.Errorf("sim: user %d still has %d undrained reports after %d drain ticks — extend DrainTicks or end faults earlier", i+1, qs, plan.DrainTicks)
+		}
+	}
+
+	clientMet := &metrics.Client{}
+	msgsPerClient := make([]uint64, n)
+	for i := range perClient {
+		clientMet.Merge(perClient[i])
+		msgsPerClient[i] = perClient[i].MessagesSent
+	}
+	met := eng.Metrics().Snapshot()
+	traceSeconds := float64(w.Config.DurationTicks) * mobCfg.TickSeconds
+	return &Report{
+		Strategy:               sc.Strategy.String(),
+		Vehicles:               n,
+		DurationTicks:          w.Config.DurationTicks,
+		UplinkMessages:         met.UplinkMessages,
+		UplinkBytes:            met.UplinkBytes,
+		DownlinkMessages:       met.DownlinkMessages,
+		DownlinkBytes:          met.DownlinkBytes,
+		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		ClientChecks:           clientMet.ContainmentChecks,
+		ClientProbes:           clientMet.Probes,
+		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
+		ClientProbeEnergyMWh:   float64(clientMet.Probes) * metrics.DefaultEnergy().ProbeMilliWattHours,
+		PerClientMessages:      stats.SummarizeUints(msgsPerClient),
+		AlarmProcessingMinutes: met.AlarmProcessingSeconds() / 60,
+		SafeRegionMinutes:      met.SafeRegionSeconds() / 60,
+		TotalServerMinutes:     met.TotalSeconds() / 60,
+		SafeRegionComputations: met.SafeRegionComputations,
+		AlarmEvaluations:       met.AlarmEvaluations,
+		RectClips:              met.RectClips,
+		MeasuredServerSeconds:  serverWall.Seconds(),
+		Triggers:               triggers,
+	}, nil
+}
+
+// serveFaultLink drains one link's pending uplink messages and replies.
+// Returns transport.ErrClosed when the link died underneath us.
+func serveFaultLink(eng *server.Engine, ln *faultLink, wall *time.Duration) error {
+	for {
+		m, ok, err := ln.srv.TryRecv()
+		if err != nil {
+			return transport.ErrClosed
+		}
+		if !ok {
+			return nil
+		}
+		var responses []wire.Message
+		switch v := m.(type) {
+		case wire.Hello:
+			responses, _, err = eng.HandleHello(v)
+			if err != nil {
+				return err
+			}
+		case wire.Heartbeat:
+			responses = eng.HandleHeartbeat(alarm.UserID(ln.user), v)
+		case wire.FiredAck:
+			eng.AckFired(alarm.UserID(ln.user), v.Alarms)
+		case wire.PositionUpdate:
+			start := time.Now()
+			responses, err = eng.HandleUpdate(v)
+			*wall += time.Since(start)
+			if err != nil {
+				return err
+			}
+			if len(responses) == 0 {
+				responses = []wire.Message{wire.Ack{Seq: v.Seq}}
+			}
+		default:
+			return fmt.Errorf("sim: unexpected uplink message %v", m.Kind())
+		}
+		for _, r := range responses {
+			if ln.srv.Send(r) != nil {
+				// Link died mid-reply; the session replays on reconnect.
+				return transport.ErrClosed
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// pairCounts maps (user, alarm) to how many times it was delivered.
+func pairCounts(ts []Trigger) map[[2]uint64]int {
+	m := make(map[[2]uint64]int, len(ts))
+	for _, t := range ts {
+		m[[2]uint64{t.User, t.Alarm}]++
+	}
+	return m
+}
+
+// TestFaultInjectionDeliveryEquality is the acceptance check for the
+// fault-tolerant lifecycle: for each safe-region strategy, a seeded
+// schedule of drops, delays, duplicates, reorders, partitions and hard
+// resets must deliver exactly the same (user, alarm) set as the
+// fault-free run — nothing lost, nothing delivered twice.
+func TestFaultInjectionDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy fault simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultFaultPlan(77, w.Config.DurationTicks)
+	cases := []struct {
+		name string
+		sc   StrategyConfig
+	}{
+		{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+		{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+		{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Run(w, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty, err := RunFaulty(w, tc.sc, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			basePairs := pairCounts(base.Triggers)
+			faultPairs := pairCounts(faulty.Triggers)
+			for p, c := range faultPairs {
+				if c != 1 {
+					t.Errorf("pair (user %d, alarm %d) delivered %d times under faults", p[0], p[1], c)
+				}
+				if basePairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) delivered under faults but not fault-free", p[0], p[1])
+				}
+			}
+			for p := range basePairs {
+				if faultPairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) lost under faults", p[0], p[1])
+				}
+			}
+			if len(base.Triggers) == 0 {
+				t.Fatal("workload produced no triggers; the equality check is vacuous")
+			}
+			t.Logf("%s: %d fault-free triggers, %d faulty deliveries, equal sets",
+				tc.name, len(base.Triggers), len(faulty.Triggers))
+		})
+	}
+}
+
+// TestRunFaultyDeterministic asserts that the fault harness replays
+// byte-identically: same workload + plan → the exact same trigger
+// sequence, delivery ticks included.
+func TestRunFaultyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault simulation")
+	}
+	cfg := SmallWorkload(5)
+	cfg.Vehicles = 60
+	cfg.DurationTicks = 200
+	cfg.NumAlarms = 80
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultFaultPlan(123, cfg.DurationTicks)
+	sc := StrategyConfig{Strategy: wire.StrategyMWPSR}
+	a, err := RunFaulty(w, sc, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaulty(w, sc, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Triggers) != len(b.Triggers) {
+		t.Fatalf("trigger counts differ: %d vs %d", len(a.Triggers), len(b.Triggers))
+	}
+	for i := range a.Triggers {
+		if a.Triggers[i] != b.Triggers[i] {
+			t.Fatalf("trigger %d differs: %+v vs %+v", i, a.Triggers[i], b.Triggers[i])
+		}
+	}
+	if a.UplinkMessages != b.UplinkMessages || a.DownlinkBytes != b.DownlinkBytes {
+		t.Errorf("traffic not deterministic: %d/%d vs %d/%d uplink msgs / downlink bytes",
+			a.UplinkMessages, a.DownlinkBytes, b.UplinkMessages, b.DownlinkBytes)
+	}
+}

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// Window is a half-open tick interval [From, Until).
+type Window struct {
+	From, Until int
+}
+
+func (w Window) contains(tick int) bool { return tick >= w.From && tick < w.Until }
+
+// FaultSchedule scripts the faults a FaultyConn injects into its outbound
+// traffic. All randomness flows from Seed, so identical schedules replay
+// identical fault sequences; the probabilistic faults only apply inside
+// the [From, Until) tick window (Until == 0 means unbounded), while
+// Partitions and ResetAt carry their own tick coordinates.
+type FaultSchedule struct {
+	Seed int64
+
+	// From and Until bound the probabilistic faults below to the half-open
+	// tick window [From, Until). Until == 0 means no upper bound.
+	From, Until int
+
+	DropProb  float64 // silently discard the message
+	DupProb   float64 // deliver the message twice
+	DelayProb float64 // park the message until a later Advance releases it
+	// MaxDelayTicks caps the uniform random delay drawn for a delayed
+	// message; values below 1 are treated as 1.
+	MaxDelayTicks int
+	ReorderProb   float64 // hold the message so a later one overtakes it
+
+	// Partitions blackhole every outbound message whose Send falls inside
+	// any of the windows, regardless of From/Until.
+	Partitions []Window
+
+	// ResetAt lists ticks at which the connection is hard-closed: the
+	// inner conn is torn down, queued faults are discarded, and every
+	// subsequent operation fails. Resets at or before the wrapper's start
+	// tick never fire, so a reconnected incarnation does not replay them.
+	ResetAt []int
+}
+
+// FaultStats counts what a FaultyConn has done to its traffic.
+type FaultStats struct {
+	Sent           int // Send calls accepted (before any fault)
+	Dropped        int // discarded by DropProb
+	Duplicated     int // extra copies injected by DupProb
+	Delayed        int // parked by DelayProb
+	Reordered      int // held so a later message overtook them
+	PartitionDrops int // blackholed inside a partition window
+	Resets         int // hard resets fired
+}
+
+type delayedMsg struct {
+	due int
+	m   wire.Message
+}
+
+// FaultyConn wraps a Conn and perturbs its outbound messages according to
+// a deterministic FaultSchedule. Faults are injected on Send only: wrap
+// both endpoints of a link (with independent schedules) to fault both
+// directions. The wrapper is tick-driven — the owner calls Advance once
+// per simulated tick to release delayed traffic, flush reorder holds, and
+// fire scheduled resets — and safe for concurrent use.
+type FaultyConn struct {
+	mu      sync.Mutex
+	inner   PollingConn
+	sched   FaultSchedule
+	rng     *rand.Rand
+	curTick int
+	closed  bool
+	delayed []delayedMsg
+	held    []wire.Message
+	stats   FaultStats
+}
+
+// Faulty wraps inner with the given fault schedule, starting at startTick.
+// Resets scheduled at or before startTick are considered already spent.
+func Faulty(inner Conn, sched FaultSchedule, startTick int) *FaultyConn {
+	if sched.MaxDelayTicks < 1 {
+		sched.MaxDelayTicks = 1
+	}
+	return &FaultyConn{
+		inner:   Poller(inner),
+		sched:   sched,
+		rng:     rand.New(rand.NewSource(sched.Seed)),
+		curTick: startTick,
+	}
+}
+
+func (f *FaultyConn) activeLocked() bool {
+	if f.curTick < f.sched.From {
+		return false
+	}
+	return f.sched.Until == 0 || f.curTick < f.sched.Until
+}
+
+// Send applies the fault schedule to m. Dropped and partitioned messages
+// report success: from the sender's perspective the network ate them.
+func (f *FaultyConn) Send(m wire.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.stats.Sent++
+	for _, w := range f.sched.Partitions {
+		if w.contains(f.curTick) {
+			f.stats.PartitionDrops++
+			return nil
+		}
+	}
+	if !f.activeLocked() {
+		return f.deliverLocked(m, false)
+	}
+	// Fixed draw order keeps the rng stream — and so the whole fault
+	// sequence — a pure function of (seed, Send sequence).
+	if f.sched.DropProb > 0 && f.rng.Float64() < f.sched.DropProb {
+		f.stats.Dropped++
+		return nil
+	}
+	dup := f.sched.DupProb > 0 && f.rng.Float64() < f.sched.DupProb
+	if f.sched.DelayProb > 0 && f.rng.Float64() < f.sched.DelayProb {
+		d := 1 + f.rng.Intn(f.sched.MaxDelayTicks)
+		f.stats.Delayed++
+		f.delayed = append(f.delayed, delayedMsg{due: f.curTick + d, m: m})
+		if dup {
+			f.stats.Duplicated++
+			f.delayed = append(f.delayed, delayedMsg{due: f.curTick + d, m: m})
+		}
+		return nil
+	}
+	if f.sched.ReorderProb > 0 && f.rng.Float64() < f.sched.ReorderProb {
+		f.stats.Reordered++
+		f.held = append(f.held, m)
+		if dup {
+			// The duplicate travels now; the original arrives late.
+			f.stats.Duplicated++
+			return f.inner.Send(m)
+		}
+		return nil
+	}
+	return f.deliverLocked(m, dup)
+}
+
+// deliverLocked sends m (and an optional duplicate), then flushes any
+// reorder hold — the held messages arrive after m, which is the reorder.
+func (f *FaultyConn) deliverLocked(m wire.Message, dup bool) error {
+	if err := f.inner.Send(m); err != nil {
+		return err
+	}
+	if dup {
+		f.stats.Duplicated++
+		if err := f.inner.Send(m); err != nil {
+			return err
+		}
+	}
+	return f.flushHeldLocked()
+}
+
+func (f *FaultyConn) flushHeldLocked() error {
+	for len(f.held) > 0 {
+		h := f.held[0]
+		f.held = f.held[1:]
+		if err := f.inner.Send(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Advance moves the wrapper's clock to tick: scheduled resets in
+// (prevTick, tick] fire (closing the connection), reorder holds flush,
+// and delayed messages whose due tick has arrived are released. Call it
+// once per simulated tick on each wrapper.
+func (f *FaultyConn) Advance(tick int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev := f.curTick
+	f.curTick = tick
+	if f.closed {
+		return ErrClosed
+	}
+	for _, r := range f.sched.ResetAt {
+		if r > prev && r <= tick {
+			f.stats.Resets++
+			f.closed = true
+			f.delayed = nil
+			f.held = nil
+			f.inner.Close()
+			return ErrClosed
+		}
+	}
+	if err := f.flushHeldLocked(); err != nil {
+		return err
+	}
+	keep := f.delayed[:0]
+	for _, dm := range f.delayed {
+		if dm.due <= tick {
+			if err := f.inner.Send(dm.m); err != nil {
+				return err
+			}
+		} else {
+			keep = append(keep, dm)
+		}
+	}
+	f.delayed = keep
+	return nil
+}
+
+func (f *FaultyConn) Recv() (wire.Message, error) { return f.inner.Recv() }
+
+func (f *FaultyConn) TryRecv() (wire.Message, bool, error) { return f.inner.TryRecv() }
+
+func (f *FaultyConn) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.delayed = nil
+	f.held = nil
+	f.mu.Unlock()
+	return f.inner.Close()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *FaultyConn) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -1,11 +1,12 @@
 // Package transport moves wire messages between clients and the server.
 //
 // Two implementations share one Conn interface: an in-process channel pipe
-// (used by simulations and tests, optionally with injected message loss)
-// and a TCP transport with 4-byte length-prefixed frames (used by the
-// cmd/alarmserver and cmd/alarmclient binaries). The client state machine
-// already tolerates lost responses via its resend timeout, so the lossy
-// wrapper doubles as the failure-injection harness.
+// (used by simulations and tests) and a TCP transport with 4-byte
+// length-prefixed frames (used by the cmd/alarmserver and cmd/alarmclient
+// binaries). The Faulty wrapper injects a deterministic, seed-scripted
+// fault schedule — drops, delays, duplicates, reorders, hard resets and
+// timed partitions — onto any Conn; the session layer in internal/client
+// and internal/server is what makes delivery survive it.
 package transport
 
 import (
@@ -13,9 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/sabre-geo/sabre/internal/wire"
 )
@@ -35,6 +36,27 @@ type Conn interface {
 	Recv() (wire.Message, error)
 	// Close releases the connection; pending and future Recv calls fail.
 	Close() error
+}
+
+// PollingConn is a Conn that additionally supports a non-blocking receive.
+// Single-threaded drivers (the deterministic fault simulator, the client
+// session state machine) poll instead of parking a goroutine per
+// connection. Pipe endpoints and Faulty wrappers implement it natively;
+// Buffer adapts any other Conn.
+type PollingConn interface {
+	Conn
+	// TryRecv returns the next message if one is ready. ok is false when
+	// no message is waiting; a non-nil error means the connection is dead.
+	TryRecv() (m wire.Message, ok bool, err error)
+}
+
+// Poller returns c as a PollingConn, wrapping it in a Buffer pump when the
+// implementation has no native non-blocking receive.
+func Poller(c Conn) PollingConn {
+	if p, ok := c.(PollingConn); ok {
+		return p
+	}
+	return Buffer(c, 256)
 }
 
 // Pipe returns two connected in-process endpoints with the given buffer
@@ -95,42 +117,88 @@ func (c *pipeConn) Recv() (wire.Message, error) {
 
 func (c *pipeConn) Close() error { return c.close() }
 
-// Lossy wraps a Conn, dropping outbound messages with the given
-// probability (deterministic in seed). Receives are unaffected. Used to
-// inject message loss in failure tests.
-func Lossy(inner Conn, dropProb float64, seed int64) Conn {
-	return &lossyConn{inner: inner, dropProb: dropProb, rng: rand.New(rand.NewSource(seed))}
-}
-
-type lossyConn struct {
-	inner    Conn
-	dropProb float64
-	mu       sync.Mutex
-	rng      *rand.Rand
-	dropped  int
-}
-
-func (c *lossyConn) Send(m wire.Message) error {
-	c.mu.Lock()
-	drop := c.rng.Float64() < c.dropProb
-	if drop {
-		c.dropped++
+// TryRecv implements PollingConn without blocking. Like Recv, a closed
+// pipe reports ErrClosed even if undrained messages remain.
+func (c *pipeConn) TryRecv() (wire.Message, bool, error) {
+	select {
+	case <-c.done:
+		return nil, false, ErrClosed
+	default:
 	}
-	c.mu.Unlock()
-	if drop {
-		return nil // silently lost, like the network would
+	select {
+	case <-c.done:
+		return nil, false, ErrClosed
+	case m := <-c.recv:
+		return m, true, nil
+	default:
+		return nil, false, nil
 	}
-	return c.inner.Send(m)
 }
 
-func (c *lossyConn) Recv() (wire.Message, error) { return c.inner.Recv() }
-func (c *lossyConn) Close() error                { return c.inner.Close() }
+// Buffer adapts any Conn into a PollingConn by pumping Recv through a
+// goroutine into a channel of the given capacity. Used for TCP
+// connections, whose framing cannot tolerate a timed-out partial read.
+// Closing the returned conn closes the inner one, which stops the pump.
+func Buffer(inner Conn, capacity int) PollingConn {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &bufferedConn{inner: inner, ch: make(chan wire.Message, capacity)}
+	go b.pump()
+	return b
+}
 
-// Dropped reports how many messages the lossy wrapper discarded.
-func (c *lossyConn) Dropped() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
+type bufferedConn struct {
+	inner Conn
+	ch    chan wire.Message
+	mu    sync.Mutex
+	err   error
+}
+
+func (b *bufferedConn) pump() {
+	for {
+		m, err := b.inner.Recv()
+		if err != nil {
+			b.mu.Lock()
+			b.err = err
+			b.mu.Unlock()
+			close(b.ch)
+			return
+		}
+		b.ch <- m
+	}
+}
+
+func (b *bufferedConn) savedErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		return ErrClosed
+	}
+	return b.err
+}
+
+func (b *bufferedConn) Send(m wire.Message) error { return b.inner.Send(m) }
+func (b *bufferedConn) Close() error              { return b.inner.Close() }
+
+func (b *bufferedConn) Recv() (wire.Message, error) {
+	m, ok := <-b.ch
+	if !ok {
+		return nil, b.savedErr()
+	}
+	return m, nil
+}
+
+func (b *bufferedConn) TryRecv() (wire.Message, bool, error) {
+	select {
+	case m, ok := <-b.ch:
+		if !ok {
+			return nil, false, b.savedErr()
+		}
+		return m, true, nil
+	default:
+		return nil, false, nil
+	}
 }
 
 // WriteFrame writes one length-prefixed message to w.
@@ -167,15 +235,28 @@ func ReadFrame(r io.Reader) (wire.Message, error) {
 	return wire.Decode(payload)
 }
 
-// tcpConn adapts a net.Conn to the Conn interface with framed messages.
+// tcpConn adapts a net.Conn to the Conn interface with framed messages
+// and optional per-operation deadlines (zero disables a deadline).
 type tcpConn struct {
-	nc net.Conn
-	wm sync.Mutex
-	rm sync.Mutex
+	nc           net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	wm           sync.Mutex
+	rm           sync.Mutex
 }
 
-// NewTCP wraps an established network connection.
+// NewTCP wraps an established network connection with no deadlines.
 func NewTCP(nc net.Conn) Conn { return &tcpConn{nc: nc} }
+
+// NewTCPDeadline wraps an established network connection applying a read
+// deadline per Recv and a write deadline per Send (either may be zero to
+// disable). A Recv that outlives the read deadline kills the connection —
+// framing cannot resume after a partial read — so the read timeout doubles
+// as dead-peer detection: pick it longer than the peer's heartbeat
+// interval.
+func NewTCPDeadline(nc net.Conn, readTimeout, writeTimeout time.Duration) Conn {
+	return &tcpConn{nc: nc, readTimeout: readTimeout, writeTimeout: writeTimeout}
+}
 
 // Dial connects to a SABRE server at addr.
 func Dial(addr string) (Conn, error) {
@@ -186,15 +267,35 @@ func Dial(addr string) (Conn, error) {
 	return NewTCP(nc), nil
 }
 
+// DialDeadline connects to a SABRE server at addr with a connect timeout
+// and per-operation deadlines on the returned conn.
+func DialDeadline(addr string, connectTimeout, readTimeout, writeTimeout time.Duration) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, connectTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPDeadline(nc, readTimeout, writeTimeout), nil
+}
+
 func (c *tcpConn) Send(m wire.Message) error {
 	c.wm.Lock()
 	defer c.wm.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
 	return WriteFrame(c.nc, m)
 }
 
 func (c *tcpConn) Recv() (wire.Message, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
+	if c.readTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	return ReadFrame(c.nc)
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"net"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -59,27 +61,328 @@ func TestPipeBlockedRecvUnblocksOnClose(t *testing.T) {
 	}
 }
 
-func TestLossyDropsDeterministically(t *testing.T) {
-	a, _ := Pipe(1024)
-	lossy := Lossy(a, 0.5, 42).(*lossyConn)
-	for i := 0; i < 1000; i++ {
-		if err := lossy.Send(wire.Ack{Seq: uint32(i)}); err != nil {
-			t.Fatal(err)
+func TestFaultyDropsDeterministically(t *testing.T) {
+	run := func() ([]uint32, int) {
+		a, b := Pipe(4096)
+		f := Faulty(a, FaultSchedule{Seed: 42, DropProb: 0.5}, 0)
+		for i := 0; i < 1000; i++ {
+			if err := f.Send(wire.Ack{Seq: uint32(i)}); err != nil {
+				t.Fatal(err)
+			}
 		}
+		var got []uint32
+		p := Poller(b)
+		for {
+			m, ok, err := p.TryRecv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, m.(wire.Ack).Seq)
+		}
+		return got, f.Stats().Dropped
 	}
-	dropped := lossy.Dropped()
+	got1, dropped := run()
 	if dropped < 400 || dropped > 600 {
 		t.Errorf("dropped %d of 1000 at p=0.5", dropped)
 	}
-	// Same seed, same drops.
-	a2, _ := Pipe(1024)
-	lossy2 := Lossy(a2, 0.5, 42).(*lossyConn)
+	if len(got1)+dropped != 1000 {
+		t.Errorf("delivered %d + dropped %d != 1000", len(got1), dropped)
+	}
+	// Same seed, same drop pattern message-for-message.
+	got2, _ := run()
+	if !reflect.DeepEqual(got1, got2) {
+		t.Error("drop pattern not deterministic across identical runs")
+	}
+}
+
+func TestFaultyDelayDupReorder(t *testing.T) {
+	a, b := Pipe(4096)
+	p := Poller(b)
+	drain := func() []uint32 {
+		var got []uint32
+		for {
+			m, ok, err := p.TryRecv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return got
+			}
+			got = append(got, m.(wire.Ack).Seq)
+		}
+	}
+
+	// Delay every message by exactly 2 ticks.
+	f := Faulty(a, FaultSchedule{Seed: 1, DelayProb: 1, MaxDelayTicks: 1}, 0)
+	if err := f.Send(wire.Ack{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(); len(got) != 0 {
+		t.Fatalf("delayed message delivered early: %v", got)
+	}
+	if err := f.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after Advance: %v", got)
+	}
+
+	// Duplicate every message.
+	a2, b2 := Pipe(16)
+	p2 := Poller(b2)
+	f2 := Faulty(a2, FaultSchedule{Seed: 1, DupProb: 1}, 0)
+	if err := f2.Send(wire.Ack{Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m1, ok1, _ := p2.TryRecv()
+	m2, ok2, _ := p2.TryRecv()
+	if !ok1 || !ok2 || m1.(wire.Ack).Seq != 7 || m2.(wire.Ack).Seq != 7 {
+		t.Fatalf("duplicate not delivered twice: %v %v %v %v", m1, ok1, m2, ok2)
+	}
+
+	// Reorder: first message held, second overtakes it.
+	a3, b3 := Pipe(16)
+	p3 := Poller(b3)
+	f3 := Faulty(a3, FaultSchedule{Seed: 1, ReorderProb: 1, Until: 1}, 0)
+	if err := f3.Send(wire.Ack{Seq: 10}); err != nil { // held (tick 0 active)
+		t.Fatal(err)
+	}
+	if err := f3.Advance(1); err != nil { // tick 1: schedule inactive
+		t.Fatal(err)
+	}
+	// Hold was flushed by Advance; send another and check order overall.
+	if err := f3.Send(wire.Ack{Seq: 11}); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint32
+	for {
+		m, ok, err := p3.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seqs = append(seqs, m.(wire.Ack).Seq)
+	}
+	if !reflect.DeepEqual(seqs, []uint32{10, 11}) {
+		t.Fatalf("advance-flushed hold order: %v", seqs)
+	}
+
+	// Reorder within a tick: held message overtaken by the next send.
+	a4, b4 := Pipe(16)
+	p4 := Poller(b4)
+	f4 := Faulty(a4, FaultSchedule{Seed: 99, ReorderProb: 1, Until: 1}, 0)
+	if err := f4.Send(wire.Ack{Seq: 20}); err != nil { // held
+		t.Fatal(err)
+	}
+	if err := f4.Advance(5); err != nil { // exits window but flushes hold
+		t.Fatal(err)
+	}
+	if err := f4.Send(wire.Ack{Seq: 21}); err != nil {
+		t.Fatal(err)
+	}
+	seqs = nil
+	for {
+		m, ok, err := p4.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seqs = append(seqs, m.(wire.Ack).Seq)
+	}
+	if !reflect.DeepEqual(seqs, []uint32{20, 21}) {
+		t.Fatalf("got %v", seqs)
+	}
+}
+
+func TestFaultyReorderOvertake(t *testing.T) {
+	a, b := Pipe(16)
+	p := Poller(b)
+	// Window covers both sends, but seed/probability only holds some:
+	// with ReorderProb 1 every plain send is held, so interleave delivery
+	// via a second send whose hold-flush happens in deliverLocked. Use a
+	// schedule where reorder triggers on the first draw only.
+	f := Faulty(a, FaultSchedule{Seed: 1, ReorderProb: 1, Until: 0}, 0)
+	if err := f.Send(wire.Ack{Seq: 1}); err != nil { // held
+		t.Fatal(err)
+	}
+	// Second send is also "reordered": joins the hold queue.
+	if err := f.Send(wire.Ack{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Advance(1); err != nil { // flush holds in FIFO order
+		t.Fatal(err)
+	}
+	var seqs []uint32
+	for {
+		m, ok, err := p.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seqs = append(seqs, m.(wire.Ack).Seq)
+	}
+	if !reflect.DeepEqual(seqs, []uint32{1, 2}) {
+		t.Fatalf("got %v", seqs)
+	}
+}
+
+func TestFaultyPartitionAndReset(t *testing.T) {
+	a, b := Pipe(64)
+	p := Poller(b)
+	f := Faulty(a, FaultSchedule{
+		Seed:       7,
+		Partitions: []Window{{From: 5, Until: 10}},
+		ResetAt:    []int{20},
+	}, 0)
+	if err := f.Send(wire.Ack{Seq: 0}); err != nil { // tick 0: delivered
+		t.Fatal(err)
+	}
+	if err := f.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(wire.Ack{Seq: 1}); err != nil { // partitioned
+		t.Fatal(err)
+	}
+	if err := f.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(wire.Ack{Seq: 2}); err != nil { // partition over
+		t.Fatal(err)
+	}
+	var seqs []uint32
+	for {
+		m, ok, err := p.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seqs = append(seqs, m.(wire.Ack).Seq)
+	}
+	if !reflect.DeepEqual(seqs, []uint32{0, 2}) {
+		t.Fatalf("partition delivery: %v", seqs)
+	}
+	st := f.Stats()
+	if st.PartitionDrops != 1 {
+		t.Errorf("partition drops = %d", st.PartitionDrops)
+	}
+	// Reset fires crossing tick 20; the connection dies for both ends.
+	if err := f.Advance(25); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Advance over reset: %v", err)
+	}
+	if err := f.Send(wire.Ack{Seq: 3}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after reset: %v", err)
+	}
+	if _, _, err := p.TryRecv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("peer TryRecv after reset: %v", err)
+	}
+	if f.Stats().Resets != 1 {
+		t.Errorf("resets = %d", f.Stats().Resets)
+	}
+	// A fresh incarnation starting after the reset tick must not replay it.
+	a2, _ := Pipe(16)
+	f2 := Faulty(a2, FaultSchedule{Seed: 7, ResetAt: []int{20}}, 25)
+	if err := f2.Advance(30); err != nil {
+		t.Fatalf("spent reset refired: %v", err)
+	}
+	if f2.Stats().Resets != 0 {
+		t.Errorf("spent reset counted: %d", f2.Stats().Resets)
+	}
+}
+
+// TestFaultyConcurrentSendRace hammers one FaultyConn from many
+// goroutines while another advances the clock; run with -race this
+// catches any unguarded math/rand or queue state.
+func TestFaultyConcurrentSendRace(t *testing.T) {
+	a, b := Pipe(1 << 16)
+	f := Faulty(a, FaultSchedule{
+		Seed: 3, DropProb: 0.2, DupProb: 0.2, DelayProb: 0.2,
+		MaxDelayTicks: 3, ReorderProb: 0.2,
+		Partitions: []Window{{From: 10, Until: 20}},
+	}, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = f.Send(wire.Ack{Seq: uint32(g*1000 + i)})
+				_ = f.Stats()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for tick := 1; tick <= 50; tick++ {
+			_ = f.Advance(tick)
+		}
+	}()
+	// Concurrently drain the peer so sends never block on a full pipe.
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, err := b.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	_ = f.Advance(100) // release stragglers
+	f.Close()
+	close(done)
+	st := f.Stats()
+	if st.Sent != 4000 {
+		t.Errorf("sent = %d", st.Sent)
+	}
+}
+
+func TestBufferAdaptsConn(t *testing.T) {
+	a, b := Pipe(4)
+	p := Buffer(b, 8)
+	if _, ok, err := p.TryRecv(); ok || err != nil {
+		t.Fatalf("empty TryRecv: %v %v", ok, err)
+	}
+	if err := a.Send(wire.Ack{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// The pump goroutine needs a moment to move the message across.
+	var got wire.Message
 	for i := 0; i < 1000; i++ {
-		lossy2.Send(wire.Ack{Seq: uint32(i)})
+		m, ok, err := p.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			got = m
+			break
+		}
+		runtime.Gosched()
 	}
-	if lossy2.Dropped() != dropped {
-		t.Errorf("drop pattern not deterministic: %d vs %d", lossy2.Dropped(), dropped)
+	if got == nil || got.(wire.Ack).Seq != 5 {
+		t.Fatalf("buffered TryRecv got %v", got)
 	}
+	a.Close()
+	for i := 0; i < 1000; i++ {
+		if _, _, err := p.TryRecv(); err != nil {
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("unexpected close error: %v", err)
+			}
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatal("buffered conn never reported close")
 }
 
 func TestFrameRoundTrip(t *testing.T) {

@@ -23,12 +23,33 @@ func FuzzDecode(f *testing.F) {
 		SafePeriod{Seq: 8, Ticks: 300},
 		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
 		Ack{Seq: 77},
+		Hello{User: 42, Token: 0xFEEDC0FFEE, Strategy: StrategyMWPSR, MaxHeight: 5},
+		Hello{User: 1}, // fresh session, zero token
+		Resume{Token: 0xFEEDC0FFEE, Resumed: true},
+		Resume{Token: 9},
+		Heartbeat{Nonce: 0xABCD1234},
+		Heartbeat{},
+		FiredAck{Alarms: []uint64{1, 2, 3}},
+		FiredAck{},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
 	}
+	// Hand-built hostile frames: zero-length, unknown kind, truncated
+	// session messages, and oversized length prefixes claiming more
+	// payload than the buffer holds.
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x01})
+	f.Add(Encode(Hello{User: 7, Token: 9})[:5])                    // truncated Hello
+	f.Add(Encode(Resume{Token: 1, Resumed: true})[:3])             // truncated Resume
+	f.Add(Encode(Heartbeat{Nonce: 1})[:2])                         // truncated Heartbeat
+	f.Add([]byte{byte(KindHello)})                                 // kind byte only
+	f.Add([]byte{byte(KindResume)})                                // kind byte only
+	f.Add([]byte{byte(KindHeartbeat)})                             // kind byte only
+	f.Add([]byte{byte(KindFiredAck)})                              // kind byte only
+	f.Add([]byte{byte(KindFiredAck), 0x7F, 0xFF, 0xFF, 0xFF})      // oversized count, no payload
+	f.Add([]byte{byte(KindFiredAck), 0, 0, 0, 2, 1, 2, 3})         // count 2, payload for <1
+	f.Add([]byte{byte(KindAlarmFired), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // oversized fired count
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

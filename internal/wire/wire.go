@@ -26,8 +26,8 @@ import (
 // Kind discriminates message types on the wire.
 type Kind uint8
 
-// Message kinds. Client→server: Register, PositionUpdate. Server→client:
-// the rest.
+// Message kinds. Client→server: Register, PositionUpdate, Hello, Heartbeat,
+// FiredAck. Server→client: Resume, Heartbeat (echo) and the rest.
 const (
 	KindRegister Kind = iota + 1
 	KindPositionUpdate
@@ -37,6 +37,10 @@ const (
 	KindSafePeriod
 	KindAlarmFired
 	KindAck
+	KindHello
+	KindResume
+	KindHeartbeat
+	KindFiredAck
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +62,14 @@ func (k Kind) String() string {
 		return "alarm-fired"
 	case KindAck:
 		return "ack"
+	case KindHello:
+		return "hello"
+	case KindResume:
+		return "resume"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindFiredAck:
+		return "fired-ack"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -278,6 +290,110 @@ func (m Ack) appendTo(dst []byte) []byte {
 	return binary.BigEndian.AppendUint32(dst, m.Seq)
 }
 
+// Hello opens (Token == 0) or resumes (Token != 0) a fault-tolerant
+// session: unlike the bare Register, a Hello-established session survives
+// the connection. A reconnecting client presents the token the server
+// issued in its Resume reply; on a match the server keeps the client's
+// registration, monitoring state and undelivered alarm firings instead of
+// starting over. Tokens identify sessions across reconnects — they are
+// not a security credential.
+type Hello struct {
+	User      uint64
+	Token     uint64
+	Strategy  Strategy
+	MaxHeight uint8
+}
+
+// Kind implements Message.
+func (Hello) Kind() Kind { return KindHello }
+
+func (m Hello) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.User)
+	dst = binary.BigEndian.AppendUint64(dst, m.Token)
+	return append(dst, byte(m.Strategy), m.MaxHeight)
+}
+
+// Resume is the server's reply to Hello: the session token to present on
+// the next reconnect, and whether the prior session's state was resumed
+// (Resumed true) or a fresh registration was made (Resumed false). On a
+// resume the server follows with any undelivered AlarmFired (Seq 0) and a
+// Seq-0 refresh of the client's monitoring state.
+type Resume struct {
+	Token   uint64
+	Resumed bool
+}
+
+// Kind implements Message.
+func (Resume) Kind() Kind { return KindResume }
+
+func (m Resume) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Token)
+	var b byte
+	if m.Resumed {
+		b = 1
+	}
+	return append(dst, b)
+}
+
+// Heartbeat is the dead-peer probe: a client sends one after an idle
+// interval and the server echoes it back unchanged. Either side treats a
+// sustained silence (no inbound traffic despite heartbeats) as a dead
+// connection.
+type Heartbeat struct {
+	Nonce uint32
+}
+
+// Kind implements Message.
+func (Heartbeat) Kind() Kind { return KindHeartbeat }
+
+func (m Heartbeat) appendTo(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, m.Nonce)
+}
+
+// FiredAck acknowledges delivery of the listed alarm firings. The server
+// retains a reliable session's firings until they are acked, re-sending
+// them with later responses and resumes; the client's own dedup makes the
+// resulting at-least-once redelivery exactly-once at the application
+// layer.
+type FiredAck struct {
+	Alarms []uint64
+}
+
+// Kind implements Message.
+func (FiredAck) Kind() Kind { return KindFiredAck }
+
+func (m FiredAck) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Alarms)))
+	for _, id := range m.Alarms {
+		dst = binary.BigEndian.AppendUint64(dst, id)
+	}
+	return dst
+}
+
+// SeqOf returns the sequence number a message carries and whether the
+// message type has one. Session-layer code uses it to match responses to
+// queued reports without enumerating every monitoring-state type.
+func SeqOf(m Message) (uint32, bool) {
+	switch v := m.(type) {
+	case PositionUpdate:
+		return v.Seq, true
+	case RectRegion:
+		return v.Seq, true
+	case BitmapRegion:
+		return v.Seq, true
+	case AlarmPush:
+		return v.Seq, true
+	case SafePeriod:
+		return v.Seq, true
+	case AlarmFired:
+		return v.Seq, true
+	case Ack:
+		return v.Seq, true
+	default:
+		return 0, false
+	}
+}
+
 // Encode serializes a message with its leading kind byte.
 func Encode(m Message) []byte {
 	return m.appendTo([]byte{byte(m.Kind())})
@@ -303,6 +419,14 @@ func EncodedSize(m Message) int {
 		return 1 + 4 + 4 + len(v.Alarms)*8
 	case Ack:
 		return 1 + 4
+	case Hello:
+		return 1 + 8 + 8 + 2
+	case Resume:
+		return 1 + 8 + 1
+	case Heartbeat:
+		return 1 + 4
+	case FiredAck:
+		return 1 + 4 + len(v.Alarms)*8
 	default:
 		return len(Encode(m))
 	}
@@ -352,6 +476,22 @@ func Decode(buf []byte) (Message, error) {
 			af.Alarms = append(af.Alarms, r.u64())
 		}
 		m = af
+	case KindHello:
+		m = Hello{User: r.u64(), Token: r.u64(), Strategy: Strategy(r.u8()), MaxHeight: r.u8()}
+	case KindResume:
+		m = Resume{Token: r.u64(), Resumed: r.u8() != 0}
+	case KindHeartbeat:
+		m = Heartbeat{Nonce: r.u32()}
+	case KindFiredAck:
+		fa := FiredAck{}
+		n := r.u32()
+		if r.err == nil && uint64(n)*8 > uint64(len(r.buf)-r.pos) {
+			return nil, ErrTruncated
+		}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			fa.Alarms = append(fa.Alarms, r.u64())
+		}
+		m = fa
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, buf[0])
 	}

@@ -38,6 +38,12 @@ func TestRoundTripAllKinds(t *testing.T) {
 		}},
 		SafePeriod{Seq: 8, Ticks: 300},
 		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
+		Ack{Seq: 11},
+		Hello{User: 42, Token: 0xDEADBEEF01, Strategy: StrategyMWPSR, MaxHeight: 3},
+		Resume{Token: 0xDEADBEEF01, Resumed: true},
+		Resume{Token: 7},
+		Heartbeat{Nonce: 0xCAFE},
+		FiredAck{Alarms: []uint64{9, 10}},
 	}
 	for _, m := range msgs {
 		t.Run(m.Kind().String(), func(t *testing.T) {
@@ -76,6 +82,10 @@ func TestDecodeErrors(t *testing.T) {
 		AlarmPush{Seq: 1, Cell: geom.R(0, 0, 1, 1), Alarms: []AlarmInfo{{ID: 9, Region: geom.R(0, 0, 1, 1)}}},
 		SafePeriod{Seq: 1, Ticks: 2},
 		AlarmFired{Seq: 1, Alarms: []uint64{1, 2}},
+		Hello{User: 1, Token: 2, Strategy: StrategyPBSR, MaxHeight: 4},
+		Resume{Token: 3, Resumed: true},
+		Heartbeat{Nonce: 4},
+		FiredAck{Alarms: []uint64{5, 6}},
 	}
 	for _, m := range msgs {
 		full := Encode(m)
@@ -103,6 +113,29 @@ func TestHostileLengthPrefix(t *testing.T) {
 	if _, err := Decode(fbuf); err == nil {
 		t.Error("hostile fired count accepted")
 	}
+	abuf := Encode(FiredAck{})
+	abuf[1], abuf[2], abuf[3], abuf[4] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(abuf); err == nil {
+		t.Error("hostile fired-ack count accepted")
+	}
+}
+
+func TestSeqOf(t *testing.T) {
+	withSeq := []Message{
+		PositionUpdate{Seq: 5}, RectRegion{Seq: 5}, BitmapRegion{Seq: 5},
+		AlarmPush{Seq: 5}, SafePeriod{Seq: 5}, AlarmFired{Seq: 5}, Ack{Seq: 5},
+	}
+	for _, m := range withSeq {
+		if seq, ok := SeqOf(m); !ok || seq != 5 {
+			t.Errorf("SeqOf(%v) = %d, %v", m.Kind(), seq, ok)
+		}
+	}
+	without := []Message{Register{}, Hello{}, Resume{}, Heartbeat{}, FiredAck{}}
+	for _, m := range without {
+		if _, ok := SeqOf(m); ok {
+			t.Errorf("SeqOf(%v) unexpectedly present", m.Kind())
+		}
+	}
 }
 
 func TestBitmapRegionPyramidRoundTrip(t *testing.T) {
@@ -129,7 +162,7 @@ func TestBitmapRegionPyramidRoundTrip(t *testing.T) {
 }
 
 func TestKindAndStrategyStrings(t *testing.T) {
-	for k := KindRegister; k <= KindAlarmFired; k++ {
+	for k := KindRegister; k <= KindFiredAck; k++ {
 		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
 			t.Errorf("kind %d has no name", k)
 		}
