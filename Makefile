@@ -2,13 +2,16 @@
 #
 #   make tier1   build + full test suite (the repo's baseline gate)
 #   make race    full test suite under the race detector
+#   make crash   crash-recovery suite under the race detector: WAL/
+#                snapshot store tests, durable-engine recovery tests and
+#                the kill/mangle/recover simulation drivers
 #   make bench   engine throughput sweep at 1/2/4/8 procs; writes
 #                BENCH_engine.json via cmd/alarmbench
 #   make figures the paper-figure benchmark series
 
 GO ?= go
 
-.PHONY: tier1 race bench figures
+.PHONY: tier1 race crash bench figures
 
 tier1:
 	$(GO) build ./...
@@ -16,6 +19,11 @@ tier1:
 
 race:
 	$(GO) test -race ./...
+
+crash:
+	$(GO) test -race ./internal/store/
+	$(GO) test -race -run 'Durable|SessionExpiry|PendingFiredCap' ./internal/server/
+	$(GO) test -race -run 'Crash|Torture' ./internal/sim/
 
 bench:
 	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .

@@ -3,9 +3,15 @@
 // speaking the length-prefixed wire protocol (see cmd/alarmclient), and
 // prints the evaluation counters on shutdown (SIGINT/SIGTERM).
 //
+// With -data-dir the server is durable: every state change (alarm
+// installs, client enrollment, session tokens, firings, acks) is
+// written-ahead to a CRC-framed log with periodic snapshots, and the
+// server recovers its exact observable state from disk after a crash.
+//
 // Usage:
 //
 //	alarmserver -addr :7700 -side 5000 -alarms 150 -public 0.1 -seed 1
+//	alarmserver -addr :7700 -data-dir /var/lib/sabre -snapshot-every 1024
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
 	"github.com/sabre-geo/sabre/internal/geom"
@@ -23,6 +30,7 @@ import (
 	"github.com/sabre-geo/sabre/internal/motion"
 	"github.com/sabre-geo/sabre/internal/pyramid"
 	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/store"
 )
 
 func main() {
@@ -44,8 +52,13 @@ func run() error {
 		vmax    = flag.Float64("vmax", 34, "system max client speed in m/s (safe periods)")
 		seed    = flag.Int64("seed", 1, "alarm generation seed")
 		quiet   = flag.Bool("quiet", false, "suppress per-connection logging")
-		snap    = flag.String("snapshot", "", "snapshot file: load alarm table at startup (if present) and save it on shutdown")
+		snap    = flag.String("snapshot", "", "legacy alarm-table snapshot file (ignored when -data-dir is set)")
 		idle    = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "reap connections silent for this long (0 disables); session state survives for a token resume")
+
+		dataDir   = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty runs memory-only")
+		snapEvery = flag.Int("snapshot-every", 1024, "checkpoint the durable state every N log appends (0 disables automatic checkpoints)")
+		fsync     = flag.Bool("fsync", true, "fsync the WAL on every append (power-failure durability; off still survives process crashes)")
+		sessTTL   = flag.Duration("session-ttl", 0, "expire reliable sessions idle for this long (0 disables expiry)")
 	)
 	flag.Parse()
 
@@ -58,7 +71,7 @@ func run() error {
 		return err
 	}
 	universe := geom.Rect{MinX: -100, MinY: -100, MaxX: *side + 100, MaxY: *side + 100}
-	eng, err := server.New(server.Config{
+	cfg := server.Config{
 		Universe:                universe,
 		CellAreaM2:              *cellKM2 * 1e6,
 		Model:                   model,
@@ -67,26 +80,54 @@ func run() error {
 		TickSeconds:             1,
 		PrecomputePublicBitmaps: true,
 		Costs:                   metrics.DefaultCosts(),
-	})
-	if err != nil {
-		return err
 	}
-	if *snap != "" {
-		if f, err := os.Open(*snap); err == nil {
-			restored, lerr := alarm.LoadRegistry(f)
-			f.Close()
-			if lerr != nil {
-				return fmt.Errorf("load snapshot %s: %w", *snap, lerr)
-			}
-			eng.ReplaceRegistry(restored)
-			fmt.Printf("restored %d alarms from %s\n", restored.Len(), *snap)
-		} else if !os.IsNotExist(err) {
+
+	var eng *server.Engine
+	if *dataDir != "" {
+		st, state, info, err := store.Open(*dataDir, store.Options{
+			Fsync:         *fsync,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("open store %s: %w", *dataDir, err)
+		}
+		eng, err = server.NewDurable(cfg, st, state, info)
+		if err != nil {
 			return err
+		}
+		if info.Replayed > 0 || info.TruncatedBytes > 0 {
+			fmt.Printf("recovered generation %d: %d log records replayed, %d torn bytes discarded\n",
+				st.Gen(), info.Replayed, info.TruncatedBytes)
+		}
+		if eng.Registry().Len() == 0 && *nAlarms > 0 {
+			if err := installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed); err != nil {
+				return err
+			}
 		} else {
-			installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed)
+			fmt.Printf("recovered %d alarms from %s\n", eng.Registry().Len(), *dataDir)
 		}
 	} else {
-		installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed)
+		eng, err = server.New(cfg)
+		if err != nil {
+			return err
+		}
+		if *snap != "" {
+			if f, err := os.Open(*snap); err == nil {
+				restored, lerr := alarm.LoadRegistry(f)
+				f.Close()
+				if lerr != nil {
+					return fmt.Errorf("load snapshot %s: %w", *snap, lerr)
+				}
+				eng.ReplaceRegistry(restored)
+				fmt.Printf("restored %d alarms from %s\n", restored.Len(), *snap)
+			} else if !os.IsNotExist(err) {
+				return err
+			} else if err := installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed); err != nil {
+				return err
+			}
+		} else if err := installRandomAlarms(eng, *nAlarms, *public, *users, *side, *seed); err != nil {
+			return err
+		}
 	}
 
 	srv, err := server.NewTCPServerIdle(eng, *addr, logger, *idle)
@@ -96,19 +137,53 @@ func run() error {
 	fmt.Printf("alarmserver listening on %s (universe %.0f m, %d alarms, cell %.2f km²)\n",
 		srv.Addr(), *side, eng.Registry().Len(), *cellKM2)
 
+	// Session expiry runs off the wall clock; each sweep reaps reliable
+	// sessions idle past the TTL and logs their ExpireRec durably.
+	stopExpiry := make(chan struct{})
+	if *sessTTL > 0 {
+		go func() {
+			t := time.NewTicker(*sessTTL / 4)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopExpiry:
+					return
+				case <-t.C:
+					if n, err := eng.ExpireSessions(*sessTTL); err != nil {
+						fmt.Fprintf(os.Stderr, "alarmserver: session expiry: %v\n", err)
+					} else if n > 0 {
+						fmt.Printf("expired %d idle sessions\n", n)
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 	select {
 	case <-sig:
+		close(stopExpiry)
 		srv.Close()
 		<-errc
 	case err := <-errc:
+		close(stopExpiry)
 		return err
 	}
 
-	if *snap != "" {
+	if st := eng.Store(); st != nil {
+		// Clean shutdown: fold the log into a final snapshot so the next
+		// boot recovers without replay.
+		if err := st.Checkpoint(); err != nil {
+			return fmt.Errorf("shutdown checkpoint: %w", err)
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpointed durable state to %s (generation %d)\n", *dataDir, st.Gen())
+	} else if *snap != "" {
 		f, err := os.Create(*snap)
 		if err != nil {
 			return err
@@ -128,18 +203,23 @@ func run() error {
 	fmt.Printf("uplink:    %d msgs, %d bytes\n", m.UplinkMessages, m.UplinkBytes)
 	fmt.Printf("downlink:  %d msgs, %d bytes\n", m.DownlinkMessages, m.DownlinkBytes)
 	fmt.Printf("triggers:  %d\n", m.AlarmsTriggered)
-	fmt.Printf("sessions:  %d opened, %d resumed, %d heartbeats\n",
-		m.SessionsOpened, m.SessionsResumed, m.Heartbeats)
-	fmt.Printf("recovery:  %d duplicate updates, %d firing redeliveries\n",
-		m.RedeliveredUpdates, m.FiredRedeliveries)
+	fmt.Printf("sessions:  %d opened, %d resumed, %d heartbeats, %d expired\n",
+		m.SessionsOpened, m.SessionsResumed, m.Heartbeats, m.SessionsExpired)
+	fmt.Printf("recovery:  %d duplicate updates, %d firing redeliveries, %d evictions\n",
+		m.RedeliveredUpdates, m.FiredRedeliveries, m.FiredEvictions)
+	if eng.Store() != nil {
+		fmt.Printf("durability: %d appends (%d bytes), %d fsyncs, %d snapshots, %d records replayed at boot\n",
+			m.WALAppends, m.WALBytes, m.WALFsyncs, m.Snapshots, m.RecoveredRecords)
+	}
 	fmt.Printf("cpu model: alarm processing %.3fs, safe region %.3fs\n",
 		m.AlarmProcessingSeconds(), m.SafeRegionSeconds())
 	return nil
 }
 
 // installRandomAlarms seeds the registry with a workload mirroring the
-// simulation's composition (public fraction, private:shared 2:1).
-func installRandomAlarms(eng *server.Engine, n int, publicFrac float64, users int, side float64, seed int64) {
+// simulation's composition (public fraction, private:shared 2:1). On a
+// durable engine every alarm is logged before the function returns.
+func installRandomAlarms(eng *server.Engine, n int, publicFrac float64, users int, side float64, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	numPublic := int(float64(n) * publicFrac)
 	numShared := (n - numPublic) / 3
@@ -163,9 +243,6 @@ func installRandomAlarms(eng *server.Engine, n int, publicFrac float64, users in
 		}
 		batch = append(batch, a)
 	}
-	if _, err := eng.Registry().InstallBatch(batch); err != nil {
-		// Random generation never produces invalid alarms; treat as a
-		// programming error worth surfacing loudly at startup.
-		panic(err)
-	}
+	_, err := eng.InstallAlarms(batch)
+	return err
 }

@@ -1,0 +1,84 @@
+package alarm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sabre-geo/sabre/internal/rstar"
+)
+
+// Persistence surface: the durable store (internal/store) snapshots a
+// registry as (alarms, fired pairs, next ID) and rebuilds it with
+// Restore. Topic subscriptions are soft state — clients re-subscribe on
+// reconnect — and are deliberately excluded.
+
+// FiredPair is one (alarm, user) trigger event: the alarm has fired for
+// the user and is permanently spent for them.
+type FiredPair struct {
+	Alarm ID     `json:"alarm"`
+	User  uint64 `json:"user"`
+}
+
+// FiredPairs returns a snapshot of all trigger state, sorted by
+// (alarm, user) for deterministic output.
+func (r *Registry) FiredPairs() []FiredPair {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]FiredPair, 0, len(r.fired))
+	for k := range r.fired {
+		out = append(out, FiredPair{Alarm: k.alarm, User: uint64(k.user)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Alarm != out[j].Alarm {
+			return out[i].Alarm < out[j].Alarm
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// NextID returns the ID the next installed alarm would be assigned.
+func (r *Registry) NextID() ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nextID
+}
+
+// Restore builds a registry from recovered state: alarms keep their
+// original IDs (unlike Install, which assigns fresh ones), trigger state
+// is reinstated, and the ID counter resumes past every restored alarm so
+// new installs never collide with recovered ones. The spatial index is
+// STR bulk-loaded.
+func Restore(alarms []Alarm, fired []FiredPair, nextID ID) (*Registry, error) {
+	r := NewRegistry()
+	items := make([]rstar.Item, 0, len(alarms))
+	for _, a := range alarms {
+		if a.ID == 0 {
+			return nil, fmt.Errorf("alarm: restore: alarm without ID")
+		}
+		if _, dup := r.alarms[a.ID]; dup {
+			return nil, fmt.Errorf("alarm: restore: duplicate ID %d", a.ID)
+		}
+		if a.Region.Empty() {
+			return nil, fmt.Errorf("alarm: restore: alarm %d has empty region %v", a.ID, a.Region)
+		}
+		stored := a
+		stored.Subscribers = append([]UserID(nil), a.Subscribers...)
+		r.alarms[stored.ID] = &stored
+		if stored.Target != 0 {
+			r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
+		}
+		items = append(items, rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+		if stored.ID >= r.nextID {
+			r.nextID = stored.ID + 1
+		}
+	}
+	r.index.InsertBatch(items)
+	for _, p := range fired {
+		r.fired[pairKey{alarm: p.Alarm, user: UserID(p.User)}] = struct{}{}
+	}
+	if nextID > r.nextID {
+		r.nextID = nextID
+	}
+	return r, nil
+}

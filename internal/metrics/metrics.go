@@ -83,6 +83,18 @@ type Server struct {
 	heartbeats         atomic.Uint64
 	redeliveredUpdates atomic.Uint64
 	firedRedeliveries  atomic.Uint64
+
+	// Durability counters (write-ahead log and snapshots; Server satisfies
+	// store.Counters).
+	walAppends        atomic.Uint64
+	walBytes          atomic.Uint64
+	walFsyncs         atomic.Uint64
+	snapshots         atomic.Uint64
+	recoveries        atomic.Uint64
+	recoveredRecords  atomic.Uint64
+	walTruncatedBytes atomic.Uint64
+	firedEvictions    atomic.Uint64
+	sessionsExpired   atomic.Uint64
 }
 
 // Snapshot is a consistent-enough point-in-time copy of the server
@@ -114,6 +126,16 @@ type Snapshot struct {
 	Heartbeats         uint64
 	RedeliveredUpdates uint64
 	FiredRedeliveries  uint64
+
+	WALAppends        uint64
+	WALBytes          uint64
+	WALFsyncs         uint64
+	Snapshots         uint64
+	Recoveries        uint64
+	RecoveredRecords  uint64
+	WALTruncatedBytes uint64
+	FiredEvictions    uint64
+	SessionsExpired   uint64
 }
 
 // NewServer returns a counter set using the given cost model.
@@ -145,8 +167,46 @@ func (s *Server) Snapshot() Snapshot {
 		Heartbeats:             s.heartbeats.Load(),
 		RedeliveredUpdates:     s.redeliveredUpdates.Load(),
 		FiredRedeliveries:      s.firedRedeliveries.Load(),
+		WALAppends:             s.walAppends.Load(),
+		WALBytes:               s.walBytes.Load(),
+		WALFsyncs:              s.walFsyncs.Load(),
+		Snapshots:              s.snapshots.Load(),
+		Recoveries:             s.recoveries.Load(),
+		RecoveredRecords:       s.recoveredRecords.Load(),
+		WALTruncatedBytes:      s.walTruncatedBytes.Load(),
+		FiredEvictions:         s.firedEvictions.Load(),
+		SessionsExpired:        s.sessionsExpired.Load(),
 	}
 }
+
+// AddWALAppend records one durable log append of the given framed size.
+func (s *Server) AddWALAppend(bytes int) {
+	s.walAppends.Add(1)
+	s.walBytes.Add(uint64(bytes))
+}
+
+// AddWALFsync records one fsync of the write-ahead log.
+func (s *Server) AddWALFsync() { s.walFsyncs.Add(1) }
+
+// AddSnapshot records one full-state snapshot written (WAL rotation).
+func (s *Server) AddSnapshot() { s.snapshots.Add(1) }
+
+// AddRecovery records one crash recovery: how many log records were
+// replayed on top of the snapshot and how many torn-tail bytes were
+// truncated away.
+func (s *Server) AddRecovery(recordsReplayed int, truncatedBytes int64) {
+	s.recoveries.Add(1)
+	s.recoveredRecords.Add(uint64(recordsReplayed))
+	s.walTruncatedBytes.Add(uint64(truncatedBytes))
+}
+
+// AddFiredEvictions records pending firings evicted (oldest first) when a
+// session exceeded its unacknowledged-firings cap.
+func (s *Server) AddFiredEvictions(n uint64) { s.firedEvictions.Add(n) }
+
+// AddSessionsExpired records reliable sessions reaped by the idle TTL
+// sweep.
+func (s *Server) AddSessionsExpired(n uint64) { s.sessionsExpired.Add(n) }
 
 // AddSessionOpened records a fresh session established via Hello.
 func (s *Server) AddSessionOpened() { s.sessionsOpened.Add(1) }

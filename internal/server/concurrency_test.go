@@ -131,11 +131,25 @@ func TestConcurrentStress(t *testing.T) {
 	var wg sync.WaitGroup
 	var respMsgs, updates atomic64
 	errs := make(chan error, users)
+	// Invalidations only reach subscribers that hold a position, so the
+	// mover gates on every subscriber's first report; otherwise a lucky
+	// schedule lets it finish before anyone is pushable and the pushMsgs
+	// assertion below flakes.
+	var primed sync.WaitGroup
+	primed.Add(users - 1)
 	for u := 1; u <= users; u++ {
 		wg.Add(1)
 		go func(user uint64) {
 			defer wg.Done()
 			s := strategyOf[user]
+			signalPrimed := func() {}
+			if user == targetUser {
+				primed.Wait()
+			} else {
+				var once sync.Once
+				signalPrimed = func() { once.Do(primed.Done) }
+				defer signalPrimed() // error exits must not strand the mover
+			}
 			for i := 0; i < perUser; i++ {
 				// Deterministic per-user walk that crosses its private
 				// alarm and several grid cells.
@@ -154,6 +168,7 @@ func TestConcurrentStress(t *testing.T) {
 				}
 				respMsgs.add(uint64(len(out)))
 				updates.add(1)
+				signalPrimed()
 			}
 		}(uint64(u))
 	}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
 	"github.com/sabre-geo/sabre/internal/geom"
@@ -34,6 +35,7 @@ import (
 	"github.com/sabre-geo/sabre/internal/motion"
 	"github.com/sabre-geo/sabre/internal/pyramid"
 	"github.com/sabre-geo/sabre/internal/saferegion"
+	"github.com/sabre-geo/sabre/internal/store"
 	"github.com/sabre-geo/sabre/internal/wire"
 )
 
@@ -72,6 +74,10 @@ type Config struct {
 	SafePeriodSpeedFactor float64
 	// Costs is the server cost model; zero value means metrics.DefaultCosts.
 	Costs metrics.CostParams
+	// PendingFiredCap bounds the unacknowledged firings retained per
+	// reliable session; beyond it the oldest are evicted (they stay marked
+	// fired, but are no longer redelivered). 0 means store.DefaultPendingCap.
+	PendingFiredCap int
 }
 
 // Pusher delivers server-initiated messages (moving-target safe region
@@ -117,6 +123,15 @@ type Engine struct {
 	sessMu    sync.Mutex
 	sessions  map[uint64]alarm.UserID
 	lastToken uint64
+
+	// wal is the durable backend (nil for a memory-only engine). Appends
+	// always happen outside every other engine lock; see persist.go.
+	wal *store.Store
+	// pendingCap bounds each reliable session's unacknowledged firings.
+	pendingCap int
+	// nowFn overrides the clock for session-expiry tests; nil means
+	// time.Now. Only ExpireSessions and lastActive stamping consult it.
+	nowFn func() time.Time
 
 	// publicBitmaps caches the precomputed public-alarm pyramid region per
 	// grid cell (invalidated wholesale when alarms change). Each entry is
@@ -165,6 +180,9 @@ type clientState struct {
 	// pendingFired holds fired alarm IDs not yet acknowledged; every
 	// AlarmFired to a reliable client carries the full pending set.
 	pendingFired []uint64
+	// lastActive is the last time this (reliable) client was heard from;
+	// the session-expiry sweep reaps sessions idle past the TTL.
+	lastActive time.Time
 }
 
 // pendingPush is a computed invalidation push awaiting delivery once the
@@ -203,10 +221,15 @@ func New(cfg Config) (*Engine, error) {
 		buckets := int(cfg.Universe.Area() / 5e5)
 		reg = alarm.NewRegistryWithIndex(gridindex.New(cfg.Universe, buckets))
 	}
+	pendingCap := cfg.PendingFiredCap
+	if pendingCap <= 0 {
+		pendingCap = store.DefaultPendingCap
+	}
 	e := &Engine{
 		cfg:           cfg,
 		grid:          g,
 		met:           metrics.NewServer(cfg.Costs),
+		pendingCap:    pendingCap,
 		publicBitmaps: make(map[grid.CellID]*publicBitmapEntry),
 	}
 	e.reg.Store(reg)
@@ -295,7 +318,6 @@ func (e *Engine) Register(m wire.Register) error {
 	user := alarm.UserID(m.User)
 	sh := e.shardFor(user)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	// Registration is not charged as uplink: the paper's message counts
 	// are location messages only, and registration happens once per client.
 	// Re-enrollment replaces the state; updates already holding the old
@@ -304,7 +326,8 @@ func (e *Engine) Register(m wire.Register) error {
 		strategy:  m.Strategy,
 		maxHeight: int(m.MaxHeight),
 	}
-	return nil
+	sh.mu.Unlock()
+	return e.logRecord(store.RegisterRec{User: m.User, Strategy: m.Strategy, MaxHeight: m.MaxHeight})
 }
 
 // HandleUpdate processes one client position report and returns the
@@ -343,8 +366,18 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 	}
 
 	st.mu.Lock()
-	out, err := e.processUpdate(reg, u, user, st)
+	out, newFired, err := e.processUpdate(reg, u, user, st)
 	st.mu.Unlock()
+
+	// Write-ahead discipline: firings are logged after the state mutation
+	// (outside st.mu — see persist.go for why) but before the response is
+	// released. If the append fails the response is withheld; the client
+	// retries against the recovered server, which re-derives the firing.
+	if err == nil && len(newFired) > 0 {
+		if lerr := e.logRecord(store.FiredRec{User: u.User, Alarms: newFired}); lerr != nil {
+			return nil, lerr
+		}
+	}
 
 	// Deliver invalidation pushes outside all engine locks: the Pusher may
 	// block or re-enter the engine freely.
@@ -362,8 +395,9 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 }
 
 // processUpdate runs alarm evaluation and the strategy response for one
-// update. The caller holds st.mu.
-func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState) ([]wire.Message, error) {
+// update, returning the messages plus the alarm IDs that newly fired
+// (for the caller to log durably). The caller holds st.mu.
+func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState) ([]wire.Message, []uint64, error) {
 	// Alarm evaluation against the R*-tree (every strategy does this; it
 	// is the "alarm processing" bucket of Figures 4(b)/6(d)).
 	triggered, candidates, accesses := reg.EvaluateCounted(u.Pos, user)
@@ -390,6 +424,7 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 	var out []wire.Message
 	firedIDs := newFired
 	if st.reliable {
+		st.lastActive = e.now()
 		// Exactly-once delivery: carry every unacknowledged firing on each
 		// response until the client's FiredAck clears it. MarkFired keeps
 		// pendingFired and newFired disjoint (a retired pair never
@@ -398,6 +433,14 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 			e.met.AddFiredRedeliveries(uint64(len(st.pendingFired)))
 		}
 		firedIDs = append(append(make([]uint64, 0, len(st.pendingFired)+len(newFired)), st.pendingFired...), newFired...)
+		// Bound the unacknowledged set: evict oldest-first past the cap.
+		// Evicted ids stay marked fired in the registry (never re-trigger);
+		// they are simply no longer redelivered.
+		if len(firedIDs) > e.pendingCap {
+			drop := len(firedIDs) - e.pendingCap
+			firedIDs = firedIDs[drop:]
+			e.met.AddFiredEvictions(uint64(drop))
+		}
 		st.pendingFired = firedIDs
 	}
 	if len(firedIDs) > 0 {
@@ -435,7 +478,7 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		default:
 			msg, err := e.bitmapRegionFor(reg, u, st, cellID)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.bitmapCell = cellID
 			st.hasBitmapCell = true
@@ -447,7 +490,7 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 
 	st.lastPos = u.Pos
 	st.hasPos = true
-	return out, nil
+	return out, newFired, nil
 }
 
 // validatePosition rejects positions the geometry cannot handle: NaN and

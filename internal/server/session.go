@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/store"
 	"github.com/sabre-geo/sabre/internal/wire"
 )
 
@@ -72,9 +73,19 @@ func (e *Engine) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
 		maxHeight:    int(m.MaxHeight),
 		reliable:     true,
 		pendingFired: carried,
+		lastActive:   e.now(),
 	}
 	sh.mu.Unlock()
 	e.met.AddSessionOpened()
+
+	// Write-ahead: the minted token must survive a crash, or the client's
+	// Resume would be refused and its unacked firings stranded. Logged
+	// outside every engine lock, before the Resume frame is released.
+	if err := e.logRecord(store.HelloRec{
+		User: m.User, Token: token, Strategy: m.Strategy, MaxHeight: m.MaxHeight,
+	}); err != nil {
+		return nil, false, err
+	}
 
 	var out []wire.Message
 	out = e.send(out, wire.Resume{Token: token, Resumed: false})
@@ -103,6 +114,7 @@ func (e *Engine) tryResume(user alarm.UserID, m wire.Hello) ([]wire.Message, boo
 	if !st.reliable || st.strategy != m.Strategy || st.maxHeight != int(m.MaxHeight) {
 		return nil, false
 	}
+	st.lastActive = e.now()
 	var out []wire.Message
 	out = e.send(out, wire.Resume{Token: m.Token, Resumed: true})
 	if len(st.pendingFired) > 0 {
@@ -118,26 +130,27 @@ func (e *Engine) tryResume(user alarm.UserID, m wire.Hello) ([]wire.Message, boo
 	return out, true
 }
 
-// AckFired clears acknowledged alarm firings from the user's pending set.
-// A new slice is built rather than filtering in place: the previous
-// pending slice may still back an in-flight AlarmFired message.
-func (e *Engine) AckFired(user alarm.UserID, ids []uint64) {
+// AckFired clears acknowledged alarm firings from the user's pending set
+// and logs the acknowledgement durably (so a recovered server does not
+// redeliver firings the client already confirmed). A new slice is built
+// rather than filtering in place: the previous pending slice may still
+// back an in-flight AlarmFired message.
+func (e *Engine) AckFired(user alarm.UserID, ids []uint64) error {
 	if len(ids) == 0 {
-		return
+		return nil
 	}
 	sh := e.shardFor(user)
 	sh.mu.RLock()
 	st := sh.m[user]
 	sh.mu.RUnlock()
 	if st == nil {
-		return
+		return nil
 	}
 	acked := make(map[uint64]bool, len(ids))
 	for _, id := range ids {
 		acked[id] = true
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	var keep []uint64
 	for _, id := range st.pendingFired {
 		if !acked[id] {
@@ -145,6 +158,31 @@ func (e *Engine) AckFired(user alarm.UserID, ids []uint64) {
 		}
 	}
 	st.pendingFired = keep
+	reliable := st.reliable
+	if reliable {
+		st.lastActive = e.now()
+	}
+	st.mu.Unlock()
+	if !reliable {
+		return nil
+	}
+	return e.logRecord(store.FiredAckRec{User: uint64(user), Alarms: ids})
+}
+
+// touchSession refreshes the idle clock of a reliable session.
+func (e *Engine) touchSession(user alarm.UserID) {
+	sh := e.shardFor(user)
+	sh.mu.RLock()
+	st := sh.m[user]
+	sh.mu.RUnlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if st.reliable {
+		st.lastActive = e.now()
+	}
+	st.mu.Unlock()
 }
 
 // PendingFired returns the user's unacknowledged alarm firings (a copy).
@@ -172,6 +210,7 @@ func (e *Engine) PendingFired(user alarm.UserID) []uint64 {
 // just the echo).
 func (e *Engine) HandleHeartbeat(user alarm.UserID, hb wire.Heartbeat) []wire.Message {
 	e.met.AddHeartbeat()
+	e.touchSession(user)
 	var out []wire.Message
 	out = e.send(out, hb)
 	if pending := e.PendingFired(user); len(pending) > 0 {

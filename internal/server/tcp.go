@@ -209,7 +209,10 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			}
 		case wire.FiredAck:
 			if registeredUser != 0 {
-				s.eng.AckFired(alarm.UserID(registeredUser), m.Alarms)
+				if err := s.eng.AckFired(alarm.UserID(registeredUser), m.Alarms); err != nil {
+					s.log.Printf("conn %s: fired-ack: %v", nc.RemoteAddr(), err)
+					return
+				}
 			}
 		case wire.PositionUpdate:
 			responses, err := s.eng.HandleUpdate(m)

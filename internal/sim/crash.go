@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/stats"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// CrashEvent scripts one server process death mid-workload.
+type CrashEvent struct {
+	// Tick is when the process dies (before that tick's reports are
+	// served).
+	Tick int
+	// Tear is how the death mangles the WAL tail: a record-boundary kill
+	// (TearNone), a torn final write, trailing garbage, or a flipped bit —
+	// all confined to the final frame, which is the only frame a
+	// single-write(2)-per-record log can lose.
+	Tear store.TearMode
+	// Down is how many ticks the server stays dead before recovery; client
+	// dials fail throughout.
+	Down int
+}
+
+// CrashPlan scripts a deterministic crash campaign for RunCrashing.
+type CrashPlan struct {
+	// Seed drives the tail-mangling byte/bit choices and the client
+	// sessions' backoff jitter.
+	Seed int64
+	// Crashes fire in tick order.
+	Crashes []CrashEvent
+	// SnapshotEvery is the store's automatic checkpoint cadence in WAL
+	// appends (0 disables; recovery then replays the whole log).
+	SnapshotEvery int
+	// Fsync syncs the WAL per append. Process crashes (what this harness
+	// simulates) never lose buffered OS writes, so the default off keeps
+	// the suite fast; the discipline is identical either way.
+	Fsync bool
+	// Session tunes the client session state machines.
+	Session client.SessionConfig
+	// DrainTicks extends the run past the trace end so sessions reconnect
+	// and collect redelivered firings.
+	DrainTicks int
+}
+
+// DefaultCrashPlan kills the server three times across the trace — a
+// clean record-boundary kill, a torn final write, and a flipped bit —
+// with a few ticks of downtime each.
+func DefaultCrashPlan(seed int64, durationTicks int) CrashPlan {
+	return CrashPlan{
+		Seed: seed,
+		Crashes: []CrashEvent{
+			{Tick: durationTicks / 4, Tear: store.TearNone, Down: 3},
+			{Tick: durationTicks / 2, Tear: store.TearTruncate, Down: 3},
+			{Tick: durationTicks * 3 / 4, Tear: store.TearFlipBit, Down: 3},
+		},
+		SnapshotEvery: 256,
+		DrainTicks:    200,
+	}
+}
+
+// crashLink is one client's live connection: plain pipes (the network is
+// healthy in this harness; the process is what fails).
+type crashLink struct {
+	user uint64
+	cli  transport.Conn
+	srv  transport.PollingConn
+}
+
+// RunCrashing executes one strategy over the workload against a durable
+// engine that is killed and recovered from disk (dataDir) at the
+// scripted ticks. Sessions outlive the process: their resume tokens are
+// recovered from the log, so reconnecting clients resume rather than
+// re-enroll. Triggers are recorded at client delivery (deduplicated), so
+// the (User, Alarm) set must equal a fault-free Run's — which
+// TestCrashRecoveryDeliveryEquality asserts per strategy. Fully
+// deterministic for a fixed workload, strategy, plan and dataDir.
+func RunCrashing(w *Workload, sc StrategyConfig, plan CrashPlan, dataDir string) (*Report, error) {
+	if sc.PyramidHeight == 0 {
+		sc.PyramidHeight = 5
+	}
+	if sc.BitmapMaxBits == 0 {
+		sc.BitmapMaxBits = 2048
+	}
+	if sc.CellAreaKM2 == 0 {
+		sc.CellAreaKM2 = 2.5
+	}
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return nil, err
+	}
+	universe := w.Net.Bounds().Expand(50)
+	engCfg := server.Config{
+		Universe:                universe,
+		CellAreaM2:              sc.CellAreaKM2 * 1e6,
+		Model:                   sc.Model,
+		PyramidParams:           pyramidParams(sc),
+		MaxSpeed:                mob.MaxSpeed(),
+		TickSeconds:             mobCfg.TickSeconds,
+		PrecomputePublicBitmaps: sc.PrecomputePublicBitmaps,
+		ExhaustiveAssembly:      sc.ExhaustiveAssembly,
+		UseBucketIndex:          sc.BucketIndex,
+		SafePeriodSpeedFactor:   sc.SafePeriodSpeedFactor,
+		Costs:                   metrics.DefaultCosts(),
+	}
+
+	n := w.Config.Vehicles
+	links := make([]*crashLink, n)
+
+	// boot opens (or recovers) the store and rebuilds the engine from it.
+	// Cumulative counters (uplink bytes, evaluations, ...) reset with each
+	// incarnation — the Report reflects the final one — but the durable
+	// state does not.
+	var eng *server.Engine
+	boot := func() error {
+		st, state, info, err := store.Open(dataDir, store.Options{
+			Fsync:         plan.Fsync,
+			SnapshotEvery: plan.SnapshotEvery,
+		})
+		if err != nil {
+			return err
+		}
+		eng, err = server.NewDurable(engCfg, st, state, info)
+		if err != nil {
+			return err
+		}
+		eng.SetPusher(func(user alarm.UserID, msgs []wire.Message) {
+			idx := int(user) - 1
+			if idx < 0 || idx >= n || links[idx] == nil {
+				return
+			}
+			for _, m := range msgs {
+				if links[idx].srv.Send(m) != nil {
+					return
+				}
+			}
+		})
+		return nil
+	}
+	if err := boot(); err != nil {
+		return nil, err
+	}
+	// Install the alarm table durably on the first boot only; recoveries
+	// reconstruct it from disk.
+	if eng.Registry().Len() == 0 {
+		if _, err := eng.InstallAlarms(w.Alarms); err != nil {
+			return nil, err
+		}
+	}
+
+	perClient := make([]metrics.Client, n)
+	sessions := make([]*client.Session, n)
+	curTick := 0
+	var triggers []Trigger
+
+	for i := 0; i < n; i++ {
+		i := i
+		user := uint64(i + 1)
+		cl := client.New(user, sc.Strategy, &perClient[i])
+		scfg := plan.Session
+		scfg.MaxHeight = uint8(sc.PyramidHeight)
+		scfg.JitterSeed = plan.Seed ^ int64(user)<<17
+		dial := func() (transport.Conn, error) {
+			if eng == nil {
+				return nil, fmt.Errorf("sim: server down")
+			}
+			cEnd, sEnd := transport.Pipe(4096)
+			links[i] = &crashLink{user: user, cli: cEnd, srv: transport.Poller(sEnd)}
+			return cEnd, nil
+		}
+		sessions[i] = client.NewSession(cl, dial, scfg, &perClient[i])
+		sessions[i].OnFired = func(ids []uint64) {
+			for _, id := range ids {
+				triggers = append(triggers, Trigger{User: user, Alarm: id, Tick: curTick})
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(plan.Seed ^ 0x5ABE))
+	crashIdx := 0
+	downUntil := -1
+
+	positions := make([]geom.Point, n)
+	var serverWall time.Duration
+	total := w.Config.DurationTicks + plan.DrainTicks
+	for tick := 0; tick < total; tick++ {
+		curTick = tick
+		if tick < w.Config.DurationTicks {
+			mob.Step()
+			for i := range positions {
+				positions[i] = mob.Position(i)
+			}
+		}
+
+		// Phase 1: process lifecycle. A scripted crash kills the store,
+		// mangles the WAL tail, and severs every connection; after the
+		// downtime the engine is rebuilt from whatever survived on disk.
+		if eng != nil && crashIdx < len(plan.Crashes) && tick >= plan.Crashes[crashIdx].Tick {
+			ev := plan.Crashes[crashIdx]
+			crashIdx++
+			walPath := eng.Store().WALPath()
+			eng.Store().Kill()
+			if err := store.MangleTail(walPath, ev.Tear, rng); err != nil {
+				return nil, fmt.Errorf("sim: crash %d mangle: %w", crashIdx, err)
+			}
+			for i, ln := range links {
+				if ln != nil {
+					ln.cli.Close()
+					links[i] = nil
+				}
+			}
+			eng = nil
+			downUntil = tick + ev.Down
+		}
+		if eng == nil && tick >= downUntil {
+			if err := boot(); err != nil {
+				return nil, fmt.Errorf("sim: recovery at tick %d: %w", tick, err)
+			}
+		}
+
+		// Phase 2: sessions evaluate, (re)connect and send in index order.
+		for i, s := range sessions {
+			if tick < w.Config.DurationTicks {
+				s.Step(tick, positions[i])
+			} else {
+				s.Quiesce(tick)
+			}
+		}
+
+		// Phase 3: the live server drains each link in index order.
+		if eng == nil {
+			continue
+		}
+		for i, ln := range links {
+			if ln == nil {
+				continue
+			}
+			if err := serveCrashLink(eng, ln, &serverWall); err != nil {
+				if err == transport.ErrClosed {
+					links[i] = nil
+					continue
+				}
+				return nil, fmt.Errorf("tick %d user %d: %w", tick, ln.user, err)
+			}
+		}
+	}
+
+	for i, s := range sessions {
+		if qs := s.QueueLen(); qs > 0 {
+			return nil, fmt.Errorf("sim: user %d still has %d undrained reports after %d drain ticks — extend DrainTicks or crash earlier", i+1, qs, plan.DrainTicks)
+		}
+	}
+	if crashIdx != len(plan.Crashes) {
+		return nil, fmt.Errorf("sim: only %d of %d crashes fired — trace too short for the plan", crashIdx, len(plan.Crashes))
+	}
+
+	clientMet := &metrics.Client{}
+	msgsPerClient := make([]uint64, n)
+	for i := range perClient {
+		clientMet.Merge(perClient[i])
+		msgsPerClient[i] = perClient[i].MessagesSent
+	}
+	met := eng.Metrics().Snapshot()
+	traceSeconds := float64(w.Config.DurationTicks) * mobCfg.TickSeconds
+	return &Report{
+		Strategy:               sc.Strategy.String(),
+		Vehicles:               n,
+		DurationTicks:          w.Config.DurationTicks,
+		UplinkMessages:         met.UplinkMessages,
+		UplinkBytes:            met.UplinkBytes,
+		DownlinkMessages:       met.DownlinkMessages,
+		DownlinkBytes:          met.DownlinkBytes,
+		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		ClientChecks:           clientMet.ContainmentChecks,
+		ClientProbes:           clientMet.Probes,
+		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
+		ClientProbeEnergyMWh:   float64(clientMet.Probes) * metrics.DefaultEnergy().ProbeMilliWattHours,
+		PerClientMessages:      stats.SummarizeUints(msgsPerClient),
+		AlarmProcessingMinutes: met.AlarmProcessingSeconds() / 60,
+		SafeRegionMinutes:      met.SafeRegionSeconds() / 60,
+		TotalServerMinutes:     met.TotalSeconds() / 60,
+		SafeRegionComputations: met.SafeRegionComputations,
+		AlarmEvaluations:       met.AlarmEvaluations,
+		RectClips:              met.RectClips,
+		MeasuredServerSeconds:  serverWall.Seconds(),
+		Triggers:               triggers,
+	}, nil
+}
+
+// serveCrashLink drains one link's pending uplink messages and replies.
+func serveCrashLink(eng *server.Engine, ln *crashLink, wall *time.Duration) error {
+	for {
+		m, ok, err := ln.srv.TryRecv()
+		if err != nil {
+			return transport.ErrClosed
+		}
+		if !ok {
+			return nil
+		}
+		var responses []wire.Message
+		switch v := m.(type) {
+		case wire.Hello:
+			responses, _, err = eng.HandleHello(v)
+			if err != nil {
+				return err
+			}
+		case wire.Heartbeat:
+			responses = eng.HandleHeartbeat(alarm.UserID(ln.user), v)
+		case wire.FiredAck:
+			if err = eng.AckFired(alarm.UserID(ln.user), v.Alarms); err != nil {
+				return err
+			}
+		case wire.PositionUpdate:
+			start := time.Now()
+			responses, err = eng.HandleUpdate(v)
+			*wall += time.Since(start)
+			if err != nil {
+				return err
+			}
+			if len(responses) == 0 {
+				responses = []wire.Message{wire.Ack{Seq: v.Seq}}
+			}
+		default:
+			return fmt.Errorf("sim: unexpected uplink message %v", m.Kind())
+		}
+		for _, r := range responses {
+			if ln.srv.Send(r) != nil {
+				return transport.ErrClosed
+			}
+		}
+	}
+}

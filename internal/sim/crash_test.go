@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// TestCrashRecoveryDeliveryEquality is the acceptance check for
+// durability: for each safe-region strategy, a run where the server
+// process is killed three times — once cleanly at a record boundary,
+// once with a torn final write, once with a flipped bit in the WAL tail
+// — and recovered from disk must deliver exactly the same (user, alarm)
+// set as an uninterrupted run: nothing lost, nothing delivered twice.
+func TestCrashRecoveryDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy crash simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultCrashPlan(99, w.Config.DurationTicks)
+	cases := []struct {
+		name string
+		sc   StrategyConfig
+	}{
+		{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+		{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+		{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Run(w, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashed, err := RunCrashing(w, tc.sc, plan, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			basePairs := pairCounts(base.Triggers)
+			crashPairs := pairCounts(crashed.Triggers)
+			for p, c := range crashPairs {
+				if c != 1 {
+					t.Errorf("pair (user %d, alarm %d) delivered %d times across crashes", p[0], p[1], c)
+				}
+				if basePairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) delivered across crashes but not crash-free", p[0], p[1])
+				}
+			}
+			for p := range basePairs {
+				if crashPairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) lost across crashes", p[0], p[1])
+				}
+			}
+			if len(base.Triggers) == 0 {
+				t.Fatal("workload produced no triggers; the equality check is vacuous")
+			}
+			t.Logf("%s: %d crash-free triggers, %d deliveries across 3 crashes, equal sets",
+				tc.name, len(base.Triggers), len(crashed.Triggers))
+		})
+	}
+}
+
+// TestRunCrashingDeterministic asserts the crash harness replays
+// byte-identically: same workload + plan (fresh data dirs) → the exact
+// same trigger sequence, delivery ticks included.
+func TestRunCrashingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash simulation")
+	}
+	cfg := SmallWorkload(5)
+	cfg.Vehicles = 60
+	cfg.DurationTicks = 200
+	cfg.NumAlarms = 80
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultCrashPlan(123, cfg.DurationTicks)
+	sc := StrategyConfig{Strategy: wire.StrategyMWPSR}
+	a, err := RunCrashing(w, sc, plan, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrashing(w, sc, plan, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Triggers) != len(b.Triggers) {
+		t.Fatalf("trigger counts differ: %d vs %d", len(a.Triggers), len(b.Triggers))
+	}
+	for i := range a.Triggers {
+		if a.Triggers[i] != b.Triggers[i] {
+			t.Fatalf("trigger %d differs: %+v vs %+v", i, a.Triggers[i], b.Triggers[i])
+		}
+	}
+}
+
+// TestTortureRestart loops kill/mangle/recover many times over one data
+// dir — every tear mode, short downtimes, snapshots enabled — and then
+// checks the survivors: the delivered set still matches the fault-free
+// run. Run under -race in CI.
+func TestTortureRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture crash simulation")
+	}
+	cfg := SmallWorkload(7)
+	cfg.Vehicles = 60
+	cfg.DurationTicks = 300
+	cfg.NumAlarms = 80
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const kills = 6
+	modes := []store.TearMode{
+		store.TearNone, store.TearTruncate, store.TearGarbage,
+		store.TearFlipBit, store.TearTruncate, store.TearGarbage,
+	}
+	plan := CrashPlan{
+		Seed:          7,
+		SnapshotEvery: 64, // small cadence: most kills land just after a rotation
+		DrainTicks:    200,
+	}
+	for i := 0; i < kills; i++ {
+		plan.Crashes = append(plan.Crashes, CrashEvent{
+			Tick: (i + 1) * cfg.DurationTicks / (kills + 1),
+			Tear: modes[i],
+			Down: 2,
+		})
+	}
+	sc := StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}
+	base, err := Run(w, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tortured, err := RunCrashing(w, sc, plan, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePairs := pairCounts(base.Triggers)
+	torturePairs := pairCounts(tortured.Triggers)
+	for p, c := range torturePairs {
+		if c != 1 {
+			t.Errorf("pair (user %d, alarm %d) delivered %d times across %d kills", p[0], p[1], c, kills)
+		}
+		if basePairs[p] == 0 {
+			t.Errorf("pair (user %d, alarm %d) appeared only under torture", p[0], p[1])
+		}
+	}
+	for p := range basePairs {
+		if torturePairs[p] == 0 {
+			t.Errorf("pair (user %d, alarm %d) lost across %d kills", p[0], p[1], kills)
+		}
+	}
+	if len(base.Triggers) == 0 {
+		t.Fatal("workload produced no triggers; torture check is vacuous")
+	}
+	t.Logf("%d kills, %d deliveries, set equal to fault-free run", kills, len(tortured.Triggers))
+}

@@ -313,7 +313,9 @@ func serveFaultLink(eng *server.Engine, ln *faultLink, wall *time.Duration) erro
 		case wire.Heartbeat:
 			responses = eng.HandleHeartbeat(alarm.UserID(ln.user), v)
 		case wire.FiredAck:
-			eng.AckFired(alarm.UserID(ln.user), v.Alarms)
+			if err = eng.AckFired(alarm.UserID(ln.user), v.Alarms); err != nil {
+				return err
+			}
 		case wire.PositionUpdate:
 			start := time.Now()
 			responses, err = eng.HandleUpdate(v)

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// DefaultPendingCap is the per-session bound on unacknowledged firings a
+// server retains (PROTOCOL.md "Sessions"): a reliable client that never
+// sends FiredAck would otherwise grow its pending set forever. When the
+// cap is exceeded the oldest ids are evicted — they stay marked fired
+// (never re-trigger) but are no longer redelivered.
+const DefaultPendingCap = 1024
+
+// snapshotVersion guards the on-disk snapshot format.
+const snapshotVersion = 1
+
+// ClientRec is one client's durable registration state.
+type ClientRec struct {
+	User      uint64        `json:"user"`
+	Strategy  wire.Strategy `json:"strategy"`
+	MaxHeight uint8         `json:"maxHeight,omitempty"`
+	Reliable  bool          `json:"reliable,omitempty"`
+	// PendingFired holds fired-but-unacknowledged alarm ids, oldest first.
+	PendingFired []uint64 `json:"pendingFired,omitempty"`
+}
+
+// SessionRec maps one resume token to its user.
+type SessionRec struct {
+	Token uint64 `json:"token"`
+	User  uint64 `json:"user"`
+}
+
+// State is the full durable server state: everything a restarted engine
+// needs so its observable behaviour matches an uninterrupted run. Soft
+// state (last positions, bitmap base cells, motion headings, public-
+// bitmap caches) is deliberately absent — it regenerates from the next
+// report and never affects which alarms are delivered.
+type State struct {
+	NextAlarmID uint64            `json:"nextAlarmId"`
+	Alarms      []alarm.Alarm     `json:"alarms,omitempty"`
+	Fired       []alarm.FiredPair `json:"fired,omitempty"`
+	Clients     []ClientRec       `json:"clients,omitempty"`
+	Sessions    []SessionRec      `json:"sessions,omitempty"`
+	LastToken   uint64            `json:"lastToken"`
+}
+
+// snapshotFile is the on-disk envelope around a State.
+type snapshotFile struct {
+	Version int   `json:"version"`
+	State   State `json:"state"`
+}
+
+// stateBuilder holds State in map form for efficient record application.
+type stateBuilder struct {
+	alarms     map[alarm.ID]alarm.Alarm
+	fired      map[alarm.FiredPair]struct{}
+	clients    map[uint64]*ClientRec
+	sessions   map[uint64]uint64 // token -> user
+	nextID     uint64
+	lastToken  uint64
+	pendingCap int
+}
+
+func newBuilder(base *State, pendingCap int) *stateBuilder {
+	if pendingCap == 0 {
+		pendingCap = DefaultPendingCap
+	}
+	b := &stateBuilder{
+		alarms:     make(map[alarm.ID]alarm.Alarm),
+		fired:      make(map[alarm.FiredPair]struct{}),
+		clients:    make(map[uint64]*ClientRec),
+		sessions:   make(map[uint64]uint64),
+		nextID:     1,
+		pendingCap: pendingCap,
+	}
+	if base == nil {
+		return b
+	}
+	b.nextID = base.NextAlarmID
+	if b.nextID == 0 {
+		b.nextID = 1
+	}
+	b.lastToken = base.LastToken
+	for _, a := range base.Alarms {
+		b.alarms[a.ID] = a
+	}
+	for _, p := range base.Fired {
+		b.fired[p] = struct{}{}
+	}
+	for _, c := range base.Clients {
+		cc := c
+		cc.PendingFired = append([]uint64(nil), c.PendingFired...)
+		b.clients[c.User] = &cc
+	}
+	for _, s := range base.Sessions {
+		b.sessions[s.Token] = s.User
+	}
+	return b
+}
+
+// apply folds one record into the state. Every case is idempotent: a
+// record whose effect is already present (because the snapshot captured
+// state between a mutation and its log append) re-applies harmlessly.
+func (b *stateBuilder) apply(rec Record) {
+	switch r := rec.(type) {
+	case InstallRec:
+		if _, ok := b.alarms[r.Alarm.ID]; !ok {
+			b.alarms[r.Alarm.ID] = r.Alarm
+		}
+		if uint64(r.Alarm.ID) >= b.nextID {
+			b.nextID = uint64(r.Alarm.ID) + 1
+		}
+	case RemoveRec:
+		delete(b.alarms, r.ID)
+	case RegisterRec:
+		b.clients[r.User] = &ClientRec{User: r.User, Strategy: r.Strategy, MaxHeight: r.MaxHeight}
+	case HelloRec:
+		var carried []uint64
+		if old := b.clients[r.User]; old != nil && old.Reliable {
+			carried = append([]uint64(nil), old.PendingFired...)
+		}
+		b.clients[r.User] = &ClientRec{
+			User: r.User, Strategy: r.Strategy, MaxHeight: r.MaxHeight,
+			Reliable: true, PendingFired: carried,
+		}
+		b.sessions[r.Token] = r.User
+		if r.Token > b.lastToken {
+			b.lastToken = r.Token
+		}
+	case FiredRec:
+		cl := b.clients[r.User]
+		for _, id := range r.Alarms {
+			b.fired[alarm.FiredPair{Alarm: alarm.ID(id), User: r.User}] = struct{}{}
+			if cl != nil && cl.Reliable && !containsID(cl.PendingFired, id) {
+				cl.PendingFired = append(cl.PendingFired, id)
+			}
+		}
+		if cl != nil && len(cl.PendingFired) > b.pendingCap {
+			drop := len(cl.PendingFired) - b.pendingCap
+			cl.PendingFired = append(cl.PendingFired[:0], cl.PendingFired[drop:]...)
+		}
+	case FiredAckRec:
+		cl := b.clients[r.User]
+		if cl == nil || len(cl.PendingFired) == 0 {
+			return
+		}
+		acked := make(map[uint64]bool, len(r.Alarms))
+		for _, id := range r.Alarms {
+			acked[id] = true
+		}
+		keep := cl.PendingFired[:0]
+		for _, id := range cl.PendingFired {
+			if !acked[id] {
+				keep = append(keep, id)
+			}
+		}
+		cl.PendingFired = keep
+	case ExpireRec:
+		delete(b.clients, r.User)
+		for tok, user := range b.sessions {
+			if user == r.User {
+				delete(b.sessions, tok)
+			}
+		}
+	}
+}
+
+func containsID(s []uint64, id uint64) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// finish converts the builder back into a deterministic (sorted) State.
+func (b *stateBuilder) finish() *State {
+	st := &State{NextAlarmID: b.nextID, LastToken: b.lastToken}
+	for _, a := range b.alarms {
+		st.Alarms = append(st.Alarms, a)
+	}
+	sort.Slice(st.Alarms, func(i, j int) bool { return st.Alarms[i].ID < st.Alarms[j].ID })
+	for p := range b.fired {
+		st.Fired = append(st.Fired, p)
+	}
+	sort.Slice(st.Fired, func(i, j int) bool {
+		if st.Fired[i].Alarm != st.Fired[j].Alarm {
+			return st.Fired[i].Alarm < st.Fired[j].Alarm
+		}
+		return st.Fired[i].User < st.Fired[j].User
+	})
+	for _, c := range b.clients {
+		st.Clients = append(st.Clients, *c)
+	}
+	sort.Slice(st.Clients, func(i, j int) bool { return st.Clients[i].User < st.Clients[j].User })
+	for tok, user := range b.sessions {
+		st.Sessions = append(st.Sessions, SessionRec{Token: tok, User: user})
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].Token < st.Sessions[j].Token })
+	return st
+}
+
+// Normalize sorts the state slices so two captures of identical state
+// compare equal; engines capture maps in arbitrary order.
+func (s *State) Normalize() {
+	b := newBuilder(s, 0)
+	*s = *b.finish()
+}
+
+// writeSnapshot serializes the state deterministically.
+func writeSnapshot(w io.Writer, s *State) error {
+	cp := *s
+	cp.Normalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snapshotFile{Version: snapshotVersion, State: cp}); err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot parses and validates a snapshot stream.
+func readSnapshot(r io.Reader) (*State, error) {
+	var f snapshotFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersion)
+	}
+	for i := range f.State.Alarms {
+		a := &f.State.Alarms[i]
+		if a.Region.Empty() {
+			return nil, fmt.Errorf("store: snapshot alarm %d has empty region %v", a.ID, a.Region)
+		}
+		switch a.Scope {
+		case alarm.Private, alarm.Shared, alarm.Public:
+		default:
+			return nil, fmt.Errorf("store: snapshot alarm %d has invalid scope %d", a.ID, a.Scope)
+		}
+	}
+	return &f.State, nil
+}

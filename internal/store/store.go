@@ -1,0 +1,417 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation after the store has been
+// killed — by a scripted CrashPoint, by Kill, or by a write failure. The
+// policy is fail-stop: a store that cannot append durably must not keep
+// acknowledging work, so the server treats ErrCrashed as fatal and the
+// recovery path takes over on the next start.
+var ErrCrashed = errors.New("store: crashed")
+
+// Counters is the metrics hook the store reports into; internal/metrics
+// Server satisfies it. A nil Counters is allowed.
+type Counters interface {
+	AddWALAppend(bytes int)
+	AddWALFsync()
+	AddSnapshot()
+	AddRecovery(recordsReplayed int, truncatedBytes int64)
+}
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync syncs the WAL file after every append and snapshot write.
+	// Disabling it trades machine-crash durability for throughput;
+	// process-crash durability (what RunCrashing simulates) is unaffected
+	// because appends are single write(2) calls.
+	Fsync bool
+	// SnapshotEvery checkpoints automatically after this many WAL appends
+	// (0 disables automatic checkpoints; Checkpoint can still be called
+	// explicitly, e.g. at clean shutdown).
+	SnapshotEvery int
+	// PendingCap bounds each recovered client's pending-firings set,
+	// mirroring the engine's cap so replay reproduces its evictions
+	// (0 means DefaultPendingCap).
+	PendingCap int
+	// Counters receives wal/snapshot/recovery metrics; nil is allowed.
+	Counters Counters
+}
+
+// RecoveryInfo describes what Open found on disk.
+type RecoveryInfo struct {
+	// Gen is the generation recovered (snapshot + WAL file pair).
+	Gen uint64
+	// FromSnapshot is true when a snapshot file seeded the state.
+	FromSnapshot bool
+	// Replayed is the number of WAL records applied on top.
+	Replayed int
+	// TruncatedBytes is how many trailing bytes the recovery discarded
+	// (torn final write, trailing garbage, or a corrupt CRC); the file is
+	// repaired — truncated to the clean prefix — before appends resume.
+	TruncatedBytes int64
+	// TruncateReason says why the tail was discarded, empty when clean.
+	TruncateReason string
+}
+
+// CrashPoint scripts a deterministic store kill for the fault-injection
+// harness: on the AfterAppends-th Append (1-based, counted over the
+// store's lifetime), only the first TearBytes bytes of the frame reach
+// the file (clamped to the frame; a value past the frame length writes
+// it whole — a record-boundary kill), then Garbage is appended, FlipBit
+// flips the addressed bit (offset from the end of the file, when
+// FlipBit >= 0), and the store dies: the append and everything after it
+// returns ErrCrashed.
+type CrashPoint struct {
+	AfterAppends int
+	TearBytes    int
+	Garbage      []byte
+	FlipBit      int64 // bit index counting back from EOF; -1 disables
+}
+
+// Store is the durable backend: one active WAL generation plus the
+// snapshot that seeds it. Append is safe for concurrent use; Checkpoint
+// serializes against appends.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	gen         uint64
+	wal         *os.File
+	crashed     bool
+	appends     int // appends since the last checkpoint
+	appendsEver int // lifetime appends, for CrashPoint matching
+	crashPoints []CrashPoint
+
+	// stateSource captures the current full state for checkpoints; the
+	// engine installs it. It is called with s.mu held, so it must not
+	// call back into the store.
+	stateSource func() *State
+}
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.json", gen))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+// Open recovers the durable state from dir (creating it if needed) and
+// returns the store ready for appends, the recovered state, and a
+// description of what recovery found. A torn or corrupt WAL tail is
+// truncated away — never an error: it is the expected artifact of a
+// crash mid-write, and every record it could hold was unacknowledged.
+func Open(dir string, opts Options) (*Store, *State, RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, RecoveryInfo{}, fmt.Errorf("store: %w", err)
+	}
+	gen, hasSnap, err := latestGen(dir)
+	if err != nil {
+		return nil, nil, RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{Gen: gen, FromSnapshot: hasSnap}
+
+	var base *State
+	if hasSnap {
+		f, err := os.Open(snapPath(dir, gen))
+		if err != nil {
+			return nil, nil, info, fmt.Errorf("store: %w", err)
+		}
+		base, err = readSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, info, err
+		}
+	}
+	b := newBuilder(base, opts.PendingCap)
+
+	wp := walPath(dir, gen)
+	buf, err := os.ReadFile(wp)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, info, fmt.Errorf("store: %w", err)
+	}
+	payloads, clean, reason := ScanFrames(buf)
+	for _, p := range payloads {
+		rec, err := DecodeRecord(p)
+		if err != nil {
+			// A frame that passed its CRC but does not decode is a format
+			// error, not a torn write: refuse to guess.
+			return nil, nil, info, fmt.Errorf("store: wal record %d: %w", info.Replayed, err)
+		}
+		b.apply(rec)
+		info.Replayed++
+	}
+	info.TruncatedBytes = int64(len(buf) - clean)
+	info.TruncateReason = reason
+	if info.TruncatedBytes > 0 {
+		// Repair: cut the damage off so new appends extend the clean
+		// prefix instead of burying live records behind garbage.
+		if err := os.Truncate(wp, int64(clean)); err != nil {
+			return nil, nil, info, fmt.Errorf("store: repair wal: %w", err)
+		}
+	}
+
+	wal, err := os.OpenFile(wp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, info, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, gen: gen, wal: wal}
+	if opts.Counters != nil {
+		opts.Counters.AddRecovery(info.Replayed, info.TruncatedBytes)
+	}
+	return s, b.finish(), info, nil
+}
+
+// latestGen scans dir for snapshot/WAL generations and returns the
+// highest one plus whether it has a snapshot. Snapshot files are written
+// via atomic rename, so any snap-*.json present is complete.
+func latestGen(dir string) (uint64, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: %w", err)
+	}
+	var gens []uint64
+	snaps := make(map[uint64]bool)
+	seen := make(map[uint64]bool)
+	for _, e := range entries {
+		var g uint64
+		if n, _ := fmt.Sscanf(e.Name(), "snap-%d.json", &g); n == 1 && filepath.Ext(e.Name()) == ".json" {
+			snaps[g] = true
+			if !seen[g] {
+				seen[g], gens = true, append(gens, g)
+			}
+		} else if n, _ := fmt.Sscanf(e.Name(), "wal-%d.log", &g); n == 1 && filepath.Ext(e.Name()) == ".log" {
+			if !seen[g] {
+				seen[g], gens = true, append(gens, g)
+			}
+		}
+	}
+	if len(gens) == 0 {
+		return 0, false, nil
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	g := gens[len(gens)-1]
+	return g, snaps[g], nil
+}
+
+// SetStateSource installs the callback that captures the full current
+// state for checkpoints. It must be set before automatic checkpoints can
+// fire; Engine wiring does this in NewDurable.
+func (s *Store) SetStateSource(f func() *State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stateSource = f
+}
+
+// SetCounters installs (or replaces) the metrics sink. NewDurable uses it
+// to point the store at the engine's counters, which do not exist yet
+// when the store is opened.
+func (s *Store) SetCounters(c Counters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts.Counters = c
+}
+
+// SetCrashPoints scripts deterministic kills for the crash-injection
+// harness. Points match on the store's lifetime append count.
+func (s *Store) SetCrashPoints(pts []CrashPoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashPoints = append([]CrashPoint(nil), pts...)
+}
+
+// Append frames, writes and (per Options.Fsync) syncs one record. It
+// returns only after the bytes are handed to the OS — the caller releases
+// the client-visible response afterwards, which is the write-ahead
+// discipline. On any failure the store is dead (ErrCrashed) and stays so.
+func (s *Store) Append(rec Record) error {
+	frame := Frame(EncodeRecord(rec))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	s.appendsEver++
+	for _, cp := range s.crashPoints {
+		if cp.AfterAppends == s.appendsEver {
+			s.executeCrashLocked(cp, frame)
+			return ErrCrashed
+		}
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	if s.opts.Counters != nil {
+		s.opts.Counters.AddWALAppend(len(frame))
+	}
+	if s.opts.Fsync {
+		if err := s.wal.Sync(); err != nil {
+			s.crashed = true
+			return fmt.Errorf("%w: %v", ErrCrashed, err)
+		}
+		if s.opts.Counters != nil {
+			s.opts.Counters.AddWALFsync()
+		}
+	}
+	s.appends++
+	if s.opts.SnapshotEvery > 0 && s.appends >= s.opts.SnapshotEvery && s.stateSource != nil {
+		if err := s.checkpointLocked(s.stateSource()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeCrashLocked applies a scripted kill: a torn prefix of the frame,
+// optional trailing garbage, an optional bit flip, then death.
+func (s *Store) executeCrashLocked(cp CrashPoint, frame []byte) {
+	tear := cp.TearBytes
+	if tear > len(frame) {
+		tear = len(frame)
+	}
+	if tear > 0 {
+		s.wal.Write(frame[:tear])
+	}
+	if len(cp.Garbage) > 0 {
+		s.wal.Write(cp.Garbage)
+	}
+	s.wal.Sync()
+	if cp.FlipBit >= 0 {
+		flipBitFromEnd(s.wal.Name(), cp.FlipBit)
+	}
+	s.crashed = true
+	s.wal.Close()
+}
+
+// Checkpoint writes a full snapshot of the current state (from the
+// installed state source) and rotates the WAL. Use at clean shutdown and
+// for explicit durability points.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	if s.stateSource == nil {
+		return errors.New("store: no state source installed")
+	}
+	return s.checkpointLocked(s.stateSource())
+}
+
+// checkpointLocked writes snap-(gen+1) via temp-file + atomic rename,
+// switches appends to wal-(gen+1), then deletes the old generation. A
+// crash anywhere in between recovers correctly: until the rename lands,
+// the old snapshot + old WAL (still intact) are authoritative; after it,
+// the new snapshot is, with or without its WAL file.
+func (s *Store) checkpointLocked(state *State) error {
+	next := s.gen + 1
+	tmp := snapPath(s.dir, next) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	if err := writeSnapshot(f, state); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	if err := f.Close(); err != nil {
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	if err := os.Rename(tmp, snapPath(s.dir, next)); err != nil {
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	syncDir(s.dir)
+
+	wal, err := os.OpenFile(walPath(s.dir, next), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.crashed = true
+		return fmt.Errorf("%w: %v", ErrCrashed, err)
+	}
+	s.wal.Close()
+	os.Remove(walPath(s.dir, s.gen))
+	os.Remove(snapPath(s.dir, s.gen))
+	syncDir(s.dir)
+	s.wal = wal
+	s.gen = next
+	s.appends = 0
+	if s.opts.Counters != nil {
+		s.opts.Counters.AddSnapshot()
+	}
+	return nil
+}
+
+// Kill simulates abrupt process death for the crash harness: the WAL
+// file descriptor is closed as-is — no checkpoint, no flush beyond what
+// individual appends already wrote — and every later operation fails.
+func (s *Store) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.wal.Close()
+}
+
+// Close checkpoints nothing (call Checkpoint first for a clean-shutdown
+// snapshot) but syncs and closes the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil
+	}
+	s.crashed = true
+	if s.opts.Fsync {
+		s.wal.Sync()
+	}
+	return s.wal.Close()
+}
+
+// WALPath returns the active WAL file path (for the crash harness's
+// tail-mangling injectors).
+func (s *Store) WALPath() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return walPath(s.dir, s.gen)
+}
+
+// Gen returns the current generation number.
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// syncDir fsyncs a directory so renames and creates survive a power cut.
+// Errors are ignored: some filesystems refuse directory fsync, and the
+// fallback behaviour (rely on the next sync) is still correct for the
+// process-crash model the tests exercise.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL frame layout: u32 payload length | u32 CRC-32 (IEEE) of the payload
+// | payload. Appends are a single write(2) of the whole frame, so a crash
+// can only tear the *final* frame: everything before it is byte-complete
+// on disk, and recovery truncates the log at the first frame that fails
+// the length or CRC check.
+const (
+	frameHeader = 8
+	// maxFramePayload bounds the length prefix a frame may claim,
+	// mirroring the transport's 1 MiB frame cap. A corrupt length that
+	// claims more is rejected rather than trusted.
+	maxFramePayload = 1 << 20
+)
+
+// Frame wraps a record payload in the WAL framing.
+func Frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// ScanFrames parses as many whole, checksum-valid frames as buf holds.
+// It returns the payloads, the byte offset of the first invalid frame
+// (== len(buf) when the log is clean), and a human-readable reason when
+// the scan stopped early. Torn tails — a partial header, a payload cut
+// short, trailing garbage, a flipped CRC bit — all stop the scan at the
+// frame boundary before the damage; they never error, because a torn
+// final write is the expected crash artifact.
+func ScanFrames(buf []byte) (payloads [][]byte, clean int, reason string) {
+	off := 0
+	for {
+		if off == len(buf) {
+			return payloads, off, ""
+		}
+		if len(buf)-off < frameHeader {
+			return payloads, off, fmt.Sprintf("partial frame header (%d bytes) at offset %d", len(buf)-off, off)
+		}
+		n := binary.BigEndian.Uint32(buf[off:])
+		sum := binary.BigEndian.Uint32(buf[off+4:])
+		if n > maxFramePayload {
+			return payloads, off, fmt.Sprintf("frame at offset %d claims %d bytes (cap %d)", off, n, maxFramePayload)
+		}
+		if uint64(len(buf)-off-frameHeader) < uint64(n) {
+			return payloads, off, fmt.Sprintf("frame at offset %d truncated: claims %d bytes, %d remain", off, n, len(buf)-off-frameHeader)
+		}
+		payload := buf[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, off, fmt.Sprintf("frame at offset %d fails CRC", off)
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + int(n)
+	}
+}
