@@ -5,13 +5,17 @@
 #   make crash   crash-recovery suite under the race detector: WAL/
 #                snapshot store tests, durable-engine recovery tests and
 #                the kill/mangle/recover simulation drivers
+#   make cluster sharded-cluster suite under the race detector:
+#                partitioner/router/handoff unit tests, the TCP redirect
+#                end-to-end test and the multi-shard delivery-equality
+#                simulation (4 shards, forced handoffs, shard crashes)
 #   make bench   engine throughput sweep at 1/2/4/8 procs; writes
 #                BENCH_engine.json via cmd/alarmbench
 #   make figures the paper-figure benchmark series
 
 GO ?= go
 
-.PHONY: tier1 race crash bench figures
+.PHONY: tier1 race crash cluster bench figures
 
 tier1:
 	$(GO) build ./...
@@ -24,6 +28,11 @@ crash:
 	$(GO) test -race ./internal/store/
 	$(GO) test -race -run 'Durable|SessionExpiry|PendingFiredCap' ./internal/server/
 	$(GO) test -race -run 'Crash|Torture' ./internal/sim/
+
+cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'Export|Import|ExpiredSession' ./internal/server/
+	$(GO) test -race -run 'Cluster' ./internal/sim/
 
 bench:
 	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .

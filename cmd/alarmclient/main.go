@@ -89,10 +89,10 @@ func run() error {
 	if seed == 0 {
 		seed = int64(*user)
 	}
+	// The read deadline must outlive the heartbeat interval so only a
+	// truly dead link times out.
+	readTimeout := time.Duration(*deadAfter) * tickDur * 2
 	dial := func() (transport.Conn, error) {
-		// The read deadline must outlive the heartbeat interval so only a
-		// truly dead link times out.
-		readTimeout := time.Duration(*deadAfter) * tickDur * 2
 		return transport.DialDeadline(*addr, 3*time.Second, readTimeout, 10*time.Second)
 	}
 
@@ -107,6 +107,11 @@ func run() error {
 		MaxQueue:       *maxQueue,
 		JitterSeed:     seed,
 	}, met)
+	// Against a sharded alarmserver the owning shard can change mid-trace;
+	// DialTo follows the wire Redirect to the shard named in the frame.
+	sess.DialTo = func(addr string) (transport.Conn, error) {
+		return transport.DialDeadline(addr, 3*time.Second, readTimeout, 10*time.Second)
+	}
 
 	fmt.Printf("user %d (%s) replaying %d ticks against %s\n", *user, strategy, len(path), *addr)
 	start := time.Now()
@@ -144,8 +149,8 @@ func run() error {
 		100*float64(met.MessagesSent)/float64(len(path)),
 		met.ContainmentChecks,
 		met.Energy(metrics.DefaultEnergy()))
-	fmt.Printf("session: %d connects, resumed=%v, %d heartbeats, %d report redeliveries, %d reports dropped\n",
-		met.Reconnects, sess.Resumed(), met.HeartbeatsSent, met.RedeliveredReports, met.DroppedReports)
+	fmt.Printf("session: %d connects, resumed=%v, %d redirects, %d heartbeats, %d report redeliveries, %d reports dropped\n",
+		met.Reconnects, sess.Resumed(), met.Redirects, met.HeartbeatsSent, met.RedeliveredReports, met.DroppedReports)
 	return nil
 }
 

@@ -8,23 +8,43 @@
 // written-ahead to a CRC-framed log with periodic snapshots, and the
 // server recovers its exact observable state from disk after a crash.
 //
+// With -shards N (or an explicit -partition CxR grid) the server runs as
+// a horizontally sharded cluster: each shard owns one rectangular
+// partition of the universe, serves its own TCP listener on consecutive
+// ports starting at -addr's, and keeps its own durable store under
+// <data-dir>/shard<i>. Clients crossing a partition boundary receive a
+// wire Redirect to the owning shard, carrying a resume token minted by
+// the in-process session handoff (see PROTOCOL.md "Redirect and
+// handoff").
+//
+// With -metrics-addr the server exposes its counters as JSON over HTTP
+// (GET /metrics): the engine snapshot in single-server mode, the cluster
+// counters plus every shard's snapshot in sharded mode.
+//
 // Usage:
 //
 //	alarmserver -addr :7700 -side 5000 -alarms 150 -public 0.1 -seed 1
 //	alarmserver -addr :7700 -data-dir /var/lib/sabre -snapshot-every 1024
+//	alarmserver -addr :7700 -shards 4 -data-dir /var/lib/sabre -metrics-addr :7790
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/cluster"
 	"github.com/sabre-geo/sabre/internal/geom"
 	"github.com/sabre-geo/sabre/internal/metrics"
 	"github.com/sabre-geo/sabre/internal/motion"
@@ -59,6 +79,10 @@ func run() error {
 		snapEvery = flag.Int("snapshot-every", 1024, "checkpoint the durable state every N log appends (0 disables automatic checkpoints)")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every append (power-failure durability; off still survives process crashes)")
 		sessTTL   = flag.Duration("session-ttl", 0, "expire reliable sessions idle for this long (0 disables expiry)")
+
+		shards      = flag.Int("shards", 1, "run as a sharded cluster with this many spatial partitions (>1); shard i listens on -addr's port + i")
+		partition   = flag.String("partition", "", "explicit partition grid as CxR, e.g. 4x2 (overrides the near-square split of -shards)")
+		metricsAddr = flag.String("metrics-addr", "", "serve counters as JSON over HTTP on this address (GET /metrics)")
 	)
 	flag.Parse()
 
@@ -80,6 +104,32 @@ func run() error {
 		TickSeconds:             1,
 		PrecomputePublicBitmaps: true,
 		Costs:                   metrics.DefaultCosts(),
+	}
+
+	cols, rows, err := parsePartition(*partition)
+	if err != nil {
+		return err
+	}
+	if *shards > 1 || cols*rows > 1 {
+		return runClustered(clusterParams{
+			engine:      cfg,
+			shards:      *shards,
+			cols:        cols,
+			rows:        rows,
+			addr:        *addr,
+			metricsAddr: *metricsAddr,
+			dataDir:     *dataDir,
+			store:       store.Options{Fsync: *fsync, SnapshotEvery: *snapEvery},
+			logger:      logger,
+			idle:        *idle,
+			sessTTL:     *sessTTL,
+			nAlarms:     *nAlarms,
+			public:      *public,
+			users:       *users,
+			side:        *side,
+			seed:        *seed,
+			cellKM2:     *cellKM2,
+		})
 	}
 
 	var eng *server.Engine
@@ -136,6 +186,18 @@ func run() error {
 	}
 	fmt.Printf("alarmserver listening on %s (universe %.0f m, %d alarms, cell %.2f km²)\n",
 		srv.Addr(), *side, eng.Registry().Len(), *cellKM2)
+
+	if *metricsAddr != "" {
+		msrv, err := serveMetrics(*metricsAddr, func() any {
+			return struct {
+				Server metrics.Snapshot `json:"server"`
+			}{eng.Metrics().Snapshot()}
+		})
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+	}
 
 	// Session expiry runs off the wall clock; each sweep reaps reliable
 	// sessions idle past the TTL and logs their ExpireRec durably.
@@ -220,6 +282,11 @@ func run() error {
 // simulation's composition (public fraction, private:shared 2:1). On a
 // durable engine every alarm is logged before the function returns.
 func installRandomAlarms(eng *server.Engine, n int, publicFrac float64, users int, side float64, seed int64) error {
+	_, err := eng.InstallAlarms(makeRandomAlarms(n, publicFrac, users, side, seed))
+	return err
+}
+
+func makeRandomAlarms(n int, publicFrac float64, users int, side float64, seed int64) []alarm.Alarm {
 	rng := rand.New(rand.NewSource(seed))
 	numPublic := int(float64(n) * publicFrac)
 	numShared := (n - numPublic) / 3
@@ -243,6 +310,231 @@ func installRandomAlarms(eng *server.Engine, n int, publicFrac float64, users in
 		}
 		batch = append(batch, a)
 	}
-	_, err := eng.InstallAlarms(batch)
-	return err
+	return batch
+}
+
+// parsePartition parses a "CxR" grid spec ("4x2"); empty means no
+// explicit grid (0, 0).
+func parsePartition(s string) (cols, rows int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	c, r, ok := strings.Cut(s, "x")
+	if ok {
+		cols, err = strconv.Atoi(strings.TrimSpace(c))
+		if err == nil {
+			rows, err = strconv.Atoi(strings.TrimSpace(r))
+		}
+	}
+	if !ok || err != nil || cols < 1 || rows < 1 {
+		return 0, 0, fmt.Errorf("bad -partition %q: want CxR, e.g. 4x2", s)
+	}
+	return cols, rows, nil
+}
+
+// shardAddrs derives one listen address per shard from the base -addr by
+// incrementing the port: :7700 with 4 shards listens on 7700..7703. A
+// base port of 0 keeps 0 everywhere (ephemeral ports for every shard).
+func shardAddrs(base string, n int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr %q: sharded mode needs a numeric port", base)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		p := port
+		if port != 0 {
+			p = port + i
+		}
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return addrs, nil
+}
+
+// serveMetrics serves the payload as indented JSON on GET /metrics (and
+// /) in a background goroutine until the returned server is closed.
+func serveMetrics(addr string, payload func() any) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	return srv, nil
+}
+
+// clusterParams carries the parsed flags into the sharded serving path.
+type clusterParams struct {
+	engine      server.Config
+	shards      int
+	cols, rows  int
+	addr        string
+	metricsAddr string
+	dataDir     string
+	store       store.Options
+	logger      *log.Logger
+	idle        time.Duration
+	sessTTL     time.Duration
+	nAlarms     int
+	public      float64
+	users       int
+	side        float64
+	seed        int64
+	cellKM2     float64
+}
+
+// runClustered serves a horizontally sharded cluster: one engine and one
+// TCP listener per spatial partition, with cross-shard handoff and
+// redirects handled by the per-listener routers inside cluster.NewTCP.
+func runClustered(p clusterParams) error {
+	cl, err := cluster.New(cluster.Config{
+		Shards:  p.shards,
+		Cols:    p.cols,
+		Rows:    p.rows,
+		Engine:  p.engine,
+		DataDir: p.dataDir,
+		Store:   p.store,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	installed := 0
+	for i := 0; i < cl.N(); i++ {
+		installed += cl.Engine(i).Registry().Len()
+	}
+	if installed == 0 && p.nAlarms > 0 {
+		if _, err := cl.InstallAlarms(makeRandomAlarms(p.nAlarms, p.public, p.users, p.side, p.seed)); err != nil {
+			return err
+		}
+	} else if installed > 0 {
+		fmt.Printf("recovered alarms from %s (%d shard-local copies)\n", p.dataDir, installed)
+	}
+
+	addrs, err := shardAddrs(p.addr, cl.N())
+	if err != nil {
+		return err
+	}
+	srv, err := cluster.NewTCP(cl, addrs, p.logger, p.idle)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alarmserver cluster: %d shards (universe %.0f m, cell %.2f km²)\n", cl.N(), p.side, p.cellKM2)
+	for i, a := range srv.Addrs() {
+		fmt.Printf("  shard %d: %s owns %v\n", i, a, cl.Partitioner().Rect(i))
+	}
+
+	if p.metricsAddr != "" {
+		msrv, err := serveMetrics(p.metricsAddr, func() any {
+			return struct {
+				Cluster metrics.ClusterSnapshot `json:"cluster"`
+				Shards  []cluster.ShardStatus   `json:"shards"`
+			}{cl.Metrics().Snapshot(), cl.ShardSnapshots()}
+		})
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+	}
+
+	// Session expiry sweeps every shard that is up.
+	stopExpiry := make(chan struct{})
+	if p.sessTTL > 0 {
+		go func() {
+			t := time.NewTicker(p.sessTTL / 4)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopExpiry:
+					return
+				case <-t.C:
+					for i := 0; i < cl.N(); i++ {
+						eng := cl.Engine(i)
+						if eng == nil {
+							continue
+						}
+						if n, err := eng.ExpireSessions(p.sessTTL); err != nil {
+							fmt.Fprintf(os.Stderr, "alarmserver: shard %d session expiry: %v\n", i, err)
+						} else if n > 0 {
+							fmt.Printf("shard %d: expired %d idle sessions\n", i, n)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	select {
+	case <-sig:
+		close(stopExpiry)
+		srv.Close()
+		<-errc
+	case err := <-errc:
+		close(stopExpiry)
+		return err
+	}
+
+	// Clean shutdown: checkpoint every durable shard so the next boot
+	// recovers without replay, then fold the counters for the printout.
+	var sum metrics.Snapshot
+	for i := 0; i < cl.N(); i++ {
+		eng := cl.Engine(i)
+		if eng == nil {
+			continue
+		}
+		if st := eng.Store(); st != nil {
+			if err := st.Checkpoint(); err != nil {
+				return fmt.Errorf("shard %d shutdown checkpoint: %w", i, err)
+			}
+		}
+		m := eng.Metrics().Snapshot()
+		sum.UplinkMessages += m.UplinkMessages
+		sum.UplinkBytes += m.UplinkBytes
+		sum.DownlinkMessages += m.DownlinkMessages
+		sum.DownlinkBytes += m.DownlinkBytes
+		sum.AlarmsTriggered += m.AlarmsTriggered
+		sum.SessionsOpened += m.SessionsOpened
+		sum.SessionsResumed += m.SessionsResumed
+		sum.Heartbeats += m.Heartbeats
+		sum.SessionsExpired += m.SessionsExpired
+	}
+	if err := cl.Close(); err != nil {
+		return err
+	}
+	if p.dataDir != "" {
+		fmt.Printf("checkpointed %d shard stores under %s\n", cl.N(), p.dataDir)
+	}
+
+	cm := cl.Metrics().Snapshot()
+	fmt.Printf("\n--- cluster counters ---\n")
+	fmt.Printf("uplink:    %d msgs, %d bytes\n", sum.UplinkMessages, sum.UplinkBytes)
+	fmt.Printf("downlink:  %d msgs, %d bytes\n", sum.DownlinkMessages, sum.DownlinkBytes)
+	fmt.Printf("triggers:  %d\n", sum.AlarmsTriggered)
+	fmt.Printf("sessions:  %d opened, %d resumed, %d heartbeats, %d expired\n",
+		sum.SessionsOpened, sum.SessionsResumed, sum.Heartbeats, sum.SessionsExpired)
+	fmt.Printf("routing:   %d updates routed, %d redirects sent\n", cm.RoutedUpdates, cm.RedirectsSent)
+	fmt.Printf("handoffs:  %d completed, %d deferred, %d duplicate firings suppressed\n",
+		cm.Handoffs, cm.HandoffsDeferred, cm.DuplicateFiringsSuppressed)
+	return nil
 }

@@ -44,6 +44,63 @@ func (r *Registry) NextID() ID {
 	return r.nextID
 }
 
+// InstallAssigned stores alarms that already carry their IDs — a cluster
+// installing one globally numbered alarm table onto several shard
+// registries, where every shard must agree on every ID. Validation runs
+// first (either all alarms install or none); the ID counter advances past
+// every installed alarm so local installs never collide. When the
+// registry is empty the spatial index is STR bulk-loaded, as in
+// InstallBatch.
+func (r *Registry) InstallAssigned(alarms []Alarm) error {
+	for i := range alarms {
+		a := &alarms[i]
+		if a.ID == 0 {
+			return fmt.Errorf("alarm %d: install assigned: zero ID", i)
+		}
+		if a.Region.Empty() {
+			return fmt.Errorf("alarm %d: empty region %v", a.ID, a.Region)
+		}
+		switch a.Scope {
+		case Private, Shared, Public:
+		default:
+			return fmt.Errorf("alarm %d: invalid scope %d", a.ID, a.Scope)
+		}
+		if a.Scope == Shared && len(a.Subscribers) == 0 {
+			return fmt.Errorf("alarm %d: shared alarm requires subscribers", a.ID)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range alarms {
+		if _, dup := r.alarms[a.ID]; dup {
+			return fmt.Errorf("alarm %d: install assigned: duplicate ID", a.ID)
+		}
+	}
+	bulk := len(r.alarms) == 0
+	items := make([]rstar.Item, 0, len(alarms))
+	for _, a := range alarms {
+		stored := a
+		stored.Subscribers = append([]UserID(nil), a.Subscribers...)
+		r.alarms[stored.ID] = &stored
+		if stored.Target != 0 {
+			r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
+		}
+		if stored.ID >= r.nextID {
+			r.nextID = stored.ID + 1
+		}
+		item := rstar.Item{ID: uint64(stored.ID), Rect: stored.Region}
+		if bulk {
+			items = append(items, item)
+		} else {
+			r.index.Insert(item)
+		}
+	}
+	if bulk {
+		r.index.InsertBatch(items)
+	}
+	return nil
+}
+
 // Restore builds a registry from recovered state: alarms keep their
 // original IDs (unlike Install, which assigns fresh ones), trigger state
 // is reinstated, and the ID counter resumes past every restored alarm so

@@ -89,6 +89,14 @@ type Session struct {
 	met  *metrics.Client
 	rng  *rand.Rand
 
+	// DialTo, when set, lets the session follow wire.Redirect frames
+	// (cluster shard handoff): after a redirect, reconnects dial the
+	// redirect address through DialTo instead of the default Dialer.
+	DialTo func(addr string) (transport.Conn, error)
+	// redirectAddr is the address of the shard the server last redirected
+	// us to; empty until the first Redirect.
+	redirectAddr string
+
 	conn      transport.PollingConn
 	connected bool
 	// established turns true when the server's Resume confirms our Hello.
@@ -173,7 +181,7 @@ func (s *Session) drainInbound(tick int) {
 	if !s.connected {
 		return
 	}
-	for {
+	for s.connected {
 		m, ok, err := s.conn.TryRecv()
 		if err != nil {
 			s.disconnect(tick)
@@ -183,6 +191,8 @@ func (s *Session) drainInbound(tick int) {
 			return
 		}
 		s.lastInTick = tick
+		// A handler may drop the link (a Redirect closes it to re-dial
+		// elsewhere); the loop condition stops the drain then.
 		s.handleInbound(tick, m)
 	}
 }
@@ -214,6 +224,26 @@ func (s *Session) handleInbound(tick int, m wire.Message) {
 		return
 	case wire.Heartbeat:
 		return // echo; lastInTick already refreshed
+	case wire.Redirect:
+		// Shard handoff: our session moved to another server. Adopt the
+		// token it minted for us, drop this link and dial the new address
+		// immediately (no backoff — the redirect is an instruction, not a
+		// failure). Queued reports replay after the new shard's Resume.
+		if s.DialTo == nil || v.Addr == "" {
+			return // not cluster-aware; keep the current link
+		}
+		s.token = v.Token
+		s.redirectAddr = v.Addr
+		if s.conn != nil {
+			s.conn.Close()
+			s.conn = nil
+		}
+		s.connected = false
+		s.established = false
+		s.backoff = 0
+		s.nextDialTick = tick
+		s.met.Redirects++
+		return
 	case wire.AlarmFired:
 		before := len(s.c.fired)
 		_ = s.c.Handle(tick, v)
@@ -246,7 +276,7 @@ func (s *Session) maintainLink(tick int) {
 	if tick < s.nextDialTick {
 		return
 	}
-	conn, err := s.dial()
+	conn, err := s.dialNext()
 	if err != nil {
 		s.backoffMore(tick)
 		return
@@ -266,6 +296,15 @@ func (s *Session) maintainLink(tick int) {
 	s.lastOutTick = tick
 	s.met.Reconnects++
 	// The queue replays when the Resume confirms the session.
+}
+
+// dialNext opens the next connection: the last redirect target when one
+// is known (and DialTo is set), the default Dialer otherwise.
+func (s *Session) dialNext() (transport.Conn, error) {
+	if s.redirectAddr != "" && s.DialTo != nil {
+		return s.DialTo(s.redirectAddr)
+	}
+	return s.dial()
 }
 
 func (s *Session) helloMsg() wire.Hello {

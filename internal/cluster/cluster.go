@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/store"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Shards is the number of partitions (engines). Ignored when Cols and
+	// Rows are both set.
+	Shards int
+	// Cols and Rows force an explicit partition grid; both zero means the
+	// near-square auto split of Shards.
+	Cols, Rows int
+	// Engine is the configuration shared by every shard engine: all
+	// shards see the identical full Universe and grid geometry (so safe
+	// regions near a boundary match the single-server ones bit for bit);
+	// each shard's Partition field is filled in per shard.
+	Engine server.Config
+	// DataDir, when non-empty, makes every shard durable with its own
+	// write-ahead log and snapshots under DataDir/shard<N>. Empty runs
+	// every shard in memory (shards then cannot crash/recover).
+	DataDir string
+	// Store tunes the per-shard durable stores (fsync, checkpoint cadence).
+	Store store.Options
+}
+
+// Cluster runs one engine per spatial partition. Shards fail and
+// recover independently: a down shard's slot holds nil, and the router
+// degrades to resend/defer behaviour for clients it owns.
+type Cluster struct {
+	cfg      Config
+	part     *Partitioner
+	slots    []*slot
+	met      *metrics.Cluster
+	cellSide float64
+
+	// installMu serializes alarm installation; nextAlarmID is the global
+	// ID counter, seeded past every shard's recovered table.
+	installMu   sync.Mutex
+	nextAlarmID uint64
+}
+
+type slot struct {
+	eng atomic.Pointer[server.Engine]
+	dir string
+}
+
+// New builds and boots every shard. With DataDir set, each shard opens
+// (or recovers) its own store, so a cluster restarted on an existing
+// DataDir resumes from durable state.
+func New(cfg Config) (*Cluster, error) {
+	var part *Partitioner
+	var err error
+	if cfg.Cols > 0 || cfg.Rows > 0 {
+		part, err = NewPartitionerGrid(cfg.Engine.Universe, cfg.Cols, cfg.Rows)
+	} else {
+		part, err = NewPartitioner(cfg.Engine.Universe, cfg.Shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		part:  part,
+		slots: make([]*slot, part.N()),
+		met:   &metrics.Cluster{},
+	}
+	for i := range c.slots {
+		c.slots[i] = &slot{}
+		if cfg.DataDir != "" {
+			c.slots[i].dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard%d", i))
+		}
+	}
+	for i := range c.slots {
+		eng, err := c.bootShard(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: boot shard %d: %w", i, err)
+		}
+		c.slots[i].eng.Store(eng)
+		if next := uint64(eng.Registry().NextID()); next > c.nextAlarmID {
+			c.nextAlarmID = next
+		}
+	}
+	if c.nextAlarmID == 0 {
+		c.nextAlarmID = 1
+	}
+	c.cellSide = c.slots[0].eng.Load().Grid().CellSide()
+	return c, nil
+}
+
+// bootShard builds shard i's engine, recovering from its store when
+// durable.
+func (c *Cluster) bootShard(i int) (*server.Engine, error) {
+	sc := c.cfg.Engine
+	sc.Partition = c.part.Rect(i)
+	if c.slots[i].dir == "" {
+		return server.New(sc)
+	}
+	st, state, info, err := store.Open(c.slots[i].dir, c.cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	return server.NewDurable(sc, st, state, info)
+}
+
+// Partitioner exposes the spatial split.
+func (c *Cluster) Partitioner() *Partitioner { return c.part }
+
+// N returns the shard count.
+func (c *Cluster) N() int { return c.part.N() }
+
+// Metrics returns the cluster-level counters.
+func (c *Cluster) Metrics() *metrics.Cluster { return c.met }
+
+// Engine returns shard i's engine, or nil while the shard is down.
+func (c *Cluster) Engine(i int) *server.Engine {
+	if i < 0 || i >= len(c.slots) {
+		return nil
+	}
+	return c.slots[i].eng.Load()
+}
+
+// Up reports whether shard i is serving.
+func (c *Cluster) Up(i int) bool { return c.Engine(i) != nil }
+
+// marginRect is the install footprint of shard i: its partition expanded
+// by two grid cells. A client routed to shard i reports from inside the
+// partition (or at most one cell beyond it, the engine's position
+// slack); its grid cell then lies within two cell sides of the
+// partition, so every alarm that can intersect that cell — and hence
+// shape its safe region — is installed here. See DESIGN.md "Clustering".
+func (c *Cluster) marginRect(i int) geom.Rect {
+	return c.part.Rect(i).Expand(2 * c.cellSide)
+}
+
+// InstallAlarms assigns cluster-global IDs and installs each alarm on
+// every shard whose margin rectangle its region intersects — so a
+// boundary-straddling alarm is known to all shards that could serve a
+// client near it. Moving-target alarms are rejected: their region
+// re-anchors at runtime, which would require cross-shard re-placement.
+func (c *Cluster) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	for i := range alarms {
+		if alarms[i].Target != 0 {
+			return nil, fmt.Errorf("cluster: alarm %d: moving-target alarms are not supported in clustered mode", i)
+		}
+	}
+	assigned := make([]alarm.Alarm, len(alarms))
+	ids := make([]alarm.ID, len(alarms))
+	for i, a := range alarms {
+		a.ID = alarm.ID(c.nextAlarmID)
+		c.nextAlarmID++
+		assigned[i] = a
+		ids[i] = a.ID
+	}
+	for s := 0; s < c.N(); s++ {
+		eng := c.Engine(s)
+		if eng == nil {
+			return nil, fmt.Errorf("cluster: shard %d down during install", s)
+		}
+		margin := c.marginRect(s)
+		var batch []alarm.Alarm
+		for _, a := range assigned {
+			if a.Region.Intersects(margin) {
+				batch = append(batch, a)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if err := eng.InstallAlarmsAssigned(batch); err != nil {
+			return nil, fmt.Errorf("cluster: install on shard %d: %w", s, err)
+		}
+	}
+	return ids, nil
+}
+
+// KillShard fail-stops shard i: the store dies mid-flight, the WAL tail
+// is mangled per tear, and the slot goes nil. Durable shards only.
+func (c *Cluster) KillShard(i int, tear store.TearMode, rng *rand.Rand) error {
+	if i < 0 || i >= len(c.slots) {
+		return fmt.Errorf("cluster: no shard %d", i)
+	}
+	eng := c.slots[i].eng.Swap(nil)
+	if eng == nil {
+		return fmt.Errorf("cluster: shard %d already down", i)
+	}
+	st := eng.Store()
+	if st == nil {
+		return fmt.Errorf("cluster: shard %d is memory-only and cannot crash", i)
+	}
+	walPath := st.WALPath()
+	st.Kill()
+	if err := store.MangleTail(walPath, tear, rng); err != nil {
+		return fmt.Errorf("cluster: mangle shard %d: %w", i, err)
+	}
+	c.met.AddShardCrash()
+	return nil
+}
+
+// RecoverShard reboots a killed shard from its durable store.
+func (c *Cluster) RecoverShard(i int) error {
+	if i < 0 || i >= len(c.slots) {
+		return fmt.Errorf("cluster: no shard %d", i)
+	}
+	if c.slots[i].eng.Load() != nil {
+		return fmt.Errorf("cluster: shard %d already up", i)
+	}
+	eng, err := c.bootShard(i)
+	if err != nil {
+		return fmt.Errorf("cluster: recover shard %d: %w", i, err)
+	}
+	c.slots[i].eng.Store(eng)
+	c.met.AddShardRecovery()
+	return nil
+}
+
+// Close checkpoints and closes every live durable shard.
+func (c *Cluster) Close() error {
+	var first error
+	for i := range c.slots {
+		eng := c.slots[i].eng.Swap(nil)
+		if eng == nil || eng.Store() == nil {
+			continue
+		}
+		if err := eng.Store().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardSnapshots returns each live shard's counter snapshot; down shards
+// yield a zero snapshot with Up=false.
+func (c *Cluster) ShardSnapshots() []ShardStatus {
+	out := make([]ShardStatus, c.N())
+	for i := range out {
+		out[i].Shard = i
+		out[i].Partition = c.part.Rect(i)
+		if eng := c.Engine(i); eng != nil {
+			out[i].Up = true
+			out[i].Metrics = eng.Metrics().Snapshot()
+		}
+	}
+	return out
+}
+
+// ShardStatus is one shard's liveness, partition and counters.
+type ShardStatus struct {
+	Shard     int              `json:"shard"`
+	Up        bool             `json:"up"`
+	Partition geom.Rect        `json:"partition"`
+	Metrics   metrics.Snapshot `json:"metrics"`
+}

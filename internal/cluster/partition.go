@@ -1,0 +1,134 @@
+// Package cluster distributes the SABRE alarm server across N
+// independent engines, each owning one rectangular partition of the
+// service area — the paper's "distributed processing" read literally:
+// spatial alarms are processed by the server responsible for the space
+// they occupy. The package provides the spatial partitioner (this file),
+// the cluster lifecycle (cluster.go: per-shard engines and durable
+// stores, crash/recover), the message router with cross-shard session
+// handoff and firing dedup (router.go), and a per-shard TCP front end
+// that redirects clients between shards (tcp.go). See DESIGN.md
+// "Clustering" for the soundness argument and PROTOCOL.md "Redirect and
+// handoff" for the wire rules.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// Partitioner splits a universe rectangle into a cols×rows grid of
+// shard partitions, numbered row-major from the bottom-left. Boundaries
+// are computed by one shared formula, so Rect and Locate can never
+// disagree about which side of a boundary a point falls on: a point
+// exactly on an interior boundary belongs to the higher-indexed cell.
+type Partitioner struct {
+	universe   geom.Rect
+	cols, rows int
+}
+
+// NewPartitioner splits universe into n partitions using the most
+// square-ish cols×rows factorization of n (ties broken toward more
+// columns for wide universes, more rows for tall ones).
+func NewPartitioner(universe geom.Rect, n int) (*Partitioner, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", n)
+	}
+	bestCols, bestScore := 0, 0.0
+	for cols := 1; cols <= n; cols++ {
+		if n%cols != 0 {
+			continue
+		}
+		rows := n / cols
+		cw := universe.Width() / float64(cols)
+		ch := universe.Height() / float64(rows)
+		score := cw / ch
+		if score < 1 {
+			score = 1 / score
+		}
+		if bestCols == 0 || score < bestScore {
+			bestCols, bestScore = cols, score
+		}
+	}
+	return NewPartitionerGrid(universe, bestCols, n/bestCols)
+}
+
+// NewPartitionerGrid splits universe into an explicit cols×rows grid.
+func NewPartitionerGrid(universe geom.Rect, cols, rows int) (*Partitioner, error) {
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("cluster: invalid partition grid %dx%d", cols, rows)
+	}
+	if universe.Empty() {
+		return nil, fmt.Errorf("cluster: empty universe %v", universe)
+	}
+	return &Partitioner{universe: universe, cols: cols, rows: rows}, nil
+}
+
+// N returns the number of partitions.
+func (p *Partitioner) N() int { return p.cols * p.rows }
+
+// Cols and Rows expose the partition grid shape.
+func (p *Partitioner) Cols() int { return p.cols }
+func (p *Partitioner) Rows() int { return p.rows }
+
+// Universe returns the partitioned rectangle.
+func (p *Partitioner) Universe() geom.Rect { return p.universe }
+
+func (p *Partitioner) boundaryX(c int) float64 {
+	return p.universe.MinX + p.universe.Width()*float64(c)/float64(p.cols)
+}
+
+func (p *Partitioner) boundaryY(r int) float64 {
+	return p.universe.MinY + p.universe.Height()*float64(r)/float64(p.rows)
+}
+
+// Rect returns partition i's rectangle.
+func (p *Partitioner) Rect(i int) geom.Rect {
+	col, row := i%p.cols, i/p.cols
+	return geom.Rect{
+		MinX: p.boundaryX(col), MinY: p.boundaryY(row),
+		MaxX: p.boundaryX(col + 1), MaxY: p.boundaryY(row + 1),
+	}
+}
+
+// Locate returns the partition owning pt. Points outside the universe
+// clamp to the nearest edge partition, mirroring the engine's one-cell
+// position slack beyond the universe.
+func (p *Partitioner) Locate(pt geom.Point) int {
+	col := locateAxis(pt.X, p.universe.MinX, p.universe.Width(), p.cols, p.boundaryX)
+	row := locateAxis(pt.Y, p.universe.MinY, p.universe.Height(), p.rows, p.boundaryY)
+	return row*p.cols + col
+}
+
+// locateAxis finds i with boundary(i) <= v < boundary(i+1), clamped to
+// [0, n-1]. The arithmetic guess is corrected against the exact boundary
+// formula so floating-point rounding cannot split a point and its
+// partition rectangle across a boundary.
+func locateAxis(v, min, width float64, n int, boundary func(int) float64) int {
+	i := int((v - min) / width * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i > n-1 {
+		i = n - 1
+	}
+	for i > 0 && v < boundary(i) {
+		i--
+	}
+	for i < n-1 && v >= boundary(i+1) {
+		i++
+	}
+	return i
+}
+
+// Overlapping returns the partitions whose rectangle intersects r, in
+// ascending order.
+func (p *Partitioner) Overlapping(r geom.Rect) []int {
+	var out []int
+	for i := 0; i < p.N(); i++ {
+		if p.Rect(i).Intersects(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+var testUniverse = geom.Rect{MinX: -37, MinY: 13, MaxX: 9963, MaxY: 7013}
+
+// TestPartitionGridTiling checks that the partition rectangles tile the
+// universe exactly: every rect is inside it, neighbouring rects share
+// their boundary bit for bit, and the areas sum to the whole.
+func TestPartitionGridTiling(t *testing.T) {
+	grids := [][2]int{{1, 1}, {2, 2}, {3, 2}, {4, 1}, {1, 4}, {5, 3}}
+	for _, g := range grids {
+		p, err := NewPartitionerGrid(testUniverse, g[0], g[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var area float64
+		for i := 0; i < p.N(); i++ {
+			r := p.Rect(i)
+			if r.Empty() {
+				t.Fatalf("%dx%d: partition %d empty: %v", g[0], g[1], i, r)
+			}
+			if !testUniverse.ContainsRect(r) {
+				t.Fatalf("%dx%d: partition %d %v escapes universe", g[0], g[1], i, r)
+			}
+			area += r.Width() * r.Height()
+			col, row := i%g[0], i/g[0]
+			if col+1 < g[0] {
+				right := p.Rect(i + 1)
+				if r.MaxX != right.MinX {
+					t.Errorf("%dx%d: seam gap between %d and %d: %v vs %v", g[0], g[1], i, i+1, r.MaxX, right.MinX)
+				}
+			}
+			if row+1 < g[1] {
+				above := p.Rect(i + g[0])
+				if r.MaxY != above.MinY {
+					t.Errorf("%dx%d: seam gap between %d and %d: %v vs %v", g[0], g[1], i, i+g[0], r.MaxY, above.MinY)
+				}
+			}
+		}
+		want := testUniverse.Width() * testUniverse.Height()
+		if math.Abs(area-want) > want*1e-9 {
+			t.Errorf("%dx%d: areas sum to %v, universe is %v", g[0], g[1], area, want)
+		}
+	}
+}
+
+// TestLocateMatchesRect fuzzes random points: the owning partition's
+// rectangle must contain the point, and a point exactly on an interior
+// boundary must belong to the higher-indexed cell.
+func TestLocateMatchesRect(t *testing.T) {
+	p, err := NewPartitionerGrid(testUniverse, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		pt := geom.Pt(
+			testUniverse.MinX+rng.Float64()*testUniverse.Width(),
+			testUniverse.MinY+rng.Float64()*testUniverse.Height(),
+		)
+		s := p.Locate(pt)
+		if !p.Rect(s).Contains(pt) {
+			t.Fatalf("point %v located in shard %d whose rect %v excludes it", pt, s, p.Rect(s))
+		}
+	}
+	// Interior boundaries belong to the higher-indexed cell.
+	for c := 1; c < p.Cols(); c++ {
+		pt := geom.Pt(p.boundaryX(c), testUniverse.MinY+1)
+		if got := p.Locate(pt); got%p.Cols() != c {
+			t.Errorf("boundary x=%v located in column %d, want %d", pt.X, got%p.Cols(), c)
+		}
+	}
+	for r := 1; r < p.Rows(); r++ {
+		pt := geom.Pt(testUniverse.MinX+1, p.boundaryY(r))
+		if got := p.Locate(pt); got/p.Cols() != r {
+			t.Errorf("boundary y=%v located in row %d, want %d", pt.Y, got/p.Cols(), r)
+		}
+	}
+}
+
+// TestLocateClampsOutside: positions beyond the universe (the engine
+// tolerates one cell of slack) clamp to the nearest edge partition.
+func TestLocateClampsOutside(t *testing.T) {
+	p, err := NewPartitionerGrid(testUniverse, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pt   geom.Point
+		want int
+	}{
+		{geom.Pt(testUniverse.MinX-500, testUniverse.MinY-500), 0},
+		{geom.Pt(testUniverse.MaxX+500, testUniverse.MinY-500), 1},
+		{geom.Pt(testUniverse.MinX-500, testUniverse.MaxY+500), 2},
+		{geom.Pt(testUniverse.MaxX+500, testUniverse.MaxY+500), 3},
+	}
+	for _, tc := range cases {
+		if got := p.Locate(tc.pt); got != tc.want {
+			t.Errorf("Locate(%v) = %d, want %d", tc.pt, got, tc.want)
+		}
+	}
+}
+
+// TestAutoFactorization: the shard count splits into the most squarish
+// grid the universe's aspect ratio allows.
+func TestAutoFactorization(t *testing.T) {
+	square := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	wide := geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 2500}
+	cases := []struct {
+		universe   geom.Rect
+		n          int
+		cols, rows int
+	}{
+		{square, 1, 1, 1},
+		{square, 4, 2, 2},
+		{square, 9, 3, 3},
+		{wide, 4, 4, 1},
+		{wide, 8, 4, 2},
+	}
+	for _, tc := range cases {
+		p, err := NewPartitioner(tc.universe, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cols() != tc.cols || p.Rows() != tc.rows {
+			t.Errorf("n=%d on %v: got %dx%d, want %dx%d", tc.n, tc.universe, p.Cols(), p.Rows(), tc.cols, tc.rows)
+		}
+	}
+	if _, err := NewPartitioner(square, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewPartitionerGrid(geom.Rect{}, 2, 2); err == nil {
+		t.Error("empty universe accepted")
+	}
+}
+
+// TestOverlapping: a rect straddling the centre of a 2x2 grid touches
+// all four partitions; a corner rect only its own.
+func TestOverlapping(t *testing.T) {
+	p, err := NewPartitionerGrid(testUniverse, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := testUniverse.MinX + testUniverse.Width()/2
+	cy := testUniverse.MinY + testUniverse.Height()/2
+	all := p.Overlapping(geom.RectAround(geom.Pt(cx, cy), 100))
+	if len(all) != 4 {
+		t.Errorf("centre rect overlaps %v, want all 4", all)
+	}
+	corner := p.Overlapping(geom.RectAround(geom.Pt(testUniverse.MinX+100, testUniverse.MinY+100), 50))
+	if len(corner) != 1 || corner[0] != 0 {
+		t.Errorf("corner rect overlaps %v, want [0]", corner)
+	}
+}

@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// Router forwards one client population's wire messages to the shard
+// owning each client's position, performing cross-shard session handoff
+// when a client crosses a partition boundary and deduplicating alarm
+// firings that overlapping installs would otherwise deliver twice
+// (PROTOCOL.md "Redirect and handoff").
+//
+// Handlers return (responses, handled): handled=false means the owning
+// shard is down (or a handoff is blocked on a down shard) and nothing
+// was processed — the caller sends nothing and the client's session
+// machinery resends until the shard recovers. A write-ahead failure
+// inside a shard (store.ErrCrashed) is treated identically: the shard is
+// dying, and the client's retry lands after recovery.
+//
+// The router itself holds no durable state. Its per-user dedup map and
+// parked handoff records rebuild trivially because they shadow durable
+// shard state: firing attribution re-derives from redelivery (a pair
+// delivered twice is acknowledged back to the duplicate's shard), and a
+// parked handoff record is re-exported from the old shard's recovered
+// log.
+type Router struct {
+	cl *Cluster
+
+	mu     sync.Mutex
+	routes map[uint64]*route
+}
+
+// route is one client's routing state. Its mutex serializes that
+// client's messages through the router (mirroring the engine's
+// per-client serialization); distinct clients proceed in parallel.
+type route struct {
+	mu   sync.Mutex
+	user uint64
+	// shard owns the session; -1 before first enrollment and while a
+	// handoff is parked in carried.
+	shard int
+	// carried holds the session exported from the old shard until the
+	// target shard (pendingOwner) accepts the import — a crash between
+	// the two halves must not lose pending firings.
+	carried      *store.ClientRec
+	pendingOwner int
+	// pushToken is a token minted by an ImportSession that the client has
+	// not been told about yet; delivered as a Resume on the next handled
+	// response. If that frame is lost the client's stale token simply
+	// misses on its next Hello and the shard re-enrolls it fresh,
+	// carrying the pending set — safe, just slower.
+	pushToken uint64
+	// Last declared registration, used to synthesize a handoff record
+	// when the old shard has no state for the user (e.g. it expired the
+	// session while the client was offline).
+	strategy  wire.Strategy
+	maxHeight uint8
+	reliable  bool
+	// fired attributes each delivered alarm id to the shard that first
+	// delivered it. Ids arriving from any other shard are duplicates from
+	// overlapping installs: stripped, and acknowledged back to that shard
+	// so it stops redelivering.
+	fired map[uint64]int
+}
+
+// NewRouter routes for cl.
+func NewRouter(cl *Cluster) *Router {
+	return &Router{cl: cl, routes: make(map[uint64]*route)}
+}
+
+func (r *Router) route(user uint64) *route {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt := r.routes[user]
+	if rt == nil {
+		rt = &route{user: user, shard: -1, fired: make(map[uint64]int)}
+		r.routes[user] = rt
+	}
+	return rt
+}
+
+// HandleRegister enrolls a plain (fire-and-forget) client. Without a
+// position the session starts on shard 0; the first update hands it off
+// to its true owner.
+func (r *Router) HandleRegister(m wire.Register) bool {
+	rt := r.route(m.User)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.strategy, rt.maxHeight, rt.reliable = m.Strategy, m.MaxHeight, false
+	if rt.shard < 0 && rt.carried == nil {
+		rt.shard = 0
+	}
+	eng := r.cl.Engine(rt.shard)
+	if rt.carried != nil || eng == nil {
+		return false
+	}
+	if err := eng.Register(m); err != nil {
+		return false
+	}
+	return true
+}
+
+// HandleHello establishes or resumes a session on the client's current
+// shard. A client that never reported yet starts on shard 0.
+func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
+	rt := r.route(m.User)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.strategy, rt.maxHeight, rt.reliable = m.Strategy, m.MaxHeight, true
+	if rt.carried != nil {
+		// Finish the parked handoff first; the Hello then reaches the new
+		// shard, which re-enrolls the client (its token is stale) carrying
+		// the imported pending set.
+		if _, ok := r.importCarried(rt); !ok {
+			return nil, false, nil
+		}
+	}
+	if rt.shard < 0 {
+		rt.shard = 0
+	}
+	eng := r.cl.Engine(rt.shard)
+	if eng == nil {
+		return nil, false, nil
+	}
+	out, _, err := eng.HandleHello(m)
+	if err != nil {
+		if errors.Is(err, store.ErrCrashed) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	rt.pushToken = 0 // the Hello response carries a fresh Resume already
+	return r.filterFired(rt, rt.shard, out), true, nil
+}
+
+// HandleUpdate routes one position report, handing the session off first
+// when the position crossed into another shard's partition.
+func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, error) {
+	rt := r.route(u.User)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	r.cl.met.AddRoutedUpdate()
+	owner := r.cl.part.Locate(u.Pos)
+
+	if rt.carried != nil {
+		// A parked handoff: retarget to wherever the client is now and
+		// try again.
+		rt.pendingOwner = owner
+		if _, ok := r.importCarried(rt); !ok {
+			return nil, false, nil
+		}
+	}
+	if rt.shard < 0 {
+		rt.shard = owner // first contact: enroll where the client is
+	}
+	if rt.shard != owner {
+		if !r.handoff(rt, owner) {
+			return nil, false, nil
+		}
+	}
+	eng := r.cl.Engine(rt.shard)
+	if eng == nil {
+		return nil, false, nil
+	}
+	out, err := eng.HandleUpdate(u)
+	if err != nil {
+		if errors.Is(err, store.ErrCrashed) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	out = r.filterFired(rt, rt.shard, out)
+	if rt.pushToken != 0 {
+		// Tell the client its session moved: adopt the new shard's token.
+		msg := wire.Resume{Token: rt.pushToken, Resumed: true}
+		eng.Metrics().AddDownlink(wire.EncodedSize(msg))
+		out = append([]wire.Message{msg}, out...)
+		rt.pushToken = 0
+	}
+	return out, true, nil
+}
+
+// handoff moves rt's session from rt.shard to owner. On any down shard
+// the handoff parks (carried) or defers (old shard unreachable) and
+// reports false. The caller holds rt.mu.
+func (r *Router) handoff(rt *route, owner int) bool {
+	oldEng := r.cl.Engine(rt.shard)
+	if oldEng == nil {
+		r.cl.met.AddHandoffDeferred()
+		return false
+	}
+	rec, ok, err := oldEng.ExportSession(alarm.UserID(rt.user))
+	if err != nil && !errors.Is(err, store.ErrCrashed) {
+		return false
+	}
+	// On ErrCrashed the export's ExpireRec append failed, but the
+	// in-memory removal happened and rec is complete; the old shard's
+	// recovery may resurrect its copy of the session, which the next
+	// handoff from it re-exports — harmless, because firing attribution
+	// dedups redeliveries.
+	if !ok {
+		// The old shard no longer knows the client (idle-expired). Carry
+		// the declared registration with no pending firings.
+		rec = store.ClientRec{
+			User: rt.user, Strategy: rt.strategy,
+			MaxHeight: rt.maxHeight, Reliable: rt.reliable,
+		}
+	}
+	rt.carried = &rec
+	rt.pendingOwner = owner
+	rt.shard = -1
+	_, imported := r.importCarried(rt)
+	return imported
+}
+
+// importCarried lands a parked handoff on its target shard. On success
+// the minted token (reliable sessions) is staged in rt.pushToken and the
+// carried pending firings are re-attributed to the new shard. The caller
+// holds rt.mu.
+func (r *Router) importCarried(rt *route) (uint64, bool) {
+	eng := r.cl.Engine(rt.pendingOwner)
+	if eng == nil {
+		r.cl.met.AddHandoffDeferred()
+		return 0, false
+	}
+	tok, err := eng.ImportSession(*rt.carried)
+	if err != nil {
+		if errors.Is(err, store.ErrCrashed) {
+			r.cl.met.AddHandoffDeferred()
+		}
+		return 0, false
+	}
+	// The new shard redelivers the carried pending set from now on;
+	// re-attribute those ids so dedup lets its redeliveries through.
+	for _, id := range rt.carried.PendingFired {
+		rt.fired[id] = rt.pendingOwner
+	}
+	if rt.carried.Reliable {
+		rt.pushToken = tok
+	}
+	rt.shard = rt.pendingOwner
+	rt.carried = nil
+	r.cl.met.AddHandoff()
+	return tok, true
+}
+
+// HandleHeartbeat forwards a heartbeat to the owning shard, or echoes it
+// locally while that shard is down — the link is healthy, only the shard
+// is gone, and the client must not tear the connection down for it.
+func (r *Router) HandleHeartbeat(user uint64, hb wire.Heartbeat) []wire.Message {
+	rt := r.route(user)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.shard < 0 || rt.carried != nil {
+		return []wire.Message{hb}
+	}
+	eng := r.cl.Engine(rt.shard)
+	if eng == nil {
+		return []wire.Message{hb}
+	}
+	return r.filterFired(rt, rt.shard, eng.HandleHeartbeat(alarm.UserID(user), hb))
+}
+
+// HandleAck forwards a FiredAck to the owning shard. While the shard is
+// down the ack is dropped: the shard keeps the pending set, redelivers
+// after recovery, and the client's session re-acks — converging with no
+// router-side buffering.
+func (r *Router) HandleAck(user uint64, ids []uint64) {
+	rt := r.route(user)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.shard < 0 || rt.carried != nil {
+		return
+	}
+	eng := r.cl.Engine(rt.shard)
+	if eng == nil {
+		return
+	}
+	_ = eng.AckFired(alarm.UserID(user), ids) // ErrCrashed: redelivery re-acks
+}
+
+// filterFired strips duplicate firings from shard's responses. The first
+// shard to deliver an id owns it; the same shard may redeliver (the
+// client's session dedups and re-acks), but an id arriving from a
+// different shard is an overlapping-install duplicate — it is removed
+// from the response and acknowledged straight back to that shard so it
+// stops redelivering. The caller holds rt.mu.
+func (r *Router) filterFired(rt *route, shard int, msgs []wire.Message) []wire.Message {
+	out := msgs[:0:0]
+	for _, m := range msgs {
+		af, isFired := m.(wire.AlarmFired)
+		if !isFired {
+			out = append(out, m)
+			continue
+		}
+		pass := make([]uint64, 0, len(af.Alarms))
+		var strip []uint64
+		for _, id := range af.Alarms {
+			prev, seen := rt.fired[id]
+			switch {
+			case !seen:
+				rt.fired[id] = shard
+				pass = append(pass, id)
+			case prev == shard:
+				pass = append(pass, id)
+			default:
+				strip = append(strip, id)
+			}
+		}
+		if len(strip) > 0 {
+			r.cl.met.AddDuplicateFiringsSuppressed(uint64(len(strip)))
+			if eng := r.cl.Engine(shard); eng != nil {
+				_ = eng.AckFired(alarm.UserID(rt.user), strip)
+			}
+		}
+		if len(pass) == 0 {
+			continue // fully deduplicated: drop the frame
+		}
+		out = append(out, wire.AlarmFired{Seq: af.Seq, Alarms: pass})
+	}
+	return out
+}

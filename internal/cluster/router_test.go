@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+func hello(t *testing.T, rt *Router, user uint64) uint64 {
+	t.Helper()
+	out, handled, err := rt.HandleHello(wire.Hello{User: user, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
+	if err != nil || !handled {
+		t.Fatalf("hello: handled=%v err=%v", handled, err)
+	}
+	for _, m := range out {
+		if r, ok := m.(wire.Resume); ok {
+			return r.Token
+		}
+	}
+	t.Fatal("hello response carries no Resume")
+	return 0
+}
+
+func update(t *testing.T, rt *Router, user uint64, seq uint32, pos geom.Point) []wire.Message {
+	t.Helper()
+	out, handled, err := rt.HandleUpdate(wire.PositionUpdate{User: user, Seq: seq, Pos: pos})
+	if err != nil || !handled {
+		t.Fatalf("update seq %d: handled=%v err=%v", seq, handled, err)
+	}
+	return out
+}
+
+func firedIDs(msgs []wire.Message) []uint64 {
+	var ids []uint64
+	for _, m := range msgs {
+		if af, ok := m.(wire.AlarmFired); ok {
+			ids = append(ids, af.Alarms...)
+		}
+	}
+	return ids
+}
+
+// TestRouterHandoffMovesSession: crossing the partition boundary exports
+// the session from the old shard, imports it at the new one, and pushes
+// the freshly minted token to the client as a Resume.
+func TestRouterHandoffMovesSession(t *testing.T) {
+	c := newTestCluster(t, 2, 1, "")
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000)) // enrolls on shard 0
+
+	out := update(t, rt, 1, 2, geom.Pt(8000, 5000)) // crosses to shard 1
+	var pushed *wire.Resume
+	for _, m := range out {
+		if r, ok := m.(wire.Resume); ok {
+			pushed = &r
+		}
+	}
+	if pushed == nil || pushed.Token == 0 || !pushed.Resumed {
+		t.Fatalf("no token push after handoff: %v", out)
+	}
+	met := c.Metrics().Snapshot()
+	if met.Handoffs != 1 {
+		t.Errorf("Handoffs = %d, want 1", met.Handoffs)
+	}
+	if got := c.Engine(0).Metrics().Snapshot().SessionsExported; got != 1 {
+		t.Errorf("shard 0 SessionsExported = %d, want 1", got)
+	}
+	if got := c.Engine(1).Metrics().Snapshot().SessionsImported; got != 1 {
+		t.Errorf("shard 1 SessionsImported = %d, want 1", got)
+	}
+	// The pushed token resumes the session on the new shard.
+	out, handled, err := rt.HandleHello(wire.Hello{User: 1, Token: pushed.Token, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
+	if err != nil || !handled {
+		t.Fatalf("resume hello: handled=%v err=%v", handled, err)
+	}
+	for _, m := range out {
+		if r, ok := m.(wire.Resume); ok && !r.Resumed {
+			t.Error("token minted by handoff did not resume on the new shard")
+		}
+	}
+}
+
+// TestRouterSuppressesCrossShardDuplicate: an alarm straddling the
+// boundary is installed on both shards; after it fires (and is acked) on
+// one shard, the other shard's stale registry refires it on arrival —
+// the router must strip the duplicate and ack it back to that shard.
+func TestRouterSuppressesCrossShardDuplicate(t *testing.T) {
+	c := newTestCluster(t, 2, 1, "")
+	ids, err := c.InstallAlarms([]alarm.Alarm{{
+		Scope: alarm.Private, Owner: 1,
+		Region: geom.RectAround(geom.Pt(5000, 5000), 1000), // x 4500..5500
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uint64(ids[0])
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+
+	out := update(t, rt, 1, 1, geom.Pt(4800, 5000)) // inside region, shard 0
+	if got := firedIDs(out); len(got) != 1 || got[0] != id {
+		t.Fatalf("first firing = %v, want [%d]", got, id)
+	}
+	rt.HandleAck(1, []uint64{id})
+
+	out = update(t, rt, 1, 2, geom.Pt(5200, 5000)) // handoff; still inside region
+	if got := firedIDs(out); len(got) != 0 {
+		t.Fatalf("duplicate firing leaked through the router: %v", got)
+	}
+	met := c.Metrics().Snapshot()
+	if met.DuplicateFiringsSuppressed != 1 {
+		t.Errorf("DuplicateFiringsSuppressed = %d, want 1", met.DuplicateFiringsSuppressed)
+	}
+	// The synthetic ack drained shard 1's pending set: nothing redelivers.
+	if pending := c.Engine(1).PendingFired(1); len(pending) != 0 {
+		t.Errorf("shard 1 still holds pending %v after synthetic ack", pending)
+	}
+}
+
+// TestRouterHandoffCarriesPending: an unacknowledged firing survives the
+// handoff — the new shard both knows it fired (no refire) and redelivers
+// it until the client acks.
+func TestRouterHandoffCarriesPending(t *testing.T) {
+	c := newTestCluster(t, 2, 1, "")
+	ids, err := c.InstallAlarms([]alarm.Alarm{{
+		Scope: alarm.Private, Owner: 1,
+		Region: geom.RectAround(geom.Pt(5000, 5000), 1000),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uint64(ids[0])
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	out := update(t, rt, 1, 1, geom.Pt(4800, 5000))
+	if got := firedIDs(out); len(got) != 1 {
+		t.Fatalf("no firing on shard 0: %v", out)
+	}
+	// No ack: the firing is pending when the client crosses the boundary.
+	// The new shard redelivers it (the client session dedups) — but must
+	// not REFIRE it, which would double-count the pair.
+	out = update(t, rt, 1, 2, geom.Pt(5200, 5000))
+	if got := firedIDs(out); len(got) != 1 || got[0] != id {
+		t.Fatalf("handoff response = %v, want redelivery of [%d]", got, id)
+	}
+	s1 := c.Engine(1).Metrics().Snapshot()
+	if s1.AlarmsTriggered != 0 {
+		t.Errorf("shard 1 refired the carried pair (AlarmsTriggered = %d)", s1.AlarmsTriggered)
+	}
+	if s1.FiredRedeliveries == 0 {
+		t.Error("shard 1 did not count the redelivery")
+	}
+	if pending := c.Engine(1).PendingFired(1); len(pending) != 1 || pending[0] != id {
+		t.Fatalf("shard 1 pending = %v, want [%d]", pending, id)
+	}
+	// Redelivery from the NEW shard passes dedup (the pair re-attributed).
+	hb := rt.HandleHeartbeat(1, wire.Heartbeat{})
+	if got := firedIDs(hb); len(got) != 1 || got[0] != id {
+		t.Fatalf("heartbeat redelivery = %v, want [%d]", got, id)
+	}
+	rt.HandleAck(1, []uint64{id})
+	if pending := c.Engine(1).PendingFired(1); len(pending) != 0 {
+		t.Errorf("pending not drained after ack: %v", pending)
+	}
+}
+
+// TestRouterDownShardDefers: messages for a dead shard go unanswered
+// (the session resends), heartbeats are echoed locally so the link stays
+// up, and a handoff into a dead shard parks until it recovers.
+func TestRouterDownShardDefers(t *testing.T) {
+	c := newTestCluster(t, 2, 1, t.TempDir())
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000))
+
+	rng := rand.New(rand.NewSource(7))
+	if err := c.KillShard(0, store.TearNone, rng); err != nil {
+		t.Fatal(err)
+	}
+	_, handled, err := rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(2100, 5000)})
+	if err != nil || handled {
+		t.Fatalf("update to dead shard: handled=%v err=%v, want deferred", handled, err)
+	}
+	hb := rt.HandleHeartbeat(1, wire.Heartbeat{})
+	if len(hb) != 1 {
+		t.Fatalf("heartbeat to dead shard: %v, want local echo", hb)
+	}
+	if err := c.RecoverShard(0); err != nil {
+		t.Fatal(err)
+	}
+	update(t, rt, 1, 2, geom.Pt(2100, 5000)) // resumes after recovery
+
+	// Handoff INTO a dead shard parks the carried session.
+	if err := c.KillShard(1, store.TearNone, rng); err != nil {
+		t.Fatal(err)
+	}
+	_, handled, err = rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 3, Pos: geom.Pt(8000, 5000)})
+	if err != nil || handled {
+		t.Fatalf("handoff into dead shard: handled=%v err=%v, want parked", handled, err)
+	}
+	if got := c.Metrics().Snapshot().HandoffsDeferred; got == 0 {
+		t.Error("no deferred handoff counted")
+	}
+	hb = rt.HandleHeartbeat(1, wire.Heartbeat{})
+	if len(hb) != 1 {
+		t.Fatalf("heartbeat while parked: %v, want local echo", hb)
+	}
+	if err := c.RecoverShard(1); err != nil {
+		t.Fatal(err)
+	}
+	out := update(t, rt, 1, 3, geom.Pt(8000, 5000))
+	var pushed bool
+	for _, m := range out {
+		if r, ok := m.(wire.Resume); ok && r.Token != 0 {
+			pushed = true
+		}
+	}
+	if !pushed {
+		t.Errorf("no token push after parked handoff landed: %v", out)
+	}
+	if got := c.Metrics().Snapshot().Handoffs; got != 1 {
+		t.Errorf("Handoffs = %d, want 1", got)
+	}
+}
+
+// TestRouterConcurrent hammers one router from many goroutines, each
+// driving its own user back and forth across the partition boundary.
+// Run under -race (make cluster); correctness here is the absence of
+// data races and deadlocks, plus every update eventually handled.
+func TestRouterConcurrent(t *testing.T) {
+	c := newTestCluster(t, 2, 2, "")
+	if _, err := c.InstallAlarms([]alarm.Alarm{{
+		Scope: alarm.Public, Owner: 1,
+		Region: geom.RectAround(geom.Pt(5000, 5000), 800),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(c)
+	const users = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	for u := 1; u <= users; u++ {
+		wg.Add(1)
+		go func(user uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(user)))
+			if _, handled, err := rt.HandleHello(wire.Hello{User: user, Strategy: wire.StrategyPBSR, MaxHeight: 5}); err != nil || !handled {
+				errs <- err
+				return
+			}
+			for seq := uint32(1); seq <= 200; seq++ {
+				pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+				if _, handled, err := rt.HandleUpdate(wire.PositionUpdate{User: user, Seq: seq, Pos: pos}); err != nil || !handled {
+					errs <- err
+					return
+				}
+				if rng.Intn(8) == 0 {
+					rt.HandleHeartbeat(user, wire.Heartbeat{})
+				}
+			}
+		}(uint64(u))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent routing failed: %v", err)
+	}
+	met := c.Metrics().Snapshot()
+	if met.Handoffs == 0 {
+		t.Error("random walks produced no handoffs")
+	}
+}

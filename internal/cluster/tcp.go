@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// TCPCluster fronts a Cluster with one TCP listener per shard. Clients
+// connect to any shard; a position update owned by a different shard
+// triggers an in-process handoff (the shards share this process) and a
+// wire.Redirect reply pointing the client at the owning shard's address
+// with its freshly minted resume token. Cross-shard duplicate firings
+// are deduplicated client-side in this mode: the client acknowledges
+// everything it receives — including duplicates it suppresses — so each
+// shard's pending set drains (PROTOCOL.md "Redirect and handoff").
+type TCPCluster struct {
+	cl          *Cluster
+	log         *log.Logger
+	idleTimeout time.Duration
+	listeners   []net.Listener
+	addrs       []string
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewTCP listens on one address per shard (len(addrs) must equal
+// cl.N()); ":0" addresses are supported, with the bound addresses
+// available from Addrs. Serving starts with Serve.
+func NewTCP(cl *Cluster, addrs []string, logger *log.Logger, idleTimeout time.Duration) (*TCPCluster, error) {
+	if len(addrs) != cl.N() {
+		return nil, fmt.Errorf("cluster: %d addresses for %d shards", len(addrs), cl.N())
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	c := &TCPCluster{
+		cl:          cl,
+		log:         logger,
+		idleTimeout: idleTimeout,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	for i, addr := range addrs {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			for _, l := range c.listeners {
+				l.Close()
+			}
+			return nil, fmt.Errorf("cluster: listen shard %d on %s: %w", i, addr, err)
+		}
+		c.listeners = append(c.listeners, ln)
+		c.addrs = append(c.addrs, ln.Addr().String())
+	}
+	return c, nil
+}
+
+// Addrs returns the bound per-shard listener addresses.
+func (c *TCPCluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Serve accepts on every shard listener until Close; it returns the
+// first accept error after all listeners stop.
+func (c *TCPCluster) Serve() error {
+	errs := make(chan error, len(c.listeners))
+	var wg sync.WaitGroup
+	for i, ln := range c.listeners {
+		wg.Add(1)
+		go func(shard int, ln net.Listener) {
+			defer wg.Done()
+			errs <- c.serveShard(shard, ln)
+		}(i, ln)
+	}
+	wg.Wait()
+	return <-errs
+}
+
+func (c *TCPCluster) serveShard(shard int, ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return fmt.Errorf("cluster: closed: %w", err)
+			}
+			return fmt.Errorf("cluster: shard %d accept: %w", shard, err)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return errors.New("cluster: closed")
+		}
+		c.conns[nc] = struct{}{}
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go func() {
+			defer c.wg.Done()
+			c.serveConn(shard, nc)
+		}()
+	}
+}
+
+// Close stops every listener and connection, waits for serving
+// goroutines, and closes the cluster's durable stores.
+func (c *TCPCluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var first error
+	for _, ln := range c.listeners {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for nc := range c.conns {
+		nc.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return first
+}
+
+func (c *TCPCluster) serveConn(shard int, nc net.Conn) {
+	defer func() {
+		nc.Close()
+		c.mu.Lock()
+		delete(c.conns, nc)
+		c.mu.Unlock()
+	}()
+	conn := transport.NewTCPDeadline(nc, c.idleTimeout, 30*time.Second)
+	var registeredUser uint64
+	reply := func(responses []wire.Message) bool {
+		for _, m := range responses {
+			if err := conn.Send(m); err != nil {
+				c.log.Printf("shard %d conn %s: send: %v", shard, nc.RemoteAddr(), err)
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				c.log.Printf("shard %d conn %s: idle timeout, reaping", shard, nc.RemoteAddr())
+			default:
+				c.log.Printf("shard %d conn %s: recv: %v", shard, nc.RemoteAddr(), err)
+			}
+			return
+		}
+		eng := c.cl.Engine(shard)
+		if eng == nil {
+			c.log.Printf("shard %d conn %s: shard down, dropping %v", shard, nc.RemoteAddr(), msg.Kind())
+			return
+		}
+		switch m := msg.(type) {
+		case wire.Register:
+			if err := eng.Register(m); err != nil {
+				c.log.Printf("shard %d conn %s: register: %v", shard, nc.RemoteAddr(), err)
+				return
+			}
+			registeredUser = m.User
+		case wire.Hello:
+			responses, _, err := eng.HandleHello(m)
+			if err != nil {
+				c.log.Printf("shard %d conn %s: hello: %v", shard, nc.RemoteAddr(), err)
+				return
+			}
+			registeredUser = m.User
+			if !reply(responses) {
+				return
+			}
+		case wire.Heartbeat:
+			if !reply(eng.HandleHeartbeat(alarm.UserID(registeredUser), m)) {
+				return
+			}
+		case wire.FiredAck:
+			if registeredUser != 0 {
+				if err := eng.AckFired(alarm.UserID(registeredUser), m.Alarms); err != nil {
+					c.log.Printf("shard %d conn %s: fired-ack: %v", shard, nc.RemoteAddr(), err)
+					return
+				}
+			}
+		case wire.PositionUpdate:
+			owner := c.cl.part.Locate(m.Pos)
+			if owner != shard {
+				// Cross-partition report: move the session in-process and
+				// point the client at the owning shard.
+				tok, ok := c.redirectSession(shard, owner, m.User)
+				if !ok {
+					continue // owner down: drop, client resends
+				}
+				rd := wire.Redirect{Token: tok, Addr: c.addrs[owner]}
+				eng.Metrics().AddDownlink(wire.EncodedSize(rd))
+				c.cl.met.AddRedirectSent()
+				if !reply([]wire.Message{rd}) {
+					return
+				}
+				continue
+			}
+			responses, err := eng.HandleUpdate(m)
+			if err != nil {
+				c.log.Printf("shard %d conn %s: update: %v", shard, nc.RemoteAddr(), err)
+				return
+			}
+			if len(responses) == 0 {
+				responses = []wire.Message{wire.Ack{Seq: m.Seq}}
+			}
+			if !reply(responses) {
+				return
+			}
+		default:
+			c.log.Printf("shard %d conn %s: unexpected %v", shard, nc.RemoteAddr(), msg.Kind())
+			return
+		}
+	}
+}
+
+// redirectSession exports user's session from shard `from` and imports
+// it at shard `to`, returning the token the client should present there.
+// A missing session (never enrolled, or already expired) redirects with
+// token 0 — the client re-enrolls fresh at the owner. Reports false when
+// the owning shard is down.
+func (c *TCPCluster) redirectSession(from, to int, user uint64) (uint64, bool) {
+	newEng := c.cl.Engine(to)
+	if newEng == nil {
+		c.cl.met.AddHandoffDeferred()
+		return 0, false
+	}
+	oldEng := c.cl.Engine(from)
+	if oldEng == nil {
+		return 0, false
+	}
+	rec, ok, err := oldEng.ExportSession(alarm.UserID(user))
+	if err != nil {
+		c.log.Printf("shard %d: export user %d: %v", from, user, err)
+	}
+	if !ok {
+		return 0, true
+	}
+	tok, err := newEng.ImportSession(rec)
+	if err != nil {
+		c.log.Printf("shard %d: import user %d: %v", to, user, err)
+		return 0, false
+	}
+	c.cl.met.AddHandoff()
+	return tok, true
+}

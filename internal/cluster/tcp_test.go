@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+func startTCPCluster(t *testing.T, c *Cluster) *TCPCluster {
+	t.Helper()
+	addrs := make([]string, c.N())
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	srv, err := NewTCP(c, addrs, nil, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve()
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not exit after Close")
+		}
+	})
+	return srv
+}
+
+// TestTCPRedirectFollowsShard drives a real client session over real TCP
+// across the partition boundary: the first shard replies with a
+// wire.Redirect carrying the handed-off session's token, the session
+// redials the owning shard via DialTo, resumes there, and the alarm on
+// the far side still fires exactly once.
+func TestTCPRedirectFollowsShard(t *testing.T) {
+	c := newTestCluster(t, 2, 1, "") // split at x=5000
+	ids, err := c.InstallAlarms([]alarm.Alarm{{
+		Scope: alarm.Private, Owner: 42,
+		Region: geom.RectAround(geom.Pt(6000, 5000), 200),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startTCPCluster(t, c)
+	addrs := srv.Addrs()
+
+	met := &metrics.Client{}
+	cl := client.New(42, wire.StrategyMWPSR, met)
+	sess := client.NewSession(cl, func() (transport.Conn, error) {
+		return transport.Dial(addrs[0])
+	}, client.SessionConfig{MaxHeight: 5, JitterSeed: 1}, met)
+	sess.DialTo = func(addr string) (transport.Conn, error) {
+		return transport.Dial(addr)
+	}
+	var fired []uint64
+	sess.OnFired = func(alarms []uint64) { fired = append(fired, alarms...) }
+
+	// Walk east from deep in shard 0, through the boundary, into the
+	// alarm. Real TCP is asynchronous, so poll each tick briefly.
+	for tick := 0; tick < 600 && len(fired) == 0; tick++ {
+		pos := geom.Pt(4000+float64(tick)*20, 5000)
+		if pos.X > 6000 {
+			pos.X = 6000
+		}
+		sess.Step(tick, pos)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Drain any in-flight delivery.
+	for tick := 600; tick < 650 && len(fired) == 0; tick++ {
+		sess.Quiesce(tick)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(fired) != 1 || fired[0] != uint64(ids[0]) {
+		t.Fatalf("fired = %v, want [%d]", fired, ids[0])
+	}
+	if met.Redirects == 0 {
+		t.Error("session followed no redirects crossing the boundary")
+	}
+	cm := c.Metrics().Snapshot()
+	if cm.RedirectsSent == 0 || cm.Handoffs == 0 {
+		t.Errorf("cluster counters: redirects=%d handoffs=%d, want both > 0", cm.RedirectsSent, cm.Handoffs)
+	}
+}
+
+// TestTCPAddrsMismatch: the front end refuses an address list that does
+// not match the shard count.
+func TestTCPAddrsMismatch(t *testing.T) {
+	c := newTestCluster(t, 2, 1, "")
+	if _, err := NewTCP(c, []string{"127.0.0.1:0"}, nil, time.Second); err == nil {
+		t.Fatal("one address for two shards accepted")
+	}
+}

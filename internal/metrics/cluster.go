@@ -1,0 +1,76 @@
+package metrics
+
+import "sync/atomic"
+
+// Cluster accumulates router-level counters for a sharded deployment:
+// work the router does on top of the per-shard Server counters. All
+// fields are atomics so the TCP router can account from concurrent
+// connection goroutines.
+type Cluster struct {
+	routedUpdates              atomic.Uint64
+	handoffs                   atomic.Uint64
+	handoffsDeferred           atomic.Uint64
+	duplicateFiringsSuppressed atomic.Uint64
+	redirectsSent              atomic.Uint64
+	shardCrashes               atomic.Uint64
+	shardRecoveries            atomic.Uint64
+}
+
+// ClusterSnapshot is a point-in-time copy of the cluster counters. The
+// json tags shape the alarmserver -metrics-addr HTTP payload.
+type ClusterSnapshot struct {
+	// RoutedUpdates counts position updates forwarded to an owning shard.
+	RoutedUpdates uint64 `json:"routed_updates"`
+	// Handoffs counts sessions moved between shards when a client crossed
+	// a partition boundary.
+	Handoffs uint64 `json:"handoffs"`
+	// HandoffsDeferred counts updates whose handoff had to wait because
+	// the old or new shard was down.
+	HandoffsDeferred uint64 `json:"handoffs_deferred"`
+	// DuplicateFiringsSuppressed counts (user, alarm) firings stripped by
+	// the router because another shard already delivered the pair.
+	DuplicateFiringsSuppressed uint64 `json:"duplicate_firings_suppressed"`
+	// RedirectsSent counts wire Redirect frames emitted by per-shard
+	// listeners.
+	RedirectsSent uint64 `json:"redirects_sent"`
+	// ShardCrashes and ShardRecoveries count fault-injection lifecycle
+	// events on individual shards.
+	ShardCrashes    uint64 `json:"shard_crashes"`
+	ShardRecoveries uint64 `json:"shard_recoveries"`
+}
+
+// Snapshot returns a copy of every cluster counter.
+func (c *Cluster) Snapshot() ClusterSnapshot {
+	return ClusterSnapshot{
+		RoutedUpdates:              c.routedUpdates.Load(),
+		Handoffs:                   c.handoffs.Load(),
+		HandoffsDeferred:           c.handoffsDeferred.Load(),
+		DuplicateFiringsSuppressed: c.duplicateFiringsSuppressed.Load(),
+		RedirectsSent:              c.redirectsSent.Load(),
+		ShardCrashes:               c.shardCrashes.Load(),
+		ShardRecoveries:            c.shardRecoveries.Load(),
+	}
+}
+
+// AddRoutedUpdate records one position update forwarded to its shard.
+func (c *Cluster) AddRoutedUpdate() { c.routedUpdates.Add(1) }
+
+// AddHandoff records one completed cross-shard session handoff.
+func (c *Cluster) AddHandoff() { c.handoffs.Add(1) }
+
+// AddHandoffDeferred records a handoff postponed because a shard was down.
+func (c *Cluster) AddHandoffDeferred() { c.handoffsDeferred.Add(1) }
+
+// AddDuplicateFiringsSuppressed records firings stripped by router dedup.
+func (c *Cluster) AddDuplicateFiringsSuppressed(n uint64) {
+	c.duplicateFiringsSuppressed.Add(n)
+}
+
+// AddRedirectSent records one wire Redirect frame sent to a client.
+func (c *Cluster) AddRedirectSent() { c.redirectsSent.Add(1) }
+
+// AddShardCrash records one injected shard crash.
+func (c *Cluster) AddShardCrash() { c.shardCrashes.Add(1) }
+
+// AddShardRecovery records one shard recovered from its durable store.
+func (c *Cluster) AddShardRecovery() { c.shardRecoveries.Add(1) }

@@ -95,6 +95,10 @@ type Server struct {
 	walTruncatedBytes atomic.Uint64
 	firedEvictions    atomic.Uint64
 	sessionsExpired   atomic.Uint64
+
+	// Handoff counters (cluster shard membership changes).
+	sessionsExported atomic.Uint64
+	sessionsImported atomic.Uint64
 }
 
 // Snapshot is a consistent-enough point-in-time copy of the server
@@ -136,6 +140,9 @@ type Snapshot struct {
 	WALTruncatedBytes uint64
 	FiredEvictions    uint64
 	SessionsExpired   uint64
+
+	SessionsExported uint64
+	SessionsImported uint64
 }
 
 // NewServer returns a counter set using the given cost model.
@@ -176,6 +183,8 @@ func (s *Server) Snapshot() Snapshot {
 		WALTruncatedBytes:      s.walTruncatedBytes.Load(),
 		FiredEvictions:         s.firedEvictions.Load(),
 		SessionsExpired:        s.sessionsExpired.Load(),
+		SessionsExported:       s.sessionsExported.Load(),
+		SessionsImported:       s.sessionsImported.Load(),
 	}
 }
 
@@ -207,6 +216,12 @@ func (s *Server) AddFiredEvictions(n uint64) { s.firedEvictions.Add(n) }
 // AddSessionsExpired records reliable sessions reaped by the idle TTL
 // sweep.
 func (s *Server) AddSessionsExpired(n uint64) { s.sessionsExpired.Add(n) }
+
+// AddSessionExported records a session handed off out of this shard.
+func (s *Server) AddSessionExported() { s.sessionsExported.Add(1) }
+
+// AddSessionImported records a session handed off into this shard.
+func (s *Server) AddSessionImported() { s.sessionsImported.Add(1) }
 
 // AddSessionOpened records a fresh session established via Hello.
 func (s *Server) AddSessionOpened() { s.sessionsOpened.Add(1) }
@@ -351,6 +366,7 @@ type Client struct {
 	HeartbeatsSent     uint64 // heartbeats transmitted
 	RedeliveredReports uint64 // queued reports re-sent after reconnect/timeout
 	DroppedReports     uint64 // reports evicted from a full offline queue
+	Redirects          uint64 // shard redirects followed (cluster handoff)
 }
 
 // AddCheck records one containment check costing the given probes.
@@ -368,6 +384,7 @@ func (c *Client) Merge(other Client) {
 	c.HeartbeatsSent += other.HeartbeatsSent
 	c.RedeliveredReports += other.RedeliveredReports
 	c.DroppedReports += other.DroppedReports
+	c.Redirects += other.Redirects
 }
 
 // EnergyParams converts client-side work into energy, mirroring the

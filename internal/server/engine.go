@@ -78,6 +78,16 @@ type Config struct {
 	// reliable session; beyond it the oldest are evicted (they stay marked
 	// fired, but are no longer redelivered). 0 means store.DefaultPendingCap.
 	PendingFiredCap int
+	// Partition, when non-empty, marks this engine as one shard of a
+	// cluster owning just this sub-rectangle of the Universe. The grid,
+	// cell geometry and position validation still span the full Universe
+	// (so safe regions computed near a boundary are identical to the
+	// single-server ones), but the shard's registry only holds alarms
+	// intersecting Partition expanded by one grid cell — the margin-
+	// install rule (DESIGN.md "Clustering"). Safe-period distances are
+	// clamped to that margin boundary because alarms beyond it may be
+	// missing from the local registry.
+	Partition geom.Rect
 }
 
 // Pusher delivers server-initiated messages (moving-target safe region
@@ -613,6 +623,25 @@ func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *cli
 func (e *Engine) safePeriodFor(reg *alarm.Registry, u wire.PositionUpdate) wire.SafePeriod {
 	dist, accesses := reg.NearestRelevantDistCounted(u.Pos, alarm.UserID(u.User))
 	e.met.AddSafePeriodComputation(accesses)
+	// A cluster shard only installs alarms intersecting its expanded
+	// partition, so the local nearest-alarm distance can over-estimate:
+	// the true nearest alarm may live on a neighbour shard. Any alarm
+	// missing locally lies wholly outside the margin rectangle, so its
+	// distance from u.Pos is at least the interior distance to that
+	// boundary — clamp to it and the safe period stays globally sound.
+	if p := e.cfg.Partition; !p.Empty() {
+		m := p.Expand(e.grid.CellSide())
+		interior := math.Min(
+			math.Min(u.Pos.X-m.MinX, m.MaxX-u.Pos.X),
+			math.Min(u.Pos.Y-m.MinY, m.MaxY-u.Pos.Y),
+		)
+		if interior < 0 {
+			interior = 0
+		}
+		if interior < dist {
+			dist = interior
+		}
+	}
 	vmax := e.cfg.MaxSpeed
 	if f := e.cfg.SafePeriodSpeedFactor; f > 0 {
 		vmax *= f

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// This file implements the two halves of a cross-shard session handoff
+// (internal/cluster): the old shard exports the client's durable session
+// state and forgets it; the new shard imports that state and mints a
+// fresh resume token. Each half follows the write-ahead discipline of
+// its own shard's log — export logs an ExpireRec (replay drops the
+// client and its tokens, exactly like idle expiry), import logs a
+// HelloRec followed by a FiredRec carrying the pending firings (replay
+// reconstructs a reliable client with the same unacknowledged set). A
+// crash between the two halves cannot lose a firing: the router holds
+// the exported record until import succeeds.
+
+// ExportSession removes the user's session from this engine and returns
+// its durable record for re-enrollment elsewhere. The second return is
+// false when the user has no state here. Soft state (last position,
+// bitmap base cell, heading) is deliberately dropped — it regenerates
+// from the client's next report, exactly as it does across a crash.
+func (e *Engine) ExportSession(user alarm.UserID) (store.ClientRec, bool, error) {
+	sh := e.shardFor(user)
+	sh.mu.Lock()
+	st := sh.m[user]
+	delete(sh.m, user)
+	sh.mu.Unlock()
+	if st == nil {
+		return store.ClientRec{}, false, nil
+	}
+
+	st.mu.Lock()
+	rec := store.ClientRec{
+		User:         uint64(user),
+		Strategy:     st.strategy,
+		MaxHeight:    uint8(st.maxHeight),
+		Reliable:     st.reliable,
+		PendingFired: append([]uint64(nil), st.pendingFired...),
+	}
+	st.mu.Unlock()
+
+	e.sessMu.Lock()
+	for tok, u := range e.sessions {
+		if u == user {
+			delete(e.sessions, tok)
+		}
+	}
+	e.sessMu.Unlock()
+	e.met.AddSessionExported()
+
+	// ExpireRec replay deletes the client and every token for it — the
+	// exact effect of the removal above.
+	if err := e.logRecord(store.ExpireRec{User: uint64(user)}); err != nil {
+		return rec, true, err
+	}
+	return rec, true, nil
+}
+
+// ImportSession enrolls a session exported from another shard. For a
+// reliable session it mints a resume token (returned for the router to
+// deliver to the client), carries the pending firings across, and marks
+// every carried id fired in the local registry so an alarm installed on
+// both shards cannot fire twice. Non-reliable (plain Register) clients
+// import as a plain registration and get token 0.
+func (e *Engine) ImportSession(rec store.ClientRec) (uint64, error) {
+	user := alarm.UserID(rec.User)
+	if !rec.Reliable {
+		return 0, e.Register(wire.Register{
+			User: rec.User, Strategy: rec.Strategy, MaxHeight: rec.MaxHeight,
+		})
+	}
+
+	e.sessMu.Lock()
+	if e.sessions == nil {
+		e.sessions = make(map[uint64]alarm.UserID)
+	}
+	e.lastToken++
+	token := e.lastToken
+	e.sessions[token] = user
+	e.sessMu.Unlock()
+
+	pending := append([]uint64(nil), rec.PendingFired...)
+	// Retire the carried pairs locally: a pending firing was already
+	// delivered (or is being redelivered) — the local copy of the alarm
+	// must become free space here too, keeping pendingFired and any
+	// future newFired disjoint.
+	reg := e.reg.Load()
+	for _, id := range pending {
+		reg.MarkFired(alarm.ID(id), user)
+	}
+
+	sh := e.shardFor(user)
+	sh.mu.Lock()
+	sh.m[user] = &clientState{
+		strategy:     rec.Strategy,
+		maxHeight:    int(rec.MaxHeight),
+		reliable:     true,
+		pendingFired: pending,
+		lastActive:   e.now(),
+	}
+	sh.mu.Unlock()
+	e.met.AddSessionImported()
+
+	// Write-ahead: HelloRec reconstructs the reliable client and its
+	// token; FiredRec re-marks the carried pairs fired and re-appends
+	// them to the pending set. Replay of the pair is idempotent.
+	if err := e.logRecord(store.HelloRec{
+		User: rec.User, Token: token, Strategy: rec.Strategy, MaxHeight: rec.MaxHeight,
+	}); err != nil {
+		return token, err
+	}
+	if len(pending) > 0 {
+		if err := e.logRecord(store.FiredRec{User: rec.User, Alarms: pending}); err != nil {
+			return token, err
+		}
+	}
+	return token, nil
+}

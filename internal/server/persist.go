@@ -144,6 +144,25 @@ func (e *Engine) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
 	return ids, nil
 }
 
+// InstallAlarmsAssigned durably installs alarms that already carry their
+// globally assigned IDs — the cluster path, where every shard must agree
+// on every alarm's identity. One InstallRec per alarm is appended;
+// InstallRec replay preserves the ID and advances the counter, so a
+// recovered shard rebuilds the identical table.
+func (e *Engine) InstallAlarmsAssigned(alarms []alarm.Alarm) error {
+	reg := e.reg.Load()
+	if err := reg.InstallAssigned(alarms); err != nil {
+		return err
+	}
+	e.InvalidatePublicBitmaps()
+	for _, a := range alarms {
+		if err := e.logRecord(store.InstallRec{Alarm: a}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RemoveAlarm durably cancels an alarm.
 func (e *Engine) RemoveAlarm(id alarm.ID) (bool, error) {
 	reg := e.reg.Load()

@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/cluster"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/stats"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/transport"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// ClusterCrashEvent scripts one shard's fail-stop mid-workload. Unlike a
+// whole-process crash, client connections survive: only the shard's
+// engine and store die, and the router degrades to resend/defer
+// behaviour for the clients that shard owns.
+type ClusterCrashEvent struct {
+	// Tick is when the shard dies (before that tick's reports are served).
+	Tick int
+	// Shard is which partition's engine is killed.
+	Shard int
+	// Tear is how the death mangles that shard's WAL tail.
+	Tear store.TearMode
+	// Down is how many ticks the shard stays dead before recovery.
+	Down int
+}
+
+// ClusterPlan scripts a deterministic sharded run for RunCluster.
+type ClusterPlan struct {
+	// Seed drives the tail-mangling choices and the client sessions'
+	// backoff jitter.
+	Seed int64
+	// Shards is the partition count (default 4).
+	Shards int
+	// Crashes fire in tick order; they require a durable data dir.
+	Crashes []ClusterCrashEvent
+	// SnapshotEvery is each shard store's checkpoint cadence in WAL
+	// appends (0 disables).
+	SnapshotEvery int
+	// Fsync syncs each shard's WAL per append.
+	Fsync bool
+	// Session tunes the client session state machines.
+	Session client.SessionConfig
+	// DrainTicks extends the run past the trace end so sessions collect
+	// redelivered firings and drain their report queues.
+	DrainTicks int
+}
+
+// DefaultClusterPlan runs four shards and kills two of them mid-trace —
+// one torn final write, one flipped bit — with a few ticks of downtime.
+func DefaultClusterPlan(seed int64, durationTicks int) ClusterPlan {
+	return ClusterPlan{
+		Seed:   seed,
+		Shards: 4,
+		Crashes: []ClusterCrashEvent{
+			{Tick: durationTicks / 3, Shard: 1, Tear: store.TearTruncate, Down: 3},
+			{Tick: durationTicks * 2 / 3, Shard: 2, Tear: store.TearFlipBit, Down: 3},
+		},
+		SnapshotEvery: 256,
+		DrainTicks:    200,
+	}
+}
+
+// RunCluster executes one strategy over the workload against a
+// horizontally sharded cluster: every client's reports flow through a
+// cluster.Router to the shard owning its position, sessions hand off
+// between shards as vehicles cross partition boundaries, and scripted
+// shard crashes recover from per-shard durable stores under dataDir.
+// An empty dataDir uses a temporary directory removed before returning.
+// Triggers are recorded at client delivery (deduplicated by the router
+// across shards and by the session within one), so for the safe-region
+// strategies the (User, Alarm) set must equal a single-server Run's —
+// which TestClusterDeliveryEquality asserts. Fully deterministic for a
+// fixed workload, strategy and plan.
+//
+// The SP (safe period) baseline is excluded from set equality: its safe
+// periods are clamped at partition margins, which changes the reporting
+// cadence and therefore which positions the server ever sees.
+func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string) (*Report, error) {
+	if sc.PyramidHeight == 0 {
+		sc.PyramidHeight = 5
+	}
+	if sc.BitmapMaxBits == 0 {
+		sc.BitmapMaxBits = 2048
+	}
+	if sc.CellAreaKM2 == 0 {
+		sc.CellAreaKM2 = 2.5
+	}
+	if plan.Shards <= 0 {
+		plan.Shards = 4
+	}
+	if dataDir == "" && len(plan.Crashes) > 0 {
+		// Crashes need durable shards; keep the scratch space tidy.
+		tmp, err := os.MkdirTemp("", "sabre-cluster-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return nil, err
+	}
+	universe := w.Net.Bounds().Expand(50)
+	engCfg := server.Config{
+		Universe:                universe,
+		CellAreaM2:              sc.CellAreaKM2 * 1e6,
+		Model:                   sc.Model,
+		PyramidParams:           pyramidParams(sc),
+		MaxSpeed:                mob.MaxSpeed(),
+		TickSeconds:             mobCfg.TickSeconds,
+		PrecomputePublicBitmaps: sc.PrecomputePublicBitmaps,
+		ExhaustiveAssembly:      sc.ExhaustiveAssembly,
+		UseBucketIndex:          sc.BucketIndex,
+		SafePeriodSpeedFactor:   sc.SafePeriodSpeedFactor,
+		Costs:                   metrics.DefaultCosts(),
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Shards:  plan.Shards,
+		Engine:  engCfg,
+		DataDir: dataDir,
+		Store: store.Options{
+			Fsync:         plan.Fsync,
+			SnapshotEvery: plan.SnapshotEvery,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	// Install the alarm table on the first boot only; a cluster reopened
+	// on an existing dataDir recovers it from the per-shard logs.
+	installed := 0
+	for s := 0; s < cl.N(); s++ {
+		installed += cl.Engine(s).Registry().Len()
+	}
+	if installed == 0 {
+		if _, err := cl.InstallAlarms(w.Alarms); err != nil {
+			return nil, err
+		}
+	}
+	rt := cluster.NewRouter(cl)
+
+	n := w.Config.Vehicles
+	links := make([]*crashLink, n)
+	perClient := make([]metrics.Client, n)
+	sessions := make([]*client.Session, n)
+	curTick := 0
+	var triggers []Trigger
+
+	for i := 0; i < n; i++ {
+		i := i
+		user := uint64(i + 1)
+		c := client.New(user, sc.Strategy, &perClient[i])
+		scfg := plan.Session
+		scfg.MaxHeight = uint8(sc.PyramidHeight)
+		scfg.JitterSeed = plan.Seed ^ int64(user)<<17
+		// The router front end is always reachable — shard deaths show up
+		// as unanswered reports, not failed dials.
+		dial := func() (transport.Conn, error) {
+			cEnd, sEnd := transport.Pipe(4096)
+			links[i] = &crashLink{user: user, cli: cEnd, srv: transport.Poller(sEnd)}
+			return cEnd, nil
+		}
+		sessions[i] = client.NewSession(c, dial, scfg, &perClient[i])
+		sessions[i].OnFired = func(ids []uint64) {
+			for _, id := range ids {
+				triggers = append(triggers, Trigger{User: user, Alarm: id, Tick: curTick})
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(plan.Seed ^ 0x5ABE))
+	crashIdx := 0
+	downUntil := make([]int, cl.N())
+	for i := range downUntil {
+		downUntil[i] = -1
+	}
+
+	positions := make([]geom.Point, n)
+	var serverWall time.Duration
+	total := w.Config.DurationTicks + plan.DrainTicks
+	for tick := 0; tick < total; tick++ {
+		curTick = tick
+		if tick < w.Config.DurationTicks {
+			mob.Step()
+			for i := range positions {
+				positions[i] = mob.Position(i)
+			}
+		}
+
+		// Phase 1: shard lifecycle. A scripted crash kills one shard's
+		// store and mangles its WAL tail; the other shards keep serving,
+		// and every client link stays up.
+		for crashIdx < len(plan.Crashes) && tick >= plan.Crashes[crashIdx].Tick {
+			ev := plan.Crashes[crashIdx]
+			crashIdx++
+			if err := cl.KillShard(ev.Shard, ev.Tear, rng); err != nil {
+				return nil, fmt.Errorf("sim: crash %d: %w", crashIdx, err)
+			}
+			downUntil[ev.Shard] = tick + ev.Down
+		}
+		for s := range downUntil {
+			if downUntil[s] >= 0 && tick >= downUntil[s] {
+				if err := cl.RecoverShard(s); err != nil {
+					return nil, fmt.Errorf("sim: recover shard %d at tick %d: %w", s, tick, err)
+				}
+				downUntil[s] = -1
+			}
+		}
+
+		// Phase 2: sessions evaluate, (re)connect and send in index order.
+		for i, s := range sessions {
+			if tick < w.Config.DurationTicks {
+				s.Step(tick, positions[i])
+			} else {
+				s.Quiesce(tick)
+			}
+		}
+
+		// Phase 3: the router drains each link in index order.
+		for i, ln := range links {
+			if ln == nil {
+				continue
+			}
+			if err := serveClusterLink(rt, ln, &serverWall); err != nil {
+				if err == transport.ErrClosed {
+					links[i] = nil
+					continue
+				}
+				return nil, fmt.Errorf("tick %d user %d: %w", tick, ln.user, err)
+			}
+		}
+	}
+
+	for i, s := range sessions {
+		if qs := s.QueueLen(); qs > 0 {
+			return nil, fmt.Errorf("sim: user %d still has %d undrained reports after %d drain ticks — extend DrainTicks or crash earlier", i+1, qs, plan.DrainTicks)
+		}
+	}
+	if crashIdx != len(plan.Crashes) {
+		return nil, fmt.Errorf("sim: only %d of %d crashes fired — trace too short for the plan", crashIdx, len(plan.Crashes))
+	}
+	for s := 0; s < cl.N(); s++ {
+		if !cl.Up(s) {
+			return nil, fmt.Errorf("sim: shard %d still down at trace end — its Down outlives the run", s)
+		}
+	}
+
+	clientMet := &metrics.Client{}
+	msgsPerClient := make([]uint64, n)
+	for i := range perClient {
+		clientMet.Merge(perClient[i])
+		msgsPerClient[i] = perClient[i].MessagesSent
+	}
+	// Sum the per-shard counters. Like RunCrashing, a crashed shard's
+	// cumulative counters reset with its recovery — the totals reflect
+	// each shard's final incarnation.
+	var met metrics.Snapshot
+	for s := 0; s < cl.N(); s++ {
+		addSnapshot(&met, cl.Engine(s).Metrics().Snapshot())
+	}
+	clusterMet := cl.Metrics().Snapshot()
+	traceSeconds := float64(w.Config.DurationTicks) * mobCfg.TickSeconds
+	return &Report{
+		Strategy:               sc.Strategy.String(),
+		Vehicles:               n,
+		DurationTicks:          w.Config.DurationTicks,
+		UplinkMessages:         met.UplinkMessages,
+		UplinkBytes:            met.UplinkBytes,
+		DownlinkMessages:       met.DownlinkMessages,
+		DownlinkBytes:          met.DownlinkBytes,
+		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		ClientChecks:           clientMet.ContainmentChecks,
+		ClientProbes:           clientMet.Probes,
+		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
+		ClientProbeEnergyMWh:   float64(clientMet.Probes) * metrics.DefaultEnergy().ProbeMilliWattHours,
+		PerClientMessages:      stats.SummarizeUints(msgsPerClient),
+		AlarmProcessingMinutes: met.AlarmProcessingSeconds() / 60,
+		SafeRegionMinutes:      met.SafeRegionSeconds() / 60,
+		TotalServerMinutes:     met.TotalSeconds() / 60,
+		SafeRegionComputations: met.SafeRegionComputations,
+		AlarmEvaluations:       met.AlarmEvaluations,
+		RectClips:              met.RectClips,
+		MeasuredServerSeconds:  serverWall.Seconds(),
+		Triggers:               triggers,
+		Cluster:                &clusterMet,
+	}, nil
+}
+
+// serveClusterLink drains one link's pending uplink messages through the
+// router. Unhandled messages (owning shard down, handoff deferred) get no
+// response; the session's resend machinery retries them after recovery.
+func serveClusterLink(rt *cluster.Router, ln *crashLink, wall *time.Duration) error {
+	for {
+		m, ok, err := ln.srv.TryRecv()
+		if err != nil {
+			return transport.ErrClosed
+		}
+		if !ok {
+			return nil
+		}
+		var responses []wire.Message
+		switch v := m.(type) {
+		case wire.Register:
+			rt.HandleRegister(v)
+		case wire.Hello:
+			out, handled, err := rt.HandleHello(v)
+			if err != nil {
+				return err
+			}
+			if !handled {
+				continue
+			}
+			responses = out
+		case wire.Heartbeat:
+			responses = rt.HandleHeartbeat(ln.user, v)
+		case wire.FiredAck:
+			rt.HandleAck(ln.user, v.Alarms)
+		case wire.PositionUpdate:
+			start := time.Now()
+			out, handled, err := rt.HandleUpdate(v)
+			*wall += time.Since(start)
+			if err != nil {
+				return err
+			}
+			if !handled {
+				continue
+			}
+			if len(out) == 0 {
+				out = []wire.Message{wire.Ack{Seq: v.Seq}}
+			}
+			responses = out
+		default:
+			return fmt.Errorf("sim: unexpected uplink message %v", m.Kind())
+		}
+		for _, r := range responses {
+			if ln.srv.Send(r) != nil {
+				return transport.ErrClosed
+			}
+		}
+	}
+}
+
+// addSnapshot folds one shard's counters into dst.
+func addSnapshot(dst *metrics.Snapshot, sn metrics.Snapshot) {
+	dst.Costs = sn.Costs
+	dst.UplinkMessages += sn.UplinkMessages
+	dst.UplinkBytes += sn.UplinkBytes
+	dst.DownlinkMessages += sn.DownlinkMessages
+	dst.DownlinkBytes += sn.DownlinkBytes
+	dst.AlarmsTriggered += sn.AlarmsTriggered
+	dst.NodeAccesses += sn.NodeAccesses
+	dst.AlarmChecks += sn.AlarmChecks
+	dst.SRCandidates += sn.SRCandidates
+	dst.SRCorners += sn.SRCorners
+	dst.SRBitmapTests += sn.SRBitmapTests
+	dst.SRNodeAccesses += sn.SRNodeAccesses
+	dst.SafeRegionComputations += sn.SafeRegionComputations
+	dst.RectClips += sn.RectClips
+	dst.AlarmEvaluations += sn.AlarmEvaluations
+	dst.SessionsOpened += sn.SessionsOpened
+	dst.SessionsResumed += sn.SessionsResumed
+	dst.Heartbeats += sn.Heartbeats
+	dst.RedeliveredUpdates += sn.RedeliveredUpdates
+	dst.FiredRedeliveries += sn.FiredRedeliveries
+	dst.WALAppends += sn.WALAppends
+	dst.WALBytes += sn.WALBytes
+	dst.WALFsyncs += sn.WALFsyncs
+	dst.Snapshots += sn.Snapshots
+	dst.Recoveries += sn.Recoveries
+	dst.RecoveredRecords += sn.RecoveredRecords
+	dst.WALTruncatedBytes += sn.WALTruncatedBytes
+	dst.FiredEvictions += sn.FiredEvictions
+	dst.SessionsExpired += sn.SessionsExpired
+	dst.SessionsExported += sn.SessionsExported
+	dst.SessionsImported += sn.SessionsImported
+}

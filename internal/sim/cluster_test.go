@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// TestClusterDeliveryEquality is the acceptance check for horizontal
+// sharding: for each safe-region strategy, a four-shard cluster run —
+// with clients handing off between shards as vehicles cross partition
+// boundaries, and two shards crashed (torn WAL tails) and recovered
+// mid-trace — must deliver exactly the same (user, alarm) set as the
+// single-server run: nothing lost, nothing delivered twice. The SP
+// baseline is excluded by design (partition-clamped safe periods change
+// its reporting cadence; see DESIGN.md "Clustering").
+func TestClusterDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy cluster simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultClusterPlan(99, w.Config.DurationTicks)
+	cases := []struct {
+		name string
+		sc   StrategyConfig
+	}{
+		{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+		{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+		{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Run(w, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := RunCluster(w, tc.sc, plan, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			basePairs := pairCounts(base.Triggers)
+			shardPairs := pairCounts(sharded.Triggers)
+			for p, c := range shardPairs {
+				if c != 1 {
+					t.Errorf("pair (user %d, alarm %d) delivered %d times across shards", p[0], p[1], c)
+				}
+				if basePairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) delivered sharded but not single-server", p[0], p[1])
+				}
+			}
+			for p := range basePairs {
+				if shardPairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) lost across shards", p[0], p[1])
+				}
+			}
+			if len(base.Triggers) == 0 {
+				t.Fatal("workload produced no triggers; the equality check is vacuous")
+			}
+			cm := sharded.Cluster
+			if cm == nil {
+				t.Fatal("cluster run reported no cluster metrics")
+			}
+			if cm.Handoffs == 0 {
+				t.Error("no cross-shard handoffs — the partition grid never split the trace")
+			}
+			if cm.ShardCrashes != uint64(len(plan.Crashes)) || cm.ShardRecoveries != uint64(len(plan.Crashes)) {
+				t.Errorf("expected %d crashes and recoveries, got %d / %d",
+					len(plan.Crashes), cm.ShardCrashes, cm.ShardRecoveries)
+			}
+			t.Logf("%s: %d single-server triggers, %d sharded deliveries, %d handoffs, %d duplicate firings suppressed, equal sets",
+				tc.name, len(base.Triggers), len(sharded.Triggers), cm.Handoffs, cm.DuplicateFiringsSuppressed)
+		})
+	}
+}
+
+// TestRunClusterDeterministic asserts the cluster harness replays
+// byte-identically: same workload + plan (fresh data dirs) → the exact
+// same trigger sequence, delivery ticks included.
+func TestRunClusterDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	cfg := SmallWorkload(5)
+	cfg.Vehicles = 60
+	cfg.DurationTicks = 200
+	cfg.NumAlarms = 80
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultClusterPlan(123, cfg.DurationTicks)
+	sc := StrategyConfig{Strategy: wire.StrategyMWPSR}
+	a, err := RunCluster(w, sc, plan, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCluster(w, sc, plan, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Triggers) != len(b.Triggers) {
+		t.Fatalf("trigger counts differ: %d vs %d", len(a.Triggers), len(b.Triggers))
+	}
+	for i := range a.Triggers {
+		if a.Triggers[i] != b.Triggers[i] {
+			t.Fatalf("trigger %d differs: %+v vs %+v", i, a.Triggers[i], b.Triggers[i])
+		}
+	}
+}

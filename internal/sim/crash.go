@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
@@ -86,6 +87,16 @@ type crashLink struct {
 // TestCrashRecoveryDeliveryEquality asserts per strategy. Fully
 // deterministic for a fixed workload, strategy, plan and dataDir.
 func RunCrashing(w *Workload, sc StrategyConfig, plan CrashPlan, dataDir string) (*Report, error) {
+	if dataDir == "" {
+		// Keep the scratch space tidy: callers without a data dir (tests
+		// should pass t.TempDir()) get a temp dir removed before return.
+		tmp, err := os.MkdirTemp("", "sabre-crash-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
 	if sc.PyramidHeight == 0 {
 		sc.PyramidHeight = 5
 	}

@@ -235,6 +235,11 @@ type Report struct {
 	RectClips              uint64
 
 	Triggers []Trigger
+
+	// Cluster holds the cluster-level counters (handoffs, suppressed
+	// duplicates, shard crashes) when the run went through RunCluster;
+	// nil for single-server runs.
+	Cluster *metrics.ClusterSnapshot
 }
 
 // TriggersEqual reports whether two runs delivered exactly the same

@@ -31,6 +31,8 @@ func FuzzDecode(f *testing.F) {
 		Heartbeat{},
 		FiredAck{Alarms: []uint64{1, 2, 3}},
 		FiredAck{},
+		Redirect{Token: 0xFEEDC0FFEE, Addr: "10.0.0.7:7701"},
+		Redirect{},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -40,16 +42,18 @@ func FuzzDecode(f *testing.F) {
 	// payload than the buffer holds.
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x01})
-	f.Add(Encode(Hello{User: 7, Token: 9})[:5])                    // truncated Hello
-	f.Add(Encode(Resume{Token: 1, Resumed: true})[:3])             // truncated Resume
-	f.Add(Encode(Heartbeat{Nonce: 1})[:2])                         // truncated Heartbeat
-	f.Add([]byte{byte(KindHello)})                                 // kind byte only
-	f.Add([]byte{byte(KindResume)})                                // kind byte only
-	f.Add([]byte{byte(KindHeartbeat)})                             // kind byte only
-	f.Add([]byte{byte(KindFiredAck)})                              // kind byte only
-	f.Add([]byte{byte(KindFiredAck), 0x7F, 0xFF, 0xFF, 0xFF})      // oversized count, no payload
-	f.Add([]byte{byte(KindFiredAck), 0, 0, 0, 2, 1, 2, 3})         // count 2, payload for <1
+	f.Add(Encode(Hello{User: 7, Token: 9})[:5])                             // truncated Hello
+	f.Add(Encode(Resume{Token: 1, Resumed: true})[:3])                      // truncated Resume
+	f.Add(Encode(Heartbeat{Nonce: 1})[:2])                                  // truncated Heartbeat
+	f.Add([]byte{byte(KindHello)})                                          // kind byte only
+	f.Add([]byte{byte(KindResume)})                                         // kind byte only
+	f.Add([]byte{byte(KindHeartbeat)})                                      // kind byte only
+	f.Add([]byte{byte(KindFiredAck)})                                       // kind byte only
+	f.Add([]byte{byte(KindFiredAck), 0x7F, 0xFF, 0xFF, 0xFF})               // oversized count, no payload
+	f.Add([]byte{byte(KindFiredAck), 0, 0, 0, 2, 1, 2, 3})                  // count 2, payload for <1
 	f.Add([]byte{byte(KindAlarmFired), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // oversized fired count
+	f.Add([]byte{byte(KindRedirect)})                                       // kind byte only
+	f.Add([]byte{byte(KindRedirect), 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})   // addr length > payload
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

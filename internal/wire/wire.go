@@ -41,6 +41,7 @@ const (
 	KindResume
 	KindHeartbeat
 	KindFiredAck
+	KindRedirect
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +71,8 @@ func (k Kind) String() string {
 		return "heartbeat"
 	case KindFiredAck:
 		return "fired-ack"
+	case KindRedirect:
+		return "redirect"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -370,6 +373,26 @@ func (m FiredAck) appendTo(dst []byte) []byte {
 	return dst
 }
 
+// Redirect tells a client its session has moved to a different server
+// (a cluster shard handoff, PROTOCOL.md "Redirect and handoff"): the
+// client should drop this connection, dial Addr and present Token in its
+// next Hello. The token was minted by the target shard when the session
+// was imported there, so the redirected Hello resumes rather than
+// re-enrolls. Addr is bounded to 64 KiB by its u16 length prefix.
+type Redirect struct {
+	Token uint64
+	Addr  string
+}
+
+// Kind implements Message.
+func (Redirect) Kind() Kind { return KindRedirect }
+
+func (m Redirect) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Token)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Addr)))
+	return append(dst, m.Addr...)
+}
+
 // SeqOf returns the sequence number a message carries and whether the
 // message type has one. Session-layer code uses it to match responses to
 // queued reports without enumerating every monitoring-state type.
@@ -427,6 +450,8 @@ func EncodedSize(m Message) int {
 		return 1 + 4
 	case FiredAck:
 		return 1 + 4 + len(v.Alarms)*8
+	case Redirect:
+		return 1 + 8 + 2 + len(v.Addr)
 	default:
 		return len(Encode(m))
 	}
@@ -492,6 +517,17 @@ func Decode(buf []byte) (Message, error) {
 			fa.Alarms = append(fa.Alarms, r.u64())
 		}
 		m = fa
+	case KindRedirect:
+		rd := Redirect{Token: r.u64()}
+		n := int(r.u16())
+		if r.err == nil && n > len(r.buf)-r.pos {
+			return nil, ErrTruncated
+		}
+		if r.err == nil {
+			rd.Addr = string(r.buf[r.pos : r.pos+n])
+			r.pos += n
+		}
+		m = rd
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, buf[0])
 	}
@@ -537,6 +573,15 @@ func (r *reader) u8() uint8 {
 	}
 	v := r.buf[r.pos]
 	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
 	return v
 }
 

@@ -44,6 +44,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 		Resume{Token: 7},
 		Heartbeat{Nonce: 0xCAFE},
 		FiredAck{Alarms: []uint64{9, 10}},
+		Redirect{Token: 0xBEEF02, Addr: "10.0.0.7:7701"},
+		Redirect{Token: 3},
 	}
 	for _, m := range msgs {
 		t.Run(m.Kind().String(), func(t *testing.T) {
@@ -86,6 +88,7 @@ func TestDecodeErrors(t *testing.T) {
 		Resume{Token: 3, Resumed: true},
 		Heartbeat{Nonce: 4},
 		FiredAck{Alarms: []uint64{5, 6}},
+		Redirect{Token: 7, Addr: "127.0.0.1:9000"},
 	}
 	for _, m := range msgs {
 		full := Encode(m)
@@ -118,6 +121,12 @@ func TestHostileLengthPrefix(t *testing.T) {
 	if _, err := Decode(abuf); err == nil {
 		t.Error("hostile fired-ack count accepted")
 	}
+	// Redirect claiming more addr bytes than the frame holds.
+	rbuf := Encode(Redirect{Token: 1, Addr: "x"})
+	rbuf[9], rbuf[10] = 0xFF, 0xFF
+	if _, err := Decode(rbuf); err == nil {
+		t.Error("hostile redirect addr length accepted")
+	}
 }
 
 func TestSeqOf(t *testing.T) {
@@ -130,7 +139,7 @@ func TestSeqOf(t *testing.T) {
 			t.Errorf("SeqOf(%v) = %d, %v", m.Kind(), seq, ok)
 		}
 	}
-	without := []Message{Register{}, Hello{}, Resume{}, Heartbeat{}, FiredAck{}}
+	without := []Message{Register{}, Hello{}, Resume{}, Heartbeat{}, FiredAck{}, Redirect{}}
 	for _, m := range without {
 		if _, ok := SeqOf(m); ok {
 			t.Errorf("SeqOf(%v) unexpectedly present", m.Kind())
@@ -162,7 +171,7 @@ func TestBitmapRegionPyramidRoundTrip(t *testing.T) {
 }
 
 func TestKindAndStrategyStrings(t *testing.T) {
-	for k := KindRegister; k <= KindFiredAck; k++ {
+	for k := KindRegister; k <= KindRedirect; k++ {
 		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
 			t.Errorf("kind %d has no name", k)
 		}
