@@ -11,11 +11,19 @@
 #                simulation (4 shards, forced handoffs, shard crashes)
 #   make bench   engine throughput sweep at 1/2/4/8 procs; writes
 #                BENCH_engine.json via cmd/alarmbench
+#   make bench-cluster
+#                routed update throughput on a sharded cluster with 100k
+#                simulated clients, sweeping shards x goroutines x batch
+#                size; writes BENCH_cluster.json
+#   make bench-smoke
+#                compile and run every benchmark once (-benchtime=1x) so
+#                CI catches bit-rotted benchmark code without paying for
+#                real measurement runs
 #   make figures the paper-figure benchmark series
 
 GO ?= go
 
-.PHONY: tier1 race crash cluster bench figures
+.PHONY: tier1 race crash cluster bench bench-cluster bench-smoke figures
 
 tier1:
 	$(GO) build ./...
@@ -37,6 +45,12 @@ cluster:
 bench:
 	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .
 	$(GO) run ./cmd/alarmbench -scale small bench-engine
+
+bench-cluster:
+	$(GO) run ./cmd/alarmbench -scale small bench-cluster
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 figures:
 	$(GO) test -run xxx -bench 'Fig|Ablation' .

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/cluster"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/sim"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// benchClusterUsers is the simulated client population for the cluster
+// sweep. Positions are synthesized per (user, seq) instead of replaying
+// mobility traces, so the population costs no trace memory and scales to
+// cluster size.
+const benchClusterUsers = 100_000
+
+// benchClusterPoint is one measured (shards, goroutines, batch) cell.
+type benchClusterPoint struct {
+	Shards      int     `json:"shards"`
+	Goroutines  int     `json:"goroutines"`
+	Batch       int     `json:"batch"`
+	Updates     uint64  `json:"updates"`
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerUpdate float64 `json:"ns_per_update"`
+	// MallocsPerUpdate is the heap allocation count per routed update
+	// during the measured loop (runtime.MemStats.Mallocs delta).
+	MallocsPerUpdate float64 `json:"mallocs_per_update"`
+	// SpeedupVsUnbatched is OpsPerSec over the batch=1 point of the same
+	// (shards, goroutines) row.
+	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched"`
+}
+
+type benchClusterReport struct {
+	Scale      string `json:"scale"`
+	Users      int    `json:"users"`
+	Alarms     int    `json:"alarms"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Warning is set when GOMAXPROCS=1: goroutine-scaling ratios are then
+	// meaningless because everything serializes on one core.
+	Warning string              `json:"warning,omitempty"`
+	Series  []benchClusterPoint `json:"series"`
+}
+
+// runBenchCluster measures routed update throughput on an in-process
+// sharded cluster with 100k simulated MWPSR clients, sweeping shard
+// count × client goroutines × batch size, and writes BENCH_cluster.json.
+// batch=1 routes plain PositionUpdate frames (the unbatched baseline);
+// batch≥16 must come out ≥2× faster per update, which is the acceptance
+// bar for the batched hot path.
+func runBenchCluster(opts options) error {
+	w, err := buildWorkload(opts, -1)
+	if err != nil {
+		return err
+	}
+	report := benchClusterReport{
+		Scale:      opts.scale,
+		Users:      benchClusterUsers,
+		Alarms:     len(w.Alarms),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if report.GOMAXPROCS == 1 {
+		report.Warning = "GOMAXPROCS=1: goroutine counts all serialize on one core; only the batch-size ratios are meaningful"
+		fmt.Println("  WARNING:", report.Warning)
+	}
+	header := []string{"shards", "goroutines", "batch", "ops/sec", "ns/update", "mallocs/update", "speedup vs unbatched"}
+	var rows [][]string
+	for _, shards := range []int{1, 4} {
+		for _, procs := range []int{1, 4} {
+			var unbatched float64
+			for _, batch := range []int{1, 16, 64} {
+				pt, err := benchClusterOnce(w, shards, procs, batch)
+				if err != nil {
+					return err
+				}
+				if batch == 1 {
+					unbatched = pt.OpsPerSec
+					pt.SpeedupVsUnbatched = 1
+				} else if unbatched > 0 {
+					pt.SpeedupVsUnbatched = pt.OpsPerSec / unbatched
+				}
+				report.Series = append(report.Series, pt)
+				rows = append(rows, []string{
+					fmt.Sprintf("%d", pt.Shards),
+					fmt.Sprintf("%d", pt.Goroutines),
+					fmt.Sprintf("%d", pt.Batch),
+					fmt.Sprintf("%.0f", pt.OpsPerSec),
+					fmt.Sprintf("%.0f", pt.NsPerUpdate),
+					fmt.Sprintf("%.2f", pt.MallocsPerUpdate),
+					fmt.Sprintf("%.2fx", pt.SpeedupVsUnbatched),
+				})
+			}
+		}
+	}
+	table(fmt.Sprintf("Cluster update throughput, %d clients (GOMAXPROCS=%d)",
+		benchClusterUsers, report.GOMAXPROCS), header, rows)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_cluster.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_cluster.json")
+	return nil
+}
+
+// benchClusterOnce builds a fresh in-memory cluster for one sweep point
+// and drives one full round over the population: every user gets one
+// visit of `batch` successive positions — one UpdateBatch frame, or
+// `batch` plain updates when batch=1. A warm-up update per user settles
+// first-contact shard handoffs off the clock.
+func benchClusterOnce(w *sim.Workload, shards, procs, batch int) (benchClusterPoint, error) {
+	universe := w.Net.Bounds().Expand(50)
+	cl, err := cluster.New(cluster.Config{
+		Shards: shards,
+		Engine: server.Config{
+			Universe:      universe,
+			CellAreaM2:    2.5e6,
+			Model:         motion.MustNew(1, 32),
+			PyramidParams: pyramid.DefaultParams(5),
+			MaxSpeed:      30,
+			TickSeconds:   1,
+			Costs:         metrics.DefaultCosts(),
+		},
+	})
+	if err != nil {
+		return benchClusterPoint{}, err
+	}
+	defer cl.Close()
+	if _, err := cl.InstallAlarms(w.Alarms); err != nil {
+		return benchClusterPoint{}, err
+	}
+	rt := cluster.NewRouter(cl)
+	for u := uint64(1); u <= benchClusterUsers; u++ {
+		rt.HandleRegister(wire.Register{User: u, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
+	}
+	seqs := make([]uint32, benchClusterUsers+1)
+	for u := uint64(1); u <= benchClusterUsers; u++ {
+		seqs[u]++
+		upd := wire.PositionUpdate{User: u, Seq: seqs[u], Pos: benchClusterPos(universe, u, seqs[u])}
+		if _, _, err := rt.HandleUpdate(upd); err != nil {
+			return benchClusterPoint{}, err
+		}
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var total atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Disjoint user stripes: worker p owns users p+1, p+1+procs, …
+			// so route locks and seq counters are never shared.
+			buf := make([]wire.PositionUpdate, batch)
+			for u := uint64(worker + 1); u <= benchClusterUsers; u += uint64(procs) {
+				if batch == 1 {
+					seqs[u]++
+					upd := wire.PositionUpdate{User: u, Seq: seqs[u], Pos: benchClusterPos(universe, u, seqs[u])}
+					if _, _, err := rt.HandleUpdate(upd); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					total.Add(1)
+					continue
+				}
+				for j := range buf {
+					seqs[u]++
+					buf[j] = wire.PositionUpdate{User: u, Seq: seqs[u], Pos: benchClusterPos(universe, u, seqs[u])}
+				}
+				if _, _, err := rt.HandleUpdateBatch(wire.UpdateBatch{Updates: buf}); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				total.Add(uint64(batch))
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return benchClusterPoint{}, err
+	}
+	updates := total.Load()
+	return benchClusterPoint{
+		Shards:           shards,
+		Goroutines:       procs,
+		Batch:            batch,
+		Updates:          updates,
+		Seconds:          elapsed.Seconds(),
+		OpsPerSec:        float64(updates) / elapsed.Seconds(),
+		NsPerUpdate:      float64(elapsed.Nanoseconds()) / float64(updates),
+		MallocsPerUpdate: float64(m1.Mallocs-m0.Mallocs) / float64(updates),
+	}, nil
+}
+
+// benchClusterPos synthesizes user u's position at seq deterministically:
+// a hash spreads the population over the universe, and a ±tens-of-meters
+// wiggle per seq keeps each client moving inside its grid cell — the
+// steady state the batched hot path optimizes for.
+func benchClusterPos(universe geom.Rect, u uint64, seq uint32) geom.Point {
+	h := splitmix64(u)
+	fx := float64(h>>40) / float64(1<<24)
+	fy := float64((h>>16)&0xFFFFFF) / float64(1<<24)
+	margin := 60.0
+	x := universe.MinX + margin + fx*(universe.MaxX-universe.MinX-2*margin)
+	y := universe.MinY + margin + fy*(universe.MaxY-universe.MinY-2*margin)
+	return geom.Pt(x+float64(seq%8)*5, y+float64((seq/8)%8)*5)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

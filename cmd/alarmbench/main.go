@@ -22,6 +22,9 @@
 //	ablate-publicbitmap  PBSR with vs without public-alarm precomputation
 //	bench-engine         concurrent HandleUpdate throughput at 1/2/4/8
 //	         goroutines; writes BENCH_engine.json (not part of "all")
+//	bench-cluster        routed update throughput on a sharded cluster
+//	         with 100k simulated clients, sweeping shards × goroutines ×
+//	         batch size; writes BENCH_cluster.json (not part of "all")
 //	all      every figure above in order
 //
 // Flags select the workload scale: -scale small (default, seconds),
@@ -118,6 +121,7 @@ var runners = map[string]func(options) error{
 	"coverage":            runCoverage,
 	"scalability":         runScalability,
 	"bench-engine":        runBenchEngine,
+	"bench-cluster":       runBenchCluster,
 }
 
 // workload returns the scale-appropriate configuration with the given

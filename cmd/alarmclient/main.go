@@ -59,6 +59,7 @@ func run() error {
 		backoff   = flag.Int("backoff-max", 16, "maximum reconnect backoff in ticks")
 		maxQueue  = flag.Int("max-queue", 512, "offline report queue bound (oldest evicted)")
 		jitter    = flag.Int64("jitter-seed", 0, "reconnect jitter seed (0 derives from the user id)")
+		batch     = flag.Bool("batch", false, "coalesce each tick's reports (fresh + resends) into one UpdateBatch frame")
 	)
 	flag.Parse()
 	strategy, ok := strategies[strings.ToLower(*strat)]
@@ -106,6 +107,7 @@ func run() error {
 		BackoffMax:     *backoff,
 		MaxQueue:       *maxQueue,
 		JitterSeed:     seed,
+		Batch:          *batch,
 	}, met)
 	// Against a sharded alarmserver the owning shard can change mid-trace;
 	// DialTo follows the wire Redirect to the shard named in the frame.
@@ -151,6 +153,10 @@ func run() error {
 		met.Energy(metrics.DefaultEnergy()))
 	fmt.Printf("session: %d connects, resumed=%v, %d redirects, %d heartbeats, %d report redeliveries, %d reports dropped\n",
 		met.Reconnects, sess.Resumed(), met.Redirects, met.HeartbeatsSent, met.RedeliveredReports, met.DroppedReports)
+	if met.BatchesSent > 0 {
+		fmt.Printf("batching: %d frames carrying %d reports (avg %.2f reports/frame)\n",
+			met.BatchesSent, met.BatchedReports, float64(met.BatchedReports)/float64(met.BatchesSent))
+	}
 	return nil
 }
 

@@ -189,9 +189,13 @@ func run() error {
 
 	if *metricsAddr != "" {
 		msrv, err := serveMetrics(*metricsAddr, func() any {
+			sn := eng.Metrics().Snapshot()
 			return struct {
 				Server metrics.Snapshot `json:"server"`
-			}{eng.Metrics().Snapshot()}
+				// AvgBatchSize is updates per UpdateBatch frame (0 when the
+				// clients don't batch).
+				AvgBatchSize float64 `json:"avg_batch_size"`
+			}{sn, sn.AvgBatchSize()}
 		})
 		if err != nil {
 			return err

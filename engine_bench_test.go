@@ -12,6 +12,7 @@
 package sabre_test
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -106,6 +107,65 @@ func BenchmarkEngineParallel(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkEngineSteadyState is the zero-allocation acceptance gate: one
+// MWPSR client replaying its trace through HandleUpdateScratch. The
+// warm-up pass exhausts the one-shot alarm firings and grows the scratch
+// buffers, so the measured loop is the steady state — it must report
+// 0 B/op and 0 allocs/op.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	const traceTicks = 256
+	w := workloadFor(b, -1)
+	eng, traces := benchEngine(b, w, wire.StrategyMWPSR, traceTicks)
+	sc := server.NewUpdateScratch()
+	trace := traces[0]
+	seq := uint32(0)
+	step := func() {
+		seq++
+		upd := wire.PositionUpdate{User: 1, Seq: seq, Pos: trace[int(seq)%traceTicks]}
+		if _, err := eng.HandleUpdateScratch(upd, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*traceTicks; i++ {
+		step() // warm-up: fire every alarm on the trace once, grow buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkEngineBatch measures HandleUpdateBatch throughput across batch
+// sizes: each op submits one frame holding `size` successive positions of
+// one vehicle's trace, so ns/op÷size is the per-update cost to compare
+// against BenchmarkEngineSerial.
+func BenchmarkEngineBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			const traceTicks = 256
+			w := workloadFor(b, -1)
+			eng, traces := benchEngine(b, w, wire.StrategyMWPSR, traceTicks)
+			trace := traces[0]
+			batch := wire.UpdateBatch{Updates: make([]wire.PositionUpdate, size)}
+			seq := uint32(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < size; j++ {
+					seq++
+					batch.Updates[j] = wire.PositionUpdate{
+						User: 1, Seq: seq, Pos: trace[int(seq)%traceTicks],
+					}
+				}
+				if _, err := eng.HandleUpdateBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -418,11 +418,20 @@ func (r *Registry) RelevantIn(w geom.Rect, u UserID, dst []Alarm) []Alarm {
 // RelevantInCounted is RelevantIn plus the index node accesses this query
 // performed, so concurrent callers can charge their own exact cost.
 func (r *Registry) RelevantInCounted(w geom.Rect, u UserID, dst []Alarm) ([]Alarm, uint64) {
+	dst, _, accesses := r.RelevantInInto(w, u, dst, nil)
+	return dst, accesses
+}
+
+// RelevantInInto is RelevantInCounted against caller-owned scratch: raw
+// receives the R*-tree hits (truncated and refilled), dst is appended to
+// as in RelevantIn. With warm slices the query allocates nothing. The
+// returned slices are the grown scratch; pass them back on the next call.
+func (r *Registry) RelevantInInto(w geom.Rect, u UserID, dst []Alarm, raw []uint64) ([]Alarm, []uint64, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	ids, accesses := r.index.SearchRectCounted(w, nil)
-	for _, raw := range ids {
-		id := ID(raw)
+	raw, accesses := r.index.SearchRectCounted(w, raw[:0])
+	for _, rawID := range raw {
+		id := ID(rawID)
 		a := r.alarms[id]
 		if a == nil || !r.relevantToLocked(a, u) {
 			continue
@@ -432,7 +441,7 @@ func (r *Registry) RelevantInCounted(w geom.Rect, u UserID, dst []Alarm) ([]Alar
 		}
 		dst = append(dst, *a)
 	}
-	return dst, accesses
+	return dst, raw, accesses
 }
 
 // Evaluate returns the alarms that trigger for user u at position p:
@@ -448,12 +457,22 @@ func (r *Registry) Evaluate(p geom.Point, u UserID) []ID {
 // the index query surfaced (relevant or not) and the index node accesses
 // it performed — the per-update work the server cost model charges.
 func (r *Registry) EvaluateCounted(p geom.Point, u UserID) ([]ID, int, uint64) {
+	out, _, candidates, accesses := r.EvaluateInto(p, u, nil, nil)
+	return out, candidates, accesses
+}
+
+// EvaluateInto is EvaluateCounted against caller-owned scratch: raw
+// receives the R*-tree hits and dst the triggered IDs (both truncated and
+// refilled). With warm slices the evaluation allocates nothing — this is
+// the per-update fast path of server.Engine. The returned slices are the
+// grown scratch; pass them back on the next call.
+func (r *Registry) EvaluateInto(p geom.Point, u UserID, dst []ID, raw []uint64) ([]ID, []uint64, int, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	ids, accesses := r.index.SearchPointCounted(p, nil)
-	var out []ID
-	for _, raw := range ids {
-		id := ID(raw)
+	raw, accesses := r.index.SearchPointCounted(p, raw[:0])
+	dst = dst[:0]
+	for _, rawID := range raw {
+		id := ID(rawID)
 		a := r.alarms[id]
 		if a == nil || !r.relevantToLocked(a, u) {
 			continue
@@ -461,9 +480,9 @@ func (r *Registry) EvaluateCounted(p geom.Point, u UserID) ([]ID, int, uint64) {
 		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {
 			continue
 		}
-		out = append(out, id)
+		dst = append(dst, id)
 	}
-	return out, len(ids), accesses
+	return dst, raw, len(raw), accesses
 }
 
 // PublicIn appends to dst the regions of all public alarms intersecting w,

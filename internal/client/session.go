@@ -51,6 +51,11 @@ type SessionConfig struct {
 	// MaxQueue bounds the offline report queue; the oldest reports are
 	// evicted (and counted) when it overflows (default 512).
 	MaxQueue int
+	// Batch coalesces all position reports of one tick (the fresh report
+	// plus any resends) into a single UpdateBatch frame, charged on the
+	// uplink once. Responses arrive as a BatchReply and dispatch through
+	// the normal handlers, so delivery semantics are unchanged.
+	Batch bool
 }
 
 func (c *SessionConfig) fillDefaults() {
@@ -115,6 +120,7 @@ type Session struct {
 
 	queue      []queuedReport
 	ackPending []uint64 // fired alarm IDs to acknowledge
+	batchBuf   []wire.PositionUpdate
 	hbNonce    uint32
 
 	// OnFired, when set, is invoked with the newly delivered (deduplicated)
@@ -163,6 +169,7 @@ func (s *Session) Step(tick int, pos geom.Point) {
 		s.enqueue(tick, *rep)
 	}
 	s.flush(tick)
+	s.flushBatch(tick)
 }
 
 // Quiesce runs a maintenance-only tick: inbound processing, link upkeep
@@ -173,6 +180,7 @@ func (s *Session) Quiesce(tick int) {
 	s.drainInbound(tick)
 	s.maintainLink(tick)
 	s.flush(tick)
+	s.flushBatch(tick)
 }
 
 // drainInbound applies every waiting message. A receive error tears the
@@ -215,7 +223,7 @@ func (s *Session) handleInbound(tick int, m wire.Message) {
 				if !s.connected {
 					break
 				}
-				if s.sendOn(tick, s.queue[i].msg) {
+				if s.stageReport(tick, s.queue[i].msg) {
 					s.queue[i].lastSent = tick
 					s.met.RedeliveredReports++
 				}
@@ -224,6 +232,19 @@ func (s *Session) handleInbound(tick int, m wire.Message) {
 		return
 	case wire.Heartbeat:
 		return // echo; lastInTick already refreshed
+	case wire.BatchReply:
+		// Per-update responses to an UpdateBatch: dispatch each inner
+		// message through the normal handlers. The codec rejects nested
+		// batch frames, so this cannot recurse.
+		for _, ent := range v.Entries {
+			for _, im := range ent.Msgs {
+				if !s.connected {
+					return
+				}
+				s.handleInbound(tick, im)
+			}
+		}
+		return
 	case wire.Redirect:
 		// Shard handoff: our session moved to another server. Adopt the
 		// token it minted for us, drop this link and dial the new address
@@ -350,7 +371,7 @@ func (s *Session) enqueue(tick int, rep wire.PositionUpdate) {
 	}
 	s.queue = append(s.queue, queuedReport{msg: rep, lastSent: tick})
 	if s.connected && s.established {
-		s.sendOn(tick, rep)
+		s.stageReport(tick, rep)
 	}
 }
 
@@ -384,7 +405,7 @@ func (s *Session) flush(tick int) {
 			return
 		}
 		if tick-s.queue[i].lastSent >= s.cfg.ResendEvery {
-			if s.sendOn(tick, s.queue[i].msg) {
+			if s.stageReport(tick, s.queue[i].msg) {
 				s.queue[i].lastSent = tick
 				s.met.RedeliveredReports++
 			}
@@ -395,6 +416,41 @@ func (s *Session) flush(tick int) {
 			// A lost ack is harmless: the server redelivers, we re-ack.
 			s.ackPending = s.ackPending[:0]
 		}
+	}
+}
+
+// stageReport puts rep on its way to the server: staged into this tick's
+// UpdateBatch when batching is on (flushBatch frames it), transmitted
+// immediately otherwise. Staging counts as sent for resend bookkeeping; a
+// frame lost later is indistinguishable from a lost packet and the resend
+// machinery recovers either way.
+func (s *Session) stageReport(tick int, rep wire.PositionUpdate) bool {
+	if !s.cfg.Batch {
+		return s.sendOn(tick, rep)
+	}
+	s.batchBuf = append(s.batchBuf, rep)
+	return true
+}
+
+// flushBatch sends the tick's staged reports as one UpdateBatch frame.
+// The Updates slice is freshly allocated per frame: an in-process
+// transport.Pipe retains the message un-serialized, so the staging buffer
+// must never back a frame in flight.
+func (s *Session) flushBatch(tick int) {
+	if len(s.batchBuf) == 0 {
+		return
+	}
+	if !s.connected || !s.established {
+		// Dropped, not lost: every staged report is still queued and
+		// replays after the next Resume.
+		s.batchBuf = s.batchBuf[:0]
+		return
+	}
+	b := wire.UpdateBatch{Updates: append([]wire.PositionUpdate(nil), s.batchBuf...)}
+	s.batchBuf = s.batchBuf[:0]
+	if s.sendOn(tick, b) {
+		s.met.BatchesSent++
+		s.met.BatchedReports += uint64(len(b.Updates))
 	}
 }
 

@@ -185,6 +185,135 @@ func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, erro
 	return out, true, nil
 }
 
+// HandleUpdateBatch routes one UpdateBatch frame. Updates are grouped by
+// user (first-appearance order, chronological within a user, matching the
+// engine's batch contract) and each group is split into maximal runs of
+// positions owned by the same shard; the handoff dance between runs is
+// exactly the single-update path's, so a mis-routed entry falls back to
+// the normal cross-shard handoff. Each run is forwarded as its own
+// engine-level batch, so the shard charges uplink per run frame — the
+// router re-frames per shard.
+//
+// Entries for users whose owning shard is down (or whose handoff parked)
+// are omitted from the reply — per-entry handled=false — and the client's
+// resend machinery redelivers those reports. handled is false only when
+// no update in the whole frame was processed.
+func (r *Router) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, bool, error) {
+	if len(b.Updates) == 0 {
+		return wire.BatchReply{}, true, nil
+	}
+	r.cl.met.AddRoutedBatch(len(b.Updates))
+	reply := wire.BatchReply{}
+	for i := range b.Updates {
+		user := b.Updates[i].User
+		seenBefore := false
+		for j := 0; j < i; j++ {
+			if b.Updates[j].User == user {
+				seenBefore = true
+				break
+			}
+		}
+		if seenBefore {
+			continue
+		}
+		var ups []wire.PositionUpdate
+		for j := i; j < len(b.Updates); j++ {
+			if b.Updates[j].User == user {
+				ups = append(ups, b.Updates[j])
+			}
+		}
+		msgs, err := r.routeUserRun(user, ups)
+		if err != nil {
+			return wire.BatchReply{}, false, err
+		}
+		if msgs != nil {
+			reply.Entries = append(reply.Entries, wire.BatchEntry{User: user, Msgs: msgs})
+		}
+	}
+	return reply, len(reply.Entries) > 0, nil
+}
+
+// routeUserRun forwards one user's chronological updates, splitting them
+// into maximal same-shard runs with a handoff between runs. It returns
+// nil messages (and no error) when nothing could be processed — the
+// down-shard case. The returned messages may cover a prefix of ups when a
+// shard died mid-group; the client resends the unanswered tail.
+func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Message, error) {
+	rt := r.route(user)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var msgs []wire.Message
+	processed := false
+	for i := 0; i < len(ups); {
+		owner := r.cl.part.Locate(ups[i].Pos)
+		if rt.carried != nil {
+			rt.pendingOwner = owner
+			if _, ok := r.importCarried(rt); !ok {
+				break
+			}
+		}
+		if rt.shard < 0 {
+			rt.shard = owner
+		}
+		if rt.shard != owner {
+			if !r.handoff(rt, owner) {
+				break
+			}
+		}
+		j := i + 1
+		for j < len(ups) && r.cl.part.Locate(ups[j].Pos) == rt.shard {
+			j++
+		}
+		eng := r.cl.Engine(rt.shard)
+		if eng == nil {
+			break
+		}
+		br, err := eng.HandleUpdateBatch(wire.UpdateBatch{Updates: ups[i:j]})
+		if err != nil {
+			if errors.Is(err, store.ErrCrashed) {
+				break
+			}
+			return nil, err
+		}
+		processed = true
+		for _, ent := range br.Entries {
+			filtered := r.filterFired(rt, rt.shard, ent.Msgs)
+			// Dedup may strip an update's only response (an AlarmFired another
+			// shard already delivered). Every processed update must still be
+			// answered or the client resends it forever, so backfill a bare
+			// Ack for any seq the filtered reply no longer covers.
+			answered := make(map[uint32]bool, len(filtered))
+			for _, m := range filtered {
+				if seq, ok := wire.SeqOf(m); ok {
+					answered[seq] = true
+				}
+			}
+			for _, u := range ups[i:j] {
+				if !answered[u.Seq] {
+					filtered = append(filtered, wire.Ack{Seq: u.Seq})
+				}
+			}
+			msgs = append(msgs, filtered...)
+		}
+		i = j
+	}
+	if !processed {
+		return nil, nil
+	}
+	if rt.pushToken != 0 {
+		msg := wire.Resume{Token: rt.pushToken, Resumed: true}
+		if eng := r.cl.Engine(rt.shard); eng != nil {
+			eng.Metrics().AddDownlink(wire.EncodedSize(msg))
+		}
+		msgs = append([]wire.Message{msg}, msgs...)
+		rt.pushToken = 0
+	}
+	if msgs == nil {
+		msgs = []wire.Message{} // processed but silent: keep the entry
+	}
+	return msgs, nil
+}
+
 // handoff moves rt's session from rt.shard to owner. On any down shard
 // the handoff parks (carried) or defers (old shard unreachable) and
 // reports false. The caller holds rt.mu.

@@ -227,6 +227,43 @@ func (c *TCPCluster) serveConn(shard int, nc net.Conn) {
 			if !reply(responses) {
 				return
 			}
+		case wire.UpdateBatch:
+			if len(m.Updates) == 0 {
+				continue
+			}
+			// The maximal prefix owned by this shard is served as one
+			// batch; the first cross-partition update redirects the
+			// client exactly as a stand-alone update would, and the rest
+			// of the frame is left for the client's resend machinery to
+			// retry at the new shard.
+			n := 0
+			for n < len(m.Updates) && c.cl.part.Locate(m.Updates[n].Pos) == shard {
+				n++
+			}
+			if n > 0 {
+				br, err := eng.HandleUpdateBatch(wire.UpdateBatch{Updates: m.Updates[:n]})
+				if err != nil {
+					c.log.Printf("shard %d conn %s: update-batch: %v", shard, nc.RemoteAddr(), err)
+					return
+				}
+				if !reply([]wire.Message{br}) {
+					return
+				}
+			}
+			if n < len(m.Updates) {
+				u := m.Updates[n]
+				owner := c.cl.part.Locate(u.Pos)
+				tok, ok := c.redirectSession(shard, owner, u.User)
+				if !ok {
+					continue // owner down: drop, client resends
+				}
+				rd := wire.Redirect{Token: tok, Addr: c.addrs[owner]}
+				eng.Metrics().AddDownlink(wire.EncodedSize(rd))
+				c.cl.met.AddRedirectSent()
+				if !reply([]wire.Message{rd}) {
+					return
+				}
+			}
 		default:
 			c.log.Printf("shard %d conn %s: unexpected %v", shard, nc.RemoteAddr(), msg.Kind())
 			return

@@ -8,6 +8,7 @@ import "sync/atomic"
 // connection goroutines.
 type Cluster struct {
 	routedUpdates              atomic.Uint64
+	routedBatches              atomic.Uint64
 	handoffs                   atomic.Uint64
 	handoffsDeferred           atomic.Uint64
 	duplicateFiringsSuppressed atomic.Uint64
@@ -21,6 +22,9 @@ type Cluster struct {
 type ClusterSnapshot struct {
 	// RoutedUpdates counts position updates forwarded to an owning shard.
 	RoutedUpdates uint64 `json:"routed_updates"`
+	// RoutedBatches counts UpdateBatch frames routed; the updates they
+	// carried are included in RoutedUpdates.
+	RoutedBatches uint64 `json:"routed_batches"`
 	// Handoffs counts sessions moved between shards when a client crossed
 	// a partition boundary.
 	Handoffs uint64 `json:"handoffs"`
@@ -43,6 +47,7 @@ type ClusterSnapshot struct {
 func (c *Cluster) Snapshot() ClusterSnapshot {
 	return ClusterSnapshot{
 		RoutedUpdates:              c.routedUpdates.Load(),
+		RoutedBatches:              c.routedBatches.Load(),
 		Handoffs:                   c.handoffs.Load(),
 		HandoffsDeferred:           c.handoffsDeferred.Load(),
 		DuplicateFiringsSuppressed: c.duplicateFiringsSuppressed.Load(),
@@ -54,6 +59,14 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 
 // AddRoutedUpdate records one position update forwarded to its shard.
 func (c *Cluster) AddRoutedUpdate() { c.routedUpdates.Add(1) }
+
+// AddRoutedBatch records one UpdateBatch frame routed, carrying n
+// updates. RoutedUpdates advances by n so totals stay comparable with
+// unbatched runs.
+func (c *Cluster) AddRoutedBatch(n int) {
+	c.routedUpdates.Add(uint64(n))
+	c.routedBatches.Add(1)
+}
 
 // AddHandoff records one completed cross-shard session handoff.
 func (c *Cluster) AddHandoff() { c.handoffs.Add(1) }

@@ -63,6 +63,12 @@ type Server struct {
 	// Downlink (server → client).
 	downlinkMessages atomic.Uint64
 	downlinkBytes    atomic.Uint64
+	// Batched uplink: frames received and position updates they carried.
+	// A batch charges uplinkBytes once for the whole frame; uplinkMessages
+	// still counts the contained updates so update totals stay comparable
+	// between batched and unbatched runs.
+	updateBatches  atomic.Uint64
+	batchedUpdates atomic.Uint64
 	// Triggers delivered (alarm, subscriber) pairs.
 	alarmsTriggered atomic.Uint64
 
@@ -113,6 +119,8 @@ type Snapshot struct {
 	UplinkBytes      uint64
 	DownlinkMessages uint64
 	DownlinkBytes    uint64
+	UpdateBatches    uint64 `json:"update_batches"`
+	BatchedUpdates   uint64 `json:"batched_updates"`
 	AlarmsTriggered  uint64
 
 	NodeAccesses           uint64
@@ -159,6 +167,8 @@ func (s *Server) Snapshot() Snapshot {
 		UplinkBytes:            s.uplinkBytes.Load(),
 		DownlinkMessages:       s.downlinkMessages.Load(),
 		DownlinkBytes:          s.downlinkBytes.Load(),
+		UpdateBatches:          s.updateBatches.Load(),
+		BatchedUpdates:         s.batchedUpdates.Load(),
 		AlarmsTriggered:        s.alarmsTriggered.Load(),
 		NodeAccesses:           s.nodeAccesses.Load(),
 		AlarmChecks:            s.alarmChecks.Load(),
@@ -244,6 +254,26 @@ func (s *Server) AddFiredRedeliveries(n uint64) { s.firedRedeliveries.Add(n) }
 func (s *Server) AddUplink(bytes int) {
 	s.uplinkMessages.Add(1)
 	s.uplinkBytes.Add(uint64(bytes))
+}
+
+// AddUplinkBatch records one client→server UpdateBatch frame of the given
+// encoded size carrying n position updates. The frame's bytes are charged
+// once (that is the point of batching); the message counter advances by n
+// so per-update totals stay comparable with unbatched runs.
+func (s *Server) AddUplinkBatch(bytes, n int) {
+	s.uplinkMessages.Add(uint64(n))
+	s.uplinkBytes.Add(uint64(bytes))
+	s.updateBatches.Add(1)
+	s.batchedUpdates.Add(uint64(n))
+}
+
+// AvgBatchSize returns the average number of updates per batch frame (0
+// when no batches were received).
+func (sn Snapshot) AvgBatchSize() float64 {
+	if sn.UpdateBatches == 0 {
+		return 0
+	}
+	return float64(sn.BatchedUpdates) / float64(sn.UpdateBatches)
 }
 
 // AddDownlink records a server→client message of the given encoded size.
@@ -367,6 +397,11 @@ type Client struct {
 	RedeliveredReports uint64 // queued reports re-sent after reconnect/timeout
 	DroppedReports     uint64 // reports evicted from a full offline queue
 	Redirects          uint64 // shard redirects followed (cluster handoff)
+	// BatchesSent counts UpdateBatch frames transmitted and BatchedReports
+	// the position reports they carried (each also counted in
+	// MessagesSent, which stays the per-report total either way).
+	BatchesSent    uint64
+	BatchedReports uint64
 }
 
 // AddCheck records one containment check costing the given probes.
@@ -385,6 +420,8 @@ func (c *Client) Merge(other Client) {
 	c.RedeliveredReports += other.RedeliveredReports
 	c.DroppedReports += other.DroppedReports
 	c.Redirects += other.Redirects
+	c.BatchesSent += other.BatchesSent
+	c.BatchedReports += other.BatchedReports
 }
 
 // EnergyParams converts client-side work into energy, mirroring the

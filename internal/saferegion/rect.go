@@ -24,7 +24,6 @@ package saferegion
 
 import (
 	"math"
-	"sort"
 
 	"github.com/sabre-geo/sabre/internal/geom"
 	"github.com/sabre-geo/sabre/internal/motion"
@@ -65,22 +64,45 @@ type RectResult struct {
 	Corners    int
 }
 
+// RectScratch holds the reusable buffers of a rectangular safe region
+// computation. A zero value is ready to use; after a few calls the buffers
+// reach steady-state capacity and ComputeRectScratch stops allocating.
+// A scratch must not be shared between concurrent calls, and the Inside
+// slice of a result computed with a scratch aliases it — it is valid only
+// until the next call with the same scratch.
+type RectScratch struct {
+	quads   [4][]candidate
+	corners [4][]candidate
+	inside  []int
+	scorer  scorer
+}
+
 // ComputeRect computes the maximum weighted perimeter rectangular safe
 // region for a client at pos inside grid cell, against the given relevant
 // alarm regions (paper §3). pos must lie within cell; it is clamped if not.
 func ComputeRect(pos geom.Point, cell geom.Rect, alarms []geom.Rect, opts RectOptions) RectResult {
+	var s RectScratch
+	return ComputeRectScratch(pos, cell, alarms, opts, &s)
+}
+
+// ComputeRectScratch is ComputeRect against caller-owned scratch buffers;
+// it is allocation-free once the scratch is warm. The hot update path in
+// internal/server holds one scratch per handler invocation.
+func ComputeRectScratch(pos geom.Point, cell geom.Rect, alarms []geom.Rect, opts RectOptions, s *RectScratch) RectResult {
 	pos = cell.ClampPoint(pos)
 	res := RectResult{}
 
 	// Paper §2.1 case (ii): position inside one or more alarm regions.
+	s.inside = s.inside[:0]
 	inter := cell
 	for i, a := range alarms {
 		if a.Contains(pos) {
-			res.Inside = append(res.Inside, i)
+			s.inside = append(s.inside, i)
 			inter = inter.Intersect(a)
 		}
 	}
-	if len(res.Inside) > 0 {
+	if len(s.inside) > 0 {
+		res.Inside = s.inside
 		if !inter.Valid() {
 			inter = geom.Rect{MinX: pos.X, MinY: pos.Y, MaxX: pos.X, MaxY: pos.Y}
 		}
@@ -90,14 +112,16 @@ func ComputeRect(pos geom.Point, cell geom.Rect, alarms []geom.Rect, opts RectOp
 
 	// Build per-quadrant candidate constraint points (paper §3 step 1).
 	ext := quadExtents(pos, cell)
-	var quads [4][]candidate
+	for q := 0; q < 4; q++ {
+		s.quads[q] = s.quads[q][:0]
+	}
 	for _, a := range alarms {
 		if !a.Intersects(cell) {
 			continue
 		}
 		for q := 0; q < 4; q++ {
 			if c, ok := blockingPoint(pos, a, q, ext[q]); ok {
-				quads[q] = append(quads[q], c)
+				s.quads[q] = append(s.quads[q], c)
 				res.Candidates++
 			}
 		}
@@ -105,19 +129,19 @@ func ComputeRect(pos geom.Point, cell geom.Rect, alarms []geom.Rect, opts RectOp
 
 	// Per-quadrant skyline: dominance pruning, sort, tension-point sweep
 	// (steps 1–3).
-	var corners [4][]candidate
 	for q := 0; q < 4; q++ {
-		corners[q] = componentCorners(pruneDominated(quads[q]), ext[q])
-		res.Corners += len(corners[q])
+		s.corners[q] = componentCornersInto(s.corners[q], pruneDominated(s.quads[q]), ext[q])
+		res.Corners += len(s.corners[q])
 	}
 
 	weights := sideWeightSet(opts.Model, opts.Heading)
-	sc := newScorer(opts.Model, opts.Heading)
+	s.scorer.init(opts.Model, opts.Heading)
+	sc := &s.scorer
 	var choice [4]candidate
-	if opts.Exhaustive && combinationCount(corners) <= exhaustiveCap {
-		choice = assembleExhaustive(corners, ext, sc)
+	if opts.Exhaustive && combinationCount(s.corners) <= exhaustiveCap {
+		choice = assembleExhaustive(s.corners, ext, sc)
 	} else {
-		choice = assembleGreedy(corners, ext, sc, opts.Model, opts.Heading)
+		choice = assembleGreedy(s.corners, ext, sc, opts.Model, opts.Heading)
 	}
 
 	rect := rectFromChoice(pos, choice)
@@ -134,56 +158,62 @@ func ComputeRect(pos geom.Point, cell geom.Rect, alarms []geom.Rect, opts RectOp
 // can even prefer degenerate rectangles; growing restores local
 // maximality without ever violating soundness. Sides are grown in
 // descending weight order so extra area lands in the travel direction.
+// The side cases are written out closure-free so the whole pass stays on
+// the stack: the striped-lock hot path in internal/server calls this for
+// every MWPSR update.
 func growSides(r geom.Rect, cell geom.Rect, alarms []geom.Rect, w sideWeights) geom.Rect {
-	type side struct {
-		weight float64
-		grow   func()
-	}
-	yOverlap := func(a geom.Rect) bool { return a.MinY < r.MaxY && a.MaxY > r.MinY }
-	xOverlap := func(a geom.Rect) bool { return a.MinX < r.MaxX && a.MaxX > r.MinX }
-	sides := []side{
-		{w.right, func() {
+	weights := [4]float64{w.right, w.left, w.top, w.bottom}
+	order := sortIdxDesc(weights)
+	for _, s := range order {
+		switch s {
+		case 0: // right
 			limit := cell.MaxX
 			for _, a := range alarms {
-				if yOverlap(a) && a.MaxX > r.MaxX && a.MinX < limit {
+				if a.MinY < r.MaxY && a.MaxY > r.MinY && a.MaxX > r.MaxX && a.MinX < limit {
 					limit = math.Max(a.MinX, r.MaxX)
 				}
 			}
 			r.MaxX = math.Max(r.MaxX, limit)
-		}},
-		{w.left, func() {
+		case 1: // left
 			limit := cell.MinX
 			for _, a := range alarms {
-				if yOverlap(a) && a.MinX < r.MinX && a.MaxX > limit {
+				if a.MinY < r.MaxY && a.MaxY > r.MinY && a.MinX < r.MinX && a.MaxX > limit {
 					limit = math.Min(a.MaxX, r.MinX)
 				}
 			}
 			r.MinX = math.Min(r.MinX, limit)
-		}},
-		{w.top, func() {
+		case 2: // top
 			limit := cell.MaxY
 			for _, a := range alarms {
-				if xOverlap(a) && a.MaxY > r.MaxY && a.MinY < limit {
+				if a.MinX < r.MaxX && a.MaxX > r.MinX && a.MaxY > r.MaxY && a.MinY < limit {
 					limit = math.Max(a.MinY, r.MaxY)
 				}
 			}
 			r.MaxY = math.Max(r.MaxY, limit)
-		}},
-		{w.bottom, func() {
+		case 3: // bottom
 			limit := cell.MinY
 			for _, a := range alarms {
-				if xOverlap(a) && a.MinY < r.MinY && a.MaxY > limit {
+				if a.MinX < r.MaxX && a.MaxX > r.MinX && a.MinY < r.MinY && a.MaxY > limit {
 					limit = math.Min(a.MaxY, r.MinY)
 				}
 			}
 			r.MinY = math.Min(r.MinY, limit)
-		}},
-	}
-	sort.SliceStable(sides, func(i, j int) bool { return sides[i].weight > sides[j].weight })
-	for _, s := range sides {
-		s.grow()
+		}
 	}
 	return r
+}
+
+// sortIdxDesc returns the indices 0..3 stably ordered by descending weight
+// (an inlined insertion sort; sort.SliceStable would allocate its closure
+// and reflect swapper on every safe-region computation).
+func sortIdxDesc(weights [4]float64) [4]int {
+	order := [4]int{0, 1, 2, 3}
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && weights[order[j]] > weights[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
 }
 
 // exhaustiveCap bounds the combination count the exhaustive (ablation)
@@ -283,12 +313,15 @@ func pruneDominated(cands []candidate) []candidate {
 	if len(cands) == 0 {
 		return nil
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].x != cands[j].x {
-			return cands[i].x < cands[j].x
+	// Insertion sort by (x, y): candidate sets are small (one point per
+	// relevant alarm), and sort.Slice allocates. Candidates with equal
+	// (x, y) are fully identical — the extents determine the absolute
+	// boundary — so instability cannot change the skyline.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && candLess(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
-		return cands[i].y < cands[j].y
-	})
+	}
 	out := cands[:0]
 	minY := math.Inf(1)
 	for _, c := range cands {
@@ -301,11 +334,24 @@ func pruneDominated(cands []candidate) []candidate {
 	return out
 }
 
+func candLess(a, b candidate) bool {
+	if a.x != b.x {
+		return a.x < b.x
+	}
+	return a.y < b.y
+}
+
 // componentCorners performs the tension-point sweep (paper §3 steps 2–3):
 // given the pruned skyline, it returns the corners of all maximal
 // component rectangles in the quadrant, cell-clamped. With k skyline
 // points there are k+1 corners.
 func componentCorners(skyline []candidate, ext extent) []candidate {
+	return componentCornersInto(make([]candidate, 0, len(skyline)+1), skyline, ext)
+}
+
+// componentCornersInto is componentCorners appending into dst[:0].
+func componentCornersInto(dst []candidate, skyline []candidate, ext extent) []candidate {
+	dst = dst[:0]
 	if ext.x < 0 {
 		ext.x = 0
 	}
@@ -313,22 +359,20 @@ func componentCorners(skyline []candidate, ext extent) []candidate {
 		ext.y = 0
 	}
 	if len(skyline) == 0 {
-		return []candidate{{x: ext.x, y: ext.y, absX: ext.absX, absY: ext.absY}}
+		return append(dst, candidate{x: ext.x, y: ext.y, absX: ext.absX, absY: ext.absY})
 	}
-	corners := make([]candidate, 0, len(skyline)+1)
-	corners = append(corners, candidate{
+	dst = append(dst, candidate{
 		x: skyline[0].x, y: ext.y,
 		absX: skyline[0].absX, absY: ext.absY,
 	})
 	for i := 1; i < len(skyline); i++ {
-		corners = append(corners, candidate{
+		dst = append(dst, candidate{
 			x: skyline[i].x, y: skyline[i-1].y,
 			absX: skyline[i].absX, absY: skyline[i-1].absY,
 		})
 	}
 	last := skyline[len(skyline)-1]
-	corners = append(corners, candidate{x: ext.x, y: last.y, absX: ext.absX, absY: last.absY})
-	return corners
+	return append(dst, candidate{x: ext.x, y: last.y, absX: ext.absX, absY: last.absY})
 }
 
 // sideWeights holds the motion-model probability mass toward each side.
@@ -367,6 +411,13 @@ type scorer struct {
 
 func newScorer(m motion.Model, heading float64) *scorer {
 	sc := &scorer{}
+	sc.init(m, heading)
+	return sc
+}
+
+// init (re)fills the scorer for the given model and heading; it overwrites
+// every field, so a scratch-held scorer needs no zeroing between uses.
+func (sc *scorer) init(m motion.Model, heading float64) {
 	dPhi := 2 * math.Pi / scoreSamples
 	for k := 0; k < scoreSamples; k++ {
 		phi := -math.Pi + (float64(k)+0.5)*dPhi
@@ -377,7 +428,6 @@ func newScorer(m motion.Model, heading float64) *scorer {
 		sc.signX[k] = c >= 0
 		sc.signY[k] = s >= 0
 	}
-	return sc
 }
 
 // score returns the expected exit distance of the rectangle defined by the
@@ -418,8 +468,7 @@ func (sc *scorer) score(c [4]candidate) float64 {
 // chosen so far (unprocessed quadrants assumed unconstrained).
 func assembleGreedy(corners [4][]candidate, ext [4]extent, sc *scorer, m motion.Model, heading float64) [4]candidate {
 	qw := m.QuadrantWeights(heading)
-	order := []int{0, 1, 2, 3}
-	sort.SliceStable(order, func(i, j int) bool { return qw[order[i]] > qw[order[j]] })
+	order := sortIdxDesc(qw)
 
 	var choice [4]candidate
 	for q := 0; q < 4; q++ {
@@ -507,12 +556,10 @@ func rectFromChoice(pos geom.Point, c [4]candidate) geom.Rect {
 // containing alarms of the inside case), keeping pos inside. clips counts
 // the cuts applied.
 func clipAgainst(rect geom.Rect, alarms []geom.Rect, skip []int, pos geom.Point, clips *int) geom.Rect {
-	skipSet := map[int]bool{}
-	for _, i := range skip {
-		skipSet[i] = true
-	}
 	for i, a := range alarms {
-		if skipSet[i] {
+		// skip is the handful of containing alarms of the inside case; a
+		// linear scan beats building a set (and allocates nothing).
+		if intsContain(skip, i) {
 			continue
 		}
 		if !rect.Overlaps(a) {
@@ -527,4 +574,13 @@ func clipAgainst(rect geom.Rect, alarms []geom.Rect, skip []int, pos geom.Point,
 		*clips++
 	}
 	return rect
+}
+
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

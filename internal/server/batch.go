@@ -1,0 +1,190 @@
+// Batched and allocation-free update handling.
+//
+// Three entry points share one core (processUpdate in engine.go):
+//
+//   - HandleUpdate: one update, self-contained response values. Scratch
+//     comes from the engine pool and never escapes.
+//   - HandleUpdateScratch: one update against caller-owned scratch; the
+//     returned messages are the scratch's embedded fields boxed by
+//     pointer, so the steady-state MWPSR path performs zero heap
+//     allocations. The result aliases the scratch.
+//   - HandleUpdateBatch: one UpdateBatch frame; updates are grouped by
+//     user, each user's striped lock is taken once per group, and only
+//     the chronologically last update of a group earns the full strategy
+//     response — the monitoring state of earlier positions would be stale
+//     before the reply hits the wire. Every update is still individually
+//     evaluated against the alarm index, so triggers are never skipped
+//     and batched delivery equals unbatched delivery.
+//
+// Ownership rules (DESIGN.md §10): whoever takes a scratch from the pool
+// returns it; pooled scratches never back a message that outlives the
+// handler call; pointer-boxed (scratch-backed) messages never travel
+// through a transport.Pipe, which retains messages un-serialized.
+package server
+
+import (
+	"fmt"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/saferegion"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// UpdateScratch holds every reusable buffer of one update evaluation. A
+// zero value is ready; after a few updates the buffers are warm and the
+// MWPSR steady path stops allocating entirely. A scratch must not be
+// shared between concurrent calls.
+type UpdateScratch struct {
+	// Index query results.
+	triggered []alarm.ID
+	raw       []uint64
+	relevant  []alarm.Alarm
+	rects     []geom.Rect
+	// Safe-region computation scratch.
+	rect saferegion.RectScratch
+	// Response slice handed back by HandleUpdateScratch.
+	out []wire.Message
+	// Embedded response values boxed by pointer on the zero-alloc path. A
+	// single update emits at most one message of each kind, so one field
+	// per kind suffices.
+	firedMsg wire.AlarmFired
+	rectMsg  wire.RectRegion
+	spMsg    wire.SafePeriod
+	ackMsg   wire.Ack
+}
+
+// NewUpdateScratch returns an empty scratch; buffers grow on first use.
+func NewUpdateScratch() *UpdateScratch { return &UpdateScratch{} }
+
+func (e *Engine) getScratch() *UpdateScratch {
+	return e.scratchPool.Get().(*UpdateScratch)
+}
+
+func (e *Engine) putScratch(sc *UpdateScratch) { e.scratchPool.Put(sc) }
+
+// HandleUpdateScratch is HandleUpdate against caller-owned scratch
+// buffers. Once sc is warm the MWPSR/SP/periodic steady paths allocate
+// nothing: evaluation, safe-region computation and the response all run
+// in sc.
+//
+// The returned slice and its messages alias sc: they are valid only until
+// the next call with the same scratch, must not be retained, and must not
+// be sent through an in-process transport.Pipe (serialize them, as the
+// TCP path does, or copy). HandleUpdate is the safe general-purpose
+// entry point.
+func (e *Engine) HandleUpdateScratch(u wire.PositionUpdate, sc *UpdateScratch) ([]wire.Message, error) {
+	if err := e.validatePosition(u.Pos); err != nil {
+		return nil, err
+	}
+	user := alarm.UserID(u.User)
+	st := e.clientFor(user, wire.StrategyPeriodic)
+	reg := e.reg.Load()
+	e.met.AddUplink(wire.SizePositionUpdate)
+
+	pushes := e.moveTargetPushes(reg, user, u.Pos)
+
+	st.mu.Lock()
+	out, newFired, err := e.processUpdate(reg, u, user, st, sc, sc.out[:0], true, true)
+	st.mu.Unlock()
+	sc.out = out
+
+	if err == nil && len(newFired) > 0 {
+		if lerr := e.logRecord(store.FiredRec{User: u.User, Alarms: newFired}); lerr != nil {
+			return nil, lerr
+		}
+	}
+	e.deliverPushes(pushes)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HandleUpdateBatch processes one UpdateBatch frame and returns the
+// per-user reply entries, in first-appearance order of each user in the
+// batch. Same-user updates are processed in batch (chronological) order
+// under one acquisition of that user's lock; every position is evaluated
+// for triggers, but only the last update of a user's group receives the
+// strategy response — earlier updates get their AlarmFired or a bare Ack.
+//
+// The whole batch shares one uplink charge (the encoded frame), per the
+// batching accounting rules. Any invalid position rejects the whole
+// batch before any state changes; a WAL append failure withholds the
+// whole reply (clients resend, and replay re-derives the firings) — the
+// same discipline as HandleUpdate. One combined FiredRec per user is
+// logged, not one per update.
+func (e *Engine) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, error) {
+	for _, u := range b.Updates {
+		if err := e.validatePosition(u.Pos); err != nil {
+			return wire.BatchReply{}, fmt.Errorf("server: batch rejected: %w", err)
+		}
+	}
+	reply := wire.BatchReply{}
+	if len(b.Updates) == 0 {
+		return reply, nil
+	}
+	reg := e.reg.Load()
+	e.met.AddUplinkBatch(wire.SizeUpdateBatch(len(b.Updates)), len(b.Updates))
+
+	// Moving-target re-anchoring happens in batch order, before any group
+	// is processed, mirroring the single-update path where the move
+	// precedes the mover's own evaluation.
+	var pushes []pendingPush
+	for _, u := range b.Updates {
+		if p := e.moveTargetPushes(reg, alarm.UserID(u.User), u.Pos); len(p) > 0 {
+			pushes = append(pushes, p...)
+		}
+	}
+
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	reply.Entries = make([]wire.BatchEntry, 0, len(b.Updates))
+	for i := range b.Updates {
+		user64 := b.Updates[i].User
+		seenBefore := false
+		for j := 0; j < i; j++ {
+			if b.Updates[j].User == user64 {
+				seenBefore = true
+				break
+			}
+		}
+		if seenBefore {
+			continue
+		}
+		last := i
+		for j := i + 1; j < len(b.Updates); j++ {
+			if b.Updates[j].User == user64 {
+				last = j
+			}
+		}
+		user := alarm.UserID(user64)
+		st := e.clientFor(user, wire.StrategyPeriodic)
+		var msgs []wire.Message
+		var combined []uint64
+		st.mu.Lock()
+		for j := i; j <= last; j++ {
+			if b.Updates[j].User != user64 {
+				continue
+			}
+			var newFired []uint64
+			var err error
+			msgs, newFired, err = e.processUpdate(reg, b.Updates[j], user, st, sc, msgs, false, j == last)
+			if err != nil {
+				st.mu.Unlock()
+				return wire.BatchReply{}, err
+			}
+			combined = append(combined, newFired...)
+		}
+		st.mu.Unlock()
+		if len(combined) > 0 {
+			if lerr := e.logRecord(store.FiredRec{User: user64, Alarms: combined}); lerr != nil {
+				return wire.BatchReply{}, lerr
+			}
+		}
+		reply.Entries = append(reply.Entries, wire.BatchEntry{User: user64, Msgs: msgs})
+	}
+	e.deliverPushes(pushes)
+	return reply, nil
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// installBatchAlarms puts two public alarm regions on the test users'
+// shared path.
+func installBatchAlarms(t *testing.T, e *Engine) (alarm.ID, alarm.ID) {
+	a1 := install(t, e, alarm.Alarm{Scope: alarm.Public, Owner: 99, Region: geom.RectAround(geom.Pt(500, 500), 100)})
+	a2 := install(t, e, alarm.Alarm{Scope: alarm.Public, Owner: 99, Region: geom.RectAround(geom.Pt(1500, 500), 100)})
+	return a1, a2
+}
+
+// TestHandleUpdateBatchEquivalence drives the same updates through a
+// batched engine and an unbatched twin and asserts identical trigger
+// delivery, identical registry fired state, and the batch reply contract:
+// one entry per user in first-appearance order, at least one message per
+// update, full strategy response only on each user's last update.
+func TestHandleUpdateBatchEquivalence(t *testing.T) {
+	single := newEngine(t, nil)
+	batched := newEngine(t, nil)
+	installBatchAlarms(t, single)
+	a1, a2 := installBatchAlarms(t, batched)
+
+	strategies := map[uint64]wire.Strategy{
+		1: wire.StrategyMWPSR,
+		2: wire.StrategyPBSR,
+		3: wire.StrategyPeriodic,
+		4: wire.StrategySafePeriod,
+	}
+	for u, s := range strategies {
+		register(t, single, u, s)
+		register(t, batched, u, s)
+	}
+
+	// Each user walks safe → inside alarm 1 → still inside → inside
+	// alarm 2. Updates are interleaved across users to exercise grouping.
+	path := []geom.Point{geom.Pt(3000, 3000), geom.Pt(500, 500), geom.Pt(520, 510), geom.Pt(1500, 500)}
+	var batch wire.UpdateBatch
+	seq := map[uint64]uint32{}
+	for _, p := range path {
+		for u := uint64(1); u <= 4; u++ {
+			seq[u]++
+			batch.Updates = append(batch.Updates, wire.PositionUpdate{User: u, Seq: seq[u], Pos: p})
+		}
+	}
+
+	singleFired := map[uint64][]uint64{}
+	for _, u := range batch.Updates {
+		out, err := single.HandleUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleFired[u.User] = append(singleFired[u.User], firedIn(out)...)
+	}
+
+	reply, err := batched.HandleUpdateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(reply.Entries), 4; got != want {
+		t.Fatalf("entries = %d, want %d", got, want)
+	}
+	for i, ent := range reply.Entries {
+		if ent.User != uint64(i+1) {
+			t.Errorf("entry %d user = %d, want first-appearance order", i, ent.User)
+		}
+		if len(ent.Msgs) < len(path) {
+			t.Errorf("user %d: %d msgs for %d updates; every update needs an answer",
+				ent.User, len(ent.Msgs), len(path))
+		}
+		if got, want := firedIn(ent.Msgs), singleFired[ent.User]; !reflect.DeepEqual(got, want) {
+			t.Errorf("user %d delivered fired = %v, unbatched %v", ent.User, got, want)
+		}
+		// Only the final update carries monitoring state; every earlier
+		// message is an Ack or AlarmFired.
+		for _, m := range ent.Msgs[:len(ent.Msgs)-1] {
+			switch m.Kind() {
+			case wire.KindAck, wire.KindAlarmFired:
+			default:
+				t.Errorf("user %d: intermediate message %v", ent.User, m.Kind())
+			}
+		}
+		switch strategies[ent.User] {
+		case wire.StrategyMWPSR, wire.StrategyPBSR:
+			last := ent.Msgs[len(ent.Msgs)-1]
+			if k := last.Kind(); k != wire.KindRectRegion && k != wire.KindBitmapRegion {
+				t.Errorf("user %d: final message %v, want a safe region", ent.User, k)
+			}
+		}
+	}
+	for u := uint64(1); u <= 4; u++ {
+		for _, id := range []alarm.ID{a1, a2} {
+			if !batched.Registry().Fired(id, alarm.UserID(u)) {
+				t.Errorf("alarm %d not marked fired for user %d after batch", id, u)
+			}
+		}
+	}
+}
+
+// TestHandleUpdateBatchAccounting checks the satellite accounting rule:
+// one uplink byte charge per frame, message counter advanced per
+// contained update, and the batch counters feeding the average-batch-size
+// metric.
+func TestHandleUpdateBatchAccounting(t *testing.T) {
+	e := newEngine(t, nil)
+	register(t, e, 1, wire.StrategyMWPSR)
+	register(t, e, 2, wire.StrategyMWPSR)
+	b := wire.UpdateBatch{Updates: []wire.PositionUpdate{
+		{User: 1, Seq: 1, Pos: geom.Pt(3000, 3000)},
+		{User: 1, Seq: 2, Pos: geom.Pt(3010, 3000)},
+		{User: 2, Seq: 1, Pos: geom.Pt(4000, 4000)},
+	}}
+	reply, err := e.HandleUpdateBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := e.Metrics().Snapshot()
+	if got, want := sn.UplinkBytes, uint64(wire.SizeUpdateBatch(3)); got != want {
+		t.Errorf("uplink bytes = %d, want one frame charge %d", got, want)
+	}
+	if sn.UplinkMessages != 3 {
+		t.Errorf("uplink messages = %d, want 3", sn.UplinkMessages)
+	}
+	if sn.UpdateBatches != 1 || sn.BatchedUpdates != 3 {
+		t.Errorf("batch counters = %d/%d, want 1/3", sn.UpdateBatches, sn.BatchedUpdates)
+	}
+	if got := sn.AvgBatchSize(); got != 3 {
+		t.Errorf("avg batch size = %v, want 3", got)
+	}
+	var downlink uint64
+	var msgs int
+	for _, ent := range reply.Entries {
+		for _, m := range ent.Msgs {
+			downlink += uint64(wire.EncodedSize(m))
+			msgs++
+		}
+	}
+	if sn.DownlinkBytes != downlink || sn.DownlinkMessages != uint64(msgs) {
+		t.Errorf("downlink = %d bytes/%d msgs, reply holds %d/%d",
+			sn.DownlinkBytes, sn.DownlinkMessages, downlink, msgs)
+	}
+}
+
+// TestHandleUpdateBatchRejectsInvalid: one bad position rejects the whole
+// frame before any state changes.
+func TestHandleUpdateBatchRejectsInvalid(t *testing.T) {
+	e := newEngine(t, nil)
+	a1, _ := installBatchAlarms(t, e)
+	register(t, e, 1, wire.StrategyMWPSR)
+	bad := wire.UpdateBatch{Updates: []wire.PositionUpdate{
+		{User: 1, Seq: 1, Pos: geom.Pt(500, 500)}, // would fire a1
+		{User: 1, Seq: 2, Pos: geom.Pt(1e308, 0)}, // far outside the universe
+	}}
+	if _, err := e.HandleUpdateBatch(bad); err == nil {
+		t.Fatal("hostile batch accepted")
+	}
+	if e.Registry().Fired(a1, 1) {
+		t.Error("rejected batch mutated trigger state")
+	}
+	if sn := e.Metrics().Snapshot(); sn.UpdateBatches != 0 {
+		t.Error("rejected batch charged uplink")
+	}
+	if _, err := e.HandleUpdateBatch(wire.UpdateBatch{}); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestHandleUpdateScratchMatchesHandleUpdate: the zero-alloc entry point
+// must produce byte-identical responses to HandleUpdate on a twin engine.
+func TestHandleUpdateScratchMatchesHandleUpdate(t *testing.T) {
+	plain := newEngine(t, nil)
+	scratch := newEngine(t, nil)
+	installBatchAlarms(t, plain)
+	installBatchAlarms(t, scratch)
+	for _, e := range []*Engine{plain, scratch} {
+		register(t, e, 1, wire.StrategyMWPSR)
+		register(t, e, 2, wire.StrategySafePeriod)
+	}
+	sc := NewUpdateScratch()
+	path := []geom.Point{geom.Pt(3000, 3000), geom.Pt(2900, 3000), geom.Pt(500, 500), geom.Pt(520, 510)}
+	for i, p := range path {
+		for u := uint64(1); u <= 2; u++ {
+			upd := wire.PositionUpdate{User: u, Seq: uint32(i + 1), Pos: p}
+			want, err := plain.HandleUpdate(upd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := scratch.HandleUpdateScratch(upd, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d user %d: %d msgs, want %d", i, u, len(got), len(want))
+			}
+			for k := range got {
+				if !bytes.Equal(wire.Encode(got[k]), wire.Encode(want[k])) {
+					t.Errorf("step %d user %d msg %d: %v != %v", i, u, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestHandleUpdateScratchZeroAlloc is the acceptance gate for the
+// zero-alloc MWPSR steady path: once the scratch is warm, a position
+// update that fires nothing must not allocate at all.
+func TestHandleUpdateScratchZeroAlloc(t *testing.T) {
+	e := newEngine(t, nil)
+	// Alarms exist (the index is non-trivial) but are far from the
+	// client's wander area, so the steady state never fires.
+	installBatchAlarms(t, e)
+	register(t, e, 1, wire.StrategyMWPSR)
+	sc := NewUpdateScratch()
+	seq := uint32(0)
+	step := func() {
+		seq++
+		p := geom.Pt(3000+float64(seq%8)*10, 3000)
+		if _, err := e.HandleUpdateScratch(wire.PositionUpdate{User: 1, Seq: seq, Pos: p}, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		step() // warm the scratch, heading tracker and metric path
+	}
+	if got := testing.AllocsPerRun(200, step); got != 0 {
+		t.Errorf("steady-state MWPSR update allocates %.2f/op, want 0", got)
+	}
+}

@@ -150,6 +150,11 @@ type Engine struct {
 	// recomputing the same pyramid N times.
 	pbMu          sync.RWMutex
 	publicBitmaps map[grid.CellID]*publicBitmapEntry
+
+	// scratchPool recycles per-update scratch buffers for callers that do
+	// not hold their own (HandleUpdate, HandleUpdateBatch, invalidation
+	// pushes). See batch.go for the ownership rules.
+	scratchPool sync.Pool
 }
 
 type publicBitmapEntry struct {
@@ -243,6 +248,7 @@ func New(cfg Config) (*Engine, error) {
 		publicBitmaps: make(map[grid.CellID]*publicBitmapEntry),
 	}
 	e.reg.Store(reg)
+	e.scratchPool.New = func() any { return NewUpdateScratch() }
 	for i := range e.shards {
 		e.shards[i].m = make(map[alarm.UserID]*clientState)
 	}
@@ -354,30 +360,15 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 	user := alarm.UserID(u.User)
 	st := e.clientFor(user, wire.StrategyPeriodic)
 	reg := e.reg.Load()
-	e.met.AddUplink(wire.EncodedSize(u))
+	e.met.AddUplink(wire.SizePositionUpdate)
 
-	// Moving-target alarms (paper §1 classes 2 and 3): when the reporting
-	// user is an alarm target, re-anchor those alarm regions to the new
-	// position and push fresh monitoring state to affected subscribers —
-	// their held safe regions no longer prove anything. Push messages are
-	// computed now (the mover's own state is not yet locked) but delivered
-	// only after every lock is released.
-	var pushes []pendingPush
-	if reg.IsTarget(user) {
-		movedRegions := make(map[alarm.ID]geom.Rect)
-		for _, id := range reg.MoveTarget(user, u.Pos) {
-			if a, ok := reg.Get(id); ok {
-				movedRegions[id] = a.Region // region at its new anchor
-			}
-		}
-		if len(movedRegions) > 0 {
-			pushes = e.collectInvalidations(reg, user, movedRegions)
-		}
-	}
+	pushes := e.moveTargetPushes(reg, user, u.Pos)
 
+	sc := e.getScratch()
 	st.mu.Lock()
-	out, newFired, err := e.processUpdate(reg, u, user, st)
+	out, newFired, err := e.processUpdate(reg, u, user, st, sc, nil, false, true)
 	st.mu.Unlock()
+	e.putScratch(sc)
 
 	// Write-ahead discipline: firings are logged after the state mutation
 	// (outside st.mu — see persist.go for why) but before the response is
@@ -391,26 +382,73 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 
 	// Deliver invalidation pushes outside all engine locks: the Pusher may
 	// block or re-enter the engine freely.
-	if len(pushes) > 0 {
-		if pusher := e.getPusher(); pusher != nil {
-			for _, p := range pushes {
-				pusher(p.user, p.msgs)
-			}
-		}
-	}
+	e.deliverPushes(pushes)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// moveTargetPushes handles moving-target alarms (paper §1 classes 2 and
+// 3): when the reporting user is an alarm target, re-anchor those alarm
+// regions to the new position and compute fresh monitoring state for
+// affected subscribers — their held safe regions no longer prove anything.
+// Push messages are computed now (the mover's own state is not locked) but
+// must be delivered by the caller only after every lock is released.
+func (e *Engine) moveTargetPushes(reg *alarm.Registry, user alarm.UserID, pos geom.Point) []pendingPush {
+	if !reg.IsTarget(user) {
+		return nil
+	}
+	movedRegions := make(map[alarm.ID]geom.Rect)
+	for _, id := range reg.MoveTarget(user, pos) {
+		if a, ok := reg.Get(id); ok {
+			movedRegions[id] = a.Region // region at its new anchor
+		}
+	}
+	if len(movedRegions) == 0 {
+		return nil
+	}
+	return e.collectInvalidations(reg, user, movedRegions)
+}
+
+// deliverPushes hands invalidation pushes to the pusher; callers must have
+// released every engine lock first (the Pusher may block or re-enter the
+// engine freely).
+func (e *Engine) deliverPushes(pushes []pendingPush) {
+	if len(pushes) == 0 {
+		return
+	}
+	pusher := e.getPusher()
+	if pusher == nil {
+		return
+	}
+	for _, p := range pushes {
+		pusher(p.user, p.msgs)
+	}
+}
+
 // processUpdate runs alarm evaluation and the strategy response for one
-// update, returning the messages plus the alarm IDs that newly fired
-// (for the caller to log durably). The caller holds st.mu.
-func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState) ([]wire.Message, []uint64, error) {
+// update, appending the response messages to out and returning it plus the
+// alarm IDs that newly fired (for the caller to log durably). The caller
+// holds st.mu and supplies sc, whose buffers carry every intermediate
+// computation.
+//
+// With boxPointers the response messages are the scratch's embedded
+// message fields boxed by pointer — zero heap traffic, but the result
+// aliases sc and must be consumed before sc is reused (and must never
+// travel through an in-process transport.Pipe, which retains messages
+// un-serialized). Without it every message is a self-contained value.
+//
+// withStrategy selects the full strategy response; without it only alarm
+// firings are answered (a bare Ack when nothing fired) — the treatment of
+// non-final updates of a batch run, whose monitoring state would be stale
+// on arrival anyway.
+func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState, sc *UpdateScratch, out []wire.Message, boxPointers, withStrategy bool) ([]wire.Message, []uint64, error) {
 	// Alarm evaluation against the R*-tree (every strategy does this; it
 	// is the "alarm processing" bucket of Figures 4(b)/6(d)).
-	triggered, candidates, accesses := reg.EvaluateCounted(u.Pos, user)
+	var candidates int
+	var accesses uint64
+	sc.triggered, sc.raw, candidates, accesses = reg.EvaluateInto(u.Pos, user, sc.triggered, sc.raw)
 	e.met.AddAlarmEvaluation(accesses, uint64(candidates))
 
 	if st.reliable && u.Seq != 0 {
@@ -420,18 +458,21 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		st.lastSeq = u.Seq
 	}
 
-	newFired := make([]uint64, 0, len(triggered))
-	for _, id := range triggered {
-		// One-shot semantics: retire the pair before recomputing the
-		// safe region so the fired alarm becomes free space (§4.2).
-		reg.MarkFired(id, user)
-		newFired = append(newFired, uint64(id))
-	}
-	if len(newFired) > 0 {
+	// newFired is freshly allocated only when something triggered: it
+	// outlives this call (WAL record, AlarmFired payload), so it cannot
+	// live in the scratch — and the steady state has no firings.
+	var newFired []uint64
+	if len(sc.triggered) > 0 {
+		newFired = make([]uint64, 0, len(sc.triggered))
+		for _, id := range sc.triggered {
+			// One-shot semantics: retire the pair before recomputing the
+			// safe region so the fired alarm becomes free space (§4.2).
+			reg.MarkFired(id, user)
+			newFired = append(newFired, uint64(id))
+		}
 		e.met.AddAlarmsTriggered(uint64(len(newFired)))
 	}
 
-	var out []wire.Message
 	firedIDs := newFired
 	if st.reliable {
 		st.lastActive = e.now()
@@ -454,28 +495,63 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		st.pendingFired = firedIDs
 	}
 	if len(firedIDs) > 0 {
-		out = e.send(out, wire.AlarmFired{Seq: u.Seq, Alarms: firedIDs})
+		if boxPointers {
+			sc.firedMsg = wire.AlarmFired{Seq: u.Seq, Alarms: firedIDs}
+			out = e.send(out, &sc.firedMsg)
+		} else {
+			out = e.send(out, wire.AlarmFired{Seq: u.Seq, Alarms: firedIDs})
+		}
+	}
+
+	if !withStrategy {
+		// Non-final update of a batch run: its monitoring state would be
+		// superseded within the same reply. Acknowledge it (unless an
+		// AlarmFired already does) so the client retires the queued report.
+		if len(firedIDs) == 0 {
+			if boxPointers {
+				sc.ackMsg = wire.Ack{Seq: u.Seq}
+				out = e.send(out, &sc.ackMsg)
+			} else {
+				out = e.send(out, wire.Ack{Seq: u.Seq})
+			}
+		}
+		st.lastPos = u.Pos
+		st.hasPos = true
+		return out, newFired, nil
 	}
 
 	switch st.strategy {
 	case wire.StrategyPeriodic:
 		// Server-centric periodic evaluation: nothing goes back.
 	case wire.StrategySafePeriod:
-		out = e.send(out, e.safePeriodFor(reg, u))
+		if boxPointers {
+			sc.spMsg = e.safePeriodFor(reg, u)
+			out = e.send(out, &sc.spMsg)
+		} else {
+			out = e.send(out, e.safePeriodFor(reg, u))
+		}
 	case wire.StrategyMWPSR:
-		out = e.send(out, e.rectRegionFor(reg, u, st))
+		if boxPointers {
+			sc.rectMsg = e.rectRegionFor(reg, u, st, sc)
+			out = e.send(out, &sc.rectMsg)
+		} else {
+			out = e.send(out, e.rectRegionFor(reg, u, st, sc))
+		}
 	case wire.StrategyPBSR:
 		cellID := e.grid.Locate(u.Pos)
 		sameCell := st.hasBitmapCell && st.bitmapCell == cellID
 		switch {
-		case sameCell && len(triggered) == 0:
+		case sameCell && len(sc.triggered) == 0:
 			// §4.2: no recomputation while the client stays in its base
 			// cell without triggering; a 5-byte Ack resumes monitoring.
 			// When earlier triggers made the client's bitmap stale (fired
 			// alarms still appear blocked), a rectangular patch restores
 			// coverage around the client instead.
 			if reg.AnyFiredIn(e.grid.CellRect(cellID), user) {
-				out = e.send(out, e.rectRegionFor(reg, u, st))
+				out = e.send(out, e.rectRegionFor(reg, u, st, sc))
+			} else if boxPointers {
+				sc.ackMsg = wire.Ack{Seq: u.Seq}
+				out = e.send(out, &sc.ackMsg)
 			} else {
 				out = e.send(out, wire.Ack{Seq: u.Seq})
 			}
@@ -484,7 +560,7 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 			// space. Instead of recomputing and re-shipping the bitmap,
 			// send a small rectangular patch around the client that avoids
 			// every remaining alarm; the client ORs it into its region.
-			out = e.send(out, e.rectRegionFor(reg, u, st))
+			out = e.send(out, e.rectRegionFor(reg, u, st, sc))
 		default:
 			msg, err := e.bitmapRegionFor(reg, u, st, cellID)
 			if err != nil {
@@ -570,6 +646,8 @@ func (e *Engine) collectInvalidations(reg *alarm.Registry, mover alarm.UserID, m
 	}
 	delete(affected, mover) // the mover's own update handles itself
 	var pushes []pendingPush
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	for user := range affected {
 		sh := e.shardFor(user)
 		sh.mu.RLock()
@@ -579,7 +657,7 @@ func (e *Engine) collectInvalidations(reg *alarm.Registry, mover alarm.UserID, m
 			continue
 		}
 		st.mu.Lock()
-		msg := e.invalidationFor(reg, user, st)
+		msg := e.invalidationFor(reg, user, st, sc)
 		st.mu.Unlock()
 		if msg == nil {
 			continue
@@ -594,7 +672,7 @@ func (e *Engine) collectInvalidations(reg *alarm.Registry, mover alarm.UserID, m
 // affected client. The caller holds st.mu. Returns nil when the client has
 // no pushable state (no position yet, or a strategy that re-reports on its
 // own).
-func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *clientState) wire.Message {
+func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *clientState, sc *UpdateScratch) wire.Message {
 	if !st.hasPos {
 		return nil
 	}
@@ -603,7 +681,7 @@ func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *cli
 	case wire.StrategySafePeriod:
 		return e.safePeriodFor(reg, fake)
 	case wire.StrategyMWPSR:
-		return e.rectRegionFor(reg, fake, st)
+		return e.rectRegionFor(reg, fake, st, sc)
 	case wire.StrategyPBSR:
 		cellID := e.grid.Locate(st.lastPos)
 		bm, err := e.bitmapRegionFor(reg, fake, st, cellID)
@@ -650,25 +728,26 @@ func (e *Engine) safePeriodFor(reg *alarm.Registry, u wire.PositionUpdate) wire.
 	return wire.SafePeriod{Seq: u.Seq, Ticks: uint32(ticks)}
 }
 
-func (e *Engine) rectRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *clientState) wire.RectRegion {
+func (e *Engine) rectRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *clientState, sc *UpdateScratch) wire.RectRegion {
 	user := alarm.UserID(u.User)
 	cellRect := e.grid.CellRect(e.grid.Locate(u.Pos))
-	relevant, accesses := reg.RelevantInCounted(cellRect, user, nil)
+	var accesses uint64
+	sc.relevant, sc.raw, accesses = reg.RelevantInInto(cellRect, user, sc.relevant[:0], sc.raw)
 	e.met.AddSafeRegionIndexWork(accesses)
-	rects := make([]geom.Rect, len(relevant))
-	for i, a := range relevant {
-		rects[i] = a.Region
+	sc.rects = sc.rects[:0]
+	for _, a := range sc.relevant {
+		sc.rects = append(sc.rects, a.Region)
 	}
 	model := e.cfg.Model
 	heading, ok := st.heading.Observe(u.Pos)
 	if !ok {
 		model = motion.Uniform() // no sustained motion: no heading info
 	}
-	res := saferegion.ComputeRect(u.Pos, cellRect, rects, saferegion.RectOptions{
+	res := saferegion.ComputeRectScratch(u.Pos, cellRect, sc.rects, saferegion.RectOptions{
 		Model:      model,
 		Heading:    heading,
 		Exhaustive: e.cfg.ExhaustiveAssembly,
-	})
+	}, &sc.rect)
 	e.met.AddRectComputation(res.Candidates, res.Corners, res.Clips)
 	return wire.RectRegion{Seq: u.Seq, Rect: res.Rect}
 }

@@ -124,7 +124,10 @@ func (e *Engine) tryResume(user alarm.UserID, m wire.Hello) ([]wire.Message, boo
 	}
 	// Re-install monitoring state so the client stops degrading on its
 	// stale region. Seq 0 marks a server-initiated push.
-	if msg := e.invalidationFor(reg, user, st); msg != nil {
+	sc := e.getScratch()
+	msg := e.invalidationFor(reg, user, st, sc)
+	e.putScratch(sc)
+	if msg != nil {
 		out = e.send(out, msg)
 	}
 	return out, true

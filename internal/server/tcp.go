@@ -214,6 +214,16 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 					return
 				}
 			}
+		case wire.UpdateBatch:
+			br, err := s.eng.HandleUpdateBatch(m)
+			if err != nil {
+				s.log.Printf("conn %s: update-batch: %v", nc.RemoteAddr(), err)
+				return
+			}
+			if err := conn.Send(br); err != nil {
+				s.log.Printf("conn %s: send: %v", nc.RemoteAddr(), err)
+				return
+			}
 		case wire.PositionUpdate:
 			responses, err := s.eng.HandleUpdate(m)
 			if err != nil {

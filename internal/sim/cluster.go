@@ -283,6 +283,8 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 		DownlinkMessages:       met.DownlinkMessages,
 		DownlinkBytes:          met.DownlinkBytes,
 		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		UpdateBatches:          met.UpdateBatches,
+		BatchedUpdates:         met.BatchedUpdates,
 		ClientChecks:           clientMet.ContainmentChecks,
 		ClientProbes:           clientMet.Probes,
 		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
@@ -343,6 +345,17 @@ func serveClusterLink(rt *cluster.Router, ln *crashLink, wall *time.Duration) er
 				out = []wire.Message{wire.Ack{Seq: v.Seq}}
 			}
 			responses = out
+		case wire.UpdateBatch:
+			start := time.Now()
+			br, handled, err := rt.HandleUpdateBatch(v)
+			*wall += time.Since(start)
+			if err != nil {
+				return err
+			}
+			if !handled {
+				continue
+			}
+			responses = []wire.Message{br}
 		default:
 			return fmt.Errorf("sim: unexpected uplink message %v", m.Kind())
 		}
@@ -361,6 +374,8 @@ func addSnapshot(dst *metrics.Snapshot, sn metrics.Snapshot) {
 	dst.UplinkBytes += sn.UplinkBytes
 	dst.DownlinkMessages += sn.DownlinkMessages
 	dst.DownlinkBytes += sn.DownlinkBytes
+	dst.UpdateBatches += sn.UpdateBatches
+	dst.BatchedUpdates += sn.BatchedUpdates
 	dst.AlarmsTriggered += sn.AlarmsTriggered
 	dst.NodeAccesses += sn.NodeAccesses
 	dst.AlarmChecks += sn.AlarmChecks

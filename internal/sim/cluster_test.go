@@ -77,6 +77,71 @@ func TestClusterDeliveryEquality(t *testing.T) {
 	}
 }
 
+// TestClusterBatchedDeliveryEquality is the acceptance check for the
+// batched update path: the same sharded workload with client-side
+// batching enabled (each tick's reports coalesced into one UpdateBatch
+// frame, answered by a BatchReply, crossing shard handoffs included)
+// must deliver exactly the same (user, alarm) set as the unbatched
+// single-server run for every safe-region strategy. Batching changes
+// framing and which responses carry monitoring state — never which
+// positions get evaluated.
+func TestClusterBatchedDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy cluster simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultClusterPlan(99, w.Config.DurationTicks)
+	plan.Session.Batch = true
+	cases := []struct {
+		name string
+		sc   StrategyConfig
+	}{
+		{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+		{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+		{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Run(w, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := RunCluster(w, tc.sc, plan, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(base.Triggers) == 0 {
+				t.Fatal("workload produced no triggers; the equality check is vacuous")
+			}
+			if batched.UpdateBatches == 0 {
+				t.Fatal("no UpdateBatch frames reached the shards — batching never engaged")
+			}
+			basePairs := pairCounts(base.Triggers)
+			batchPairs := pairCounts(batched.Triggers)
+			for p, c := range batchPairs {
+				if c != 1 {
+					t.Errorf("pair (user %d, alarm %d) delivered %d times batched", p[0], p[1], c)
+				}
+				if basePairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) delivered batched but not single-server", p[0], p[1])
+				}
+			}
+			for p := range basePairs {
+				if batchPairs[p] == 0 {
+					t.Errorf("pair (user %d, alarm %d) lost under batching", p[0], p[1])
+				}
+			}
+			avg := float64(batched.BatchedUpdates) / float64(batched.UpdateBatches)
+			t.Logf("%s: %d triggers both ways, %d batches avg %.2f updates/frame",
+				tc.name, len(base.Triggers), batched.UpdateBatches, avg)
+		})
+	}
+}
+
 // TestRunClusterDeterministic asserts the cluster harness replays
 // byte-identically: same workload + plan (fresh data dirs) → the exact
 // same trigger sequence, delivery ticks included.

@@ -293,6 +293,8 @@ func RunCrashing(w *Workload, sc StrategyConfig, plan CrashPlan, dataDir string)
 		DownlinkMessages:       met.DownlinkMessages,
 		DownlinkBytes:          met.DownlinkBytes,
 		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		UpdateBatches:          met.UpdateBatches,
+		BatchedUpdates:         met.BatchedUpdates,
 		ClientChecks:           clientMet.ContainmentChecks,
 		ClientProbes:           clientMet.Probes,
 		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),

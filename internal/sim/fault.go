@@ -276,6 +276,8 @@ func RunFaulty(w *Workload, sc StrategyConfig, plan FaultPlan) (*Report, error) 
 		DownlinkMessages:       met.DownlinkMessages,
 		DownlinkBytes:          met.DownlinkBytes,
 		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		UpdateBatches:          met.UpdateBatches,
+		BatchedUpdates:         met.BatchedUpdates,
 		ClientChecks:           clientMet.ContainmentChecks,
 		ClientProbes:           clientMet.Probes,
 		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
@@ -326,6 +328,14 @@ func serveFaultLink(eng *server.Engine, ln *faultLink, wall *time.Duration) erro
 			if len(responses) == 0 {
 				responses = []wire.Message{wire.Ack{Seq: v.Seq}}
 			}
+		case wire.UpdateBatch:
+			start := time.Now()
+			br, berr := eng.HandleUpdateBatch(v)
+			*wall += time.Since(start)
+			if berr != nil {
+				return berr
+			}
+			responses = []wire.Message{br}
 		default:
 			return fmt.Errorf("sim: unexpected uplink message %v", m.Kind())
 		}

@@ -210,6 +210,11 @@ type Report struct {
 	DownlinkMessages uint64
 	DownlinkBytes    uint64
 	DownlinkMbps     float64
+	// UpdateBatches and BatchedUpdates count UpdateBatch frames the
+	// servers received and the reports they carried (zero unless the
+	// session config enables batching).
+	UpdateBatches  uint64
+	BatchedUpdates uint64
 
 	ClientChecks uint64
 	ClientProbes uint64

@@ -33,6 +33,16 @@ func FuzzDecode(f *testing.F) {
 		FiredAck{},
 		Redirect{Token: 0xFEEDC0FFEE, Addr: "10.0.0.7:7701"},
 		Redirect{},
+		UpdateBatch{},
+		UpdateBatch{Updates: []PositionUpdate{
+			{User: 1, Seq: 2, Pos: geom.Pt(3, 4)},
+			{User: 1, Seq: 3, Pos: geom.Pt(4.5, -5)},
+		}},
+		BatchReply{},
+		BatchReply{Entries: []BatchEntry{
+			{User: 1, Msgs: []Message{AlarmFired{Seq: 2, Alarms: []uint64{5}}, Ack{Seq: 2}}},
+			{User: 9, Msgs: []Message{RectRegion{Seq: 3, Rect: geom.R(1, 2, 3, 4)}}},
+		}},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -54,6 +64,12 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{byte(KindAlarmFired), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // oversized fired count
 	f.Add([]byte{byte(KindRedirect)})                                       // kind byte only
 	f.Add([]byte{byte(KindRedirect), 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})   // addr length > payload
+	f.Add([]byte{byte(KindUpdateBatch), 0x7F, 0xFF, 0xFF, 0xFF})            // oversized update count
+	f.Add([]byte{byte(KindBatchReply), 0x7F, 0xFF, 0xFF, 0xFF})             // oversized entry count
+	f.Add([]byte{byte(KindBatchReply), 0, 0, 0, 1,                          // one entry, zero-length inner frame
+		0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Add(append([]byte{byte(KindBatchReply), 0, 0, 0, 1, // nested batch inside reply
+		0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 5}, Encode(UpdateBatch{})...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

@@ -42,6 +42,8 @@ const (
 	KindHeartbeat
 	KindFiredAck
 	KindRedirect
+	KindUpdateBatch
+	KindBatchReply
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +75,10 @@ func (k Kind) String() string {
 		return "fired-ack"
 	case KindRedirect:
 		return "redirect"
+	case KindUpdateBatch:
+		return "update-batch"
+	case KindBatchReply:
+		return "batch-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -393,6 +399,69 @@ func (m Redirect) appendTo(dst []byte) []byte {
 	return append(dst, m.Addr...)
 }
 
+// UpdateBatch carries several position reports in one frame. A client
+// session coalesces the reports it would send in one tick (a fresh report
+// plus any overdue resends); a gateway or benchmark harness may also pack
+// reports from many users into one batch. Updates are processed in order;
+// updates for the same user must appear in chronological order.
+//
+// Batching amortizes per-frame costs: the frame is charged as one uplink
+// message, the server takes each user's lock once per contained run of
+// updates, and only the last update of a user's run needs a full
+// monitoring-state response (earlier ones are stale on arrival and get a
+// bare Ack unless they fired).
+type UpdateBatch struct {
+	Updates []PositionUpdate
+}
+
+// Kind implements Message.
+func (UpdateBatch) Kind() Kind { return KindUpdateBatch }
+
+func (m UpdateBatch) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		dst = binary.BigEndian.AppendUint64(dst, u.User)
+		dst = binary.BigEndian.AppendUint32(dst, u.Seq)
+		dst = appendFloat(dst, u.Pos.X)
+		dst = appendFloat(dst, u.Pos.Y)
+	}
+	return dst
+}
+
+// BatchEntry is one user's responses inside a BatchReply: the messages
+// that would have answered that user's updates had they arrived as
+// individual frames (AlarmFired first, then per-update monitoring state
+// or Acks).
+type BatchEntry struct {
+	User uint64
+	Msgs []Message
+}
+
+// BatchReply answers an UpdateBatch: one entry per user that appeared in
+// the batch, in first-appearance order. Entries may be missing for
+// updates a cluster router could not serve (owning shard down); the
+// client's resend machinery retries those. Batch frames never nest.
+type BatchReply struct {
+	Entries []BatchEntry
+}
+
+// Kind implements Message.
+func (BatchReply) Kind() Kind { return KindBatchReply }
+
+func (m BatchReply) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		dst = binary.BigEndian.AppendUint64(dst, e.User)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Msgs)))
+		for _, inner := range e.Msgs {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(EncodedSize(inner)))
+			dst = append(dst, byte(inner.Kind()))
+			dst = inner.appendTo(dst)
+		}
+	}
+	return dst
+}
+
 // SeqOf returns the sequence number a message carries and whether the
 // message type has one. Session-layer code uses it to match responses to
 // queued reports without enumerating every monitoring-state type.
@@ -422,25 +491,54 @@ func Encode(m Message) []byte {
 	return m.appendTo([]byte{byte(m.Kind())})
 }
 
+// AppendEncode serializes a message (kind byte plus payload) into dst and
+// returns the extended slice. Steady-state hot paths use it with pooled
+// buffers so encoding allocates nothing once the buffer has grown.
+func AppendEncode(dst []byte, m Message) []byte {
+	dst = append(dst, byte(m.Kind()))
+	return m.appendTo(dst)
+}
+
+// SizePositionUpdate is EncodedSize of a PositionUpdate as a constant, so
+// the engine's hot path can charge uplink bytes without boxing the update
+// into a Message interface (which would allocate).
+const SizePositionUpdate = 1 + 8 + 4 + 16
+
+// sizeUpdateBatch returns EncodedSize for a batch of n position updates.
+func sizeUpdateBatch(n int) int { return 1 + 4 + n*28 }
+
+// SizeUpdateBatch is EncodedSize of an UpdateBatch carrying n updates, as
+// a function of n only — same boxing-avoidance purpose as
+// SizePositionUpdate.
+func SizeUpdateBatch(n int) int { return sizeUpdateBatch(n) }
+
 // EncodedSize returns len(Encode(m)) without allocating — the quantity the
-// bandwidth metrics charge.
+// bandwidth metrics charge. Pointer forms of the fixed-size response types
+// are included so scratch-backed messages (see server.UpdateScratch) can
+// be sized without hitting the allocating default case.
 func EncodedSize(m Message) int {
 	switch v := m.(type) {
 	case Register:
 		return 1 + 8 + 2
-	case PositionUpdate:
-		return 1 + 8 + 4 + 16
-	case RectRegion:
+	case PositionUpdate, *PositionUpdate:
+		return SizePositionUpdate
+	case RectRegion, *RectRegion:
 		return 1 + 4 + 32
 	case BitmapRegion:
 		return 1 + 4 + 32 + 3 + 4 + len(v.Data)
+	case *BitmapRegion:
+		return 1 + 4 + 32 + 3 + 4 + len(v.Data)
 	case AlarmPush:
 		return 1 + 4 + 32 + 4 + len(v.Alarms)*40
-	case SafePeriod:
+	case *AlarmPush:
+		return 1 + 4 + 32 + 4 + len(v.Alarms)*40
+	case SafePeriod, *SafePeriod:
 		return 1 + 4 + 4
 	case AlarmFired:
 		return 1 + 4 + 4 + len(v.Alarms)*8
-	case Ack:
+	case *AlarmFired:
+		return 1 + 4 + 4 + len(v.Alarms)*8
+	case Ack, *Ack:
 		return 1 + 4
 	case Hello:
 		return 1 + 8 + 8 + 2
@@ -452,9 +550,28 @@ func EncodedSize(m Message) int {
 		return 1 + 4 + len(v.Alarms)*8
 	case Redirect:
 		return 1 + 8 + 2 + len(v.Addr)
+	case UpdateBatch:
+		return sizeUpdateBatch(len(v.Updates))
+	case *UpdateBatch:
+		return sizeUpdateBatch(len(v.Updates))
+	case BatchReply:
+		return sizeBatchReply(v.Entries)
+	case *BatchReply:
+		return sizeBatchReply(v.Entries)
 	default:
 		return len(Encode(m))
 	}
+}
+
+func sizeBatchReply(entries []BatchEntry) int {
+	n := 1 + 4
+	for _, e := range entries {
+		n += 8 + 4
+		for _, inner := range e.Msgs {
+			n += 4 + EncodedSize(inner)
+		}
+	}
+	return n
 }
 
 // Decode parses a message produced by Encode.
@@ -528,6 +645,59 @@ func Decode(buf []byte) (Message, error) {
 			r.pos += n
 		}
 		m = rd
+	case KindUpdateBatch:
+		ub := UpdateBatch{}
+		n := r.u32()
+		if r.err == nil && uint64(n)*28 > uint64(len(r.buf)-r.pos) {
+			return nil, ErrTruncated
+		}
+		ub.Updates = make([]PositionUpdate, 0, n)
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			ub.Updates = append(ub.Updates, PositionUpdate{
+				User: r.u64(), Seq: r.u32(), Pos: geom.Pt(r.f64(), r.f64()),
+			})
+		}
+		m = ub
+	case KindBatchReply:
+		br := BatchReply{}
+		n := r.u32()
+		// A minimal entry is 12 bytes (user + message count).
+		if r.err == nil && uint64(n)*12 > uint64(len(r.buf)-r.pos) {
+			return nil, ErrTruncated
+		}
+		br.Entries = make([]BatchEntry, 0, n)
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			e := BatchEntry{User: r.u64()}
+			nm := r.u32()
+			// Each inner message costs at least its 4-byte length prefix.
+			if r.err == nil && uint64(nm)*4 > uint64(len(r.buf)-r.pos) {
+				return nil, ErrTruncated
+			}
+			e.Msgs = make([]Message, 0, nm)
+			for j := uint32(0); j < nm && r.err == nil; j++ {
+				l := int(r.u32())
+				if r.err != nil {
+					break
+				}
+				if l == 0 || l > len(r.buf)-r.pos {
+					return nil, ErrTruncated
+				}
+				// Reject nested batch frames before recursing: batches never
+				// nest, and the check bounds decode depth against hostile
+				// input.
+				if k := Kind(r.buf[r.pos]); k == KindUpdateBatch || k == KindBatchReply {
+					return nil, fmt.Errorf("wire: nested batch frame inside batch reply")
+				}
+				inner, err := Decode(r.buf[r.pos : r.pos+l])
+				if err != nil {
+					return nil, err
+				}
+				r.pos += l
+				e.Msgs = append(e.Msgs, inner)
+			}
+			br.Entries = append(br.Entries, e)
+		}
+		m = br
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, buf[0])
 	}

@@ -46,6 +46,17 @@ func TestRoundTripAllKinds(t *testing.T) {
 		FiredAck{Alarms: []uint64{9, 10}},
 		Redirect{Token: 0xBEEF02, Addr: "10.0.0.7:7701"},
 		Redirect{Token: 3},
+		UpdateBatch{Updates: []PositionUpdate{
+			{User: 1, Seq: 2, Pos: geom.Pt(3, 4)},
+			{User: 9, Seq: 8, Pos: geom.Pt(-7, 6.5)},
+		}},
+		BatchReply{Entries: []BatchEntry{
+			{User: 1, Msgs: []Message{
+				AlarmFired{Seq: 2, Alarms: []uint64{5}},
+				RectRegion{Seq: 2, Rect: geom.R(1, 2, 3, 4)},
+			}},
+			{User: 9, Msgs: []Message{Ack{Seq: 8}}},
+		}},
 	}
 	for _, m := range msgs {
 		t.Run(m.Kind().String(), func(t *testing.T) {
@@ -65,6 +76,18 @@ func TestEmptyCollections(t *testing.T) {
 	gotFired := roundTrip(t, AlarmFired{Seq: 1}).(AlarmFired)
 	if len(gotFired.Alarms) != 0 {
 		t.Errorf("alarms = %v", gotFired.Alarms)
+	}
+	gotBatch := roundTrip(t, UpdateBatch{}).(UpdateBatch)
+	if len(gotBatch.Updates) != 0 {
+		t.Errorf("updates = %v", gotBatch.Updates)
+	}
+	gotReply := roundTrip(t, BatchReply{}).(BatchReply)
+	if len(gotReply.Entries) != 0 {
+		t.Errorf("entries = %v", gotReply.Entries)
+	}
+	gotEntry := roundTrip(t, BatchReply{Entries: []BatchEntry{{User: 3}}}).(BatchReply)
+	if len(gotEntry.Entries) != 1 || len(gotEntry.Entries[0].Msgs) != 0 {
+		t.Errorf("entries = %v", gotEntry.Entries)
 	}
 }
 
@@ -89,6 +112,10 @@ func TestDecodeErrors(t *testing.T) {
 		Heartbeat{Nonce: 4},
 		FiredAck{Alarms: []uint64{5, 6}},
 		Redirect{Token: 7, Addr: "127.0.0.1:9000"},
+		UpdateBatch{Updates: []PositionUpdate{{User: 1, Seq: 2, Pos: geom.Pt(3, 4)}}},
+		BatchReply{Entries: []BatchEntry{
+			{User: 1, Msgs: []Message{AlarmFired{Seq: 2, Alarms: []uint64{5}}, Ack{Seq: 2}}},
+		}},
 	}
 	for _, m := range msgs {
 		full := Encode(m)
@@ -127,6 +154,47 @@ func TestHostileLengthPrefix(t *testing.T) {
 	if _, err := Decode(rbuf); err == nil {
 		t.Error("hostile redirect addr length accepted")
 	}
+	// Batch frames claiming more updates / entries / inner bytes than the
+	// frame holds.
+	ubuf := Encode(UpdateBatch{Updates: []PositionUpdate{{User: 1, Seq: 2}}})
+	ubuf[1], ubuf[2], ubuf[3], ubuf[4] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(ubuf); err == nil {
+		t.Error("hostile update-batch count accepted")
+	}
+	bbuf := Encode(BatchReply{Entries: []BatchEntry{{User: 1, Msgs: []Message{Ack{Seq: 2}}}}})
+	hostile := append([]byte(nil), bbuf...)
+	hostile[1], hostile[2], hostile[3], hostile[4] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(hostile); err == nil {
+		t.Error("hostile batch-reply entry count accepted")
+	}
+	// Inner frame length field (kind + count + user + nmsgs = 17 bytes in).
+	hostile = append(hostile[:0], bbuf...)
+	hostile[17], hostile[18], hostile[19], hostile[20] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(hostile); err == nil {
+		t.Error("hostile batch-reply inner length accepted")
+	}
+	// Zero-length inner frame.
+	hostile = append(hostile[:0], bbuf...)
+	hostile[17], hostile[18], hostile[19], hostile[20] = 0, 0, 0, 0
+	if _, err := Decode(hostile); err == nil {
+		t.Error("zero-length batch-reply inner frame accepted")
+	}
+}
+
+// Batch frames must not nest: a BatchReply whose inner frame is itself a
+// batch kind is rejected before the decoder recurses.
+func TestNestedBatchRejected(t *testing.T) {
+	for _, inner := range []Message{UpdateBatch{}, BatchReply{}} {
+		innerBuf := Encode(inner)
+		buf := []byte{byte(KindBatchReply), 0, 0, 0, 1} // one entry
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 9)       // user
+		buf = append(buf, 0, 0, 0, 1)                   // one inner msg
+		buf = append(buf, 0, 0, 0, byte(len(innerBuf))) // inner length
+		buf = append(buf, innerBuf...)
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("nested %v inside batch reply accepted", inner.Kind())
+		}
+	}
 }
 
 func TestSeqOf(t *testing.T) {
@@ -139,7 +207,7 @@ func TestSeqOf(t *testing.T) {
 			t.Errorf("SeqOf(%v) = %d, %v", m.Kind(), seq, ok)
 		}
 	}
-	without := []Message{Register{}, Hello{}, Resume{}, Heartbeat{}, FiredAck{}, Redirect{}}
+	without := []Message{Register{}, Hello{}, Resume{}, Heartbeat{}, FiredAck{}, Redirect{}, UpdateBatch{}, BatchReply{}}
 	for _, m := range without {
 		if _, ok := SeqOf(m); ok {
 			t.Errorf("SeqOf(%v) unexpectedly present", m.Kind())
@@ -171,7 +239,7 @@ func TestBitmapRegionPyramidRoundTrip(t *testing.T) {
 }
 
 func TestKindAndStrategyStrings(t *testing.T) {
-	for k := KindRegister; k <= KindRedirect; k++ {
+	for k := KindRegister; k <= KindBatchReply; k++ {
 		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
 			t.Errorf("kind %d has no name", k)
 		}
@@ -214,6 +282,97 @@ func BenchmarkDecodePositionUpdate(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		if _, err := Decode(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeUpdateBatch(b *testing.B) {
+	ups := make([]PositionUpdate, 32)
+	for i := range ups {
+		ups[i] = PositionUpdate{User: uint64(i), Seq: uint32(i), Pos: geom.Pt(float64(i), float64(-i))}
+	}
+	m := UpdateBatch{Updates: ups}
+	var buf []byte
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeUpdateBatch(b *testing.B) {
+	ups := make([]PositionUpdate, 32)
+	for i := range ups {
+		ups[i] = PositionUpdate{User: uint64(i), Seq: uint32(i), Pos: geom.Pt(float64(i), float64(-i))}
+	}
+	buf := Encode(UpdateBatch{Updates: ups})
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// hotPathMessages are the frames exchanged on every tick of a steady-state
+// session; their codec cost is the per-update floor of the whole system.
+func hotPathMessages() []Message {
+	return []Message{
+		PositionUpdate{User: 7, Seq: 1, Pos: geom.Pt(123.4, 567.8)},
+		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)},
+		SafePeriod{Seq: 8, Ticks: 300},
+		Ack{Seq: 11},
+		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
+		Heartbeat{Nonce: 0xCAFE},
+		UpdateBatch{Updates: []PositionUpdate{
+			{User: 1, Seq: 2, Pos: geom.Pt(3, 4)},
+			{User: 1, Seq: 3, Pos: geom.Pt(4, 5)},
+		}},
+		BatchReply{Entries: []BatchEntry{
+			{User: 1, Msgs: []Message{RectRegion{Seq: 3, Rect: geom.R(1, 2, 3, 4)}}},
+		}},
+	}
+}
+
+// Regression guard (satellite of the batching issue): encoding any hot-path
+// message into a reused buffer must not allocate, so pooled encode buffers
+// make the transport write path allocation-free.
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	for _, m := range hotPathMessages() {
+		m := m
+		buf := AppendEncode(nil, m) // warm the buffer to its final capacity
+		if got := testing.AllocsPerRun(100, func() {
+			buf = AppendEncode(buf[:0], m)
+		}); got != 0 {
+			t.Errorf("AppendEncode(%v) allocates %.1f/op, want 0", m.Kind(), got)
+		}
+	}
+}
+
+// Regression guard: decoding a hot-path message stays within a fixed
+// allocation budget (the interface box plus one slice per variable-length
+// field). Creep here silently taxes every update the server handles.
+func TestDecodeAllocBudget(t *testing.T) {
+	budgets := []struct {
+		m      Message
+		budget float64
+	}{
+		{PositionUpdate{User: 7, Seq: 1, Pos: geom.Pt(123.4, 567.8)}, 1},
+		{RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)}, 1},
+		{SafePeriod{Seq: 8, Ticks: 300}, 1},
+		{Ack{Seq: 11}, 1},
+		{Heartbeat{Nonce: 0xCAFE}, 1},
+		{AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}}, 2},
+		{UpdateBatch{Updates: []PositionUpdate{{User: 1, Seq: 2, Pos: geom.Pt(3, 4)}}}, 2},
+	}
+	for _, tc := range budgets {
+		tc := tc
+		buf := Encode(tc.m)
+		if got := testing.AllocsPerRun(100, func() {
+			if _, err := Decode(buf); err != nil {
+				t.Fatal(err)
+			}
+		}); got > tc.budget {
+			t.Errorf("Decode(%v) allocates %.1f/op, budget %.0f", tc.m.Kind(), got, tc.budget)
 		}
 	}
 }
