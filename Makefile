@@ -9,6 +9,11 @@
 #                partitioner/router/handoff unit tests, the TCP redirect
 #                end-to-end test and the multi-shard delivery-equality
 #                simulation (4 shards, forced handoffs, shard crashes)
+#   make rebalance
+#                dynamic repartitioning suite under the race detector:
+#                partition-map invariant/property tests, the balancer,
+#                the map-file codec seed corpus, and the split/merge
+#                delivery-equality + crash-point simulations
 #   make bench   engine throughput sweep at 1/2/4/8 procs; writes
 #                BENCH_engine.json via cmd/alarmbench
 #   make bench-cluster
@@ -23,7 +28,7 @@
 
 GO ?= go
 
-.PHONY: tier1 race crash cluster bench bench-cluster bench-smoke figures
+.PHONY: tier1 race crash cluster rebalance bench bench-cluster bench-smoke figures
 
 tier1:
 	$(GO) build ./...
@@ -41,6 +46,10 @@ cluster:
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -race -run 'Export|Import|ExpiredSession' ./internal/server/
 	$(GO) test -race -run 'Cluster' ./internal/sim/
+
+rebalance:
+	$(GO) test -race -run 'Partition|Balancer|Split|Merge' ./internal/cluster/
+	$(GO) test -race -run 'Repartition' ./internal/sim/
 
 bench:
 	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .

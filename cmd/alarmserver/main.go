@@ -17,6 +17,13 @@
 // the in-process session handoff (see PROTOCOL.md "Redirect and
 // handoff").
 //
+// With -rebalance the sharded cluster adapts its partition map to load
+// at runtime: every interval it splits the hottest shard above
+// -split-above and merges the coldest sibling pair below -merge-below,
+// migrating sessions durably and redirecting clients with an
+// epoch-stamped wire Redirect (see DESIGN.md "Dynamic repartitioning").
+// New shards listen on base port + shard ID.
+//
 // With -metrics-addr the server exposes its counters as JSON over HTTP
 // (GET /metrics): the engine snapshot in single-server mode, the cluster
 // counters plus every shard's snapshot in sharded mode.
@@ -26,6 +33,7 @@
 //	alarmserver -addr :7700 -side 5000 -alarms 150 -public 0.1 -seed 1
 //	alarmserver -addr :7700 -data-dir /var/lib/sabre -snapshot-every 1024
 //	alarmserver -addr :7700 -shards 4 -data-dir /var/lib/sabre -metrics-addr :7790
+//	alarmserver -addr :7700 -shards 2 -rebalance 5s -split-above 500 -merge-below 100
 package main
 
 import (
@@ -83,6 +91,12 @@ func run() error {
 		shards      = flag.Int("shards", 1, "run as a sharded cluster with this many spatial partitions (>1); shard i listens on -addr's port + i")
 		partition   = flag.String("partition", "", "explicit partition grid as CxR, e.g. 4x2 (overrides the near-square split of -shards)")
 		metricsAddr = flag.String("metrics-addr", "", "serve counters as JSON over HTTP on this address (GET /metrics)")
+
+		rebalance  = flag.Duration("rebalance", 0, "observe per-shard load on this interval and split hot / merge cold partitions at runtime (0 disables; sharded mode only)")
+		splitAbove = flag.Int("split-above", 0, "split a shard whose load score (sessions + updates per window) exceeds this (0 disables splits)")
+		mergeBelow = flag.Int("merge-below", 0, "merge sibling shards whose combined load score falls below this (0 disables merges)")
+		maxShards  = flag.Int("max-shards", 0, "cap on live shards for runtime splits (0 = no cap)")
+		minShards  = flag.Int("min-shards", 0, "floor on live shards for runtime merges (0 = floor of 1)")
 	)
 	flag.Parse()
 
@@ -110,6 +124,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *rebalance > 0 && *shards <= 1 && cols*rows <= 1 {
+		return fmt.Errorf("-rebalance needs sharded mode (-shards or -partition)")
+	}
 	if *shards > 1 || cols*rows > 1 {
 		return runClustered(clusterParams{
 			engine:      cfg,
@@ -129,6 +146,13 @@ func run() error {
 			side:        *side,
 			seed:        *seed,
 			cellKM2:     *cellKM2,
+			rebalance:   *rebalance,
+			balancer: cluster.BalancerConfig{
+				SplitAbove: *splitAbove,
+				MergeBelow: *mergeBelow,
+				MaxShards:  *maxShards,
+				MinShards:  *minShards,
+			},
 		})
 	}
 
@@ -359,6 +383,24 @@ func shardAddrs(base string, n int) ([]string, error) {
 	return addrs, nil
 }
 
+// shardAddr derives the listen address for one shard ID from the base
+// -addr, so shards allocated by runtime splits keep the same port
+// scheme as the boot-time grid.
+func shardAddr(base string, shard int) (string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("bad -addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("bad -addr %q: sharded mode needs a numeric port", base)
+	}
+	if port != 0 {
+		port += shard
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
+}
+
 // serveMetrics serves the payload as indented JSON on GET /metrics (and
 // /) in a background goroutine until the returned server is closed.
 func serveMetrics(addr string, payload func() any) (*http.Server, error) {
@@ -401,6 +443,8 @@ type clusterParams struct {
 	side        float64
 	seed        int64
 	cellKM2     float64
+	rebalance   time.Duration
+	balancer    cluster.BalancerConfig
 }
 
 // runClustered serves a horizontally sharded cluster: one engine and one
@@ -422,7 +466,9 @@ func runClustered(p clusterParams) error {
 
 	installed := 0
 	for i := 0; i < cl.N(); i++ {
-		installed += cl.Engine(i).Registry().Len()
+		if eng := cl.Engine(i); eng != nil {
+			installed += eng.Registry().Len()
+		}
 	}
 	if installed == 0 && p.nAlarms > 0 {
 		if _, err := cl.InstallAlarms(makeRandomAlarms(p.nAlarms, p.public, p.users, p.side, p.seed)); err != nil {
@@ -440,9 +486,12 @@ func runClustered(p clusterParams) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("alarmserver cluster: %d shards (universe %.0f m, cell %.2f km²)\n", cl.N(), p.side, p.cellKM2)
+	fmt.Printf("alarmserver cluster: %d shards, map epoch %d (universe %.0f m, cell %.2f km²)\n",
+		cl.PartitionMap().N(), cl.Epoch(), p.side, p.cellKM2)
 	for i, a := range srv.Addrs() {
-		fmt.Printf("  shard %d: %s owns %v\n", i, a, cl.Partitioner().Rect(i))
+		if rect, ok := cl.PartitionMap().RectOf(i); ok {
+			fmt.Printf("  shard %d: %s owns %v\n", i, a, rect)
+		}
 	}
 
 	if p.metricsAddr != "" {
@@ -456,6 +505,59 @@ func runClustered(p clusterParams) error {
 			return err
 		}
 		defer msrv.Close()
+	}
+
+	// The balancer observes per-shard load each interval and performs at
+	// most one split and one merge per tick; a split's new shard gets its
+	// own listener (base port + shard ID) before clients can be
+	// redirected to it, and until then the router serves its users
+	// through in-process handoffs from the shard they dialed.
+	stopBalance := make(chan struct{})
+	if p.rebalance > 0 {
+		bal, err := cluster.NewBalancer(cl, p.balancer)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebalancing every %v (split above %d, merge below %d)\n",
+			p.rebalance, p.balancer.SplitAbove, p.balancer.MergeBelow)
+		go func() {
+			t := time.NewTicker(p.rebalance)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopBalance:
+					return
+				case <-t.C:
+					actions, err := bal.Step()
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "alarmserver: rebalance: %v\n", err)
+						continue
+					}
+					if len(actions) == 0 {
+						continue
+					}
+					for _, a := range actions {
+						fmt.Printf("rebalance: %s (map epoch %d)\n", a, cl.Epoch())
+					}
+					bound := srv.Addrs()
+					for _, s := range cl.PartitionMap().Shards() {
+						if s < len(bound) && bound[s] != "" {
+							continue
+						}
+						addr, err := shardAddr(p.addr, s)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "alarmserver: rebalance: %v\n", err)
+							continue
+						}
+						if la, err := srv.ServeShard(s, addr); err != nil {
+							fmt.Fprintf(os.Stderr, "alarmserver: rebalance: shard %d listener: %v\n", s, err)
+						} else {
+							fmt.Printf("rebalance: shard %d serving on %s\n", s, la)
+						}
+					}
+				}
+			}
+		}()
 	}
 
 	// Session expiry sweeps every shard that is up.
@@ -491,10 +593,12 @@ func runClustered(p clusterParams) error {
 	go func() { errc <- srv.Serve() }()
 	select {
 	case <-sig:
+		close(stopBalance)
 		close(stopExpiry)
 		srv.Close()
 		<-errc
 	case err := <-errc:
+		close(stopBalance)
 		close(stopExpiry)
 		return err
 	}
@@ -537,8 +641,11 @@ func runClustered(p clusterParams) error {
 	fmt.Printf("triggers:  %d\n", sum.AlarmsTriggered)
 	fmt.Printf("sessions:  %d opened, %d resumed, %d heartbeats, %d expired\n",
 		sum.SessionsOpened, sum.SessionsResumed, sum.Heartbeats, sum.SessionsExpired)
-	fmt.Printf("routing:   %d updates routed, %d redirects sent\n", cm.RoutedUpdates, cm.RedirectsSent)
+	fmt.Printf("routing:   %d updates routed, %d redirects sent, %d out-of-universe positions clamped\n",
+		cm.RoutedUpdates, cm.RedirectsSent, cm.LocateClamped)
 	fmt.Printf("handoffs:  %d completed, %d deferred, %d duplicate firings suppressed\n",
 		cm.Handoffs, cm.HandoffsDeferred, cm.DuplicateFiringsSuppressed)
+	fmt.Printf("rebalance: %d splits, %d merges, %d sessions drained (final epoch %d, %d shards)\n",
+		cm.Splits, cm.Merges, cm.SessionsDrained, cl.Epoch(), cl.PartitionMap().N())
 	return nil
 }

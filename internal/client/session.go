@@ -101,6 +101,11 @@ type Session struct {
 	// redirectAddr is the address of the shard the server last redirected
 	// us to; empty until the first Redirect.
 	redirectAddr string
+	// epoch is the highest partition-map epoch seen in a Redirect. A
+	// redirect carrying an older epoch is ignored as stale — the shard
+	// that sent it was behind the map; the current owner re-redirects
+	// with the live epoch if we really are misplaced.
+	epoch uint64
 
 	conn      transport.PollingConn
 	connected bool
@@ -253,6 +258,13 @@ func (s *Session) handleInbound(tick int, m wire.Message) {
 		if s.DialTo == nil || v.Addr == "" {
 			return // not cluster-aware; keep the current link
 		}
+		if v.Epoch != 0 && v.Epoch < s.epoch {
+			s.met.StaleRedirects++
+			return // older map than we've already followed
+		}
+		if v.Epoch > s.epoch {
+			s.epoch = v.Epoch
+		}
 		s.token = v.Token
 		s.redirectAddr = v.Addr
 		if s.conn != nil {
@@ -320,10 +332,17 @@ func (s *Session) maintainLink(tick int) {
 }
 
 // dialNext opens the next connection: the last redirect target when one
-// is known (and DialTo is set), the default Dialer otherwise.
+// is known (and DialTo is set), the default Dialer otherwise. A dead
+// redirect target (its shard may have been retired by a merge) falls
+// back to the default Dialer and stops being preferred — whichever
+// shard answers will re-redirect us if we land wrong.
 func (s *Session) dialNext() (transport.Conn, error) {
 	if s.redirectAddr != "" && s.DialTo != nil {
-		return s.DialTo(s.redirectAddr)
+		conn, err := s.DialTo(s.redirectAddr)
+		if err == nil {
+			return conn, nil
+		}
+		s.redirectAddr = ""
 	}
 	return s.dial()
 }

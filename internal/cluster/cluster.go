@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -16,11 +18,12 @@ import (
 
 // Config parameterizes a cluster.
 type Config struct {
-	// Shards is the number of partitions (engines). Ignored when Cols and
-	// Rows are both set.
+	// Shards is the number of startup partitions (engines). Ignored when
+	// Cols and Rows are both set, and ignored entirely when DataDir holds
+	// a committed partition map from a previous run.
 	Shards int
-	// Cols and Rows force an explicit partition grid; both zero means the
-	// near-square auto split of Shards.
+	// Cols and Rows force an explicit startup partition grid; both zero
+	// means the near-square auto split of Shards.
 	Cols, Rows int
 	// Engine is the configuration shared by every shard engine: all
 	// shards see the identical full Universe and grid geometry (so safe
@@ -28,27 +31,79 @@ type Config struct {
 	// each shard's Partition field is filled in per shard.
 	Engine server.Config
 	// DataDir, when non-empty, makes every shard durable with its own
-	// write-ahead log and snapshots under DataDir/shard<N>. Empty runs
-	// every shard in memory (shards then cannot crash/recover).
+	// write-ahead log and snapshots under DataDir/shard<N>, and commits
+	// the partition map to DataDir/partmap on every transition. Empty
+	// runs every shard in memory (shards then cannot crash/recover and
+	// transitions are not durable).
 	DataDir string
 	// Store tunes the per-shard durable stores (fsync, checkpoint cadence).
 	Store store.Options
 }
 
-// Cluster runs one engine per spatial partition. Shards fail and
-// recover independently: a down shard's slot holds nil, and the router
-// degrades to resend/defer behaviour for clients it owns.
+// ErrCrashPoint is returned by a transition that hit a scripted crash
+// point (SetCrashPoint). The test harness then calls Crash and reopens
+// the cluster from its DataDir, exactly as a process kill would.
+var ErrCrashPoint = errors.New("cluster: scripted crash point")
+
+// Crash point names accepted by SetCrashPoint, ordered along the
+// transition paths they interrupt.
+const (
+	// CPSplitPreCommit dies after the new shard's engine booted and
+	// adopted its alarms but before the map file committed: recovery
+	// sees the old epoch and the orphaned shard directory is wiped when
+	// its ID is next allocated.
+	CPSplitPreCommit = "split:pre-commit"
+	// CPMergePreCommit dies after the merge target adopted the retired
+	// shard's alarms but before the map file committed: recovery sees
+	// the old epoch; the extra alarms are harmless over-installation.
+	CPMergePreCommit = "merge:pre-commit"
+	// CPDrainBeforeImport dies mid-drain between peeking a session at
+	// the retired shard and importing it at the target: the committed
+	// map's Drain entry makes recovery finish the migration.
+	CPDrainBeforeImport = "drain:before-import"
+	// CPDrainBeforeDrop dies after the import but before the retired
+	// shard dropped its copy: recovery re-imports (a no-op union) and
+	// drops — at worst a redelivered firing the client dedups.
+	CPDrainBeforeDrop = "drain:before-drop"
+	// CPMergePreDrainDone dies after every session drained but before
+	// the drain-done map committed: recovery re-runs an empty drain.
+	CPMergePreDrainDone = "merge:pre-drain-done"
+)
+
+// Cluster runs one engine per spatial partition under a versioned
+// partition map. Shards fail and recover independently: a down shard's
+// slot holds nil, and the router degrades to resend/defer behaviour for
+// clients it owns. SplitShard and MergeShards mutate the map at
+// runtime; readers follow it lock-free through an atomic pointer.
 type Cluster struct {
 	cfg      Config
-	part     *Partitioner
-	slots    []*slot
 	met      *metrics.Cluster
 	cellSide float64
 
-	// installMu serializes alarm installation; nextAlarmID is the global
-	// ID counter, seeded past every shard's recovered table.
-	installMu   sync.Mutex
+	// part is the published partition map; every transition installs a
+	// fresh copy-on-write successor. slots is indexed by shard ID and
+	// only ever grows (IDs are never reused); both pointers are atomic
+	// so Locate and Engine stay lock-free on the hot path.
+	part  atomic.Pointer[PartitionMap]
+	slots atomic.Pointer[[]*slot]
+
+	// mu serializes everything that mutates the map or the alarm table:
+	// split/merge transitions, drain resumption, alarm installation and
+	// slot growth. nextAlarmID is the global ID counter, seeded past
+	// every shard's recovered table.
+	mu          sync.Mutex
 	nextAlarmID uint64
+
+	// retired maps a merged-away shard to the live shard that absorbed
+	// it, so the router can re-point routes that still name the retired
+	// shard. In-memory only: routes are in-memory too and rebuild from
+	// the map after a restart.
+	retiredMu sync.RWMutex
+	retired   map[int]int
+
+	// crashPoints holds armed one-shot scripted failures (tests only).
+	cpMu        sync.Mutex
+	crashPoints map[string]bool
 }
 
 type slot struct {
@@ -57,101 +112,198 @@ type slot struct {
 }
 
 // New builds and boots every shard. With DataDir set, each shard opens
-// (or recovers) its own store, so a cluster restarted on an existing
-// DataDir resumes from durable state.
+// (or recovers) its own store and the partition map is loaded from the
+// committed map file when one exists — a cluster restarted on an
+// existing DataDir resumes from durable state, including finishing any
+// merge drain a crash interrupted.
 func New(cfg Config) (*Cluster, error) {
-	var part *Partitioner
-	var err error
-	if cfg.Cols > 0 || cfg.Rows > 0 {
-		part, err = NewPartitionerGrid(cfg.Engine.Universe, cfg.Cols, cfg.Rows)
-	} else {
-		part, err = NewPartitioner(cfg.Engine.Universe, cfg.Shards)
-	}
-	if err != nil {
-		return nil, err
-	}
 	c := &Cluster{
-		cfg:   cfg,
-		part:  part,
-		slots: make([]*slot, part.N()),
-		met:   &metrics.Cluster{},
+		cfg:         cfg,
+		met:         &metrics.Cluster{},
+		retired:     make(map[int]int),
+		crashPoints: make(map[string]bool),
 	}
-	for i := range c.slots {
-		c.slots[i] = &slot{}
-		if cfg.DataDir != "" {
-			c.slots[i].dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard%d", i))
-		}
-	}
-	for i := range c.slots {
-		eng, err := c.bootShard(i)
+	var pm *PartitionMap
+	if cfg.DataDir != "" {
+		loaded, found, err := LoadPartitionMapFile(cfg.DataDir)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: boot shard %d: %w", i, err)
+			return nil, err
 		}
-		c.slots[i].eng.Store(eng)
+		if found {
+			pm = loaded
+		}
+	}
+	if pm == nil {
+		var err error
+		if cfg.Cols > 0 || cfg.Rows > 0 {
+			pm, err = NewPartitionMapGrid(cfg.Engine.Universe, cfg.Cols, cfg.Rows)
+		} else {
+			pm, err = NewPartitionMap(cfg.Engine.Universe, cfg.Shards)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DataDir != "" {
+			if err := WritePartitionMapFile(cfg.DataDir, pm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.part.Store(pm)
+	slots := make([]*slot, pm.NextShard())
+	for i := range slots {
+		slots[i] = &slot{}
+		if cfg.DataDir != "" {
+			slots[i].dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard%d", i))
+		}
+	}
+	c.slots.Store(&slots)
+
+	boot := func(id int, rect geom.Rect) error {
+		eng, err := c.bootShard(id, rect)
+		if err != nil {
+			return fmt.Errorf("cluster: boot shard %d: %w", id, err)
+		}
+		slots[id].eng.Store(eng)
 		if next := uint64(eng.Registry().NextID()); next > c.nextAlarmID {
 			c.nextAlarmID = next
+		}
+		return nil
+	}
+	for _, s := range pm.Shards() {
+		rect, _ := pm.RectOf(s)
+		if err := boot(s, rect); err != nil {
+			return nil, err
+		}
+	}
+	// A drain source is retired from the map but still holds sessions; it
+	// reboots on its last rectangle so the drain can finish.
+	for _, d := range pm.Draining() {
+		if err := boot(d.Shard, d.Rect); err != nil {
+			return nil, err
 		}
 	}
 	if c.nextAlarmID == 0 {
 		c.nextAlarmID = 1
 	}
-	c.cellSide = c.slots[0].eng.Load().Grid().CellSide()
+	first := pm.Shards()[0]
+	c.cellSide = slots[first].eng.Load().Grid().CellSide()
+	for _, s := range pm.Shards() {
+		if err := slots[s].eng.Load().SetEpoch(pm.Epoch()); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range pm.Draining() {
+		c.mu.Lock()
+		err := c.finishDrain(d)
+		c.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: resume drain %d→%d: %w", d.Shard, d.Target, err)
+		}
+	}
 	return c, nil
 }
 
-// bootShard builds shard i's engine, recovering from its store when
-// durable.
-func (c *Cluster) bootShard(i int) (*server.Engine, error) {
+// bootShard builds shard id's engine on the given partition rectangle,
+// recovering from its store when durable.
+func (c *Cluster) bootShard(id int, rect geom.Rect) (*server.Engine, error) {
 	sc := c.cfg.Engine
-	sc.Partition = c.part.Rect(i)
-	if c.slots[i].dir == "" {
+	sc.Partition = rect
+	sl := c.slotList()
+	if sl[id].dir == "" {
 		return server.New(sc)
 	}
-	st, state, info, err := store.Open(c.slots[i].dir, c.cfg.Store)
+	st, state, info, err := store.Open(sl[id].dir, c.cfg.Store)
 	if err != nil {
 		return nil, err
 	}
 	return server.NewDurable(sc, st, state, info)
 }
 
-// Partitioner exposes the spatial split.
-func (c *Cluster) Partitioner() *Partitioner { return c.part }
+func (c *Cluster) slotList() []*slot { return *c.slots.Load() }
 
-// N returns the shard count.
-func (c *Cluster) N() int { return c.part.N() }
+// PartitionMap returns the current published map. The map is immutable;
+// a transition publishes a successor, so a held copy stays consistent
+// (if stale) forever.
+func (c *Cluster) PartitionMap() *PartitionMap { return c.part.Load() }
+
+// Epoch returns the current partition-map epoch.
+func (c *Cluster) Epoch() uint64 { return c.part.Load().Epoch() }
+
+// N returns the number of shard IDs ever allocated (live, down or
+// retired). Engine(i) reports nil for the non-live ones; use
+// PartitionMap().Shards() for the live set.
+func (c *Cluster) N() int { return len(c.slotList()) }
 
 // Metrics returns the cluster-level counters.
 func (c *Cluster) Metrics() *metrics.Cluster { return c.met }
 
-// Engine returns shard i's engine, or nil while the shard is down.
+// Engine returns shard i's engine, or nil while the shard is down or
+// retired.
 func (c *Cluster) Engine(i int) *server.Engine {
-	if i < 0 || i >= len(c.slots) {
+	sl := c.slotList()
+	if i < 0 || i >= len(sl) {
 		return nil
 	}
-	return c.slots[i].eng.Load()
+	return sl[i].eng.Load()
 }
 
 // Up reports whether shard i is serving.
 func (c *Cluster) Up(i int) bool { return c.Engine(i) != nil }
 
-// marginRect is the install footprint of shard i: its partition expanded
-// by two grid cells. A client routed to shard i reports from inside the
-// partition (or at most one cell beyond it, the engine's position
-// slack); its grid cell then lies within two cell sides of the
-// partition, so every alarm that can intersect that cell — and hence
-// shape its safe region — is installed here. See DESIGN.md "Clustering".
-func (c *Cluster) marginRect(i int) geom.Rect {
-	return c.part.Rect(i).Expand(2 * c.cellSide)
+// locate returns the live shard owning pt under the current map,
+// counting out-of-universe clamps.
+func (c *Cluster) locate(pt geom.Point) int {
+	shard, clamped := c.part.Load().Locate(pt)
+	if clamped {
+		c.met.AddLocateClamped()
+	}
+	return shard
+}
+
+// firstShard returns the lowest live shard ID — the enrollment home for
+// clients that have not reported a position yet.
+func (c *Cluster) firstShard() int {
+	return c.part.Load().Shards()[0]
+}
+
+// retiredTarget resolves a retired shard to the live shard that
+// absorbed its sessions, following chains of merges.
+func (c *Cluster) retiredTarget(shard int) (int, bool) {
+	c.retiredMu.RLock()
+	defer c.retiredMu.RUnlock()
+	to, ok := c.retired[shard]
+	if !ok {
+		return 0, false
+	}
+	for {
+		next, more := c.retired[to]
+		if !more {
+			return to, true
+		}
+		to = next
+	}
+}
+
+// marginRect is the install footprint of a partition rectangle: the
+// rectangle expanded by two grid cells. A client routed to the shard
+// reports from inside the partition (or at most one cell beyond it, the
+// engine's position slack); its grid cell then lies within two cell
+// sides of the partition, so every alarm that can intersect that cell —
+// and hence shape its safe region — is installed here. See DESIGN.md
+// "Clustering".
+func (c *Cluster) marginRect(rect geom.Rect) geom.Rect {
+	return rect.Expand(2 * c.cellSide)
 }
 
 // InstallAlarms assigns cluster-global IDs and installs each alarm on
-// every shard whose margin rectangle its region intersects — so a
+// every live shard whose margin rectangle its region intersects — so a
 // boundary-straddling alarm is known to all shards that could serve a
 // client near it. Moving-target alarms are rejected: their region
 // re-anchors at runtime, which would require cross-shard re-placement.
 func (c *Cluster) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
-	c.installMu.Lock()
-	defer c.installMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for i := range alarms {
 		if alarms[i].Target != 0 {
 			return nil, fmt.Errorf("cluster: alarm %d: moving-target alarms are not supported in clustered mode", i)
@@ -165,12 +317,14 @@ func (c *Cluster) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
 		assigned[i] = a
 		ids[i] = a.ID
 	}
-	for s := 0; s < c.N(); s++ {
+	pm := c.part.Load()
+	for _, s := range pm.Shards() {
 		eng := c.Engine(s)
 		if eng == nil {
 			return nil, fmt.Errorf("cluster: shard %d down during install", s)
 		}
-		margin := c.marginRect(s)
+		rect, _ := pm.RectOf(s)
+		margin := c.marginRect(rect)
 		var batch []alarm.Alarm
 		for _, a := range assigned {
 			if a.Region.Intersects(margin) {
@@ -187,13 +341,267 @@ func (c *Cluster) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
 	return ids, nil
 }
 
+// SetCrashPoint arms a one-shot scripted failure (tests only): the next
+// transition reaching the named point returns ErrCrashPoint instead of
+// proceeding. The harness then calls Crash and reopens the cluster.
+func (c *Cluster) SetCrashPoint(name string) {
+	c.cpMu.Lock()
+	c.crashPoints[name] = true
+	c.cpMu.Unlock()
+}
+
+// crashAt fires an armed crash point once.
+func (c *Cluster) crashAt(name string) error {
+	c.cpMu.Lock()
+	armed := c.crashPoints[name]
+	if armed {
+		delete(c.crashPoints, name)
+	}
+	c.cpMu.Unlock()
+	if armed {
+		return fmt.Errorf("%w: %s", ErrCrashPoint, name)
+	}
+	return nil
+}
+
+// Crash fail-stops the whole cluster in place, as a process kill would:
+// every engine slot goes nil and every durable store dies without
+// checkpointing. The DataDir can then be reopened with New.
+func (c *Cluster) Crash() {
+	for _, sl := range c.slotList() {
+		eng := sl.eng.Swap(nil)
+		if eng != nil && eng.Store() != nil {
+			eng.Store().Kill()
+		}
+	}
+}
+
+// SplitShard divides a hot shard's rectangle in two: a fresh engine is
+// booted for the newly allocated shard ID, adopts every alarm of the
+// parent whose region intersects the new margin (plus their fired
+// pairs, so nothing refires), and only then does the successor map
+// commit — the ordering makes a crash at any point recoverable to a
+// consistent epoch. Sessions are NOT eagerly migrated: clients resident
+// in the moved half keep talking to the old shard until their next
+// report, which the router hands off through the ordinary durable
+// export/import path. It returns the new shard's ID.
+func (c *Cluster) SplitShard(shard int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.part.Load()
+	next, newShard, err := cur.Split(shard)
+	if err != nil {
+		return 0, err
+	}
+	src := c.Engine(shard)
+	if src == nil {
+		return 0, fmt.Errorf("cluster: split: shard %d is down", shard)
+	}
+
+	c.growSlots(next.NextShard())
+	sl := c.slotList()
+	if sl[newShard].dir != "" {
+		// A crash after a previous pre-commit attempt may have left an
+		// orphaned directory under this ID; its WAL must not leak into
+		// the new shard.
+		if err := os.RemoveAll(sl[newShard].dir); err != nil {
+			return 0, fmt.Errorf("cluster: split: clear shard %d dir: %w", newShard, err)
+		}
+	}
+	newRect, _ := next.RectOf(newShard)
+	eng, err := c.bootShard(newShard, newRect)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: split: boot shard %d: %w", newShard, err)
+	}
+
+	// Adopt the parent's alarms intersecting the new margin, with their
+	// fired pairs. Alarms beyond the margin can never shape a safe
+	// region computed here, so this is exactly the install footprint a
+	// fresh InstallAlarms would have produced.
+	margin := c.marginRect(newRect)
+	var adopt []alarm.Alarm
+	adopted := make(map[alarm.ID]bool)
+	for _, a := range src.Registry().All() {
+		if a.Region.Intersects(margin) {
+			adopt = append(adopt, a)
+			adopted[a.ID] = true
+		}
+	}
+	var fired []alarm.FiredPair
+	for _, p := range src.Registry().FiredPairs() {
+		if adopted[p.Alarm] {
+			fired = append(fired, p)
+		}
+	}
+	if err := eng.AdoptAlarms(adopt, fired); err != nil {
+		return 0, fmt.Errorf("cluster: split: adopt alarms on shard %d: %w", newShard, err)
+	}
+
+	if err := c.crashAt(CPSplitPreCommit); err != nil {
+		return 0, err
+	}
+	if err := c.commitMap(next); err != nil {
+		return 0, err
+	}
+	sl[newShard].eng.Store(eng)
+	// The parent's rectangle shrank; tightening its safe-period clamp is
+	// always sound (its alarm table still covers the old, larger margin).
+	loRect, _ := next.RectOf(shard)
+	src.SetPartition(loRect)
+	c.advanceEpochs(next)
+	c.met.AddSplit()
+	return newShard, nil
+}
+
+// MergeShards collapses sibling partitions: into's engine adopts every
+// alarm (and fired pair) of from, takes over the parent rectangle, the
+// successor map commits with a Drain entry, and the drain then moves
+// every session resident on from to into through peek/import/drop —
+// import-before-drop, so a crash anywhere leaves at worst a benign
+// duplicate, never a lost firing. When the drain empties, a second map
+// commit clears the Drain entry and from's engine retires (its ID and
+// directory are never reused).
+func (c *Cluster) MergeShards(into, from int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.part.Load()
+	next, err := cur.Merge(into, from)
+	if err != nil {
+		return err
+	}
+	intoEng, fromEng := c.Engine(into), c.Engine(from)
+	if intoEng == nil || fromEng == nil {
+		return fmt.Errorf("cluster: merge: shard %d or %d is down", into, from)
+	}
+
+	// Widening into's responsibility is sound only once its alarm table
+	// covers the widened margin — adopt before commit.
+	if err := intoEng.AdoptAlarms(fromEng.Registry().All(), fromEng.Registry().FiredPairs()); err != nil {
+		return fmt.Errorf("cluster: merge: adopt alarms on shard %d: %w", into, err)
+	}
+	parentRect, _ := next.RectOf(into)
+	intoEng.SetPartition(parentRect)
+
+	if err := c.crashAt(CPMergePreCommit); err != nil {
+		return err
+	}
+	if err := c.commitMap(next); err != nil {
+		return err
+	}
+	c.advanceEpochs(next)
+	c.met.AddMerge()
+
+	drains := next.Draining()
+	return c.finishDrain(drains[len(drains)-1])
+}
+
+// finishDrain migrates every session off a retired shard and commits
+// the drain-done map. Caller holds c.mu. The retired shard's engine is
+// shut down and its slot pointed nil once the drain commits.
+func (c *Cluster) finishDrain(d Drain) error {
+	fromEng, intoEng := c.Engine(d.Shard), c.Engine(d.Target)
+	if fromEng == nil || intoEng == nil {
+		return fmt.Errorf("cluster: drain %d→%d: shard down", d.Shard, d.Target)
+	}
+	moved := 0
+	for _, user := range fromEng.SessionUsers() {
+		if err := c.crashAt(CPDrainBeforeImport); err != nil {
+			return err
+		}
+		rec, ok := fromEng.PeekSession(user)
+		if ok {
+			if _, _, err := intoEng.ImportSessionMerge(rec); err != nil {
+				return fmt.Errorf("cluster: drain user %d: import: %w", user, err)
+			}
+		}
+		if err := c.crashAt(CPDrainBeforeDrop); err != nil {
+			return err
+		}
+		if err := fromEng.DropSession(user); err != nil {
+			return fmt.Errorf("cluster: drain user %d: drop: %w", user, err)
+		}
+		moved++
+	}
+	c.met.AddSessionsDrained(uint64(moved))
+
+	if err := c.crashAt(CPMergePreDrainDone); err != nil {
+		return err
+	}
+	cur := c.part.Load()
+	done, err := cur.DrainDone(d.Shard)
+	if err != nil {
+		return err
+	}
+	if err := c.commitMap(done); err != nil {
+		return err
+	}
+	c.advanceEpochs(done)
+
+	c.retiredMu.Lock()
+	c.retired[d.Shard] = d.Target
+	c.retiredMu.Unlock()
+	eng := c.slotList()[d.Shard].eng.Swap(nil)
+	if eng != nil && eng.Store() != nil {
+		if err := eng.Store().Close(); err != nil {
+			return fmt.Errorf("cluster: retire shard %d: %w", d.Shard, err)
+		}
+	}
+	return nil
+}
+
+// commitMap durably commits and publishes a successor map. Caller holds
+// c.mu. The map-file rename is the transition's commit point: a crash
+// before it leaves the previous epoch in force.
+func (c *Cluster) commitMap(next *PartitionMap) error {
+	if c.cfg.DataDir != "" {
+		if err := WritePartitionMapFile(c.cfg.DataDir, next); err != nil {
+			return err
+		}
+	}
+	c.part.Store(next)
+	return nil
+}
+
+// advanceEpochs WALs the new epoch on every live shard, so each shard's
+// recovery rejoins at the map it last served under. A shard that is
+// down misses the record and catches up on its next recovery or
+// transition. Caller holds c.mu.
+func (c *Cluster) advanceEpochs(pm *PartitionMap) {
+	for _, s := range pm.Shards() {
+		if eng := c.Engine(s); eng != nil {
+			// ErrCrashed surfaces on the shard's next handled message; the
+			// epoch record is then restored by recovery anyway.
+			_ = eng.SetEpoch(pm.Epoch())
+		}
+	}
+}
+
+// growSlots extends the slot table to hold n shard IDs. Caller holds
+// c.mu; readers follow the atomic pointer.
+func (c *Cluster) growSlots(n int) {
+	old := c.slotList()
+	if n <= len(old) {
+		return
+	}
+	grown := make([]*slot, n)
+	copy(grown, old)
+	for i := len(old); i < n; i++ {
+		grown[i] = &slot{}
+		if c.cfg.DataDir != "" {
+			grown[i].dir = filepath.Join(c.cfg.DataDir, fmt.Sprintf("shard%d", i))
+		}
+	}
+	c.slots.Store(&grown)
+}
+
 // KillShard fail-stops shard i: the store dies mid-flight, the WAL tail
 // is mangled per tear, and the slot goes nil. Durable shards only.
 func (c *Cluster) KillShard(i int, tear store.TearMode, rng *rand.Rand) error {
-	if i < 0 || i >= len(c.slots) {
+	sl := c.slotList()
+	if i < 0 || i >= len(sl) {
 		return fmt.Errorf("cluster: no shard %d", i)
 	}
-	eng := c.slots[i].eng.Swap(nil)
+	eng := sl[i].eng.Swap(nil)
 	if eng == nil {
 		return fmt.Errorf("cluster: shard %d already down", i)
 	}
@@ -210,19 +618,29 @@ func (c *Cluster) KillShard(i int, tear store.TearMode, rng *rand.Rand) error {
 	return nil
 }
 
-// RecoverShard reboots a killed shard from its durable store.
+// RecoverShard reboots a killed shard from its durable store on its
+// current map rectangle.
 func (c *Cluster) RecoverShard(i int) error {
-	if i < 0 || i >= len(c.slots) {
+	sl := c.slotList()
+	if i < 0 || i >= len(sl) {
 		return fmt.Errorf("cluster: no shard %d", i)
 	}
-	if c.slots[i].eng.Load() != nil {
+	if sl[i].eng.Load() != nil {
 		return fmt.Errorf("cluster: shard %d already up", i)
 	}
-	eng, err := c.bootShard(i)
+	pm := c.part.Load()
+	rect, ok := pm.RectOf(i)
+	if !ok {
+		return fmt.Errorf("cluster: shard %d is retired", i)
+	}
+	eng, err := c.bootShard(i, rect)
 	if err != nil {
 		return fmt.Errorf("cluster: recover shard %d: %w", i, err)
 	}
-	c.slots[i].eng.Store(eng)
+	if err := eng.SetEpoch(pm.Epoch()); err != nil {
+		return fmt.Errorf("cluster: recover shard %d: %w", i, err)
+	}
+	sl[i].eng.Store(eng)
 	c.met.AddShardRecovery()
 	return nil
 }
@@ -230,8 +648,8 @@ func (c *Cluster) RecoverShard(i int) error {
 // Close checkpoints and closes every live durable shard.
 func (c *Cluster) Close() error {
 	var first error
-	for i := range c.slots {
-		eng := c.slots[i].eng.Swap(nil)
+	for _, sl := range c.slotList() {
+		eng := sl.eng.Swap(nil)
 		if eng == nil || eng.Store() == nil {
 			continue
 		}
@@ -242,13 +660,16 @@ func (c *Cluster) Close() error {
 	return first
 }
 
-// ShardSnapshots returns each live shard's counter snapshot; down shards
-// yield a zero snapshot with Up=false.
+// ShardSnapshots returns each shard ID's counter snapshot; down and
+// retired shards yield a zero snapshot with Up=false.
 func (c *Cluster) ShardSnapshots() []ShardStatus {
+	pm := c.part.Load()
 	out := make([]ShardStatus, c.N())
 	for i := range out {
 		out[i].Shard = i
-		out[i].Partition = c.part.Rect(i)
+		if rect, ok := pm.RectOf(i); ok {
+			out[i].Partition = rect
+		}
 		if eng := c.Engine(i); eng != nil {
 			out[i].Up = true
 			out[i].Metrics = eng.Metrics().Snapshot()

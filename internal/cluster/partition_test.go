@@ -10,133 +10,237 @@ import (
 
 var testUniverse = geom.Rect{MinX: -37, MinY: 13, MaxX: 9963, MaxY: 7013}
 
-// TestPartitionGridTiling checks that the partition rectangles tile the
-// universe exactly: every rect is inside it, neighbouring rects share
-// their boundary bit for bit, and the areas sum to the whole.
+// gridBoundaryX mirrors the boundary formula NewPartitionMapGrid uses,
+// so tests can probe split lines bit for bit.
+func gridBoundaryX(u geom.Rect, c, cols int) float64 {
+	return u.MinX + u.Width()*float64(c)/float64(cols)
+}
+
+func gridBoundaryY(u geom.Rect, r, rows int) float64 {
+	return u.MinY + u.Height()*float64(r)/float64(rows)
+}
+
+// checkTiling asserts the map's leaf rectangles tile the universe
+// exactly: every rect inside it, pairwise interior-disjoint, areas
+// summing to the whole.
+func checkTiling(t *testing.T, p *PartitionMap) {
+	t.Helper()
+	u := p.Universe()
+	var area float64
+	shards := p.Shards()
+	for _, s := range shards {
+		r, ok := p.RectOf(s)
+		if !ok {
+			t.Fatalf("live shard %d has no rect", s)
+		}
+		if r.Empty() {
+			t.Fatalf("shard %d rect empty: %v", s, r)
+		}
+		if !u.ContainsRect(r) {
+			t.Fatalf("shard %d rect %v escapes universe %v", s, r, u)
+		}
+		area += r.Width() * r.Height()
+	}
+	for i, a := range shards {
+		ra, _ := p.RectOf(a)
+		for _, b := range shards[i+1:] {
+			rb, _ := p.RectOf(b)
+			ix := math.Min(ra.MaxX, rb.MaxX) - math.Max(ra.MinX, rb.MinX)
+			iy := math.Min(ra.MaxY, rb.MaxY) - math.Max(ra.MinY, rb.MinY)
+			if ix > 0 && iy > 0 {
+				t.Fatalf("shards %d and %d overlap: %v vs %v", a, b, ra, rb)
+			}
+		}
+	}
+	want := u.Width() * u.Height()
+	if math.Abs(area-want) > want*1e-9 {
+		t.Errorf("areas sum to %v, universe is %v", area, want)
+	}
+}
+
+// checkLocateMatchesRect fuzzes random in-universe points: Locate must
+// not clamp them and the owning shard's rectangle must contain them.
+func checkLocateMatchesRect(t *testing.T, p *PartitionMap, rng *rand.Rand, n int) {
+	t.Helper()
+	u := p.Universe()
+	for i := 0; i < n; i++ {
+		pt := geom.Pt(
+			u.MinX+rng.Float64()*u.Width(),
+			u.MinY+rng.Float64()*u.Height(),
+		)
+		s, clamped := p.Locate(pt)
+		if clamped {
+			t.Fatalf("in-universe point %v reported clamped", pt)
+		}
+		r, ok := p.RectOf(s)
+		if !ok {
+			t.Fatalf("point %v located in retired shard %d", pt, s)
+		}
+		if !r.Contains(pt) {
+			t.Fatalf("point %v located in shard %d whose rect %v excludes it", pt, s, r)
+		}
+	}
+}
+
+// TestPartitionGridTiling checks that the epoch-1 grid tiles the
+// universe exactly and numbers shards row-major with shared seams.
 func TestPartitionGridTiling(t *testing.T) {
 	grids := [][2]int{{1, 1}, {2, 2}, {3, 2}, {4, 1}, {1, 4}, {5, 3}}
 	for _, g := range grids {
-		p, err := NewPartitionerGrid(testUniverse, g[0], g[1])
+		cols, rows := g[0], g[1]
+		p, err := NewPartitionMapGrid(testUniverse, cols, rows)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var area float64
-		for i := 0; i < p.N(); i++ {
-			r := p.Rect(i)
-			if r.Empty() {
-				t.Fatalf("%dx%d: partition %d empty: %v", g[0], g[1], i, r)
+		if p.Epoch() != 1 {
+			t.Errorf("%dx%d: fresh map epoch %d, want 1", cols, rows, p.Epoch())
+		}
+		if p.N() != cols*rows || p.NextShard() != cols*rows {
+			t.Errorf("%dx%d: N=%d NextShard=%d, want %d", cols, rows, p.N(), p.NextShard(), cols*rows)
+		}
+		checkTiling(t, p)
+		for i := 0; i < cols*rows; i++ {
+			r, ok := p.RectOf(i)
+			if !ok {
+				t.Fatalf("%dx%d: shard %d missing", cols, rows, i)
 			}
-			if !testUniverse.ContainsRect(r) {
-				t.Fatalf("%dx%d: partition %d %v escapes universe", g[0], g[1], i, r)
-			}
-			area += r.Width() * r.Height()
-			col, row := i%g[0], i/g[0]
-			if col+1 < g[0] {
-				right := p.Rect(i + 1)
+			col, row := i%cols, i/cols
+			if col+1 < cols {
+				right, _ := p.RectOf(i + 1)
 				if r.MaxX != right.MinX {
-					t.Errorf("%dx%d: seam gap between %d and %d: %v vs %v", g[0], g[1], i, i+1, r.MaxX, right.MinX)
+					t.Errorf("%dx%d: seam gap between %d and %d: %v vs %v", cols, rows, i, i+1, r.MaxX, right.MinX)
 				}
 			}
-			if row+1 < g[1] {
-				above := p.Rect(i + g[0])
+			if row+1 < rows {
+				above, _ := p.RectOf(i + cols)
 				if r.MaxY != above.MinY {
-					t.Errorf("%dx%d: seam gap between %d and %d: %v vs %v", g[0], g[1], i, i+g[0], r.MaxY, above.MinY)
+					t.Errorf("%dx%d: seam gap between %d and %d: %v vs %v", cols, rows, i, i+cols, r.MaxY, above.MinY)
 				}
 			}
 		}
-		want := testUniverse.Width() * testUniverse.Height()
-		if math.Abs(area-want) > want*1e-9 {
-			t.Errorf("%dx%d: areas sum to %v, universe is %v", g[0], g[1], area, want)
-		}
 	}
 }
 
-// TestLocateMatchesRect fuzzes random points: the owning partition's
-// rectangle must contain the point, and a point exactly on an interior
-// boundary must belong to the higher-indexed cell.
+// TestLocateMatchesRect fuzzes random points and probes interior grid
+// boundaries: a point exactly on a split belongs to the higher side.
 func TestLocateMatchesRect(t *testing.T) {
-	p, err := NewPartitionerGrid(testUniverse, 5, 3)
+	const cols, rows = 5, 3
+	p, err := NewPartitionMapGrid(testUniverse, cols, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(42))
-	for i := 0; i < 10000; i++ {
-		pt := geom.Pt(
-			testUniverse.MinX+rng.Float64()*testUniverse.Width(),
-			testUniverse.MinY+rng.Float64()*testUniverse.Height(),
-		)
-		s := p.Locate(pt)
-		if !p.Rect(s).Contains(pt) {
-			t.Fatalf("point %v located in shard %d whose rect %v excludes it", pt, s, p.Rect(s))
+	checkLocateMatchesRect(t, p, rand.New(rand.NewSource(42)), 10000)
+	for c := 1; c < cols; c++ {
+		pt := geom.Pt(gridBoundaryX(testUniverse, c, cols), testUniverse.MinY+1)
+		got, clamped := p.Locate(pt)
+		if clamped {
+			t.Errorf("boundary x=%v reported clamped", pt.X)
+		}
+		if got%cols != c {
+			t.Errorf("boundary x=%v located in column %d, want %d", pt.X, got%cols, c)
 		}
 	}
-	// Interior boundaries belong to the higher-indexed cell.
-	for c := 1; c < p.Cols(); c++ {
-		pt := geom.Pt(p.boundaryX(c), testUniverse.MinY+1)
-		if got := p.Locate(pt); got%p.Cols() != c {
-			t.Errorf("boundary x=%v located in column %d, want %d", pt.X, got%p.Cols(), c)
+	for r := 1; r < rows; r++ {
+		pt := geom.Pt(testUniverse.MinX+1, gridBoundaryY(testUniverse, r, rows))
+		got, clamped := p.Locate(pt)
+		if clamped {
+			t.Errorf("boundary y=%v reported clamped", pt.Y)
 		}
-	}
-	for r := 1; r < p.Rows(); r++ {
-		pt := geom.Pt(testUniverse.MinX+1, p.boundaryY(r))
-		if got := p.Locate(pt); got/p.Cols() != r {
-			t.Errorf("boundary y=%v located in row %d, want %d", pt.Y, got/p.Cols(), r)
+		if got/cols != r {
+			t.Errorf("boundary y=%v located in row %d, want %d", pt.Y, got/cols, r)
 		}
 	}
 }
 
-// TestLocateClampsOutside: positions beyond the universe (the engine
-// tolerates one cell of slack) clamp to the nearest edge partition.
-func TestLocateClampsOutside(t *testing.T) {
-	p, err := NewPartitionerGrid(testUniverse, 2, 2)
+// TestLocateClampedFlag: positions strictly beyond the universe clamp
+// to the nearest edge partition and say so; positions exactly on the
+// universe boundary — including the max edges — are NOT clamped. The
+// engine accepts boundary-exact reports, so flagging them as strays
+// would overcount the stray-traffic metric (regression: the old
+// partitioner clamped silently and boundary points were ambiguous).
+func TestLocateClampedFlag(t *testing.T) {
+	p, err := NewPartitionMapGrid(testUniverse, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cases := []struct {
+	u := testUniverse
+	outside := []struct {
 		pt   geom.Point
 		want int
 	}{
-		{geom.Pt(testUniverse.MinX-500, testUniverse.MinY-500), 0},
-		{geom.Pt(testUniverse.MaxX+500, testUniverse.MinY-500), 1},
-		{geom.Pt(testUniverse.MinX-500, testUniverse.MaxY+500), 2},
-		{geom.Pt(testUniverse.MaxX+500, testUniverse.MaxY+500), 3},
+		{geom.Pt(u.MinX-500, u.MinY-500), 0},
+		{geom.Pt(u.MaxX+500, u.MinY-500), 1},
+		{geom.Pt(u.MinX-500, u.MaxY+500), 2},
+		{geom.Pt(u.MaxX+500, u.MaxY+500), 3},
+		{geom.Pt(u.MinX+1, u.MaxY+0.001), 2},
 	}
-	for _, tc := range cases {
-		if got := p.Locate(tc.pt); got != tc.want {
+	for _, tc := range outside {
+		got, clamped := p.Locate(tc.pt)
+		if got != tc.want {
 			t.Errorf("Locate(%v) = %d, want %d", tc.pt, got, tc.want)
+		}
+		if !clamped {
+			t.Errorf("Locate(%v): outside point not reported clamped", tc.pt)
+		}
+	}
+	boundary := []struct {
+		pt   geom.Point
+		want int
+	}{
+		{geom.Pt(u.MinX, u.MinY), 0},
+		{geom.Pt(u.MaxX, u.MinY), 1},
+		{geom.Pt(u.MinX, u.MaxY), 2},
+		{geom.Pt(u.MaxX, u.MaxY), 3},
+		{geom.Pt(u.MinX+u.Width()/2, u.MaxY), 3},
+	}
+	for _, tc := range boundary {
+		got, clamped := p.Locate(tc.pt)
+		if got != tc.want {
+			t.Errorf("Locate(%v) = %d, want %d", tc.pt, got, tc.want)
+		}
+		if clamped {
+			t.Errorf("Locate(%v): boundary-exact point wrongly reported clamped", tc.pt)
 		}
 	}
 }
 
-// TestAutoFactorization: the shard count splits into the most squarish
-// grid the universe's aspect ratio allows.
+// TestAutoFactorization: NewPartitionMap picks the most squarish grid
+// the universe's aspect ratio allows, observable through cell shape.
 func TestAutoFactorization(t *testing.T) {
 	square := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
 	wide := geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 2500}
 	cases := []struct {
-		universe   geom.Rect
-		n          int
-		cols, rows int
+		universe     geom.Rect
+		n            int
+		cellW, cellH float64
 	}{
-		{square, 1, 1, 1},
-		{square, 4, 2, 2},
-		{square, 9, 3, 3},
-		{wide, 4, 4, 1},
-		{wide, 8, 4, 2},
+		{square, 1, 1000, 1000},
+		{square, 4, 500, 500},
+		{square, 9, 1000.0 / 3, 1000.0 / 3},
+		{wide, 4, 2500, 2500},
+		{wide, 8, 2500, 1250},
 	}
 	for _, tc := range cases {
-		p, err := NewPartitioner(tc.universe, tc.n)
+		p, err := NewPartitionMap(tc.universe, tc.n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if p.Cols() != tc.cols || p.Rows() != tc.rows {
-			t.Errorf("n=%d on %v: got %dx%d, want %dx%d", tc.n, tc.universe, p.Cols(), p.Rows(), tc.cols, tc.rows)
+		if p.N() != tc.n {
+			t.Errorf("n=%d on %v: got %d shards", tc.n, tc.universe, p.N())
 		}
+		r, ok := p.RectOf(0)
+		if !ok {
+			t.Fatalf("n=%d on %v: shard 0 missing", tc.n, tc.universe)
+		}
+		if math.Abs(r.Width()-tc.cellW) > 1e-9 || math.Abs(r.Height()-tc.cellH) > 1e-9 {
+			t.Errorf("n=%d on %v: cell %vx%v, want %vx%v", tc.n, tc.universe, r.Width(), r.Height(), tc.cellW, tc.cellH)
+		}
+		checkTiling(t, p)
 	}
-	if _, err := NewPartitioner(square, 0); err == nil {
+	if _, err := NewPartitionMap(square, 0); err == nil {
 		t.Error("zero shards accepted")
 	}
-	if _, err := NewPartitionerGrid(geom.Rect{}, 2, 2); err == nil {
+	if _, err := NewPartitionMapGrid(geom.Rect{}, 2, 2); err == nil {
 		t.Error("empty universe accepted")
 	}
 }
@@ -144,7 +248,7 @@ func TestAutoFactorization(t *testing.T) {
 // TestOverlapping: a rect straddling the centre of a 2x2 grid touches
 // all four partitions; a corner rect only its own.
 func TestOverlapping(t *testing.T) {
-	p, err := NewPartitionerGrid(testUniverse, 2, 2)
+	p, err := NewPartitionMapGrid(testUniverse, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,5 +261,131 @@ func TestOverlapping(t *testing.T) {
 	corner := p.Overlapping(geom.RectAround(geom.Pt(testUniverse.MinX+100, testUniverse.MinY+100), 50))
 	if len(corner) != 1 || corner[0] != 0 {
 		t.Errorf("corner rect overlaps %v, want [0]", corner)
+	}
+}
+
+// TestSplitBasics: splitting allocates a fresh monotonic shard ID,
+// bumps the epoch, halves the rect on its longer axis, and leaves the
+// original map untouched (copy-on-write).
+func TestSplitBasics(t *testing.T) {
+	p, err := NewPartitionMapGrid(testUniverse, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := p.RectOf(0)
+	next, newShard, err := p.Split(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newShard != 4 {
+		t.Errorf("new shard %d, want 4 (monotonic allocator)", newShard)
+	}
+	if next.Epoch() != p.Epoch()+1 {
+		t.Errorf("epoch %d after split of epoch-%d map", next.Epoch(), p.Epoch())
+	}
+	if next.N() != 5 || next.NextShard() != 5 {
+		t.Errorf("N=%d NextShard=%d after split, want 5/5", next.N(), next.NextShard())
+	}
+	// Copy-on-write: the original still has 4 shards and shard 0's full rect.
+	if p.N() != 4 || p.NextShard() != 4 {
+		t.Errorf("split mutated receiver: N=%d NextShard=%d", p.N(), p.NextShard())
+	}
+	if r, _ := p.RectOf(0); r != before {
+		t.Errorf("split mutated receiver rect: %v, want %v", r, before)
+	}
+	lo, _ := next.RectOf(0)
+	hi, _ := next.RectOf(newShard)
+	longAxis := math.Max(before.Width(), before.Height())
+	if before.Width() >= before.Height() {
+		if lo.Width() != longAxis/2 || hi.Width() != longAxis/2 || lo.MaxX != hi.MinX {
+			t.Errorf("vertical split rects %v / %v of %v", lo, hi, before)
+		}
+	} else {
+		if lo.Height() != longAxis/2 || hi.Height() != longAxis/2 || lo.MaxY != hi.MinY {
+			t.Errorf("horizontal split rects %v / %v of %v", lo, hi, before)
+		}
+	}
+	checkTiling(t, next)
+	checkLocateMatchesRect(t, next, rand.New(rand.NewSource(7)), 2000)
+
+	if _, _, err := p.Split(99); err == nil {
+		t.Error("split of unknown shard accepted")
+	}
+}
+
+// TestMergeRoundTrip: merge(split(x)) restores the exact pre-split
+// tiling, with the drain entry carrying the retired shard's rect until
+// DrainDone clears it.
+func TestMergeRoundTrip(t *testing.T) {
+	p, err := NewPartitionMapGrid(testUniverse, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := p.RectOf(0)
+	split, newShard, err := p.Split(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := split.Merge(0, newShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := merged.RectOf(0); got != orig {
+		t.Errorf("merge(split(x)) rect %v, want original %v", got, orig)
+	}
+	if merged.N() != 4 {
+		t.Errorf("N=%d after round trip, want 4", merged.N())
+	}
+	if merged.NextShard() != 5 {
+		t.Errorf("NextShard=%d after round trip, want 5 (IDs never reused)", merged.NextShard())
+	}
+	drains := merged.Draining()
+	hiRect, _ := split.RectOf(newShard)
+	if len(drains) != 1 || drains[0].Shard != newShard || drains[0].Target != 0 || drains[0].Rect != hiRect {
+		t.Errorf("drains after merge: %+v, want [{%d 0 %v}]", drains, newShard, hiRect)
+	}
+	checkTiling(t, merged)
+
+	done, err := merged.DrainDone(newShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Draining()) != 0 {
+		t.Errorf("drain survives DrainDone: %+v", done.Draining())
+	}
+	if done.Epoch() != merged.Epoch()+1 {
+		t.Errorf("DrainDone epoch %d, want %d", done.Epoch(), merged.Epoch()+1)
+	}
+	if _, err := done.DrainDone(newShard); err == nil {
+		t.Error("double DrainDone accepted")
+	}
+
+	// Non-sibling merges are rejected: shards 0 and 3 sit in different
+	// subtrees of the 2x2 grid.
+	if _, err := p.Merge(0, 3); err == nil {
+		t.Error("non-sibling merge accepted")
+	}
+	if _, err := p.Merge(0, 99); err == nil {
+		t.Error("merge with unknown shard accepted")
+	}
+}
+
+// TestMergeablePairs: only sibling leaves are candidates.
+func TestMergeablePairs(t *testing.T) {
+	p, err := NewPartitionMapGrid(testUniverse, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := p.MergeablePairs()
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Errorf("2x1 pairs %v, want [[0 1]]", pairs)
+	}
+	split, newShard, err := p.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs = split.MergeablePairs()
+	if len(pairs) != 1 || pairs[0] != [2]int{1, newShard} {
+		t.Errorf("post-split pairs %v, want [[1 %d]]", pairs, newShard)
 	}
 }

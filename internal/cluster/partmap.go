@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// This file serializes the PartitionMap: a self-validating binary frame
+// (magic, version, CRC32 trailer — the WAL's framing idiom applied to
+// one whole map) and the durable map file the cluster commits each
+// transition through an atomic tmp+rename. The map file is the commit
+// point of a split or merge: a crash before the rename leaves the old
+// epoch in force, a crash after it leaves the new epoch plus whatever
+// Drain entries describe the unfinished session migration. Anything
+// DecodePartitionMap accepts re-encodes byte-identically, which
+// FuzzPartitionMapDecode (mirroring FuzzWALDecode) hammers on.
+
+// Codec limits. Absurd frames are rejected before allocation.
+const (
+	partMapMagic   = "SBPM"
+	partMapVersion = 1
+	// maxPartitionDepth bounds tree recursion (decode and validate).
+	maxPartitionDepth = 64
+	// maxPartitionLeaves bounds the leaf count a frame may declare.
+	maxPartitionLeaves = 1 << 16
+	// maxPartitionDrains bounds the drain list.
+	maxPartitionDrains = 1 << 12
+
+	nodeTagLeaf     = 1
+	nodeTagInterior = 2
+)
+
+// ErrBadPartitionMap marks a serialized partition map the decoder
+// rejects (bad magic, truncated body, CRC mismatch, invalid structure).
+var ErrBadPartitionMap = errors.New("cluster: bad partition map")
+
+// PartitionMapFileName is the cluster's durable map file under DataDir.
+const PartitionMapFileName = "partmap"
+
+// EncodePartitionMap serializes p, CRC trailer included.
+func EncodePartitionMap(p *PartitionMap) []byte {
+	dst := []byte(partMapMagic)
+	dst = binary.BigEndian.AppendUint16(dst, partMapVersion)
+	dst = binary.BigEndian.AppendUint64(dst, p.epoch)
+	dst = appendRectBits(dst, p.universe)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.nextShard))
+	dst = appendNode(dst, p.root)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.draining)))
+	for _, d := range p.draining {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(d.Shard))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(d.Target))
+		dst = appendRectBits(dst, d.Rect)
+	}
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst))
+}
+
+func appendNode(dst []byte, n *pnode) []byte {
+	if n.leaf() {
+		dst = append(dst, nodeTagLeaf)
+		return binary.BigEndian.AppendUint32(dst, uint32(n.shard))
+	}
+	dst = append(dst, nodeTagInterior)
+	axis := byte(0)
+	if !n.vertical {
+		axis = 1
+	}
+	dst = append(dst, axis)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(n.split))
+	dst = appendNode(dst, n.lo)
+	return appendNode(dst, n.hi)
+}
+
+func appendRectBits(dst []byte, r geom.Rect) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.MinX))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.MinY))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.MaxX))
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(r.MaxY))
+}
+
+// DecodePartitionMap parses a frame produced by EncodePartitionMap,
+// verifying the CRC and every structural invariant (exact tiling is
+// inherent: child rectangles are derived from the parent and the split,
+// never stored). Anything accepted re-encodes byte-identically.
+func DecodePartitionMap(data []byte) (*PartitionMap, error) {
+	if len(data) < len(partMapMagic)+2+4 {
+		return nil, fmt.Errorf("%w: short frame (%d bytes)", ErrBadPartitionMap, len(data))
+	}
+	if string(data[:len(partMapMagic)]) != partMapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPartitionMap)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadPartitionMap)
+	}
+	r := &pmReader{buf: body[len(partMapMagic):]}
+	if v := r.u16(); r.err == nil && v != partMapVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadPartitionMap, v, partMapVersion)
+	}
+	p := &PartitionMap{
+		epoch:    r.u64(),
+		universe: r.rect(),
+	}
+	p.nextShard = int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if p.nextShard > maxPartitionLeaves {
+		return nil, fmt.Errorf("%w: shard allocator %d exceeds limit", ErrBadPartitionMap, p.nextShard)
+	}
+	leaves := 0
+	p.root = decodeNode(r, p.universe, 0, &leaves)
+	if r.err != nil {
+		return nil, r.err
+	}
+	nd := int(r.u32())
+	if r.err == nil && nd > maxPartitionDrains {
+		return nil, fmt.Errorf("%w: %d drains exceeds limit", ErrBadPartitionMap, nd)
+	}
+	for i := 0; i < nd && r.err == nil; i++ {
+		d := Drain{Shard: int(r.u32()), Target: int(r.u32()), Rect: r.rect()}
+		p.draining = append(p.draining, d)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPartitionMap, len(r.buf)-r.pos)
+	}
+	p.reindex()
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPartitionMap, err)
+	}
+	return p, nil
+}
+
+// decodeNode parses one preorder subtree covering rect. Child
+// rectangles are derived from the parent and the split so the decoded
+// tree tiles exactly by construction.
+func decodeNode(r *pmReader, rect geom.Rect, depth int, leaves *int) *pnode {
+	if r.err != nil {
+		return &pnode{rect: rect, shard: 0}
+	}
+	if depth > maxPartitionDepth {
+		r.fail("tree deeper than %d", maxPartitionDepth)
+		return &pnode{rect: rect, shard: 0}
+	}
+	switch tag := r.u8(); tag {
+	case nodeTagLeaf:
+		*leaves++
+		if *leaves > maxPartitionLeaves {
+			r.fail("more than %d leaves", maxPartitionLeaves)
+		}
+		s := r.u32()
+		if r.err == nil && s > maxPartitionLeaves {
+			r.fail("leaf shard %d exceeds limit", s)
+		}
+		return &pnode{rect: rect, shard: int(s)}
+	case nodeTagInterior:
+		n := &pnode{rect: rect, shard: -1}
+		n.vertical = r.u8() == 0
+		n.split = math.Float64frombits(r.u64())
+		lo, hi := rect, rect
+		if n.vertical {
+			lo.MaxX, hi.MinX = n.split, n.split
+		} else {
+			lo.MaxY, hi.MinY = n.split, n.split
+		}
+		n.lo = decodeNode(r, lo, depth+1, leaves)
+		n.hi = decodeNode(r, hi, depth+1, leaves)
+		return n
+	default:
+		if r.err == nil {
+			r.fail("unknown node tag %d", tag)
+		}
+		return &pnode{rect: rect, shard: 0}
+	}
+}
+
+// pmReader is the error-latching cursor idiom shared with internal/wire
+// and internal/store.
+type pmReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *pmReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrBadPartitionMap, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *pmReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: truncated body", ErrBadPartitionMap)
+		return false
+	}
+	return true
+}
+
+func (r *pmReader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *pmReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *pmReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *pmReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *pmReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *pmReader) rect() geom.Rect {
+	return geom.Rect{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+}
+
+// WritePartitionMapFile atomically commits p as dir's map file: encode,
+// write to a temp file, fsync, rename. The rename is the transition's
+// commit point.
+func WritePartitionMapFile(dir string, p *PartitionMap) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: write partition map: %w", err)
+	}
+	path := filepath.Join(dir, PartitionMapFileName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: write partition map: %w", err)
+	}
+	data := EncodePartitionMap(p)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: write partition map: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: sync partition map: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: close partition map: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: commit partition map: %w", err)
+	}
+	return nil
+}
+
+// LoadPartitionMapFile reads dir's map file. The second return is false
+// when no map file exists (a fresh data dir).
+func LoadPartitionMapFile(dir string) (*PartitionMap, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, PartitionMapFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: read partition map: %w", err)
+	}
+	p, err := DecodePartitionMap(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// samePartitioning reports whether two maps carve the universe into the
+// same (shard, rect) set. Epochs may differ.
+func samePartitioning(a, b *PartitionMap) bool {
+	if a.Universe() != b.Universe() || a.N() != b.N() || a.NextShard() != b.NextShard() {
+		return false
+	}
+	for _, s := range a.Shards() {
+		ra, _ := a.RectOf(s)
+		rb, ok := b.RectOf(s)
+		if !ok || ra != rb {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEdgeStability probes every leaf rectangle's corners and edge
+// midpoints: each point inside the universe must locate un-clamped into
+// a shard whose rectangle contains it. A point on a shared seam thus
+// has exactly one owner and the owner agrees it is inside — no
+// floating-point gap can open between Locate and RectOf.
+func checkEdgeStability(t *testing.T, p *PartitionMap) {
+	t.Helper()
+	for _, s := range p.Shards() {
+		r, _ := p.RectOf(s)
+		samples := []geom.Point{
+			{X: r.MinX, Y: r.MinY}, {X: r.MaxX, Y: r.MinY},
+			{X: r.MinX, Y: r.MaxY}, {X: r.MaxX, Y: r.MaxY},
+			{X: (r.MinX + r.MaxX) / 2, Y: r.MinY},
+			{X: (r.MinX + r.MaxX) / 2, Y: r.MaxY},
+			{X: r.MinX, Y: (r.MinY + r.MaxY) / 2},
+			{X: r.MaxX, Y: (r.MinY + r.MaxY) / 2},
+		}
+		for _, pt := range samples {
+			owner, clamped := p.Locate(pt)
+			if clamped {
+				t.Fatalf("edge point %v of shard %d reported clamped", pt, s)
+			}
+			or, ok := p.RectOf(owner)
+			if !ok {
+				t.Fatalf("edge point %v located in retired shard %d", pt, owner)
+			}
+			if !or.Contains(pt) {
+				t.Fatalf("edge point %v located in shard %d whose rect %v excludes it", pt, owner, or)
+			}
+		}
+	}
+}
+
+// checkCodecIdentity encodes p, decodes it back, and demands a
+// byte-identical re-encode plus an equal partitioning with the same
+// epoch and drain list.
+func checkCodecIdentity(t *testing.T, p *PartitionMap) {
+	t.Helper()
+	enc := EncodePartitionMap(p)
+	dec, err := DecodePartitionMap(enc)
+	if err != nil {
+		t.Fatalf("decode own encoding: %v", err)
+	}
+	if !bytes.Equal(EncodePartitionMap(dec), enc) {
+		t.Fatal("re-encode differs from original encoding")
+	}
+	if dec.Epoch() != p.Epoch() || !samePartitioning(dec, p) {
+		t.Fatalf("decoded map differs: epoch %d vs %d", dec.Epoch(), p.Epoch())
+	}
+	da, db := p.Draining(), dec.Draining()
+	if len(da) != len(db) {
+		t.Fatalf("decoded drains %v, want %v", db, da)
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("decoded drain %d: %+v, want %+v", i, db[i], da[i])
+		}
+	}
+}
+
+// TestPartitionMapRandomOps is the quickcheck-style invariant suite:
+// from random seed grids it applies long random sequences of splits,
+// merges, and drain completions, and after every step re-checks the
+// full invariant set — exact tiling, Locate totality and seam
+// stability, epoch monotonicity, and codec byte-identity. Merges are
+// additionally probed for the merge(split(x)) round-trip.
+func TestPartitionMapRandomOps(t *testing.T) {
+	universes := []geom.Rect{
+		testUniverse,
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: -1e6, MinY: -3, MaxX: 1e6, MaxY: 17},
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		u := universes[rng.Intn(len(universes))]
+		p, err := NewPartitionMapGrid(u, 1+rng.Intn(3), 1+rng.Intn(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 40; step++ {
+			prevEpoch := p.Epoch()
+			shards := p.Shards()
+			pairs := p.MergeablePairs()
+			switch {
+			case len(pairs) > 0 && rng.Intn(3) == 0:
+				pair := pairs[rng.Intn(len(pairs))]
+				into, from := pair[0], pair[1]
+				if rng.Intn(2) == 0 {
+					into, from = from, into
+				}
+				next, err := p.Merge(into, from)
+				if err != nil {
+					t.Fatalf("seed %d step %d: merge(%d,%d): %v", seed, step, into, from, err)
+				}
+				if next.Epoch() != prevEpoch+1 {
+					t.Fatalf("seed %d step %d: merge epoch %d, want %d", seed, step, next.Epoch(), prevEpoch+1)
+				}
+				if next.Has(from) {
+					t.Fatalf("seed %d step %d: merged-away shard %d still live", seed, step, from)
+				}
+				drains := next.Draining()
+				if len(drains) != 1 || drains[0].Shard != from || drains[0].Target != into {
+					t.Fatalf("seed %d step %d: drains %+v after merge(%d,%d)", seed, step, drains, into, from)
+				}
+				checkCodecIdentity(t, next) // exercises drain serialization
+				p, err = next.DrainDone(from)
+				if err != nil {
+					t.Fatalf("seed %d step %d: drain done: %v", seed, step, err)
+				}
+			default:
+				s := shards[rng.Intn(len(shards))]
+				next, newShard, err := p.Split(s)
+				if err != nil {
+					t.Fatalf("seed %d step %d: split(%d): %v", seed, step, s, err)
+				}
+				if next.Epoch() != prevEpoch+1 {
+					t.Fatalf("seed %d step %d: split epoch %d, want %d", seed, step, next.Epoch(), prevEpoch+1)
+				}
+				if newShard != p.NextShard() || next.NextShard() != newShard+1 {
+					t.Fatalf("seed %d step %d: split allocated %d, allocator %d->%d", seed, step, newShard, p.NextShard(), next.NextShard())
+				}
+				// merge(split(x)) round-trips to the same partitioning.
+				back, err := next.Merge(s, newShard)
+				if err != nil {
+					t.Fatalf("seed %d step %d: merge back: %v", seed, step, err)
+				}
+				if back, err = back.DrainDone(newShard); err != nil {
+					t.Fatalf("seed %d step %d: drain back: %v", seed, step, err)
+				}
+				rOld, _ := p.RectOf(s)
+				rBack, _ := back.RectOf(s)
+				if rOld != rBack || back.N() != p.N() {
+					t.Fatalf("seed %d step %d: merge(split(%d)) rect %v, want %v", seed, step, s, rBack, rOld)
+				}
+				p = next
+			}
+			checkTiling(t, p)
+			checkEdgeStability(t, p)
+			checkLocateMatchesRect(t, p, rng, 200)
+			checkCodecIdentity(t, p)
+		}
+	}
+}
+
+// TestPartitionMapCodecRejects: every way a frame can lie is refused.
+func TestPartitionMapCodecRejects(t *testing.T) {
+	p, err := NewPartitionMapGrid(testUniverse, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := EncodePartitionMap(p)
+
+	// withCRC re-frames a mutated body with a fresh checksum so the test
+	// reaches the checks behind the CRC gate.
+	withCRC := func(mut func(body []byte) []byte) []byte {
+		body := mut(append([]byte(nil), good[:len(good)-4]...))
+		return binary.BigEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	}
+	flip := func(i int) []byte {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		return bad
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short frame":    good[:8],
+		"bad magic":      flip(0),
+		"bad version":    withCRC(func(b []byte) []byte { b[5] = 99; return b }),
+		"mid-body flip":  flip(len(good) / 2),
+		"truncated body": withCRC(func(b []byte) []byte { return b[:len(b)-9] }),
+		"trailing bytes": withCRC(func(b []byte) []byte { return append(b, 0, 0, 0, 0) }),
+		"crc mismatch":   flip(len(good) - 1),
+	}
+	for name, payload := range cases {
+		if _, err := DecodePartitionMap(payload); err == nil {
+			t.Errorf("%s: decode accepted bad frame", name)
+		}
+	}
+
+	// Structurally invalid but correctly framed maps: only validate()
+	// can catch these.
+	structural := map[string]func() []byte{
+		"epoch 0": func() []byte {
+			cp := *p
+			cp.epoch = 0
+			return EncodePartitionMap(&cp)
+		},
+		"allocator below leaves": func() []byte {
+			cp := *p
+			cp.nextShard = 1
+			return EncodePartitionMap(&cp)
+		},
+		"drain source live": func() []byte {
+			cp := *p
+			cp.draining = []Drain{{Shard: 0, Target: 1, Rect: geom.R(0, 0, 1, 1)}}
+			return EncodePartitionMap(&cp)
+		},
+		"drain source out of range": func() []byte {
+			cp := *p
+			cp.draining = []Drain{{Shard: 99, Target: 0, Rect: geom.R(0, 0, 1, 1)}}
+			return EncodePartitionMap(&cp)
+		},
+		"drain target not live": func() []byte {
+			merged, err := p.Merge(0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := *merged
+			cp.draining = []Drain{{Shard: 2, Target: 2, Rect: geom.R(0, 0, 1, 1)}}
+			return EncodePartitionMap(&cp)
+		},
+		"drain rect empty": func() []byte {
+			merged, err := p.Merge(0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := *merged
+			cp.draining = []Drain{{Shard: 2, Target: 0, Rect: geom.Rect{}}}
+			return EncodePartitionMap(&cp)
+		},
+	}
+	for name, build := range structural {
+		if _, err := DecodePartitionMap(build()); err == nil {
+			t.Errorf("%s: decode accepted invalid map", name)
+		}
+	}
+}
+
+// TestPartitionMapFile: atomic write + load round-trip, fresh-dir miss,
+// and corrupt-file rejection.
+func TestPartitionMapFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := LoadPartitionMapFile(dir); err != nil || ok {
+		t.Fatalf("fresh dir: ok=%v err=%v, want miss", ok, err)
+	}
+	p, err := NewPartitionMapGrid(testUniverse, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := p.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePartitionMapFile(dir, p2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadPartitionMapFile(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.Epoch() != p2.Epoch() || !samePartitioning(got, p2) {
+		t.Fatalf("loaded map differs: epoch %d want %d", got.Epoch(), p2.Epoch())
+	}
+	// A newer epoch overwrites in place.
+	p3, err := p2.Merge(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePartitionMapFile(dir, p3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = LoadPartitionMapFile(dir)
+	if err != nil || got.Epoch() != p3.Epoch() {
+		t.Fatalf("reload: epoch %d err %v, want %d", got.Epoch(), err, p3.Epoch())
+	}
+	if len(got.Draining()) != 1 {
+		t.Fatalf("reload lost drain entries: %+v", got.Draining())
+	}
+	// Corruption is surfaced, not silently treated as a fresh dir.
+	path := filepath.Join(dir, PartitionMapFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadPartitionMapFile(dir); err == nil {
+		t.Fatal("corrupt map file loaded without error")
+	}
+}
+
+// TestSplitTooThin: a shard degenerate on both axes cannot split.
+func TestSplitTooThin(t *testing.T) {
+	tiny := geom.Rect{MinX: 0, MinY: 0, MaxX: math.SmallestNonzeroFloat64 * 2, MaxY: math.SmallestNonzeroFloat64 * 2}
+	p, err := NewPartitionMapGrid(tiny, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep splitting until the geometry bottoms out; it must error, not
+	// produce an empty or invalid rect.
+	for i := 0; i < 200; i++ {
+		next, _, err := p.Split(0)
+		if err != nil {
+			return // refused cleanly
+		}
+		r, _ := next.RectOf(0)
+		if r.Empty() {
+			t.Fatalf("split %d produced empty rect %v", i, r)
+		}
+		p = next
+	}
+	t.Fatal("split never bottomed out on a degenerate rect")
+}

@@ -84,16 +84,29 @@ func (r *Router) route(user uint64) *route {
 	return rt
 }
 
+// resolveShard re-points a route whose shard was retired by a merge:
+// the drain moved its session to the absorbing shard. The caller holds
+// rt.mu.
+func (r *Router) resolveShard(rt *route) {
+	if rt.shard < 0 {
+		return
+	}
+	if to, ok := r.cl.retiredTarget(rt.shard); ok {
+		rt.shard = to
+	}
+}
+
 // HandleRegister enrolls a plain (fire-and-forget) client. Without a
-// position the session starts on shard 0; the first update hands it off
-// to its true owner.
+// position the session starts on the lowest live shard; the first
+// update hands it off to its true owner.
 func (r *Router) HandleRegister(m wire.Register) bool {
 	rt := r.route(m.User)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.strategy, rt.maxHeight, rt.reliable = m.Strategy, m.MaxHeight, false
+	r.resolveShard(rt)
 	if rt.shard < 0 && rt.carried == nil {
-		rt.shard = 0
+		rt.shard = r.cl.firstShard()
 	}
 	eng := r.cl.Engine(rt.shard)
 	if rt.carried != nil || eng == nil {
@@ -106,7 +119,8 @@ func (r *Router) HandleRegister(m wire.Register) bool {
 }
 
 // HandleHello establishes or resumes a session on the client's current
-// shard. A client that never reported yet starts on shard 0.
+// shard. A client that never reported yet starts on the lowest live
+// shard.
 func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
 	rt := r.route(m.User)
 	rt.mu.Lock()
@@ -120,8 +134,9 @@ func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
 			return nil, false, nil
 		}
 	}
+	r.resolveShard(rt)
 	if rt.shard < 0 {
-		rt.shard = 0
+		rt.shard = r.cl.firstShard()
 	}
 	eng := r.cl.Engine(rt.shard)
 	if eng == nil {
@@ -145,7 +160,8 @@ func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, erro
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	r.cl.met.AddRoutedUpdate()
-	owner := r.cl.part.Locate(u.Pos)
+	owner := r.cl.locate(u.Pos)
+	r.resolveShard(rt)
 
 	if rt.carried != nil {
 		// A parked handoff: retarget to wherever the client is now and
@@ -245,7 +261,8 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 	var msgs []wire.Message
 	processed := false
 	for i := 0; i < len(ups); {
-		owner := r.cl.part.Locate(ups[i].Pos)
+		owner := r.cl.locate(ups[i].Pos)
+		r.resolveShard(rt)
 		if rt.carried != nil {
 			rt.pendingOwner = owner
 			if _, ok := r.importCarried(rt); !ok {
@@ -261,7 +278,7 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 			}
 		}
 		j := i + 1
-		for j < len(ups) && r.cl.part.Locate(ups[j].Pos) == rt.shard {
+		for j < len(ups) && r.cl.locate(ups[j].Pos) == rt.shard {
 			j++
 		}
 		eng := r.cl.Engine(rt.shard)
@@ -318,6 +335,14 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 // the handoff parks (carried) or defers (old shard unreachable) and
 // reports false. The caller holds rt.mu.
 func (r *Router) handoff(rt *route, owner int) bool {
+	if to, ok := r.cl.retiredTarget(rt.shard); ok {
+		// The old shard was merged away; its drain already moved the
+		// session to the absorbing shard.
+		rt.shard = to
+		if rt.shard == owner {
+			return true
+		}
+	}
 	oldEng := r.cl.Engine(rt.shard)
 	if oldEng == nil {
 		r.cl.met.AddHandoffDeferred()
@@ -333,8 +358,17 @@ func (r *Router) handoff(rt *route, owner int) bool {
 	// handoff from it re-exports — harmless, because firing attribution
 	// dedups redeliveries.
 	if !ok {
-		// The old shard no longer knows the client (idle-expired). Carry
-		// the declared registration with no pending firings.
+		// The old shard no longer knows the client. If the owner already
+		// holds the session (a merge drain moved it there while this
+		// route still named the source), adopt the owner's copy rather
+		// than importing a fresh empty record over the drained pending
+		// set.
+		if newEng := r.cl.Engine(owner); newEng != nil && newEng.HasSession(alarm.UserID(rt.user)) {
+			rt.shard = owner
+			return true
+		}
+		// Idle-expired everywhere: carry the declared registration with
+		// no pending firings.
 		rec = store.ClientRec{
 			User: rt.user, Strategy: rt.strategy,
 			MaxHeight: rt.maxHeight, Reliable: rt.reliable,
@@ -385,6 +419,7 @@ func (r *Router) HandleHeartbeat(user uint64, hb wire.Heartbeat) []wire.Message 
 	rt := r.route(user)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	r.resolveShard(rt)
 	if rt.shard < 0 || rt.carried != nil {
 		return []wire.Message{hb}
 	}
@@ -403,6 +438,7 @@ func (r *Router) HandleAck(user uint64, ids []uint64) {
 	rt := r.route(user)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	r.resolveShard(rt)
 	if rt.shard < 0 || rt.carried != nil {
 		return
 	}

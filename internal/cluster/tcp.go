@@ -38,7 +38,8 @@ type TCPCluster struct {
 
 // NewTCP listens on one address per shard (len(addrs) must equal
 // cl.N()); ":0" addresses are supported, with the bound addresses
-// available from Addrs. Serving starts with Serve.
+// available from Addrs. Serving starts with Serve; shards created by a
+// later split get listeners through ServeShard.
 func NewTCP(cl *Cluster, addrs []string, logger *log.Logger, idleTimeout time.Duration) (*TCPCluster, error) {
 	if len(addrs) != cl.N() {
 		return nil, fmt.Errorf("cluster: %d addresses for %d shards", len(addrs), cl.N())
@@ -66,8 +67,63 @@ func NewTCP(cl *Cluster, addrs []string, logger *log.Logger, idleTimeout time.Du
 	return c, nil
 }
 
-// Addrs returns the bound per-shard listener addresses.
-func (c *TCPCluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+// Addrs returns the bound per-shard listener addresses ("" for shards
+// without one yet).
+func (c *TCPCluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// addrOf returns the listener address serving shard, "" when none.
+func (c *TCPCluster) addrOf(shard int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.addrs) {
+		return ""
+	}
+	return c.addrs[shard]
+}
+
+// ServeShard adds a listener for a shard created after NewTCP (a
+// runtime split) and starts accepting on it immediately. Until a shard
+// has a listener, the router cannot redirect clients to it and keeps
+// serving them through in-process handoffs from the shard they dialed.
+func (c *TCPCluster) ServeShard(shard int, addr string) (string, error) {
+	if shard < 0 || shard >= c.cl.N() {
+		return "", fmt.Errorf("cluster: no shard %d", shard)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", errors.New("cluster: closed")
+	}
+	for len(c.addrs) < c.cl.N() {
+		c.addrs = append(c.addrs, "")
+		c.listeners = append(c.listeners, nil)
+	}
+	if c.addrs[shard] != "" {
+		bound := c.addrs[shard]
+		c.mu.Unlock()
+		return bound, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		c.mu.Unlock()
+		return "", fmt.Errorf("cluster: listen shard %d on %s: %w", shard, addr, err)
+	}
+	c.listeners[shard] = ln
+	c.addrs[shard] = ln.Addr().String()
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		if err := c.serveShard(shard, ln); err != nil {
+			c.log.Printf("shard %d: %v", shard, err)
+		}
+	}()
+	return c.addrOf(shard), nil
+}
 
 // Serve accepts on every shard listener until Close; it returns the
 // first accept error after all listeners stop.
@@ -75,6 +131,9 @@ func (c *TCPCluster) Serve() error {
 	errs := make(chan error, len(c.listeners))
 	var wg sync.WaitGroup
 	for i, ln := range c.listeners {
+		if ln == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(shard int, ln net.Listener) {
 			defer wg.Done()
@@ -124,6 +183,9 @@ func (c *TCPCluster) Close() error {
 	c.closed = true
 	var first error
 	for _, ln := range c.listeners {
+		if ln == nil {
+			continue
+		}
 		if err := ln.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -168,6 +230,16 @@ func (c *TCPCluster) serveConn(shard int, nc net.Conn) {
 		}
 		eng := c.cl.Engine(shard)
 		if eng == nil {
+			// A merged-away shard redirects its clients to the absorbing
+			// shard (token 0: the drained session re-enrolls there and
+			// carries its pending firings). A merely-down shard drops the
+			// connection and the client's resend machinery retries.
+			if to, ok := c.cl.retiredTarget(shard); ok {
+				if addr := c.addrOf(to); addr != "" {
+					c.cl.met.AddRedirectSent()
+					reply([]wire.Message{wire.Redirect{Epoch: c.cl.Epoch(), Addr: addr}})
+				}
+			}
 			c.log.Printf("shard %d conn %s: shard down, dropping %v", shard, nc.RemoteAddr(), msg.Kind())
 			return
 		}
@@ -200,15 +272,19 @@ func (c *TCPCluster) serveConn(shard int, nc net.Conn) {
 				}
 			}
 		case wire.PositionUpdate:
-			owner := c.cl.part.Locate(m.Pos)
+			owner := c.cl.locate(m.Pos)
 			if owner != shard {
 				// Cross-partition report: move the session in-process and
 				// point the client at the owning shard.
+				addr := c.addrOf(owner)
+				if addr == "" {
+					continue // no listener yet: drop, client resends
+				}
 				tok, ok := c.redirectSession(shard, owner, m.User)
 				if !ok {
 					continue // owner down: drop, client resends
 				}
-				rd := wire.Redirect{Token: tok, Addr: c.addrs[owner]}
+				rd := wire.Redirect{Token: tok, Epoch: c.cl.Epoch(), Addr: addr}
 				eng.Metrics().AddDownlink(wire.EncodedSize(rd))
 				c.cl.met.AddRedirectSent()
 				if !reply([]wire.Message{rd}) {
@@ -237,7 +313,7 @@ func (c *TCPCluster) serveConn(shard int, nc net.Conn) {
 			// of the frame is left for the client's resend machinery to
 			// retry at the new shard.
 			n := 0
-			for n < len(m.Updates) && c.cl.part.Locate(m.Updates[n].Pos) == shard {
+			for n < len(m.Updates) && c.cl.locate(m.Updates[n].Pos) == shard {
 				n++
 			}
 			if n > 0 {
@@ -252,12 +328,16 @@ func (c *TCPCluster) serveConn(shard int, nc net.Conn) {
 			}
 			if n < len(m.Updates) {
 				u := m.Updates[n]
-				owner := c.cl.part.Locate(u.Pos)
+				owner := c.cl.locate(u.Pos)
+				addr := c.addrOf(owner)
+				if addr == "" {
+					continue // no listener yet: drop, client resends
+				}
 				tok, ok := c.redirectSession(shard, owner, u.User)
 				if !ok {
 					continue // owner down: drop, client resends
 				}
-				rd := wire.Redirect{Token: tok, Addr: c.addrs[owner]}
+				rd := wire.Redirect{Token: tok, Epoch: c.cl.Epoch(), Addr: addr}
 				eng.Metrics().AddDownlink(wire.EncodedSize(rd))
 				c.cl.met.AddRedirectSent()
 				if !reply([]wire.Message{rd}) {

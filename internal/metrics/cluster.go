@@ -15,6 +15,10 @@ type Cluster struct {
 	redirectsSent              atomic.Uint64
 	shardCrashes               atomic.Uint64
 	shardRecoveries            atomic.Uint64
+	splits                     atomic.Uint64
+	merges                     atomic.Uint64
+	sessionsDrained            atomic.Uint64
+	locateClamped              atomic.Uint64
 }
 
 // ClusterSnapshot is a point-in-time copy of the cluster counters. The
@@ -41,6 +45,15 @@ type ClusterSnapshot struct {
 	// events on individual shards.
 	ShardCrashes    uint64 `json:"shard_crashes"`
 	ShardRecoveries uint64 `json:"shard_recoveries"`
+	// Splits and Merges count committed repartition transitions.
+	Splits uint64 `json:"splits"`
+	Merges uint64 `json:"merges"`
+	// SessionsDrained counts sessions moved by merge drains (handoffs
+	// driven by the balancer rather than by client movement).
+	SessionsDrained uint64 `json:"sessions_drained"`
+	// LocateClamped counts position lookups that fell outside the
+	// universe and were clamped to the nearest boundary shard.
+	LocateClamped uint64 `json:"locate_clamped"`
 }
 
 // Snapshot returns a copy of every cluster counter.
@@ -54,6 +67,10 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 		RedirectsSent:              c.redirectsSent.Load(),
 		ShardCrashes:               c.shardCrashes.Load(),
 		ShardRecoveries:            c.shardRecoveries.Load(),
+		Splits:                     c.splits.Load(),
+		Merges:                     c.merges.Load(),
+		SessionsDrained:            c.sessionsDrained.Load(),
+		LocateClamped:              c.locateClamped.Load(),
 	}
 }
 
@@ -87,3 +104,15 @@ func (c *Cluster) AddShardCrash() { c.shardCrashes.Add(1) }
 
 // AddShardRecovery records one shard recovered from its durable store.
 func (c *Cluster) AddShardRecovery() { c.shardRecoveries.Add(1) }
+
+// AddSplit records one committed split transition.
+func (c *Cluster) AddSplit() { c.splits.Add(1) }
+
+// AddMerge records one committed merge transition.
+func (c *Cluster) AddMerge() { c.merges.Add(1) }
+
+// AddSessionsDrained records sessions moved by a merge drain.
+func (c *Cluster) AddSessionsDrained(n uint64) { c.sessionsDrained.Add(n) }
+
+// AddLocateClamped records one out-of-universe position clamped by Locate.
+func (c *Cluster) AddLocateClamped() { c.locateClamped.Add(1) }

@@ -397,6 +397,7 @@ type Client struct {
 	RedeliveredReports uint64 // queued reports re-sent after reconnect/timeout
 	DroppedReports     uint64 // reports evicted from a full offline queue
 	Redirects          uint64 // shard redirects followed (cluster handoff)
+	StaleRedirects     uint64 // redirects ignored for carrying an older partition-map epoch
 	// BatchesSent counts UpdateBatch frames transmitted and BatchedReports
 	// the position reports they carried (each also counted in
 	// MessagesSent, which stays the per-report total either way).
@@ -420,6 +421,7 @@ func (c *Client) Merge(other Client) {
 	c.RedeliveredReports += other.RedeliveredReports
 	c.DroppedReports += other.DroppedReports
 	c.Redirects += other.Redirects
+	c.StaleRedirects += other.StaleRedirects
 	c.BatchesSent += other.BatchesSent
 	c.BatchedReports += other.BatchedReports
 }

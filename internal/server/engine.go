@@ -137,6 +137,14 @@ type Engine struct {
 	// wal is the durable backend (nil for a memory-only engine). Appends
 	// always happen outside every other engine lock; see persist.go.
 	wal *store.Store
+	// epoch is the partition-map epoch this shard last served (cluster
+	// mode; zero otherwise). Advanced by SetEpoch, persisted as an
+	// EpochRec, restored by NewDurable.
+	epoch atomic.Uint64
+	// part is the shard's partition rectangle. It starts as
+	// cfg.Partition and moves when a repartition transition widens the
+	// shard; an atomic pointer keeps the safe-period clamp lock-free.
+	part atomic.Pointer[geom.Rect]
 	// pendingCap bounds each reliable session's unacknowledged firings.
 	pendingCap int
 	// nowFn overrides the clock for session-expiry tests; nil means
@@ -248,6 +256,8 @@ func New(cfg Config) (*Engine, error) {
 		publicBitmaps: make(map[grid.CellID]*publicBitmapEntry),
 	}
 	e.reg.Store(reg)
+	part := cfg.Partition
+	e.part.Store(&part)
 	e.scratchPool.New = func() any { return NewUpdateScratch() }
 	for i := range e.shards {
 		e.shards[i].m = make(map[alarm.UserID]*clientState)
@@ -268,6 +278,40 @@ func (e *Engine) ReplaceRegistry(r *alarm.Registry) {
 
 // Grid exposes the grid overlay.
 func (e *Engine) Grid() *grid.Grid { return e.grid }
+
+// Epoch returns the partition-map epoch this shard last served (zero
+// outside a cluster).
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// SetEpoch advances the shard's partition-map epoch and write-ahead
+// logs it. Epochs only move forward; a stale value is a no-op.
+func (e *Engine) SetEpoch(epoch uint64) error {
+	for {
+		cur := e.epoch.Load()
+		if epoch <= cur {
+			return nil
+		}
+		if e.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	return e.logRecord(store.EpochRec{Epoch: epoch})
+}
+
+// Partition returns the shard's current partition rectangle (empty
+// outside a cluster).
+func (e *Engine) Partition() geom.Rect { return *e.part.Load() }
+
+// SetPartition moves the shard's partition rectangle after a
+// repartition transition (a merge widens it to the parent rectangle).
+// Only the safe-period margin clamp consults the rectangle, and the
+// clamp stays sound for any rectangle whose margin covers the alarms
+// installed locally — the cluster adopts alarms for the new rectangle
+// before calling this.
+func (e *Engine) SetPartition(r geom.Rect) {
+	p := r
+	e.part.Store(&p)
+}
 
 // Metrics returns the server counters. The counters are atomic: read a
 // consistent copy with Metrics().Snapshot(), safe to call concurrently
@@ -707,7 +751,7 @@ func (e *Engine) safePeriodFor(reg *alarm.Registry, u wire.PositionUpdate) wire.
 	// missing locally lies wholly outside the margin rectangle, so its
 	// distance from u.Pos is at least the interior distance to that
 	// boundary — clamp to it and the safe period stays globally sound.
-	if p := e.cfg.Partition; !p.Empty() {
+	if p := *e.part.Load(); !p.Empty() {
 		m := p.Expand(e.grid.CellSide())
 		interior := math.Min(
 			math.Min(u.Pos.X-m.MinX, m.MaxX-u.Pos.X),

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+
 	"github.com/sabre-geo/sabre/internal/alarm"
 	"github.com/sabre-geo/sabre/internal/store"
 	"github.com/sabre-geo/sabre/internal/wire"
@@ -39,6 +41,7 @@ func (e *Engine) ExportSession(user alarm.UserID) (store.ClientRec, bool, error)
 		MaxHeight:    uint8(st.maxHeight),
 		Reliable:     st.reliable,
 		PendingFired: append([]uint64(nil), st.pendingFired...),
+		Epoch:        e.epoch.Load(),
 	}
 	st.mu.Unlock()
 
@@ -118,4 +121,203 @@ func (e *Engine) ImportSession(rec store.ClientRec) (uint64, error) {
 		}
 	}
 	return token, nil
+}
+
+// HasSession reports whether the user has client state on this engine.
+func (e *Engine) HasSession(user alarm.UserID) bool {
+	sh := e.shardFor(user)
+	sh.mu.RLock()
+	_, ok := sh.m[user]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// PeekSession returns the user's durable session record without
+// removing anything — the read-only first half of a merge drain. The
+// drain imports the peeked record at the target and only then drops it
+// here (import-before-drop), so a crash at any point between the two
+// leaves at worst a benign duplicate session, which the router's
+// adoption path and the client's firing dedup absorb — never a lost
+// firing.
+func (e *Engine) PeekSession(user alarm.UserID) (store.ClientRec, bool) {
+	sh := e.shardFor(user)
+	sh.mu.RLock()
+	st := sh.m[user]
+	sh.mu.RUnlock()
+	if st == nil {
+		return store.ClientRec{}, false
+	}
+	st.mu.Lock()
+	rec := store.ClientRec{
+		User:         uint64(user),
+		Strategy:     st.strategy,
+		MaxHeight:    uint8(st.maxHeight),
+		Reliable:     st.reliable,
+		PendingFired: append([]uint64(nil), st.pendingFired...),
+		Epoch:        e.epoch.Load(),
+	}
+	st.mu.Unlock()
+	return rec, true
+}
+
+// DropSession removes the user's session after a drain imported it
+// elsewhere: client state and resume tokens go and an ExpireRec is
+// logged (replay re-drops them). A missing user is a no-op.
+func (e *Engine) DropSession(user alarm.UserID) error {
+	sh := e.shardFor(user)
+	sh.mu.Lock()
+	st := sh.m[user]
+	delete(sh.m, user)
+	sh.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	e.sessMu.Lock()
+	for tok, u := range e.sessions {
+		if u == user {
+			delete(e.sessions, tok)
+		}
+	}
+	e.sessMu.Unlock()
+	e.met.AddSessionExported()
+	return e.logRecord(store.ExpireRec{User: uint64(user)})
+}
+
+// ImportSessionMerge enrolls a drained session, tolerating an existing
+// local session for the same user — the user may already have moved
+// here through the lazy redirect path while the drain was in flight, or
+// a crashed drain may retry a record it already imported. A reliable
+// local session absorbs the drained pending firings by union (so
+// nothing the source still owed the client is lost) and keeps its
+// token; only when the user is absent (or only registered fire-and-
+// forget while the record is reliable) does this fall back to a full
+// ImportSession. The second return reports whether an existing session
+// was merged into.
+func (e *Engine) ImportSessionMerge(rec store.ClientRec) (uint64, bool, error) {
+	user := alarm.UserID(rec.User)
+	sh := e.shardFor(user)
+	sh.mu.RLock()
+	st := sh.m[user]
+	sh.mu.RUnlock()
+	if st == nil {
+		tok, err := e.ImportSession(rec)
+		return tok, false, err
+	}
+
+	var added []uint64
+	st.mu.Lock()
+	if rec.Reliable && !st.reliable {
+		// The local state is a plain fire-and-forget registration; the
+		// drained session is the richer one. Promote in place so the
+		// pending firings survive.
+		st.reliable = true
+		st.lastActive = e.now()
+	}
+	if rec.Reliable && st.reliable {
+		for _, id := range rec.PendingFired {
+			if !containsU64(st.pendingFired, id) {
+				st.pendingFired = append(st.pendingFired, id)
+				added = append(added, id)
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	if len(added) > 0 {
+		reg := e.reg.Load()
+		for _, id := range added {
+			reg.MarkFired(alarm.ID(id), user)
+		}
+		if err := e.logRecord(store.FiredRec{User: rec.User, Alarms: added}); err != nil {
+			return 0, true, err
+		}
+	}
+	return 0, true, nil
+}
+
+// SessionUsers returns every user with client state on this engine,
+// sorted for deterministic drain order.
+func (e *Engine) SessionUsers() []alarm.UserID {
+	var users []alarm.UserID
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for u := range sh.m {
+			users = append(users, u)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	return users
+}
+
+// ClientCount returns the number of resident client states (the load
+// balancer's session-count signal).
+func (e *Engine) ClientCount() int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// AdoptAlarms installs alarm copies this shard is missing and re-marks
+// their fired pairs — a repartition transition widening the shard's
+// responsibility. Copies already present are skipped (alarm IDs are
+// global, so identity is exact), as are pairs already fired. Replay of
+// the appended InstallRec/FiredRec records is idempotent; a FiredRec
+// for a user with a live reliable session here would re-append the ids
+// to its pending set on replay, which at worst redelivers an already-
+// acknowledged firing that the client's dedup absorbs.
+func (e *Engine) AdoptAlarms(alarms []alarm.Alarm, fired []alarm.FiredPair) error {
+	reg := e.reg.Load()
+	var fresh []alarm.Alarm
+	for _, a := range alarms {
+		if _, ok := reg.Get(a.ID); !ok {
+			fresh = append(fresh, a)
+		}
+	}
+	if len(fresh) > 0 {
+		if err := reg.InstallAssigned(fresh); err != nil {
+			return err
+		}
+		e.InvalidatePublicBitmaps()
+		for _, a := range fresh {
+			if err := e.logRecord(store.InstallRec{Alarm: a}); err != nil {
+				return err
+			}
+		}
+	}
+
+	byUser := make(map[uint64][]uint64)
+	var users []uint64
+	for _, p := range fired {
+		if reg.Fired(p.Alarm, alarm.UserID(p.User)) {
+			continue
+		}
+		reg.MarkFired(p.Alarm, alarm.UserID(p.User))
+		if _, ok := byUser[uint64(p.User)]; !ok {
+			users = append(users, uint64(p.User))
+		}
+		byUser[uint64(p.User)] = append(byUser[uint64(p.User)], uint64(p.Alarm))
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	for _, u := range users {
+		if err := e.logRecord(store.FiredRec{User: u, Alarms: byUser[u]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func containsU64(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

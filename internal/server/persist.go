@@ -73,6 +73,7 @@ func (e *Engine) restoreState(state *store.State) error {
 	}
 	e.lastToken = state.LastToken
 	e.sessMu.Unlock()
+	e.epoch.Store(state.Epoch)
 	return nil
 }
 
@@ -104,6 +105,7 @@ func (e *Engine) DurableState() *store.State {
 	}
 	st.LastToken = e.lastToken
 	e.sessMu.Unlock()
+	st.Epoch = e.epoch.Load()
 	st.Normalize()
 	return st
 }

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/sabre-geo/sabre/internal/client"
@@ -33,6 +35,29 @@ type ClusterCrashEvent struct {
 	Down int
 }
 
+// RepartitionEvent scripts one dynamic partition-map transition
+// mid-workload: a hot shard splits or a cold sibling pair merges while
+// clients keep reporting. With CrashPoint set the transition is
+// interrupted at that named point (cluster.CP*) and the WHOLE cluster
+// is crashed and reopened from its data dir — the recovery must land in
+// a consistent epoch with no firing lost or duplicated.
+type RepartitionEvent struct {
+	// Tick is when the transition runs (before that tick's reports).
+	Tick int
+	// Op is "split" or "merge".
+	Op string
+	// Shard is the shard to split, or the shard merged away (the drain
+	// source) for a merge.
+	Shard int
+	// Into is the absorbing sibling for a merge; ignored for splits.
+	Into int
+	// CrashPoint, when non-empty, arms cluster.SetCrashPoint with this
+	// name before the transition and treats the resulting ErrCrashPoint
+	// as a full-process crash: reopen from disk, new router, resume.
+	// Requires a durable data dir.
+	CrashPoint string
+}
+
 // ClusterPlan scripts a deterministic sharded run for RunCluster.
 type ClusterPlan struct {
 	// Seed drives the tail-mangling choices and the client sessions'
@@ -42,6 +67,9 @@ type ClusterPlan struct {
 	Shards int
 	// Crashes fire in tick order; they require a durable data dir.
 	Crashes []ClusterCrashEvent
+	// Repartitions fire in tick order, interleaved with crashes. A
+	// transition must not target a shard scripted to be down at its tick.
+	Repartitions []RepartitionEvent
 	// SnapshotEvery is each shard store's checkpoint cadence in WAL
 	// appends (0 disables).
 	SnapshotEvery int
@@ -97,7 +125,13 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 	if plan.Shards <= 0 {
 		plan.Shards = 4
 	}
-	if dataDir == "" && len(plan.Crashes) > 0 {
+	needDurable := len(plan.Crashes) > 0
+	for _, ev := range plan.Repartitions {
+		if ev.CrashPoint != "" {
+			needDurable = true
+		}
+	}
+	if dataDir == "" && needDurable {
 		// Crashes need durable shards; keep the scratch space tidy.
 		tmp, err := os.MkdirTemp("", "sabre-cluster-")
 		if err != nil {
@@ -126,7 +160,7 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 		Costs:                   metrics.DefaultCosts(),
 	}
 
-	cl, err := cluster.New(cluster.Config{
+	clCfg := cluster.Config{
 		Shards:  plan.Shards,
 		Engine:  engCfg,
 		DataDir: dataDir,
@@ -134,17 +168,20 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 			Fsync:         plan.Fsync,
 			SnapshotEvery: plan.SnapshotEvery,
 		},
-	})
+	}
+	cl, err := cluster.New(clCfg)
 	if err != nil {
 		return nil, err
 	}
-	defer cl.Close()
+	defer func() { cl.Close() }() // cl is reassigned by crash-point reopens
 
 	// Install the alarm table on the first boot only; a cluster reopened
 	// on an existing dataDir recovers it from the per-shard logs.
 	installed := 0
 	for s := 0; s < cl.N(); s++ {
-		installed += cl.Engine(s).Registry().Len()
+		if eng := cl.Engine(s); eng != nil {
+			installed += eng.Registry().Len()
+		}
 	}
 	if installed == 0 {
 		if _, err := cl.InstallAlarms(w.Alarms); err != nil {
@@ -183,11 +220,8 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 	}
 
 	rng := rand.New(rand.NewSource(plan.Seed ^ 0x5ABE))
-	crashIdx := 0
-	downUntil := make([]int, cl.N())
-	for i := range downUntil {
-		downUntil[i] = -1
-	}
+	crashIdx, repIdx := 0, 0
+	downUntil := make(map[int]int) // shard -> recovery tick
 
 	positions := make([]geom.Point, n)
 	var serverWall time.Duration
@@ -212,12 +246,49 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 			}
 			downUntil[ev.Shard] = tick + ev.Down
 		}
-		for s := range downUntil {
-			if downUntil[s] >= 0 && tick >= downUntil[s] {
+		for _, s := range sortedKeys(downUntil) {
+			if tick >= downUntil[s] {
 				if err := cl.RecoverShard(s); err != nil {
 					return nil, fmt.Errorf("sim: recover shard %d at tick %d: %w", s, tick, err)
 				}
-				downUntil[s] = -1
+				delete(downUntil, s)
+			}
+		}
+
+		// Phase 1b: scripted repartitions. A split or merge runs between
+		// ticks with clients mid-flight; a CrashPoint event turns into a
+		// whole-process crash at the scripted point, after which the
+		// cluster reopens from its data dir (resuming any committed drain)
+		// and a fresh router rebuilds its routes from traffic.
+		for repIdx < len(plan.Repartitions) && tick >= plan.Repartitions[repIdx].Tick {
+			ev := plan.Repartitions[repIdx]
+			repIdx++
+			if ev.CrashPoint != "" {
+				cl.SetCrashPoint(ev.CrashPoint)
+			}
+			var terr error
+			switch ev.Op {
+			case "split":
+				_, terr = cl.SplitShard(ev.Shard)
+			case "merge":
+				terr = cl.MergeShards(ev.Into, ev.Shard)
+			default:
+				return nil, fmt.Errorf("sim: repartition %d: unknown op %q", repIdx, ev.Op)
+			}
+			if terr != nil {
+				if ev.CrashPoint == "" || !errors.Is(terr, cluster.ErrCrashPoint) {
+					return nil, fmt.Errorf("sim: repartition %d (%s shard %d) at tick %d: %w", repIdx, ev.Op, ev.Shard, tick, terr)
+				}
+				cl.Crash()
+				reopened, err := cluster.New(clCfg)
+				if err != nil {
+					return nil, fmt.Errorf("sim: reopen after crash point %q: %w", ev.CrashPoint, err)
+				}
+				cl = reopened
+				rt = cluster.NewRouter(cl)
+				// The reopen rebooted every shard, including any the crash
+				// schedule still had down; their pending recoveries are moot.
+				downUntil = make(map[int]int)
 			}
 		}
 
@@ -253,7 +324,12 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 	if crashIdx != len(plan.Crashes) {
 		return nil, fmt.Errorf("sim: only %d of %d crashes fired — trace too short for the plan", crashIdx, len(plan.Crashes))
 	}
-	for s := 0; s < cl.N(); s++ {
+	if repIdx != len(plan.Repartitions) {
+		return nil, fmt.Errorf("sim: only %d of %d repartitions fired — trace too short for the plan", repIdx, len(plan.Repartitions))
+	}
+	// Every shard live under the final map must be serving; retired IDs
+	// (merged away mid-run) legitimately have no engine.
+	for _, s := range cl.PartitionMap().Shards() {
 		if !cl.Up(s) {
 			return nil, fmt.Errorf("sim: shard %d still down at trace end — its Down outlives the run", s)
 		}
@@ -267,10 +343,13 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 	}
 	// Sum the per-shard counters. Like RunCrashing, a crashed shard's
 	// cumulative counters reset with its recovery — the totals reflect
-	// each shard's final incarnation.
+	// each shard's final incarnation, and a retired shard's final
+	// incarnation is gone with its engine.
 	var met metrics.Snapshot
 	for s := 0; s < cl.N(); s++ {
-		addSnapshot(&met, cl.Engine(s).Metrics().Snapshot())
+		if eng := cl.Engine(s); eng != nil {
+			addSnapshot(&met, eng.Metrics().Snapshot())
+		}
 	}
 	clusterMet := cl.Metrics().Snapshot()
 	traceSeconds := float64(w.Config.DurationTicks) * mobCfg.TickSeconds
@@ -299,6 +378,7 @@ func RunCluster(w *Workload, sc StrategyConfig, plan ClusterPlan, dataDir string
 		MeasuredServerSeconds:  serverWall.Seconds(),
 		Triggers:               triggers,
 		Cluster:                &clusterMet,
+		PartitionEpoch:         cl.Epoch(),
 	}, nil
 }
 
@@ -365,6 +445,16 @@ func serveClusterLink(rt *cluster.Router, ln *crashLink, wall *time.Duration) er
 			}
 		}
 	}
+}
+
+// sortedKeys returns m's keys ascending, for deterministic iteration.
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // addSnapshot folds one shard's counters into dst.

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/cluster"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// repartitionPlan scripts the headline dynamic-repartitioning run: the
+// default four-shard cluster (with its two scripted shard crashes kept)
+// additionally splits shard 0 a quarter into the trace — allocating
+// shard 4 for the upper half — and merges it back at the three-quarter
+// mark, both while clients keep reporting. The merge drains shard 4's
+// resident sessions into shard 0 and retires the ID.
+func repartitionPlan(seed int64, durationTicks int) ClusterPlan {
+	plan := DefaultClusterPlan(seed, durationTicks)
+	plan.Repartitions = []RepartitionEvent{
+		{Tick: durationTicks / 4, Op: "split", Shard: 0},
+		{Tick: durationTicks * 3 / 4, Op: "merge", Shard: 4, Into: 0},
+	}
+	return plan
+}
+
+// checkPairEquality asserts the sharded run delivered exactly the
+// single-server (user, alarm) set, each pair exactly once.
+func checkPairEquality(t *testing.T, base, sharded *Report) {
+	t.Helper()
+	if len(base.Triggers) == 0 {
+		t.Fatal("workload produced no triggers; the equality check is vacuous")
+	}
+	basePairs := pairCounts(base.Triggers)
+	shardPairs := pairCounts(sharded.Triggers)
+	for p, c := range shardPairs {
+		if c != 1 {
+			t.Errorf("pair (user %d, alarm %d) delivered %d times across shards", p[0], p[1], c)
+		}
+		if basePairs[p] == 0 {
+			t.Errorf("pair (user %d, alarm %d) delivered sharded but not single-server", p[0], p[1])
+		}
+	}
+	for p := range basePairs {
+		if shardPairs[p] == 0 {
+			t.Errorf("pair (user %d, alarm %d) lost across shards", p[0], p[1])
+		}
+	}
+}
+
+// TestRepartitionDeliveryEquality is the acceptance check for dynamic
+// load-adaptive repartitioning: for each safe-region strategy, batched
+// and unbatched, a cluster that splits a shard mid-workload and merges
+// it back later — on top of the default plan's two shard crashes — must
+// deliver exactly the same (user, alarm) set as the single-server run.
+// Sessions migrate three ways during the trace (boundary handoffs,
+// lazy post-split handoffs, and the merge drain) and none of them may
+// lose or duplicate a firing.
+func TestRepartitionDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy cluster simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sc   StrategyConfig
+	}{
+		{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+		{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+		{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		for _, batched := range []bool{false, true} {
+			batched := batched
+			name := tc.name
+			if batched {
+				name += "/batched"
+			} else {
+				name += "/unbatched"
+			}
+			t.Run(name, func(t *testing.T) {
+				base, err := Run(w, tc.sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan := repartitionPlan(99, w.Config.DurationTicks)
+				plan.Session.Batch = batched
+				sharded, err := RunCluster(w, tc.sc, plan, t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkPairEquality(t, base, sharded)
+				cm := sharded.Cluster
+				if cm == nil {
+					t.Fatal("cluster run reported no cluster metrics")
+				}
+				if cm.Splits != 1 || cm.Merges != 1 {
+					t.Errorf("splits/merges = %d/%d, want 1/1", cm.Splits, cm.Merges)
+				}
+				if cm.SessionsDrained == 0 {
+					t.Error("merge drained no sessions — shard 4 never owned a client, the merge path is vacuous")
+				}
+				if cm.Handoffs == 0 {
+					t.Error("no cross-shard handoffs")
+				}
+				// Epoch 1 (boot) + split + merge + drain-done = 4; shard
+				// crashes do not advance the map.
+				if sharded.PartitionEpoch != 4 {
+					t.Errorf("final partition epoch %d, want 4", sharded.PartitionEpoch)
+				}
+				if batched && sharded.UpdateBatches == 0 {
+					t.Fatal("no UpdateBatch frames reached the shards — batching never engaged")
+				}
+				t.Logf("%s: %d triggers both ways, %d handoffs, %d sessions drained, %d dup firings suppressed, epoch %d",
+					name, len(base.Triggers), cm.Handoffs, cm.SessionsDrained, cm.DuplicateFiringsSuppressed, sharded.PartitionEpoch)
+			})
+		}
+	}
+}
+
+// TestRepartitionCrashRecovery interrupts the merge drain at its two
+// scripted crash points — between peeking a session at the retired
+// shard and importing it at the target, and between the import and the
+// drop — with a whole-process crash and reopen. The committed map's
+// Drain entry makes recovery finish the migration, and import-before-
+// drop ordering means the worst case is a redelivered firing the
+// dedup layers suppress: delivery equality must still hold exactly.
+func TestRepartitionCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster crash simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := StrategyConfig{Strategy: wire.StrategyMWPSR}
+	base, err := Run(w, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []string{
+		cluster.CPDrainBeforeImport,
+		cluster.CPDrainBeforeDrop,
+		cluster.CPMergePreDrainDone,
+		cluster.CPSplitPreCommit,
+		cluster.CPMergePreCommit,
+	}
+	for _, cp := range points {
+		cp := cp
+		t.Run(cp, func(t *testing.T) {
+			plan := repartitionPlan(99, w.Config.DurationTicks)
+			switch cp {
+			case cluster.CPSplitPreCommit:
+				// The aborted split never creates shard 4, so the scripted
+				// merge of it cannot run.
+				plan.Repartitions = plan.Repartitions[:1]
+				plan.Repartitions[0].CrashPoint = cp
+			default:
+				plan.Repartitions[1].CrashPoint = cp
+			}
+			sharded, err := RunCluster(w, sc, plan, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPairEquality(t, base, sharded)
+			cm := sharded.Cluster
+			// A pre-commit crash rolls the transition back entirely: the
+			// reopened cluster is still at the old epoch with the old
+			// shard set, and the scripted op never happened. A mid-drain
+			// crash lands after the merge committed, so recovery finishes
+			// the drain and the final epoch matches the clean run's.
+			switch cp {
+			case cluster.CPSplitPreCommit:
+				if cm.Splits != 0 {
+					t.Errorf("split committed through a pre-commit crash (splits=%d)", cm.Splits)
+				}
+				if sharded.PartitionEpoch != 1 {
+					t.Errorf("final epoch %d after aborted split, want 1", sharded.PartitionEpoch)
+				}
+			case cluster.CPMergePreCommit:
+				if sharded.PartitionEpoch != 2 {
+					t.Errorf("final epoch %d after aborted merge, want 2 (split only)", sharded.PartitionEpoch)
+				}
+			default:
+				if sharded.PartitionEpoch != 4 {
+					t.Errorf("final epoch %d after mid-drain crash, want 4", sharded.PartitionEpoch)
+				}
+			}
+			t.Logf("%s: equal sets, final epoch %d, %d sessions drained", cp, sharded.PartitionEpoch, cm.SessionsDrained)
+		})
+	}
+}

@@ -245,6 +245,11 @@ type Report struct {
 	// duplicates, shard crashes) when the run went through RunCluster;
 	// nil for single-server runs.
 	Cluster *metrics.ClusterSnapshot
+	// PartitionEpoch is the cluster's final partition-map version
+	// (cluster runs only; 0 for single-server runs). Scripted splits,
+	// merges and crash recoveries all advance it, so tests can assert
+	// the run ended in a consistent epoch.
+	PartitionEpoch uint64
 }
 
 // TriggersEqual reports whether two runs delivered exactly the same

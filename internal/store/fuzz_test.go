@@ -25,6 +25,7 @@ func FuzzWALDecode(f *testing.F) {
 		FiredRec{User: 7, Alarms: []uint64{1, 2, 3}},
 		FiredAckRec{User: 7, Alarms: nil},
 		ExpireRec{User: 8},
+		EpochRec{Epoch: 3},
 	}
 	var multi []byte
 	for _, rec := range seeds {

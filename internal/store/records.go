@@ -29,6 +29,7 @@ const (
 	recFired    = 5 // alarms fired for a user, entering pendingFired
 	recFiredAck = 6 // client acknowledged firings, leaving pendingFired
 	recExpire   = 7 // idle reliable session reaped by the TTL sweep
+	recEpoch    = 8 // partition-map epoch this shard last served (clustering)
 )
 
 // Codec errors.
@@ -96,6 +97,13 @@ type ExpireRec struct {
 	User uint64
 }
 
+// EpochRec logs the partition-map epoch this shard last served. A
+// recovered shard rejoins the cluster at max(logged epoch, map-file
+// epoch); epochs only move forward, so replay keeps the highest seen.
+type EpochRec struct {
+	Epoch uint64
+}
+
 func (r InstallRec) appendTo(dst []byte) []byte {
 	a := r.Alarm
 	dst = append(dst, recInstall)
@@ -142,6 +150,11 @@ func (r FiredAckRec) appendTo(dst []byte) []byte {
 func (r ExpireRec) appendTo(dst []byte) []byte {
 	dst = append(dst, recExpire)
 	return binary.BigEndian.AppendUint64(dst, r.User)
+}
+
+func (r EpochRec) appendTo(dst []byte) []byte {
+	dst = append(dst, recEpoch)
+	return binary.BigEndian.AppendUint64(dst, r.Epoch)
 }
 
 func appendUserIDs(dst []byte, tag byte, user uint64, ids []uint64) []byte {
@@ -206,6 +219,8 @@ func DecodeRecord(payload []byte) (Record, error) {
 		rec = FiredAckRec{User: user, Alarms: ids}
 	case recExpire:
 		rec = ExpireRec{User: r.u64()}
+	case recEpoch:
+		rec = EpochRec{Epoch: r.u64()}
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
 	}

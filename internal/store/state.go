@@ -28,6 +28,10 @@ type ClientRec struct {
 	Reliable  bool          `json:"reliable,omitempty"`
 	// PendingFired holds fired-but-unacknowledged alarm ids, oldest first.
 	PendingFired []uint64 `json:"pendingFired,omitempty"`
+	// Epoch is the partition-map epoch of the shard that exported this
+	// session (zero for non-cluster sessions). The importer uses it to
+	// stamp Redirects so stale-epoch clients can be told the map moved.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // SessionRec maps one resume token to its user.
@@ -48,6 +52,9 @@ type State struct {
 	Clients     []ClientRec       `json:"clients,omitempty"`
 	Sessions    []SessionRec      `json:"sessions,omitempty"`
 	LastToken   uint64            `json:"lastToken"`
+	// Epoch is the highest partition-map epoch this shard has served
+	// (zero outside a cluster). Epochs only move forward.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // snapshotFile is the on-disk envelope around a State.
@@ -64,6 +71,7 @@ type stateBuilder struct {
 	sessions   map[uint64]uint64 // token -> user
 	nextID     uint64
 	lastToken  uint64
+	epoch      uint64
 	pendingCap int
 }
 
@@ -87,6 +95,7 @@ func newBuilder(base *State, pendingCap int) *stateBuilder {
 		b.nextID = 1
 	}
 	b.lastToken = base.LastToken
+	b.epoch = base.Epoch
 	for _, a := range base.Alarms {
 		b.alarms[a.ID] = a
 	}
@@ -168,6 +177,10 @@ func (b *stateBuilder) apply(rec Record) {
 				delete(b.sessions, tok)
 			}
 		}
+	case EpochRec:
+		if r.Epoch > b.epoch {
+			b.epoch = r.Epoch
+		}
 	}
 }
 
@@ -182,7 +195,7 @@ func containsID(s []uint64, id uint64) bool {
 
 // finish converts the builder back into a deterministic (sorted) State.
 func (b *stateBuilder) finish() *State {
-	st := &State{NextAlarmID: b.nextID, LastToken: b.lastToken}
+	st := &State{NextAlarmID: b.nextID, LastToken: b.lastToken, Epoch: b.epoch}
 	for _, a := range b.alarms {
 		st.Alarms = append(st.Alarms, a)
 	}

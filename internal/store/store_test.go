@@ -28,6 +28,9 @@ func sampleRecords() []Record {
 		FiredRec{User: 8, Alarms: []uint64{1, 5, 9}},
 		FiredRec{User: 8, Alarms: nil},
 		FiredAckRec{User: 8, Alarms: []uint64{1}},
+		EpochRec{Epoch: 12},
+		// ExpireRec must stay last: TestStoreTornTailRecovery tears the
+		// final record and asserts user 8 survives the tear.
 		ExpireRec{User: 8},
 	}
 }
@@ -158,7 +161,7 @@ func TestStoreCheckpointRotation(t *testing.T) {
 		}
 	}
 	if g := s.Gen(); g != 2 {
-		t.Fatalf("gen = %d, want 2 (9 appends / snapshot every 4)", g)
+		t.Fatalf("gen = %d, want 2 (10 appends / snapshot every 4)", g)
 	}
 	// Old generations are gone.
 	entries, _ := os.ReadDir(dir)
@@ -172,7 +175,7 @@ func TestStoreCheckpointRotation(t *testing.T) {
 	s.Close()
 
 	_, state, info := openStore(t, dir, Options{})
-	if !info.FromSnapshot || info.Gen != 2 || info.Replayed != 1 {
+	if !info.FromSnapshot || info.Gen != 2 || info.Replayed != 2 {
 		t.Fatalf("recovery info = %+v", info)
 	}
 	if !reflect.DeepEqual(state, b.finish()) {

@@ -384,9 +384,13 @@ func (m FiredAck) appendTo(dst []byte) []byte {
 // client should drop this connection, dial Addr and present Token in its
 // next Hello. The token was minted by the target shard when the session
 // was imported there, so the redirected Hello resumes rather than
-// re-enrolls. Addr is bounded to 64 KiB by its u16 length prefix.
+// re-enrolls. Epoch is the partition-map version the redirect was issued
+// under (PROTOCOL.md "Redirect and handoff"): a client already holding a
+// newer epoch ignores the frame as stale, otherwise it adopts the epoch.
+// Addr is bounded to 64 KiB by its u16 length prefix.
 type Redirect struct {
 	Token uint64
+	Epoch uint64
 	Addr  string
 }
 
@@ -395,6 +399,7 @@ func (Redirect) Kind() Kind { return KindRedirect }
 
 func (m Redirect) appendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, m.Token)
+	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Addr)))
 	return append(dst, m.Addr...)
 }
@@ -549,7 +554,7 @@ func EncodedSize(m Message) int {
 	case FiredAck:
 		return 1 + 4 + len(v.Alarms)*8
 	case Redirect:
-		return 1 + 8 + 2 + len(v.Addr)
+		return 1 + 8 + 8 + 2 + len(v.Addr)
 	case UpdateBatch:
 		return sizeUpdateBatch(len(v.Updates))
 	case *UpdateBatch:
@@ -635,7 +640,7 @@ func Decode(buf []byte) (Message, error) {
 		}
 		m = fa
 	case KindRedirect:
-		rd := Redirect{Token: r.u64()}
+		rd := Redirect{Token: r.u64(), Epoch: r.u64()}
 		n := int(r.u16())
 		if r.err == nil && n > len(r.buf)-r.pos {
 			return nil, ErrTruncated

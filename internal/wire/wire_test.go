@@ -44,7 +44,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		Resume{Token: 7},
 		Heartbeat{Nonce: 0xCAFE},
 		FiredAck{Alarms: []uint64{9, 10}},
-		Redirect{Token: 0xBEEF02, Addr: "10.0.0.7:7701"},
+		Redirect{Token: 0xBEEF02, Epoch: 9, Addr: "10.0.0.7:7701"},
 		Redirect{Token: 3},
 		UpdateBatch{Updates: []PositionUpdate{
 			{User: 1, Seq: 2, Pos: geom.Pt(3, 4)},
@@ -148,9 +148,10 @@ func TestHostileLengthPrefix(t *testing.T) {
 	if _, err := Decode(abuf); err == nil {
 		t.Error("hostile fired-ack count accepted")
 	}
-	// Redirect claiming more addr bytes than the frame holds.
-	rbuf := Encode(Redirect{Token: 1, Addr: "x"})
-	rbuf[9], rbuf[10] = 0xFF, 0xFF
+	// Redirect claiming more addr bytes than the frame holds. The u16
+	// length sits after kind+token+epoch = 1+8+8 bytes.
+	rbuf := Encode(Redirect{Token: 1, Epoch: 2, Addr: "x"})
+	rbuf[17], rbuf[18] = 0xFF, 0xFF
 	if _, err := Decode(rbuf); err == nil {
 		t.Error("hostile redirect addr length accepted")
 	}
