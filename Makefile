@@ -14,6 +14,12 @@
 #                partition-map invariant/property tests, the balancer,
 #                the map-file codec seed corpus, and the split/merge
 #                delivery-equality + crash-point simulations
+#   make failover
+#                replication and failover suite under the race detector:
+#                replication-stream codec + follower-log tests, the
+#                per-shard replicator/fencing/promotion unit tests and
+#                the kill-primaries-mid-workload delivery-equality
+#                simulations (incl. mid-handoff and mid-merge-drain)
 #   make bench   engine throughput sweep at 1/2/4/8 procs; writes
 #                BENCH_engine.json via cmd/alarmbench
 #   make bench-cluster
@@ -28,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: tier1 race crash cluster rebalance bench bench-cluster bench-smoke figures
+.PHONY: tier1 race crash cluster rebalance failover bench bench-cluster bench-smoke figures
 
 tier1:
 	$(GO) build ./...
@@ -50,6 +56,11 @@ cluster:
 rebalance:
 	$(GO) test -race -run 'Partition|Balancer|Split|Merge' ./internal/cluster/
 	$(GO) test -race -run 'Repartition' ./internal/sim/
+
+failover:
+	$(GO) test -race -run 'Repl|Follower' ./internal/store/
+	$(GO) test -race -run 'Replication|Failover|Fencing|Promotion|Split' ./internal/cluster/
+	$(GO) test -race -run 'Failover' ./internal/sim/
 
 bench:
 	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .

@@ -150,7 +150,7 @@ func benchClusterOnce(w *sim.Workload, shards, procs, batch int) (benchClusterPo
 	for u := uint64(1); u <= benchClusterUsers; u++ {
 		seqs[u]++
 		upd := wire.PositionUpdate{User: u, Seq: seqs[u], Pos: benchClusterPos(universe, u, seqs[u])}
-		if _, _, err := rt.HandleUpdate(upd); err != nil {
+		if _, err := rt.HandleUpdate(upd); err != nil {
 			return benchClusterPoint{}, err
 		}
 	}
@@ -173,7 +173,7 @@ func benchClusterOnce(w *sim.Workload, shards, procs, batch int) (benchClusterPo
 				if batch == 1 {
 					seqs[u]++
 					upd := wire.PositionUpdate{User: u, Seq: seqs[u], Pos: benchClusterPos(universe, u, seqs[u])}
-					if _, _, err := rt.HandleUpdate(upd); err != nil {
+					if _, err := rt.HandleUpdate(upd); err != nil {
 						firstErr.CompareAndSwap(nil, err)
 						return
 					}
@@ -184,7 +184,7 @@ func benchClusterOnce(w *sim.Workload, shards, procs, batch int) (benchClusterPo
 					seqs[u]++
 					buf[j] = wire.PositionUpdate{User: u, Seq: seqs[u], Pos: benchClusterPos(universe, u, seqs[u])}
 				}
-				if _, _, err := rt.HandleUpdateBatch(wire.UpdateBatch{Updates: buf}); err != nil {
+				if _, err := rt.HandleUpdateBatch(wire.UpdateBatch{Updates: buf}); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}

@@ -24,9 +24,18 @@
 // epoch-stamped wire Redirect (see DESIGN.md "Dynamic repartitioning").
 // New shards listen on base port + shard ID.
 //
+// With -replicas N (sharded durable mode) every shard streams its WAL
+// to N follower logs; a primary silent past -promote-after is deposed —
+// its fencing term rejects any late appends — and its best-caught-up
+// follower is promoted in place on the same shard ID and listener, with
+// the partition-map epoch bumped so clients re-sync (see DESIGN.md
+// "Replication and failover"). -repl-ack applies every write to every
+// follower before acknowledging it.
+//
 // With -metrics-addr the server exposes its counters as JSON over HTTP
 // (GET /metrics): the engine snapshot in single-server mode, the cluster
-// counters plus every shard's snapshot in sharded mode.
+// counters plus every shard's snapshot — including replication term,
+// follower count, acked position and lag — in sharded mode.
 //
 // Usage:
 //
@@ -34,6 +43,7 @@
 //	alarmserver -addr :7700 -data-dir /var/lib/sabre -snapshot-every 1024
 //	alarmserver -addr :7700 -shards 4 -data-dir /var/lib/sabre -metrics-addr :7790
 //	alarmserver -addr :7700 -shards 2 -rebalance 5s -split-above 500 -merge-below 100
+//	alarmserver -addr :7700 -shards 4 -data-dir /var/lib/sabre -replicas 1 -promote-after 2s
 package main
 
 import (
@@ -92,6 +102,10 @@ func run() error {
 		partition   = flag.String("partition", "", "explicit partition grid as CxR, e.g. 4x2 (overrides the near-square split of -shards)")
 		metricsAddr = flag.String("metrics-addr", "", "serve counters as JSON over HTTP on this address (GET /metrics)")
 
+		replicas     = flag.Int("replicas", 0, "follower logs per shard for WAL replication and failover (sharded durable mode only; 0 disables)")
+		promoteAfter = flag.Duration("promote-after", 2*time.Second, "promote a follower after a primary has been silent this long (with -replicas)")
+		replAck      = flag.Bool("repl-ack", false, "synchronous replication: apply every write to every follower before acknowledging it")
+
 		rebalance  = flag.Duration("rebalance", 0, "observe per-shard load on this interval and split hot / merge cold partitions at runtime (0 disables; sharded mode only)")
 		splitAbove = flag.Int("split-above", 0, "split a shard whose load score (sessions + updates per window) exceeds this (0 disables splits)")
 		mergeBelow = flag.Int("merge-below", 0, "merge sibling shards whose combined load score falls below this (0 disables merges)")
@@ -127,26 +141,43 @@ func run() error {
 	if *rebalance > 0 && *shards <= 1 && cols*rows <= 1 {
 		return fmt.Errorf("-rebalance needs sharded mode (-shards or -partition)")
 	}
+	if *replicas > 0 {
+		if *shards <= 1 && cols*rows <= 1 {
+			return fmt.Errorf("-replicas needs sharded mode (-shards or -partition)")
+		}
+		if *dataDir == "" {
+			return fmt.Errorf("-replicas needs -data-dir (follower logs are durable)")
+		}
+	}
+	// The failure detector counts replication ticks; a promotion window
+	// shorter than one tick still waits a full tick.
+	promoteTicks := int(*promoteAfter / replTickInterval)
+	if promoteTicks < 1 {
+		promoteTicks = 1
+	}
 	if *shards > 1 || cols*rows > 1 {
 		return runClustered(clusterParams{
-			engine:      cfg,
-			shards:      *shards,
-			cols:        cols,
-			rows:        rows,
-			addr:        *addr,
-			metricsAddr: *metricsAddr,
-			dataDir:     *dataDir,
-			store:       store.Options{Fsync: *fsync, SnapshotEvery: *snapEvery},
-			logger:      logger,
-			idle:        *idle,
-			sessTTL:     *sessTTL,
-			nAlarms:     *nAlarms,
-			public:      *public,
-			users:       *users,
-			side:        *side,
-			seed:        *seed,
-			cellKM2:     *cellKM2,
-			rebalance:   *rebalance,
+			engine:       cfg,
+			shards:       *shards,
+			cols:         cols,
+			rows:         rows,
+			addr:         *addr,
+			metricsAddr:  *metricsAddr,
+			dataDir:      *dataDir,
+			store:        store.Options{Fsync: *fsync, SnapshotEvery: *snapEvery},
+			logger:       logger,
+			idle:         *idle,
+			sessTTL:      *sessTTL,
+			nAlarms:      *nAlarms,
+			public:       *public,
+			users:        *users,
+			side:         *side,
+			seed:         *seed,
+			cellKM2:      *cellKM2,
+			replicas:     *replicas,
+			promoteTicks: promoteTicks,
+			replAck:      *replAck,
+			rebalance:    *rebalance,
 			balancer: cluster.BalancerConfig{
 				SplitAbove: *splitAbove,
 				MergeBelow: *mergeBelow,
@@ -443,21 +474,35 @@ type clusterParams struct {
 	side        float64
 	seed        int64
 	cellKM2     float64
-	rebalance   time.Duration
-	balancer    cluster.BalancerConfig
+	// replicas/promoteTicks/replAck configure per-shard WAL replication:
+	// follower count, silent replication ticks before promotion, and
+	// synchronous-apply mode.
+	replicas     int
+	promoteTicks int
+	replAck      bool
+	rebalance    time.Duration
+	balancer     cluster.BalancerConfig
 }
+
+// replTickInterval is the wall-clock cadence of the replication clock in
+// server mode: follower pumps, failure detection and promotions all
+// advance on this beat.
+const replTickInterval = 500 * time.Millisecond
 
 // runClustered serves a horizontally sharded cluster: one engine and one
 // TCP listener per spatial partition, with cross-shard handoff and
 // redirects handled by the per-listener routers inside cluster.NewTCP.
 func runClustered(p clusterParams) error {
 	cl, err := cluster.New(cluster.Config{
-		Shards:  p.shards,
-		Cols:    p.cols,
-		Rows:    p.rows,
-		Engine:  p.engine,
-		DataDir: p.dataDir,
-		Store:   p.store,
+		Shards:       p.shards,
+		Cols:         p.cols,
+		Rows:         p.rows,
+		Engine:       p.engine,
+		DataDir:      p.dataDir,
+		Store:        p.store,
+		Replicas:     p.replicas,
+		PromoteAfter: p.promoteTicks,
+		ReplAck:      p.replAck,
 	})
 	if err != nil {
 		return err
@@ -505,6 +550,38 @@ func runClustered(p clusterParams) error {
 			return err
 		}
 		defer msrv.Close()
+	}
+
+	// The replication clock beats on a fixed interval: live primaries
+	// pump their follower streams, a primary silent for -promote-after
+	// is deposed and its best follower promoted in place (same shard ID,
+	// same listener — clients see a re-served shard, not a new address),
+	// and any merge drain interrupted by a failover resumes.
+	stopRepl := make(chan struct{})
+	if p.replicas > 0 {
+		fmt.Printf("replication: %d follower(s) per shard, promote after %d silent ticks of %v (ack=%v)\n",
+			p.replicas, p.promoteTicks, replTickInterval, p.replAck)
+		go func() {
+			t := time.NewTicker(replTickInterval)
+			defer t.Stop()
+			now := 0
+			for {
+				select {
+				case <-stopRepl:
+					return
+				case <-t.C:
+					now++
+					promoted := cl.Metrics().Snapshot().Promotions
+					cl.TickReplication(now)
+					if got := cl.Metrics().Snapshot().Promotions; got > promoted {
+						fmt.Printf("replication: promoted %d follower(s), map epoch %d\n", got-promoted, cl.Epoch())
+					}
+					if err := cl.ResumeDrains(); err != nil {
+						fmt.Fprintf(os.Stderr, "alarmserver: resume drains: %v\n", err)
+					}
+				}
+			}
+		}()
 	}
 
 	// The balancer observes per-shard load each interval and performs at
@@ -593,11 +670,13 @@ func runClustered(p clusterParams) error {
 	go func() { errc <- srv.Serve() }()
 	select {
 	case <-sig:
+		close(stopRepl)
 		close(stopBalance)
 		close(stopExpiry)
 		srv.Close()
 		<-errc
 	case err := <-errc:
+		close(stopRepl)
 		close(stopBalance)
 		close(stopExpiry)
 		return err

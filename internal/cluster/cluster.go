@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,18 @@ type Config struct {
 	DataDir string
 	// Store tunes the per-shard durable stores (fsync, checkpoint cadence).
 	Store store.Options
+	// Replicas is the number of follower logs kept per shard; 0 disables
+	// replication. Requires DataDir (followers are durable mirrors).
+	Replicas int
+	// PromoteAfter is how many replication ticks a primary may stay
+	// silent before a follower is promoted in its place.
+	PromoteAfter int
+	// ReplAck selects synchronous replication: every append applies to
+	// every follower before the primary acknowledges. Off, frames buffer
+	// and drain on the next TickReplication (still lossless for
+	// acknowledged writes: buffers survive the primary's death and drain
+	// before promotion).
+	ReplAck bool
 }
 
 // ErrCrashPoint is returned by a transition that hit a scripted crash
@@ -104,6 +117,14 @@ type Cluster struct {
 	// crashPoints holds armed one-shot scripted failures (tests only).
 	cpMu        sync.Mutex
 	crashPoints map[string]bool
+
+	// reps holds each replicated shard's fan-out state; replSeq allocates
+	// never-reused follower directory names. fd is the missed-heartbeat
+	// failure detector TickReplication drives.
+	repMu   sync.Mutex
+	reps    map[int]*Replicator
+	replSeq int
+	fd      FailureDetector
 }
 
 type slot struct {
@@ -117,11 +138,15 @@ type slot struct {
 // existing DataDir resumes from durable state, including finishing any
 // merge drain a crash interrupted.
 func New(cfg Config) (*Cluster, error) {
+	if cfg.Replicas > 0 && cfg.DataDir == "" {
+		return nil, errors.New("cluster: Replicas requires DataDir (followers are durable mirrors)")
+	}
 	c := &Cluster{
 		cfg:         cfg,
 		met:         &metrics.Cluster{},
 		retired:     make(map[int]int),
 		crashPoints: make(map[string]bool),
+		reps:        make(map[int]*Replicator),
 	}
 	var pm *PartitionMap
 	if cfg.DataDir != "" {
@@ -155,6 +180,11 @@ func New(cfg Config) (*Cluster, error) {
 		slots[i] = &slot{}
 		if cfg.DataDir != "" {
 			slots[i].dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard%d", i))
+			// A past promotion may have re-pointed the shard's primary to a
+			// follower's directory; the durable pointer survives restarts.
+			if dir, ok := readPrimaryPtr(cfg.DataDir, i); ok {
+				slots[i].dir = dir
+			}
 		}
 	}
 	c.slots.Store(&slots)
@@ -191,6 +221,20 @@ func New(cfg Config) (*Cluster, error) {
 	for _, s := range pm.Shards() {
 		if err := slots[s].eng.Load().SetEpoch(pm.Epoch()); err != nil {
 			return nil, err
+		}
+	}
+	if cfg.Replicas > 0 {
+		// Replicate live shards and draining sources alike — a source that
+		// dies mid-drain must fail over so its sessions still migrate.
+		for _, s := range pm.Shards() {
+			if err := c.enableReplication(s); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range pm.Draining() {
+			if err := c.enableReplication(d.Shard); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, d := range pm.Draining() {
@@ -374,13 +418,23 @@ func (c *Cluster) Crash() {
 			eng.Store().Kill()
 		}
 	}
+	c.repMu.Lock()
+	reps := make([]*Replicator, 0, len(c.reps))
+	for _, rep := range c.reps {
+		reps = append(reps, rep)
+	}
+	c.repMu.Unlock()
+	for _, rep := range reps {
+		rep.Shutdown()
+	}
 }
 
-// SplitShard divides a hot shard's rectangle in two: a fresh engine is
-// booted for the newly allocated shard ID, adopts every alarm of the
-// parent whose region intersects the new margin (plus their fired
-// pairs, so nothing refires), and only then does the successor map
-// commit — the ordering makes a crash at any point recoverable to a
+// SplitShard divides a hot shard's rectangle in two at the median of
+// its resident sessions' positions along the longer axis (midpoint when
+// the population is too small to vote): a fresh engine is booted for
+// the newly allocated shard ID, adopts every alarm of the parent whose
+// region intersects the new margin (plus their fired pairs, so nothing
+// refires), and only then does the successor map commit — the ordering makes a crash at any point recoverable to a
 // consistent epoch. Sessions are NOT eagerly migrated: clients resident
 // in the moved half keep talking to the old shard until their next
 // report, which the router hands off through the ordinary durable
@@ -389,13 +443,13 @@ func (c *Cluster) SplitShard(shard int) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cur := c.part.Load()
-	next, newShard, err := cur.Split(shard)
-	if err != nil {
-		return 0, err
-	}
 	src := c.Engine(shard)
 	if src == nil {
 		return 0, fmt.Errorf("cluster: split: shard %d is down", shard)
+	}
+	next, newShard, err := c.splitAtMedian(cur, shard, src)
+	if err != nil {
+		return 0, err
 	}
 
 	c.growSlots(next.NextShard())
@@ -407,6 +461,7 @@ func (c *Cluster) SplitShard(shard int) (int, error) {
 		if err := os.RemoveAll(sl[newShard].dir); err != nil {
 			return 0, fmt.Errorf("cluster: split: clear shard %d dir: %w", newShard, err)
 		}
+		os.Remove(primaryPtrPath(c.cfg.DataDir, newShard))
 	}
 	newRect, _ := next.RectOf(newShard)
 	eng, err := c.bootShard(newShard, newRect)
@@ -448,9 +503,60 @@ func (c *Cluster) SplitShard(shard int) (int, error) {
 	// always sound (its alarm table still covers the old, larger margin).
 	loRect, _ := next.RectOf(shard)
 	src.SetPartition(loRect)
+	// The source's install footprint shrank with its rectangle: alarms
+	// beyond the new margin can no longer shape any safe region computed
+	// here, so their copies are dropped (their fired pairs stay). The new
+	// shard adopted every copy it needs before the commit, so the GC
+	// cannot touch anything the moved half depends on.
+	n, gcErr := src.GCAlarmsOutside(c.marginRect(loRect))
+	c.met.AddAlarmsGCed(uint64(n))
+	// A GC log error means the source store crashed mid-drop. The split
+	// is already committed and recovery replays the drops that logged, so
+	// the error is the shard's problem (surfaced on its next message),
+	// not the transition's.
+	_ = gcErr
 	c.advanceEpochs(next)
 	c.met.AddSplit()
+	if c.cfg.Replicas > 0 {
+		if err := c.enableReplication(newShard); err != nil {
+			return 0, err
+		}
+	}
 	return newShard, nil
+}
+
+// splitAtMedian picks the split coordinate for shard: the median of its
+// resident sessions' last positions along the rectangle's longer axis,
+// so a population-skewed shard splits into halves of comparable load
+// rather than comparable area. With fewer than two in-rectangle
+// positions — or a degenerate median on the rectangle's edge — it falls
+// back to the geometric midpoint.
+func (c *Cluster) splitAtMedian(cur *PartitionMap, shard int, src *server.Engine) (*PartitionMap, int, error) {
+	rect, ok := cur.RectOf(shard)
+	if !ok {
+		return cur.Split(shard) // surfaces the not-a-live-partition error
+	}
+	vertical := rect.Width() >= rect.Height()
+	var coords []float64
+	for _, p := range src.SessionPositions() {
+		if !rect.Contains(p) {
+			continue // mid-handoff stragglers belong to another shard
+		}
+		if vertical {
+			coords = append(coords, p.X)
+		} else {
+			coords = append(coords, p.Y)
+		}
+	}
+	if len(coords) < 2 {
+		return cur.Split(shard)
+	}
+	sort.Float64s(coords)
+	median := coords[len(coords)/2]
+	if next, newShard, err := cur.SplitAt(shard, median); err == nil {
+		return next, newShard, nil
+	}
+	return cur.Split(shard)
 }
 
 // MergeShards collapses sibling partitions: into's engine adopts every
@@ -546,6 +652,7 @@ func (c *Cluster) finishDrain(d Drain) error {
 			return fmt.Errorf("cluster: retire shard %d: %w", d.Shard, err)
 		}
 	}
+	c.dropReplication(d.Shard)
 	return nil
 }
 
@@ -640,12 +747,18 @@ func (c *Cluster) RecoverShard(i int) error {
 	if err := eng.SetEpoch(pm.Epoch()); err != nil {
 		return fmt.Errorf("cluster: recover shard %d: %w", i, err)
 	}
+	if rep := c.replicator(i); rep != nil {
+		// The recovered incarnation streams into the existing replicator;
+		// its followers resync against the new incarnation's positions.
+		rep.AttachPrimary(eng.Store())
+	}
 	sl[i].eng.Store(eng)
 	c.met.AddShardRecovery()
 	return nil
 }
 
-// Close checkpoints and closes every live durable shard.
+// Close checkpoints and closes every live durable shard and seals
+// every follower log.
 func (c *Cluster) Close() error {
 	var first error
 	for _, sl := range c.slotList() {
@@ -656,6 +769,15 @@ func (c *Cluster) Close() error {
 		if err := eng.Store().Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	c.repMu.Lock()
+	reps := make([]*Replicator, 0, len(c.reps))
+	for _, rep := range c.reps {
+		reps = append(reps, rep)
+	}
+	c.repMu.Unlock()
+	for _, rep := range reps {
+		rep.Shutdown()
 	}
 	return first
 }
@@ -674,6 +796,10 @@ func (c *Cluster) ShardSnapshots() []ShardStatus {
 			out[i].Up = true
 			out[i].Metrics = eng.Metrics().Snapshot()
 		}
+		if rep := c.replicator(i); rep != nil {
+			rs := rep.Status()
+			out[i].Replication = &rs
+		}
 	}
 	return out
 }
@@ -684,4 +810,7 @@ type ShardStatus struct {
 	Up        bool             `json:"up"`
 	Partition geom.Rect        `json:"partition"`
 	Metrics   metrics.Snapshot `json:"metrics"`
+	// Replication is the shard's replication health, nil when the shard
+	// is unreplicated or retired.
+	Replication *ReplicaStatus `json:"replication,omitempty"`
 }

@@ -262,17 +262,35 @@ func (p *PartitionMap) Split(shard int) (*PartitionMap, int, error) {
 		return nil, 0, fmt.Errorf("cluster: split: shard %d is not a live partition", shard)
 	}
 	r := old.rect
+	if r.Width() >= r.Height() {
+		return p.SplitAt(shard, r.MinX+r.Width()/2)
+	}
+	return p.SplitAt(shard, r.MinY+r.Height()/2)
+}
+
+// SplitAt divides shard's rectangle at the given coordinate along its
+// longer axis (x for wide rectangles, y for tall). The cut must be
+// strictly interior. Cluster.SplitShard uses it to cut at the median of
+// the shard's resident session positions, so a split of a skewed shard
+// balances population, not just area.
+func (p *PartitionMap) SplitAt(shard int, at float64) (*PartitionMap, int, error) {
+	old, ok := p.leaves[shard]
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: split: shard %d is not a live partition", shard)
+	}
+	r := old.rect
 	vertical := r.Width() >= r.Height()
-	var split float64
+	split := at
+	if math.IsNaN(split) {
+		return nil, 0, fmt.Errorf("cluster: split: shard %d cut at NaN", shard)
+	}
 	if vertical {
-		split = r.MinX + r.Width()/2
 		if !(split > r.MinX && split < r.MaxX) {
-			return nil, 0, fmt.Errorf("cluster: split: shard %d too thin to split at x=%v", shard, split)
+			return nil, 0, fmt.Errorf("cluster: split: shard %d cut x=%v outside (%v, %v)", shard, split, r.MinX, r.MaxX)
 		}
 	} else {
-		split = r.MinY + r.Height()/2
 		if !(split > r.MinY && split < r.MaxY) {
-			return nil, 0, fmt.Errorf("cluster: split: shard %d too thin to split at y=%v", shard, split)
+			return nil, 0, fmt.Errorf("cluster: split: shard %d cut y=%v outside (%v, %v)", shard, split, r.MinY, r.MaxY)
 		}
 	}
 	newShard := p.nextShard
@@ -314,6 +332,14 @@ func (p *PartitionMap) Merge(into, from int) (*PartitionMap, error) {
 	next := p.withReplacedNode(parent, replacement)
 	next.draining = append(next.draining, Drain{Shard: from, Target: into, Rect: b.rect})
 	return next, nil
+}
+
+// BumpEpoch returns a successor map identical in every leaf but with
+// Epoch+1 — published on follower promotion so session exports and
+// Redirects stamped by the deposed primary's epoch are recognizably
+// stale.
+func (p *PartitionMap) BumpEpoch() *PartitionMap {
+	return p.shallowClone()
 }
 
 // DrainDone returns the successor map (Epoch+1) with shard's drain

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/motion"
+	"github.com/sabre-geo/sabre/internal/pyramid"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// newReplCluster builds a durable replicated test cluster: replicas
+// follower logs per shard, promotion after two silent ticks.
+func newReplCluster(t testing.TB, cols, rows, replicas int, ack bool, dataDir string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Cols: cols,
+		Rows: rows,
+		Engine: server.Config{
+			Universe:      clusterUniverse,
+			CellAreaM2:    2.5e6,
+			Model:         motion.MustNew(1, 32),
+			PyramidParams: pyramid.DefaultParams(5),
+			MaxSpeed:      30,
+			TickSeconds:   1,
+			Costs:         metrics.DefaultCosts(),
+		},
+		DataDir:      dataDir,
+		Replicas:     replicas,
+		PromoteAfter: 2,
+		ReplAck:      ack,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestReplicationStatusTracksPrimary: after a pump tick every follower
+// has applied everything the primary acknowledged — zero lag.
+func TestReplicationStatusTracksPrimary(t *testing.T) {
+	for _, ack := range []bool{false, true} {
+		name := "async"
+		if ack {
+			name = "ack"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := newReplCluster(t, 2, 1, 2, ack, t.TempDir())
+			rt := NewRouter(c)
+			hello(t, rt, 1)
+			update(t, rt, 1, 1, geom.Pt(2000, 5000))
+			update(t, rt, 1, 2, geom.Pt(2100, 5000))
+			c.TickReplication(1)
+
+			rep := c.replicator(0)
+			if rep == nil {
+				t.Fatal("shard 0 has no replicator")
+			}
+			st := rep.Status()
+			if st.Followers != 2 {
+				t.Fatalf("followers = %d, want 2", st.Followers)
+			}
+			if st.StreamPos == 0 {
+				t.Fatal("no records streamed")
+			}
+			if st.Lag != 0 || st.MinAcked != st.StreamPos {
+				t.Fatalf("lag = %d (acked %d of %d), want 0", st.Lag, st.MinAcked, st.StreamPos)
+			}
+			// The snapshot surfaces through ShardSnapshots for operators.
+			shards := c.ShardSnapshots()
+			if shards[0].Replication == nil || shards[0].Replication.Followers != 2 {
+				t.Fatalf("ShardSnapshots missing replication status: %+v", shards[0].Replication)
+			}
+		})
+	}
+}
+
+// TestFailoverPromotesFollower: a killed primary's shard comes back on
+// its follower within PromoteAfter ticks — sessions intact, the
+// partition-map epoch bumped, and the router serving again with no
+// recovery call.
+func TestFailoverPromotesFollower(t *testing.T) {
+	c := newReplCluster(t, 2, 1, 1, false, t.TempDir())
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000)) // shard 0
+	hello(t, rt, 2)
+	update(t, rt, 2, 1, geom.Pt(8000, 5000)) // shard 1
+	c.TickReplication(1)
+	epochBefore := c.Epoch()
+
+	if err := c.KillShard(0, store.TearNone, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(2000, 5000)}); err == nil {
+		t.Fatal("update served while shard 0 down")
+	}
+	c.TickReplication(2)
+	c.TickReplication(3) // silent for 2 ticks: promotion fires here
+
+	if !c.Up(0) {
+		t.Fatal("shard 0 not promoted")
+	}
+	if got := c.Metrics().Snapshot().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+	if c.Epoch() != epochBefore+1 {
+		t.Fatalf("epoch = %d, want %d (promotion must bump the map epoch)", c.Epoch(), epochBefore+1)
+	}
+	if !c.Engine(0).HasSession(1) {
+		t.Fatal("promoted shard lost user 1's session")
+	}
+	if _, err := rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(2000, 5000)}); err != nil {
+		t.Fatalf("update after promotion: %v", err)
+	}
+	// The replica count was restored with a replacement follower.
+	if st := c.replicator(0).Status(); st.Followers != 1 {
+		t.Fatalf("followers after promotion = %d, want 1", st.Followers)
+	}
+}
+
+// TestFencingRejectsDeposedPrimary: a primary cut off by a network
+// partition (engine detached, store alive) keeps acknowledging writes
+// until promotion bumps the shard term — after which every append it
+// tries is fenced, while every write it acknowledged before the
+// promotion is present on the new primary.
+func TestFencingRejectsDeposedPrimary(t *testing.T) {
+	c := newReplCluster(t, 2, 1, 1, false, t.TempDir())
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000))
+	c.TickReplication(1)
+
+	zombie, err := c.PartitionShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deposed primary still acknowledges writes pre-promotion; the
+	// replication buffer (which lives in the Replicator, not the store)
+	// must carry them through the failover.
+	if err := zombie.Register(wire.Register{User: 50, Strategy: wire.StrategyMWPSR, MaxHeight: 5}); err != nil {
+		t.Fatalf("pre-promotion write on partitioned primary: %v", err)
+	}
+
+	c.TickReplication(2)
+	c.TickReplication(3)
+	if got := c.Metrics().Snapshot().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+
+	// Every write the zombie acknowledged reached the promoted follower.
+	if !c.Engine(0).HasSession(50) {
+		t.Fatal("write acknowledged before promotion lost by failover")
+	}
+	// And nothing it tries now can be acknowledged.
+	err = zombie.Register(wire.Register{User: 51, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
+	if !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("post-promotion write: got %v, want ErrFenced", err)
+	}
+	if got := zombie.Metrics().Snapshot().FencedWrites; got < 1 {
+		t.Fatalf("FencedWrites = %d, want >= 1", got)
+	}
+	if c.Engine(0).HasSession(51) {
+		t.Fatal("fenced write leaked onto the promoted primary")
+	}
+}
+
+// TestPromotionSurvivesRestart: the durable primary pointer makes a
+// promotion stick across a full cluster restart — New boots the shard
+// from the promoted follower's directory, not the dead primary's.
+func TestPromotionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Cols: 2, Rows: 1,
+		Engine: server.Config{
+			Universe:      clusterUniverse,
+			CellAreaM2:    2.5e6,
+			Model:         motion.MustNew(1, 32),
+			PyramidParams: pyramid.DefaultParams(5),
+			MaxSpeed:      30,
+			TickSeconds:   1,
+			Costs:         metrics.DefaultCosts(),
+		},
+		DataDir: dir, Replicas: 1, PromoteAfter: 2,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000))
+	c.TickReplication(1)
+	if err := c.KillShard(0, store.TearNone, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.TickReplication(2)
+	c.TickReplication(3)
+	if !c.Up(0) {
+		t.Fatal("shard 0 not promoted")
+	}
+	// More writes on the promoted primary, then a clean shutdown.
+	if err := c.Engine(0).Register(wire.Register{User: 60, Strategy: wire.StrategyMWPSR, MaxHeight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Engine(0).HasSession(1) || !c2.Engine(0).HasSession(60) {
+		t.Fatal("restart booted shard 0 from the deposed primary's directory")
+	}
+}
+
+// TestSplitShardCutsAtMedian: a population-skewed shard splits at the
+// median session position, not the geometric midpoint, so the halves
+// carry comparable load.
+func TestSplitShardCutsAtMedian(t *testing.T) {
+	c := newTestCluster(t, 1, 1, "")
+	rt := NewRouter(c)
+	// Nine sessions: seven bunched on the far left, two on the right.
+	// The geometric midpoint (x=5000) would split them 7/2; the median
+	// (x=1500) splits them 4/5.
+	xs := []float64{1100, 1200, 1300, 1400, 1500, 1600, 1700, 8000, 9000}
+	for i, x := range xs {
+		u := uint64(i + 1)
+		hello(t, rt, u)
+		update(t, rt, u, 1, geom.Pt(x, 5000))
+	}
+
+	newShard, err := c.SplitShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loRect, _ := c.PartitionMap().RectOf(0)
+	if loRect.MaxX != 1500 {
+		t.Fatalf("split cut at x=%v, want the median 1500", loRect.MaxX)
+	}
+	lo, hi := 0, 0
+	for _, x := range xs {
+		if x < loRect.MaxX {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if lo != 4 || hi != 5 {
+		t.Fatalf("post-split population %d/%d, want 4/5", lo, hi)
+	}
+	if _, ok := c.PartitionMap().RectOf(newShard); !ok {
+		t.Fatalf("new shard %d not on the map", newShard)
+	}
+}
+
+// TestSplitShardFallsBackToMidpoint: with no resident positions the
+// split reverts to the geometric midpoint.
+func TestSplitShardFallsBackToMidpoint(t *testing.T) {
+	c := newTestCluster(t, 1, 1, "")
+	if _, err := c.SplitShard(0); err != nil {
+		t.Fatal(err)
+	}
+	loRect, _ := c.PartitionMap().RectOf(0)
+	if loRect.MaxX != 5000 {
+		t.Fatalf("empty-shard split cut at x=%v, want midpoint 5000", loRect.MaxX)
+	}
+}
+
+// TestSplitShardGCsOutOfFootprintAlarms: after a split shrinks the
+// source's rectangle, alarms beyond its new margin are dropped from the
+// source — the new shard adopted its copies before the commit.
+func TestSplitShardGCsOutOfFootprintAlarms(t *testing.T) {
+	c := newTestCluster(t, 1, 1, "")
+	rt := NewRouter(c)
+	// Sessions bunched on the left pull the median cut left, so the
+	// right-hand alarm lands far outside the source's new margin.
+	xs := []float64{1000, 1200, 1400, 1600, 9000}
+	for i, x := range xs {
+		u := uint64(i + 1)
+		hello(t, rt, u)
+		update(t, rt, u, 1, geom.Pt(x, 5000))
+	}
+	ids, err := c.InstallAlarms([]alarm.Alarm{
+		{Scope: alarm.Private, Owner: 1, Region: geom.RectAround(geom.Pt(900, 5000), 100)},
+		{Scope: alarm.Private, Owner: 5, Region: geom.RectAround(geom.Pt(9500, 5000), 100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := ids[0], ids[1]
+
+	newShard, err := c.SplitShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Engine(0).Registry().Get(left); !ok {
+		t.Fatal("source dropped an alarm inside its footprint")
+	}
+	if _, ok := c.Engine(0).Registry().Get(right); ok {
+		t.Fatal("source kept an alarm far outside its new margin")
+	}
+	if _, ok := c.Engine(newShard).Registry().Get(right); !ok {
+		t.Fatal("new shard missing the adopted right-hand alarm")
+	}
+	if got := c.Metrics().Snapshot().AlarmsGCed; got < 1 {
+		t.Fatalf("AlarmsGCed = %d, want >= 1", got)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
@@ -9,18 +10,43 @@ import (
 	"github.com/sabre-geo/sabre/internal/wire"
 )
 
+// ShardDownError reports that a message could not be processed because
+// the shard that must process it is down (or a handoff is blocked on
+// it). It carries the shard ID and the partition-map epoch the router
+// observed, so callers can distinguish "wait for this shard" from a
+// real failure and can tell whether a later epoch (a promotion or
+// recovery) has superseded the observation.
+type ShardDownError struct {
+	Shard int
+	Epoch uint64
+}
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("cluster: shard %d down (map epoch %d)", e.Shard, e.Epoch)
+}
+
+// IsShardDown unwraps err as a *ShardDownError.
+func IsShardDown(err error) (*ShardDownError, bool) {
+	var sd *ShardDownError
+	if errors.As(err, &sd) {
+		return sd, true
+	}
+	return nil, false
+}
+
 // Router forwards one client population's wire messages to the shard
 // owning each client's position, performing cross-shard session handoff
 // when a client crosses a partition boundary and deduplicating alarm
 // firings that overlapping installs would otherwise deliver twice
 // (PROTOCOL.md "Redirect and handoff").
 //
-// Handlers return (responses, handled): handled=false means the owning
-// shard is down (or a handoff is blocked on a down shard) and nothing
-// was processed — the caller sends nothing and the client's session
-// machinery resends until the shard recovers. A write-ahead failure
-// inside a shard (store.ErrCrashed) is treated identically: the shard is
-// dying, and the client's retry lands after recovery.
+// Handlers return *ShardDownError when the owning shard is down (or a
+// handoff is blocked on a down shard) and nothing was processed — the
+// caller sends nothing and the client's session machinery resends until
+// the shard recovers or a follower is promoted in its place. A
+// write-ahead failure inside a shard (store.ErrCrashed) is treated
+// identically: the shard is dying, and the client's retry lands after
+// recovery. Any other error is a real protocol failure.
 //
 // The router itself holds no durable state. Its per-user dedup map and
 // parked handoff records rebuild trivially because they shadow durable
@@ -66,6 +92,12 @@ type route struct {
 	// overlapping installs: stripped, and acknowledged back to that shard
 	// so it stops redelivering.
 	fired map[uint64]int
+	// parked marks a handoff currently parked on a down target shard;
+	// parkedPromotions is the cluster's promotion count at park time, so
+	// the import that finally lands can tell whether a follower promotion
+	// (rather than the old primary's recovery) revived the target.
+	parked           bool
+	parkedPromotions uint64
 }
 
 // NewRouter routes for cl.
@@ -118,10 +150,15 @@ func (r *Router) HandleRegister(m wire.Register) bool {
 	return true
 }
 
+// downErr builds the typed down-shard error for the current map epoch.
+func (r *Router) downErr(shard int) error {
+	return &ShardDownError{Shard: shard, Epoch: r.cl.Epoch()}
+}
+
 // HandleHello establishes or resumes a session on the client's current
 // shard. A client that never reported yet starts on the lowest live
 // shard.
-func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
+func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, error) {
 	rt := r.route(m.User)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -131,7 +168,7 @@ func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
 		// shard, which re-enrolls the client (its token is stale) carrying
 		// the imported pending set.
 		if _, ok := r.importCarried(rt); !ok {
-			return nil, false, nil
+			return nil, r.downErr(rt.pendingOwner)
 		}
 	}
 	r.resolveShard(rt)
@@ -140,22 +177,22 @@ func (r *Router) HandleHello(m wire.Hello) ([]wire.Message, bool, error) {
 	}
 	eng := r.cl.Engine(rt.shard)
 	if eng == nil {
-		return nil, false, nil
+		return nil, r.downErr(rt.shard)
 	}
 	out, _, err := eng.HandleHello(m)
 	if err != nil {
 		if errors.Is(err, store.ErrCrashed) {
-			return nil, false, nil
+			return nil, r.downErr(rt.shard)
 		}
-		return nil, false, err
+		return nil, err
 	}
 	rt.pushToken = 0 // the Hello response carries a fresh Resume already
-	return r.filterFired(rt, rt.shard, out), true, nil
+	return r.filterFired(rt, rt.shard, out), nil
 }
 
 // HandleUpdate routes one position report, handing the session off first
 // when the position crossed into another shard's partition.
-func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, error) {
+func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 	rt := r.route(u.User)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -168,7 +205,7 @@ func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, erro
 		// try again.
 		rt.pendingOwner = owner
 		if _, ok := r.importCarried(rt); !ok {
-			return nil, false, nil
+			return nil, r.downErr(rt.pendingOwner)
 		}
 	}
 	if rt.shard < 0 {
@@ -176,19 +213,19 @@ func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, erro
 	}
 	if rt.shard != owner {
 		if !r.handoff(rt, owner) {
-			return nil, false, nil
+			return nil, r.handoffBlockedErr(rt)
 		}
 	}
 	eng := r.cl.Engine(rt.shard)
 	if eng == nil {
-		return nil, false, nil
+		return nil, r.downErr(rt.shard)
 	}
 	out, err := eng.HandleUpdate(u)
 	if err != nil {
 		if errors.Is(err, store.ErrCrashed) {
-			return nil, false, nil
+			return nil, r.downErr(rt.shard)
 		}
-		return nil, false, err
+		return nil, err
 	}
 	out = r.filterFired(rt, rt.shard, out)
 	if rt.pushToken != 0 {
@@ -198,7 +235,17 @@ func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, erro
 		out = append([]wire.Message{msg}, out...)
 		rt.pushToken = 0
 	}
-	return out, true, nil
+	return out, nil
+}
+
+// handoffBlockedErr names the shard a failed handoff is stuck on: the
+// import target while the session is parked, the old shard otherwise.
+// The caller holds rt.mu.
+func (r *Router) handoffBlockedErr(rt *route) error {
+	if rt.carried != nil {
+		return r.downErr(rt.pendingOwner)
+	}
+	return r.downErr(rt.shard)
 }
 
 // HandleUpdateBatch routes one UpdateBatch frame. Updates are grouped by
@@ -211,15 +258,16 @@ func (r *Router) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, bool, erro
 // router re-frames per shard.
 //
 // Entries for users whose owning shard is down (or whose handoff parked)
-// are omitted from the reply — per-entry handled=false — and the client's
-// resend machinery redelivers those reports. handled is false only when
-// no update in the whole frame was processed.
-func (r *Router) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, bool, error) {
+// are omitted from the reply and the client's resend machinery
+// redelivers those reports. A *ShardDownError is returned only when no
+// update in the whole frame was processed.
+func (r *Router) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, error) {
 	if len(b.Updates) == 0 {
-		return wire.BatchReply{}, true, nil
+		return wire.BatchReply{}, nil
 	}
 	r.cl.met.AddRoutedBatch(len(b.Updates))
 	reply := wire.BatchReply{}
+	var down error
 	for i := range b.Updates {
 		user := b.Updates[i].User
 		seenBefore := false
@@ -240,25 +288,33 @@ func (r *Router) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, bool, e
 		}
 		msgs, err := r.routeUserRun(user, ups)
 		if err != nil {
-			return wire.BatchReply{}, false, err
+			if _, ok := IsShardDown(err); ok {
+				if down == nil {
+					down = err
+				}
+				continue // this user's reports resend; others proceed
+			}
+			return wire.BatchReply{}, err
 		}
-		if msgs != nil {
-			reply.Entries = append(reply.Entries, wire.BatchEntry{User: user, Msgs: msgs})
-		}
+		reply.Entries = append(reply.Entries, wire.BatchEntry{User: user, Msgs: msgs})
 	}
-	return reply, len(reply.Entries) > 0, nil
+	if len(reply.Entries) == 0 && down != nil {
+		return wire.BatchReply{}, down
+	}
+	return reply, nil
 }
 
 // routeUserRun forwards one user's chronological updates, splitting them
-// into maximal same-shard runs with a handoff between runs. It returns
-// nil messages (and no error) when nothing could be processed — the
-// down-shard case. The returned messages may cover a prefix of ups when a
-// shard died mid-group; the client resends the unanswered tail.
+// into maximal same-shard runs with a handoff between runs. It returns a
+// *ShardDownError when nothing could be processed. The returned messages
+// may cover a prefix of ups when a shard died mid-group; the client
+// resends the unanswered tail.
 func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Message, error) {
 	rt := r.route(user)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	var msgs []wire.Message
+	var blocked error
 	processed := false
 	for i := 0; i < len(ups); {
 		owner := r.cl.locate(ups[i].Pos)
@@ -266,6 +322,7 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 		if rt.carried != nil {
 			rt.pendingOwner = owner
 			if _, ok := r.importCarried(rt); !ok {
+				blocked = r.downErr(rt.pendingOwner)
 				break
 			}
 		}
@@ -274,6 +331,7 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 		}
 		if rt.shard != owner {
 			if !r.handoff(rt, owner) {
+				blocked = r.handoffBlockedErr(rt)
 				break
 			}
 		}
@@ -283,11 +341,13 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 		}
 		eng := r.cl.Engine(rt.shard)
 		if eng == nil {
+			blocked = r.downErr(rt.shard)
 			break
 		}
 		br, err := eng.HandleUpdateBatch(wire.UpdateBatch{Updates: ups[i:j]})
 		if err != nil {
 			if errors.Is(err, store.ErrCrashed) {
+				blocked = r.downErr(rt.shard)
 				break
 			}
 			return nil, err
@@ -315,7 +375,7 @@ func (r *Router) routeUserRun(user uint64, ups []wire.PositionUpdate) ([]wire.Me
 		i = j
 	}
 	if !processed {
-		return nil, nil
+		return nil, blocked
 	}
 	if rt.pushToken != 0 {
 		msg := wire.Resume{Token: rt.pushToken, Resumed: true}
@@ -378,6 +438,14 @@ func (r *Router) handoff(rt *route, owner int) bool {
 	rt.pendingOwner = owner
 	rt.shard = -1
 	_, imported := r.importCarried(rt)
+	if !imported && rt.carried != nil && !rt.parked {
+		// The session is now parked on a down target. Remember the
+		// promotion count so the import that finally lands can report
+		// whether a failover (not a recovery) unparked it.
+		rt.parked = true
+		rt.parkedPromotions = r.cl.met.Snapshot().Promotions
+		r.cl.met.AddHandoffParked()
+	}
 	return imported
 }
 
@@ -408,6 +476,12 @@ func (r *Router) importCarried(rt *route) (uint64, bool) {
 	}
 	rt.shard = rt.pendingOwner
 	rt.carried = nil
+	if rt.parked {
+		if r.cl.met.Snapshot().Promotions > rt.parkedPromotions {
+			r.cl.met.AddHandoffFailedOver()
+		}
+		rt.parked = false
+	}
 	r.cl.met.AddHandoff()
 	return tok, true
 }

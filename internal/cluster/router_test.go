@@ -13,9 +13,9 @@ import (
 
 func hello(t *testing.T, rt *Router, user uint64) uint64 {
 	t.Helper()
-	out, handled, err := rt.HandleHello(wire.Hello{User: user, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
-	if err != nil || !handled {
-		t.Fatalf("hello: handled=%v err=%v", handled, err)
+	out, err := rt.HandleHello(wire.Hello{User: user, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
+	if err != nil {
+		t.Fatalf("hello: %v", err)
 	}
 	for _, m := range out {
 		if r, ok := m.(wire.Resume); ok {
@@ -28,9 +28,9 @@ func hello(t *testing.T, rt *Router, user uint64) uint64 {
 
 func update(t *testing.T, rt *Router, user uint64, seq uint32, pos geom.Point) []wire.Message {
 	t.Helper()
-	out, handled, err := rt.HandleUpdate(wire.PositionUpdate{User: user, Seq: seq, Pos: pos})
-	if err != nil || !handled {
-		t.Fatalf("update seq %d: handled=%v err=%v", seq, handled, err)
+	out, err := rt.HandleUpdate(wire.PositionUpdate{User: user, Seq: seq, Pos: pos})
+	if err != nil {
+		t.Fatalf("update seq %d: %v", seq, err)
 	}
 	return out
 }
@@ -75,9 +75,9 @@ func TestRouterHandoffMovesSession(t *testing.T) {
 		t.Errorf("shard 1 SessionsImported = %d, want 1", got)
 	}
 	// The pushed token resumes the session on the new shard.
-	out, handled, err := rt.HandleHello(wire.Hello{User: 1, Token: pushed.Token, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
-	if err != nil || !handled {
-		t.Fatalf("resume hello: handled=%v err=%v", handled, err)
+	out, err := rt.HandleHello(wire.Hello{User: 1, Token: pushed.Token, Strategy: wire.StrategyMWPSR, MaxHeight: 5})
+	if err != nil {
+		t.Fatalf("resume hello: %v", err)
 	}
 	for _, m := range out {
 		if r, ok := m.(wire.Resume); ok && !r.Resumed {
@@ -183,9 +183,9 @@ func TestRouterDownShardDefers(t *testing.T) {
 	if err := c.KillShard(0, store.TearNone, rng); err != nil {
 		t.Fatal(err)
 	}
-	_, handled, err := rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(2100, 5000)})
-	if err != nil || handled {
-		t.Fatalf("update to dead shard: handled=%v err=%v, want deferred", handled, err)
+	_, err := rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 2, Pos: geom.Pt(2100, 5000)})
+	if sd, ok := IsShardDown(err); !ok || sd.Shard != 0 {
+		t.Fatalf("update to dead shard: err=%v, want ShardDownError{Shard: 0}", err)
 	}
 	hb := rt.HandleHeartbeat(1, wire.Heartbeat{})
 	if len(hb) != 1 {
@@ -200,9 +200,12 @@ func TestRouterDownShardDefers(t *testing.T) {
 	if err := c.KillShard(1, store.TearNone, rng); err != nil {
 		t.Fatal(err)
 	}
-	_, handled, err = rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 3, Pos: geom.Pt(8000, 5000)})
-	if err != nil || handled {
-		t.Fatalf("handoff into dead shard: handled=%v err=%v, want parked", handled, err)
+	_, err = rt.HandleUpdate(wire.PositionUpdate{User: 1, Seq: 3, Pos: geom.Pt(8000, 5000)})
+	if sd, ok := IsShardDown(err); !ok || sd.Shard != 1 {
+		t.Fatalf("handoff into dead shard: err=%v, want ShardDownError{Shard: 1}", err)
+	}
+	if got := c.Metrics().Snapshot().HandoffsParked; got != 1 {
+		t.Errorf("HandoffsParked = %d, want 1", got)
 	}
 	if got := c.Metrics().Snapshot().HandoffsDeferred; got == 0 {
 		t.Error("no deferred handoff counted")
@@ -250,13 +253,13 @@ func TestRouterConcurrent(t *testing.T) {
 		go func(user uint64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(user)))
-			if _, handled, err := rt.HandleHello(wire.Hello{User: user, Strategy: wire.StrategyPBSR, MaxHeight: 5}); err != nil || !handled {
+			if _, err := rt.HandleHello(wire.Hello{User: user, Strategy: wire.StrategyPBSR, MaxHeight: 5}); err != nil {
 				errs <- err
 				return
 			}
 			for seq := uint32(1); seq <= 200; seq++ {
 				pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
-				if _, handled, err := rt.HandleUpdate(wire.PositionUpdate{User: user, Seq: seq, Pos: pos}); err != nil || !handled {
+				if _, err := rt.HandleUpdate(wire.PositionUpdate{User: user, Seq: seq, Pos: pos}); err != nil {
 					errs <- err
 					return
 				}

@@ -19,6 +19,12 @@ type Cluster struct {
 	merges                     atomic.Uint64
 	sessionsDrained            atomic.Uint64
 	locateClamped              atomic.Uint64
+	promotions                 atomic.Uint64
+	handoffsParked             atomic.Uint64
+	handoffsFailedOver         atomic.Uint64
+	alarmsGCed                 atomic.Uint64
+	replRecordsStreamed        atomic.Uint64
+	replSnapshotsStreamed      atomic.Uint64
 }
 
 // ClusterSnapshot is a point-in-time copy of the cluster counters. The
@@ -54,6 +60,22 @@ type ClusterSnapshot struct {
 	// LocateClamped counts position lookups that fell outside the
 	// universe and were clamped to the nearest boundary shard.
 	LocateClamped uint64 `json:"locate_clamped"`
+	// Promotions counts followers promoted to primary after a missed-
+	// heartbeat failure detection.
+	Promotions uint64 `json:"promotions"`
+	// HandoffsParked counts handoffs that parked carried session state
+	// because the target shard was down at import time.
+	HandoffsParked uint64 `json:"handoffs_parked"`
+	// HandoffsFailedOver counts previously parked handoffs that later
+	// completed onto a shard a follower promotion revived.
+	HandoffsFailedOver uint64 `json:"handoffs_failed_over"`
+	// AlarmsGCed counts alarm copies dropped from a split source's
+	// registry because their region no longer overlaps its margin.
+	AlarmsGCed uint64 `json:"alarms_gced"`
+	// ReplRecordsStreamed and ReplSnapshotsStreamed count replication
+	// frames applied to followers (records and snapshot resyncs).
+	ReplRecordsStreamed   uint64 `json:"repl_records_streamed"`
+	ReplSnapshotsStreamed uint64 `json:"repl_snapshots_streamed"`
 }
 
 // Snapshot returns a copy of every cluster counter.
@@ -71,6 +93,12 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 		Merges:                     c.merges.Load(),
 		SessionsDrained:            c.sessionsDrained.Load(),
 		LocateClamped:              c.locateClamped.Load(),
+		Promotions:                 c.promotions.Load(),
+		HandoffsParked:             c.handoffsParked.Load(),
+		HandoffsFailedOver:         c.handoffsFailedOver.Load(),
+		AlarmsGCed:                 c.alarmsGCed.Load(),
+		ReplRecordsStreamed:        c.replRecordsStreamed.Load(),
+		ReplSnapshotsStreamed:      c.replSnapshotsStreamed.Load(),
 	}
 }
 
@@ -116,3 +144,25 @@ func (c *Cluster) AddSessionsDrained(n uint64) { c.sessionsDrained.Add(n) }
 
 // AddLocateClamped records one out-of-universe position clamped by Locate.
 func (c *Cluster) AddLocateClamped() { c.locateClamped.Add(1) }
+
+// AddPromotion records one follower promoted to primary.
+func (c *Cluster) AddPromotion() { c.promotions.Add(1) }
+
+// AddHandoffParked records a handoff whose carried session parked on a
+// down target shard.
+func (c *Cluster) AddHandoffParked() { c.handoffsParked.Add(1) }
+
+// AddHandoffFailedOver records a parked handoff completed onto a
+// promotion-revived shard.
+func (c *Cluster) AddHandoffFailedOver() { c.handoffsFailedOver.Add(1) }
+
+// AddAlarmsGCed records alarm copies garbage-collected from a split
+// source's registry.
+func (c *Cluster) AddAlarmsGCed(n uint64) { c.alarmsGCed.Add(n) }
+
+// AddReplRecordsStreamed records record frames applied to followers.
+func (c *Cluster) AddReplRecordsStreamed(n uint64) { c.replRecordsStreamed.Add(n) }
+
+// AddReplSnapshotStreamed records one snapshot frame applied to a
+// follower (bootstrap or resync).
+func (c *Cluster) AddReplSnapshotStreamed() { c.replSnapshotsStreamed.Add(1) }

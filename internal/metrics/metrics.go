@@ -101,6 +101,7 @@ type Server struct {
 	walTruncatedBytes atomic.Uint64
 	firedEvictions    atomic.Uint64
 	sessionsExpired   atomic.Uint64
+	fencedWrites      atomic.Uint64
 
 	// Handoff counters (cluster shard membership changes).
 	sessionsExported atomic.Uint64
@@ -148,6 +149,7 @@ type Snapshot struct {
 	WALTruncatedBytes uint64
 	FiredEvictions    uint64
 	SessionsExpired   uint64
+	FencedWrites      uint64 `json:"fenced_writes"`
 
 	SessionsExported uint64
 	SessionsImported uint64
@@ -193,6 +195,7 @@ func (s *Server) Snapshot() Snapshot {
 		WALTruncatedBytes:      s.walTruncatedBytes.Load(),
 		FiredEvictions:         s.firedEvictions.Load(),
 		SessionsExpired:        s.sessionsExpired.Load(),
+		FencedWrites:           s.fencedWrites.Load(),
 		SessionsExported:       s.sessionsExported.Load(),
 		SessionsImported:       s.sessionsImported.Load(),
 	}
@@ -218,6 +221,10 @@ func (s *Server) AddRecovery(recordsReplayed int, truncatedBytes int64) {
 	s.recoveredRecords.Add(uint64(recordsReplayed))
 	s.walTruncatedBytes.Add(uint64(truncatedBytes))
 }
+
+// AddFencedWrite records a WAL append rejected because the store's
+// fencing term was overtaken by a promoted follower.
+func (s *Server) AddFencedWrite() { s.fencedWrites.Add(1) }
 
 // AddFiredEvictions records pending firings evicted (oldest first) when a
 // session exceeded its unacknowledged-firings cap.

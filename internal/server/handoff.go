@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
 	"github.com/sabre-geo/sabre/internal/store"
 	"github.com/sabre-geo/sabre/internal/wire"
 )
@@ -249,6 +250,46 @@ func (e *Engine) SessionUsers() []alarm.UserID {
 	}
 	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
 	return users
+}
+
+// SessionPositions returns the last reported position of every resident
+// client that has reported one — the load profile a population-aware
+// split cuts at the median of. Order is unspecified.
+func (e *Engine) SessionPositions() []geom.Point {
+	var pts []geom.Point
+	for _, st := range e.clientsSnapshot() {
+		st.mu.Lock()
+		if st.hasPos {
+			pts = append(pts, st.lastPos)
+		}
+		st.mu.Unlock()
+	}
+	return pts
+}
+
+// GCAlarmsOutside removes every alarm whose region does not intersect
+// keep — the shard's install footprint after its rectangle shrank in a
+// split. Safe by the margin rule: an alarm outside the margin cannot
+// shape any safe region this shard computes, and its fired pairs stay
+// in the registry's fired set (MarkFired tolerates absent alarms), so
+// nothing refires if the alarm is ever re-adopted. Returns how many
+// alarms were dropped; on a log error the count so far is returned with
+// the error.
+func (e *Engine) GCAlarmsOutside(keep geom.Rect) (int, error) {
+	dropped := 0
+	for _, a := range e.Registry().All() {
+		if a.Region.Intersects(keep) {
+			continue
+		}
+		ok, err := e.RemoveAlarm(a.ID)
+		if ok {
+			dropped++
+		}
+		if err != nil {
+			return dropped, err
+		}
+	}
+	return dropped, nil
 }
 
 // ClientCount returns the number of resident client states (the load

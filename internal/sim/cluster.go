@@ -399,12 +399,12 @@ func serveClusterLink(rt *cluster.Router, ln *crashLink, wall *time.Duration) er
 		case wire.Register:
 			rt.HandleRegister(v)
 		case wire.Hello:
-			out, handled, err := rt.HandleHello(v)
+			out, err := rt.HandleHello(v)
 			if err != nil {
+				if _, down := cluster.IsShardDown(err); down {
+					continue // session resend machinery retries after recovery
+				}
 				return err
-			}
-			if !handled {
-				continue
 			}
 			responses = out
 		case wire.Heartbeat:
@@ -413,13 +413,13 @@ func serveClusterLink(rt *cluster.Router, ln *crashLink, wall *time.Duration) er
 			rt.HandleAck(ln.user, v.Alarms)
 		case wire.PositionUpdate:
 			start := time.Now()
-			out, handled, err := rt.HandleUpdate(v)
+			out, err := rt.HandleUpdate(v)
 			*wall += time.Since(start)
 			if err != nil {
+				if _, down := cluster.IsShardDown(err); down {
+					continue
+				}
 				return err
-			}
-			if !handled {
-				continue
 			}
 			if len(out) == 0 {
 				out = []wire.Message{wire.Ack{Seq: v.Seq}}
@@ -427,13 +427,13 @@ func serveClusterLink(rt *cluster.Router, ln *crashLink, wall *time.Duration) er
 			responses = out
 		case wire.UpdateBatch:
 			start := time.Now()
-			br, handled, err := rt.HandleUpdateBatch(v)
+			br, err := rt.HandleUpdateBatch(v)
 			*wall += time.Since(start)
 			if err != nil {
+				if _, down := cluster.IsShardDown(err); down {
+					continue
+				}
 				return err
-			}
-			if !handled {
-				continue
 			}
 			responses = []wire.Message{br}
 		default:

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/cluster"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/metrics"
+	"github.com/sabre-geo/sabre/internal/mobility"
+	"github.com/sabre-geo/sabre/internal/server"
+	"github.com/sabre-geo/sabre/internal/stats"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/transport"
+)
+
+// FailoverKill scripts one primary's death mid-workload with NO
+// scripted recovery: the shard comes back only when the failure
+// detector notices the silence and promotes a follower.
+type FailoverKill struct {
+	// Tick is when the primary dies (before that tick's reports).
+	Tick int
+	// Shard is which partition's primary is killed.
+	Shard int
+	// Tear is how the death mangles the dead primary's WAL tail. The
+	// promoted follower's own log is untouched either way — promotion
+	// never reads the dead primary's disk.
+	Tear store.TearMode
+	// MidDrain, when true, arms cluster.CPDrainBeforeImport and starts
+	// MergeShards(Into, Shard); the merge stops at the armed point with
+	// the drain committed but no session moved, and only then is Shard
+	// killed — the primary dies mid-merge-drain. Promotion revives it on
+	// its drain rectangle and ResumeDrains completes the migration.
+	MidDrain bool
+	// Into is the absorbing sibling for a MidDrain kill.
+	Into int
+}
+
+// FailoverPlan scripts a deterministic replicated run for RunFailover.
+type FailoverPlan struct {
+	// Seed drives tail-mangling choices and session backoff jitter.
+	Seed int64
+	// Shards is the partition count (default 4).
+	Shards int
+	// Replicas is the follower count per shard (default 1).
+	Replicas int
+	// PromoteAfter is how many silent replication ticks depose a primary
+	// (default 3).
+	PromoteAfter int
+	// ReplAck selects synchronous replication: every acknowledged write
+	// is applied to every follower before the append returns.
+	ReplAck bool
+	// Kills fire in tick order.
+	Kills []FailoverKill
+	// SnapshotEvery is each shard store's checkpoint cadence (0 disables).
+	SnapshotEvery int
+	// Fsync syncs each shard's WAL per append.
+	Fsync bool
+	// Session tunes the client session state machines.
+	Session client.SessionConfig
+	// DrainTicks extends the run past the trace end so sessions collect
+	// redelivered firings and drain their report queues.
+	DrainTicks int
+}
+
+// DefaultFailoverPlan kills every primary of a four-shard cluster once:
+// two plain kills with mangled WAL tails, one mid-merge-drain kill of
+// shard 0 (merging into its sibling 2), and finally a kill of the
+// widened shard 2. No shard is ever recovered from its own disk — every
+// revival is a follower promotion.
+func DefaultFailoverPlan(seed int64, durationTicks int) FailoverPlan {
+	return FailoverPlan{
+		Seed:         seed,
+		Shards:       4,
+		Replicas:     1,
+		PromoteAfter: 3,
+		Kills: []FailoverKill{
+			{Tick: durationTicks / 4, Shard: 1, Tear: store.TearTruncate},
+			{Tick: durationTicks / 2, Shard: 3, Tear: store.TearFlipBit},
+			{Tick: durationTicks * 2 / 3, Shard: 0, Tear: store.TearNone, MidDrain: true, Into: 2},
+			{Tick: durationTicks * 5 / 6, Shard: 2, Tear: store.TearTruncate},
+		},
+		SnapshotEvery: 256,
+		DrainTicks:    200,
+	}
+}
+
+// RunFailover executes one strategy over the workload against a
+// replicated sharded cluster: every shard streams its WAL to follower
+// logs, scripted kills fail primaries with no scripted recovery, and
+// the per-tick replication clock detects the silence and promotes a
+// follower — so the shard's sessions, alarms and pending firings
+// survive on the promoted copy and the router resumes without any
+// recovery call. Triggers are recorded at client delivery exactly as in
+// RunCluster, so the delivered (user, alarm) set must equal a
+// single-server Run's — which TestFailoverDeliveryEquality asserts.
+// Fully deterministic for a fixed workload, strategy and plan.
+func RunFailover(w *Workload, sc StrategyConfig, plan FailoverPlan, dataDir string) (*Report, error) {
+	if sc.PyramidHeight == 0 {
+		sc.PyramidHeight = 5
+	}
+	if sc.BitmapMaxBits == 0 {
+		sc.BitmapMaxBits = 2048
+	}
+	if sc.CellAreaKM2 == 0 {
+		sc.CellAreaKM2 = 2.5
+	}
+	if plan.Shards <= 0 {
+		plan.Shards = 4
+	}
+	if plan.Replicas <= 0 {
+		plan.Replicas = 1
+	}
+	if plan.PromoteAfter <= 0 {
+		plan.PromoteAfter = 3
+	}
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "sabre-failover-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+	mobCfg := mobility.DefaultConfig(w.Config.Vehicles, w.Config.Seed)
+	mob, err := mobility.NewSimulator(w.Net, mobCfg)
+	if err != nil {
+		return nil, err
+	}
+	universe := w.Net.Bounds().Expand(50)
+	engCfg := server.Config{
+		Universe:                universe,
+		CellAreaM2:              sc.CellAreaKM2 * 1e6,
+		Model:                   sc.Model,
+		PyramidParams:           pyramidParams(sc),
+		MaxSpeed:                mob.MaxSpeed(),
+		TickSeconds:             mobCfg.TickSeconds,
+		PrecomputePublicBitmaps: sc.PrecomputePublicBitmaps,
+		ExhaustiveAssembly:      sc.ExhaustiveAssembly,
+		UseBucketIndex:          sc.BucketIndex,
+		SafePeriodSpeedFactor:   sc.SafePeriodSpeedFactor,
+		Costs:                   metrics.DefaultCosts(),
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Shards:  plan.Shards,
+		Engine:  engCfg,
+		DataDir: dataDir,
+		Store: store.Options{
+			Fsync:         plan.Fsync,
+			SnapshotEvery: plan.SnapshotEvery,
+		},
+		Replicas:     plan.Replicas,
+		PromoteAfter: plan.PromoteAfter,
+		ReplAck:      plan.ReplAck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if _, err := cl.InstallAlarms(w.Alarms); err != nil {
+		return nil, err
+	}
+	rt := cluster.NewRouter(cl)
+
+	n := w.Config.Vehicles
+	links := make([]*crashLink, n)
+	perClient := make([]metrics.Client, n)
+	sessions := make([]*client.Session, n)
+	curTick := 0
+	var triggers []Trigger
+
+	for i := 0; i < n; i++ {
+		i := i
+		user := uint64(i + 1)
+		c := client.New(user, sc.Strategy, &perClient[i])
+		scfg := plan.Session
+		scfg.MaxHeight = uint8(sc.PyramidHeight)
+		scfg.JitterSeed = plan.Seed ^ int64(user)<<17
+		dial := func() (transport.Conn, error) {
+			cEnd, sEnd := transport.Pipe(4096)
+			links[i] = &crashLink{user: user, cli: cEnd, srv: transport.Poller(sEnd)}
+			return cEnd, nil
+		}
+		sessions[i] = client.NewSession(c, dial, scfg, &perClient[i])
+		sessions[i].OnFired = func(ids []uint64) {
+			for _, id := range ids {
+				triggers = append(triggers, Trigger{User: user, Alarm: id, Tick: curTick})
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(plan.Seed ^ 0x5ABE))
+	killIdx := 0
+
+	positions := make([]geom.Point, n)
+	var serverWall time.Duration
+	total := w.Config.DurationTicks + plan.DrainTicks
+	for tick := 0; tick < total; tick++ {
+		curTick = tick
+		if tick < w.Config.DurationTicks {
+			mob.Step()
+			for i := range positions {
+				positions[i] = mob.Position(i)
+			}
+		}
+
+		// Phase 1: scripted kills. A plain kill fail-stops the primary
+		// mid-flight; a MidDrain kill first drives a merge into its armed
+		// crash point so the primary dies with a committed drain entry and
+		// every session still resident.
+		for killIdx < len(plan.Kills) && tick >= plan.Kills[killIdx].Tick {
+			ev := plan.Kills[killIdx]
+			killIdx++
+			if ev.MidDrain {
+				cl.SetCrashPoint(cluster.CPDrainBeforeImport)
+				err := cl.MergeShards(ev.Into, ev.Shard)
+				if !errors.Is(err, cluster.ErrCrashPoint) {
+					return nil, fmt.Errorf("sim: kill %d: merge %d→%d did not stop mid-drain (err=%v) — shard %d has no sessions to drain",
+						killIdx, ev.Shard, ev.Into, err, ev.Shard)
+				}
+			}
+			if err := cl.KillShard(ev.Shard, ev.Tear, rng); err != nil {
+				return nil, fmt.Errorf("sim: kill %d: %w", killIdx, err)
+			}
+		}
+
+		// Phase 2: sessions evaluate, (re)connect and send in index order.
+		for i, s := range sessions {
+			if tick < w.Config.DurationTicks {
+				s.Step(tick, positions[i])
+			} else {
+				s.Quiesce(tick)
+			}
+		}
+
+		// Phase 3: the router drains each link in index order.
+		for i, ln := range links {
+			if ln == nil {
+				continue
+			}
+			if err := serveClusterLink(rt, ln, &serverWall); err != nil {
+				if err == transport.ErrClosed {
+					links[i] = nil
+					continue
+				}
+				return nil, fmt.Errorf("tick %d user %d: %w", tick, ln.user, err)
+			}
+		}
+
+		// Phase 4: the replication clock beats once per tick — live
+		// primaries pump their follower streams, silent ones are deposed
+		// and failed over — and any drain interrupted by a kill resumes as
+		// soon as a promotion has both of its shards serving again.
+		cl.TickReplication(tick)
+		if err := cl.ResumeDrains(); err != nil {
+			return nil, fmt.Errorf("sim: resume drains at tick %d: %w", tick, err)
+		}
+	}
+
+	for i, s := range sessions {
+		if qs := s.QueueLen(); qs > 0 {
+			return nil, fmt.Errorf("sim: user %d still has %d undrained reports after %d drain ticks — extend DrainTicks or kill earlier", i+1, qs, plan.DrainTicks)
+		}
+	}
+	if killIdx != len(plan.Kills) {
+		return nil, fmt.Errorf("sim: only %d of %d kills fired — trace too short for the plan", killIdx, len(plan.Kills))
+	}
+	// Every shard live under the final map must have been revived by a
+	// promotion — RunFailover never calls RecoverShard.
+	for _, s := range cl.PartitionMap().Shards() {
+		if !cl.Up(s) {
+			return nil, fmt.Errorf("sim: shard %d still down at trace end — no follower was promotable", s)
+		}
+	}
+
+	clientMet := &metrics.Client{}
+	msgsPerClient := make([]uint64, n)
+	for i := range perClient {
+		clientMet.Merge(perClient[i])
+		msgsPerClient[i] = perClient[i].MessagesSent
+	}
+	var met metrics.Snapshot
+	for s := 0; s < cl.N(); s++ {
+		if eng := cl.Engine(s); eng != nil {
+			addSnapshot(&met, eng.Metrics().Snapshot())
+		}
+	}
+	clusterMet := cl.Metrics().Snapshot()
+	traceSeconds := float64(w.Config.DurationTicks) * mobCfg.TickSeconds
+	return &Report{
+		Strategy:               sc.Strategy.String(),
+		Vehicles:               n,
+		DurationTicks:          w.Config.DurationTicks,
+		UplinkMessages:         met.UplinkMessages,
+		UplinkBytes:            met.UplinkBytes,
+		DownlinkMessages:       met.DownlinkMessages,
+		DownlinkBytes:          met.DownlinkBytes,
+		DownlinkMbps:           met.DownlinkMbps(traceSeconds),
+		UpdateBatches:          met.UpdateBatches,
+		BatchedUpdates:         met.BatchedUpdates,
+		ClientChecks:           clientMet.ContainmentChecks,
+		ClientProbes:           clientMet.Probes,
+		ClientEnergyMWh:        clientMet.Energy(metrics.DefaultEnergy()),
+		ClientProbeEnergyMWh:   float64(clientMet.Probes) * metrics.DefaultEnergy().ProbeMilliWattHours,
+		PerClientMessages:      stats.SummarizeUints(msgsPerClient),
+		AlarmProcessingMinutes: met.AlarmProcessingSeconds() / 60,
+		SafeRegionMinutes:      met.SafeRegionSeconds() / 60,
+		TotalServerMinutes:     met.TotalSeconds() / 60,
+		SafeRegionComputations: met.SafeRegionComputations,
+		AlarmEvaluations:       met.AlarmEvaluations,
+		RectClips:              met.RectClips,
+		MeasuredServerSeconds:  serverWall.Seconds(),
+		Triggers:               triggers,
+		Cluster:                &clusterMet,
+		PartitionEpoch:         cl.Epoch(),
+	}, nil
+}

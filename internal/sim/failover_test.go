@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// failoverCases are the safe-region strategies the failover acceptance
+// checks cover (SP is excluded for the same cadence reasons as the
+// cluster equality tests).
+var failoverCases = []struct {
+	name string
+	sc   StrategyConfig
+}{
+	{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+	{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+	{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+}
+
+// assertFailoverRun checks one failover run against its single-server
+// baseline: exact (user, alarm) set equality, every scripted kill
+// answered by a promotion rather than a recovery, and no handoff left
+// parked when a follower was promotable.
+func assertFailoverRun(t *testing.T, name string, base, failed *Report, plan FailoverPlan) {
+	t.Helper()
+	basePairs := pairCounts(base.Triggers)
+	failPairs := pairCounts(failed.Triggers)
+	for p, c := range failPairs {
+		if c != 1 {
+			t.Errorf("pair (user %d, alarm %d) delivered %d times under failover", p[0], p[1], c)
+		}
+		if basePairs[p] == 0 {
+			t.Errorf("pair (user %d, alarm %d) delivered under failover but not single-server", p[0], p[1])
+		}
+	}
+	for p := range basePairs {
+		if failPairs[p] == 0 {
+			t.Errorf("pair (user %d, alarm %d) lost under failover", p[0], p[1])
+		}
+	}
+	if len(base.Triggers) == 0 {
+		t.Fatal("workload produced no triggers; the equality check is vacuous")
+	}
+	cm := failed.Cluster
+	if cm == nil {
+		t.Fatal("failover run reported no cluster metrics")
+	}
+	if cm.Handoffs == 0 {
+		t.Error("no cross-shard handoffs — the partition grid never split the trace")
+	}
+	if cm.ShardCrashes != uint64(len(plan.Kills)) {
+		t.Errorf("ShardCrashes = %d, want %d", cm.ShardCrashes, len(plan.Kills))
+	}
+	if cm.ShardRecoveries != 0 {
+		t.Errorf("ShardRecoveries = %d, want 0 — every revival must be a promotion", cm.ShardRecoveries)
+	}
+	if cm.Promotions != uint64(len(plan.Kills)) {
+		t.Errorf("Promotions = %d, want %d (one per kill)", cm.Promotions, len(plan.Kills))
+	}
+	if cm.Merges != 1 {
+		t.Errorf("Merges = %d, want 1 (the mid-drain kill's merge)", cm.Merges)
+	}
+	// With followers promotable, no handoff stays parked: every parked
+	// import completed once the promotion revived its target.
+	if cm.HandoffsParked != cm.HandoffsFailedOver {
+		t.Errorf("HandoffsParked = %d but HandoffsFailedOver = %d — a handoff stayed parked despite a promotable follower",
+			cm.HandoffsParked, cm.HandoffsFailedOver)
+	}
+	if cm.ReplRecordsStreamed == 0 {
+		t.Error("no replication records streamed — followers never tailed the WAL")
+	}
+	t.Logf("%s: %d baseline triggers, %d failover deliveries, %d handoffs (%d parked, %d failed over), %d promotions, %d records streamed, equal sets",
+		name, len(base.Triggers), len(failed.Triggers), cm.Handoffs, cm.HandoffsParked, cm.HandoffsFailedOver, cm.Promotions, cm.ReplRecordsStreamed)
+}
+
+// TestFailoverDeliveryEquality is the acceptance check for replicated
+// failover: with one follower per shard, killing every primary
+// mid-workload — two with mangled WAL tails, one mid-merge-drain, one
+// after it absorbed a merge — and reviving each only by follower
+// promotion must deliver exactly the same (user, alarm) set as the
+// uninterrupted single-server run, for every safe-region strategy.
+func TestFailoverDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy failover simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultFailoverPlan(99, w.Config.DurationTicks)
+	for _, tc := range failoverCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Run(w, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			failed, err := RunFailover(w, tc.sc, plan, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertFailoverRun(t, tc.name, base, failed, plan)
+		})
+	}
+}
+
+// TestFailoverBatchedDeliveryEquality repeats the failover acceptance
+// check with client-side batching: each tick's reports coalesce into
+// one UpdateBatch frame, and a batch straddling a dead shard must
+// resend only the unserved updates after the promotion.
+func TestFailoverBatchedDeliveryEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy failover simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultFailoverPlan(99, w.Config.DurationTicks)
+	plan.Session.Batch = true
+	for _, tc := range failoverCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Run(w, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			failed, err := RunFailover(w, tc.sc, plan, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failed.UpdateBatches == 0 {
+				t.Error("no update batches served — batching never engaged")
+			}
+			assertFailoverRun(t, tc.name, base, failed, plan)
+		})
+	}
+}
+
+// TestFailoverSyncReplication runs one strategy in ack mode (every
+// acknowledged write applied to every follower before the append
+// returns) — the zero-lag configuration must preserve delivery equality
+// too.
+func TestFailoverSyncReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover simulation")
+	}
+	w, err := BuildWorkload(SmallWorkload(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultFailoverPlan(99, w.Config.DurationTicks)
+	plan.ReplAck = true
+	sc := StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}
+	base, err := Run(w, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, err := RunFailover(w, sc, plan, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFailoverRun(t, "PBSR/ack", base, failed, plan)
+}

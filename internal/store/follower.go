@@ -1,0 +1,251 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Follower-side replication: a FollowerLog mirrors a primary store's
+// snapshot + WAL generation on its own directory, applying the frames
+// the primary's repl sink emits. The on-disk layout is byte-for-byte the
+// primary's (snap-<gen>.json plus wal-<gen>.log of ordinary WAL frames),
+// so promotion is simply Seal followed by Open — the existing recovery
+// path rebuilds the full engine state from the follower's disk in
+// bounded time. Alongside the disk mirror the follower keeps a warm
+// Applier so its current state is inspectable without a replay.
+//
+// Apply rules (the stream's safety argument):
+//   - a frame whose term is older than the newest term seen is rejected
+//     (a deposed primary cannot rewrite a promoted log);
+//   - a record must decode (DecodeRecord) before one byte of it reaches
+//     the follower's WAL — a corrupt record is never applied;
+//   - positions must advance exactly one at a time within a generation;
+//     a gap or a generation the follower never saw a snapshot for
+//     reports ErrNeedSnapshot and the primary resyncs it;
+//   - duplicates (position at or below the applied one) are skipped,
+//     not errors, so a resync overlapping buffered frames is harmless.
+
+// ErrSealed is returned by Apply after Seal: the log was promoted (or
+// retired) and must not advance further.
+var ErrSealed = errors.New("store: follower log sealed")
+
+// ErrNeedSnapshot reports a stream gap the follower cannot bridge from
+// record frames alone; the primary must send a fresh snapshot frame.
+var ErrNeedSnapshot = errors.New("store: follower needs snapshot resync")
+
+// FollowerLog is one follower's durable mirror of a primary store.
+type FollowerLog struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	synced  bool // a snapshot frame has seeded the log
+	sealed  bool
+	gen     uint64
+	pos     uint64
+	term    uint64
+	wal     *os.File
+	applier *Applier
+	applied uint64 // records applied over the log's lifetime
+}
+
+// OpenFollower creates a fresh follower log under dir, wiping anything
+// a previous incarnation left there: a follower always bootstraps from
+// a snapshot frame, never from stale disk.
+func OpenFollower(dir string, opts Options) (*FollowerLog, error) {
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("store: follower: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: follower: %w", err)
+	}
+	return &FollowerLog{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the follower's directory (the promotion target for Open).
+func (l *FollowerLog) Dir() string { return l.dir }
+
+// Pos returns the last applied record position — the follower's
+// acknowledged position for lag accounting.
+func (l *FollowerLog) Pos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pos
+}
+
+// Gen returns the generation the follower currently mirrors.
+func (l *FollowerLog) Gen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Term returns the newest fencing term the follower has seen.
+func (l *FollowerLog) Term() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
+// Applied returns how many record frames the follower has applied over
+// its lifetime.
+func (l *FollowerLog) Applied() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.applied
+}
+
+// Synced reports whether a snapshot frame has seeded the log.
+func (l *FollowerLog) Synced() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// State materializes the follower's warm state (nil before the first
+// snapshot frame).
+func (l *FollowerLog) State() *State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.applier == nil {
+		return nil
+	}
+	return l.applier.State()
+}
+
+// Apply folds one replication frame. The bool reports whether the frame
+// advanced the log (false for skipped duplicates and heartbeats).
+func (l *FollowerLog) Apply(f ReplFrame) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return false, ErrSealed
+	}
+	if f.Term < l.term {
+		return false, fmt.Errorf("%w: frame term %d below %d", ErrBadReplFrame, f.Term, l.term)
+	}
+	l.term = f.Term
+	switch f.Type {
+	case ReplHeartbeat:
+		return false, nil
+	case ReplSnapshot:
+		return true, l.installSnapshotLocked(f)
+	case ReplRecord:
+		return l.applyRecordLocked(f)
+	default:
+		return false, fmt.Errorf("%w: unknown type %d", ErrBadReplFrame, f.Type)
+	}
+}
+
+// installSnapshotLocked replaces the follower's disk with generation
+// f.Gen: snapshot written via tmp+rename, a fresh WAL, the previous
+// generation's files removed, and the warm applier reseeded.
+func (l *FollowerLog) installSnapshotLocked(f ReplFrame) error {
+	state, err := DecodeState(f.Payload)
+	if err != nil {
+		return fmt.Errorf("store: follower snapshot: %w", err)
+	}
+	tmp := snapPath(l.dir, f.Gen) + ".tmp"
+	sf, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: follower snapshot: %w", err)
+	}
+	if err := writeSnapshot(sf, state); err == nil {
+		err = sf.Sync()
+	}
+	if err != nil {
+		sf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: follower snapshot: %w", err)
+	}
+	if err := sf.Close(); err != nil {
+		return fmt.Errorf("store: follower snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath(l.dir, f.Gen)); err != nil {
+		return fmt.Errorf("store: follower snapshot: %w", err)
+	}
+	syncDir(l.dir)
+	wal, err := os.OpenFile(walPath(l.dir, f.Gen), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: follower wal: %w", err)
+	}
+	if l.wal != nil {
+		l.wal.Close()
+		if l.gen != f.Gen {
+			os.Remove(walPath(l.dir, l.gen))
+			os.Remove(snapPath(l.dir, l.gen))
+			syncDir(l.dir)
+		}
+	}
+	l.wal = wal
+	l.gen = f.Gen
+	l.pos = f.Pos
+	l.applier = NewApplier(state, l.opts.PendingCap)
+	l.synced = true
+	return nil
+}
+
+// applyRecordLocked validates and appends one record frame. The record
+// must decode before anything touches disk; a gap in position or an
+// unseen generation demands a snapshot resync.
+func (l *FollowerLog) applyRecordLocked(f ReplFrame) (bool, error) {
+	if !l.synced {
+		return false, ErrNeedSnapshot
+	}
+	if f.Gen < l.gen || f.Pos <= l.pos {
+		return false, nil // duplicate from before a resync or rotation
+	}
+	if f.Gen > l.gen {
+		return false, fmt.Errorf("%w: record for gen %d, follower at %d", ErrNeedSnapshot, f.Gen, l.gen)
+	}
+	if f.Pos != l.pos+1 {
+		return false, fmt.Errorf("%w: record position %d, follower at %d", ErrNeedSnapshot, f.Pos, l.pos)
+	}
+	rec, err := DecodeRecord(f.Payload)
+	if err != nil {
+		// A corrupt record never reaches the follower's WAL or state.
+		return false, fmt.Errorf("%w: record does not decode: %v", ErrBadReplFrame, err)
+	}
+	if _, err := l.wal.Write(Frame(f.Payload)); err != nil {
+		return false, fmt.Errorf("store: follower wal: %w", err)
+	}
+	if l.opts.Fsync {
+		if err := l.wal.Sync(); err != nil {
+			return false, fmt.Errorf("store: follower wal: %w", err)
+		}
+	}
+	l.applier.Apply(rec)
+	l.pos = f.Pos
+	l.applied++
+	return true, nil
+}
+
+// Seal syncs and closes the follower's WAL and refuses every further
+// Apply. Promotion seals first, then Opens the directory — the ordinary
+// recovery path — so the promoted store sees a quiescent log.
+func (l *FollowerLog) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return nil
+	}
+	l.sealed = true
+	if l.wal == nil {
+		return nil
+	}
+	if err := l.wal.Sync(); err != nil {
+		l.wal.Close()
+		return fmt.Errorf("store: follower seal: %w", err)
+	}
+	return l.wal.Close()
+}
+
+// Close discards the follower: seals the log and removes its directory.
+func (l *FollowerLog) Close() error {
+	if err := l.Seal(); err != nil {
+		return err
+	}
+	return os.RemoveAll(l.dir)
+}

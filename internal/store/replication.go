@@ -1,0 +1,138 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication stream framing. The WAL is the replication substrate: a
+// primary streams every appended record (and, on checkpoint, the new
+// snapshot generation) to its followers as self-validating frames. The
+// frame layout extends the WAL's length-prefix + CRC idiom with the
+// three coordinates a follower needs to apply the stream safely:
+//
+//	u8  type  | ReplRecord, ReplSnapshot or ReplHeartbeat
+//	u64 term  | the primary's fencing term; a follower rejects frames
+//	          | from a term older than the highest it has seen, so a
+//	          | deposed primary cannot rewrite a promoted log
+//	u64 gen   | the primary's snapshot/WAL generation
+//	u64 pos   | the primary's lifetime record position (records only
+//	          | advance it; snapshot frames carry the position their
+//	          | state includes)
+//	u32 len   | payload length
+//	u32 crc   | CRC-32 (IEEE) of the payload
+//	payload   | EncodeRecord bytes (ReplRecord), EncodeState bytes
+//	          | (ReplSnapshot), empty (ReplHeartbeat)
+//
+// Anything DecodeReplFrame accepts re-encodes byte-identically, which
+// FuzzReplicationStreamDecode hammers on; a short buffer is
+// distinguished from a corrupt one so a streaming reader can wait for
+// more bytes instead of resynchronizing.
+const (
+	// ReplRecord carries one WAL record at position pos.
+	ReplRecord = 1
+	// ReplSnapshot carries a full EncodeState payload: the follower
+	// replaces its log with this generation and resumes from pos.
+	ReplSnapshot = 2
+	// ReplHeartbeat carries no payload; it advertises the primary's
+	// term and position so followers track liveness and lag.
+	ReplHeartbeat = 3
+
+	// replHeader is the fixed frame prefix: type, term, gen, pos, len, crc.
+	replHeader = 1 + 8 + 8 + 8 + 4 + 4
+
+	// maxReplRecordPayload bounds a record frame's payload, matching the
+	// WAL's own frame cap.
+	maxReplRecordPayload = maxFramePayload
+	// maxReplSnapshotPayload bounds a snapshot frame's payload; full
+	// states are much larger than single records.
+	maxReplSnapshotPayload = 1 << 26
+)
+
+// ErrShortReplFrame reports a buffer that ends before the frame does —
+// not corruption, just an incomplete read.
+var ErrShortReplFrame = errors.New("store: short replication frame")
+
+// ErrBadReplFrame marks a replication frame the decoder rejects: unknown
+// type, oversized claim, or CRC mismatch.
+var ErrBadReplFrame = errors.New("store: bad replication frame")
+
+// ReplFrame is one decoded replication stream frame.
+type ReplFrame struct {
+	Type    uint8
+	Term    uint64
+	Gen     uint64
+	Pos     uint64
+	Payload []byte
+}
+
+// replPayloadCap returns the payload bound for a frame type, or false
+// for an unknown type.
+func replPayloadCap(typ uint8) (int, bool) {
+	switch typ {
+	case ReplRecord:
+		return maxReplRecordPayload, true
+	case ReplSnapshot:
+		return maxReplSnapshotPayload, true
+	case ReplHeartbeat:
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// AppendReplFrame appends f's encoding to dst and returns the extended
+// slice.
+func AppendReplFrame(dst []byte, f ReplFrame) []byte {
+	dst = append(dst, f.Type)
+	dst = binary.BigEndian.AppendUint64(dst, f.Term)
+	dst = binary.BigEndian.AppendUint64(dst, f.Gen)
+	dst = binary.BigEndian.AppendUint64(dst, f.Pos)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(f.Payload))
+	return append(dst, f.Payload...)
+}
+
+// EncodeReplFrame returns f's encoding.
+func EncodeReplFrame(f ReplFrame) []byte {
+	return AppendReplFrame(make([]byte, 0, replHeader+len(f.Payload)), f)
+}
+
+// DecodeReplFrame parses the frame at the start of buf, returning the
+// frame and the bytes it consumed. ErrShortReplFrame means buf ends
+// mid-frame (wait for more bytes); ErrBadReplFrame means the bytes are
+// not a valid frame (unknown type, absurd length, CRC failure) and must
+// not be applied. The returned payload aliases buf.
+func DecodeReplFrame(buf []byte) (ReplFrame, int, error) {
+	if len(buf) < replHeader {
+		return ReplFrame{}, 0, fmt.Errorf("%w: %d of %d header bytes", ErrShortReplFrame, len(buf), replHeader)
+	}
+	f := ReplFrame{
+		Type: buf[0],
+		Term: binary.BigEndian.Uint64(buf[1:]),
+		Gen:  binary.BigEndian.Uint64(buf[9:]),
+		Pos:  binary.BigEndian.Uint64(buf[17:]),
+	}
+	n := binary.BigEndian.Uint32(buf[25:])
+	sum := binary.BigEndian.Uint32(buf[29:])
+	limit, ok := replPayloadCap(f.Type)
+	if !ok {
+		return ReplFrame{}, 0, fmt.Errorf("%w: unknown type %d", ErrBadReplFrame, f.Type)
+	}
+	if int64(n) > int64(limit) {
+		return ReplFrame{}, 0, fmt.Errorf("%w: type %d claims %d payload bytes (cap %d)", ErrBadReplFrame, f.Type, n, limit)
+	}
+	if uint64(len(buf)-replHeader) < uint64(n) {
+		return ReplFrame{}, 0, fmt.Errorf("%w: payload claims %d bytes, %d remain", ErrShortReplFrame, n, len(buf)-replHeader)
+	}
+	f.Payload = buf[replHeader : replHeader+int(n)]
+	if crc32.ChecksumIEEE(f.Payload) != sum {
+		return ReplFrame{}, 0, fmt.Errorf("%w: payload fails CRC", ErrBadReplFrame)
+	}
+	if len(f.Payload) == 0 {
+		f.Payload = nil
+	}
+	return f, replHeader + int(n), nil
+}

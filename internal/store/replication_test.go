@@ -1,0 +1,404 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// replSeedState is a small but fully-populated State for snapshot
+// frames: alarms, fired pairs, a reliable client and a session token.
+func replSeedState() *State {
+	return &State{
+		NextAlarmID: 7,
+		Alarms: []alarm.Alarm{{
+			ID: 1, Scope: alarm.Public, Owner: 2, Region: geom.R(0, 0, 10, 10),
+			Topic: "traffic/85N", Subscribers: []alarm.UserID{3, 4},
+		}},
+		Fired: []alarm.FiredPair{{Alarm: 1, User: 3}},
+		Clients: []ClientRec{{
+			User: 3, Strategy: wire.StrategyMWPSR, Reliable: true,
+			PendingFired: []uint64{1},
+		}},
+		Sessions:  []SessionRec{{Token: 11, User: 3}},
+		LastToken: 11,
+		Epoch:     2,
+	}
+}
+
+// replSeedFrames is one coherent stream: a snapshot seeding generation 3
+// at position 5, two records advancing it, and a heartbeat from a later
+// term. The committed corpus under testdata/fuzz holds these plus their
+// concatenation.
+func replSeedFrames() []ReplFrame {
+	return []ReplFrame{
+		{Type: ReplSnapshot, Term: 1, Gen: 3, Pos: 5, Payload: EncodeState(replSeedState())},
+		{Type: ReplRecord, Term: 1, Gen: 3, Pos: 6, Payload: EncodeRecord(InstallRec{Alarm: alarm.Alarm{
+			ID: 2, Scope: alarm.Private, Owner: 3, Region: geom.R(20, 20, 30, 30),
+		}})},
+		{Type: ReplRecord, Term: 1, Gen: 3, Pos: 7, Payload: EncodeRecord(FiredRec{User: 3, Alarms: []uint64{2}})},
+		{Type: ReplHeartbeat, Term: 2, Gen: 3, Pos: 7},
+	}
+}
+
+// replFuzzSeeds returns the byte streams FuzzReplicationStreamDecode
+// starts from: each seed frame alone and the whole stream back to back.
+func replFuzzSeeds() [][]byte {
+	var seeds [][]byte
+	var multi []byte
+	for _, fr := range replSeedFrames() {
+		enc := EncodeReplFrame(fr)
+		seeds = append(seeds, enc)
+		multi = append(multi, enc...)
+	}
+	return append(seeds, multi)
+}
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	for i, fr := range replSeedFrames() {
+		enc := EncodeReplFrame(fr)
+		dec, n, err := DecodeReplFrame(enc)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("frame %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		if dec.Type != fr.Type || dec.Term != fr.Term || dec.Gen != fr.Gen || dec.Pos != fr.Pos {
+			t.Fatalf("frame %d: header mismatch: %+v vs %+v", i, dec, fr)
+		}
+		if !bytes.Equal(EncodeReplFrame(dec), enc) {
+			t.Fatalf("frame %d: re-encode differs", i)
+		}
+	}
+
+	// A decoded frame only consumes its own bytes out of a longer stream.
+	stream := append(EncodeReplFrame(replSeedFrames()[1]), EncodeReplFrame(replSeedFrames()[3])...)
+	first, n, err := DecodeReplFrame(stream)
+	if err != nil || first.Pos != 6 {
+		t.Fatalf("first frame: pos=%d err=%v", first.Pos, err)
+	}
+	second, _, err := DecodeReplFrame(stream[n:])
+	if err != nil || second.Type != ReplHeartbeat {
+		t.Fatalf("second frame: type=%d err=%v", second.Type, err)
+	}
+}
+
+// TestReplFrameShortVsBad pins the decoder's two-error contract: a short
+// buffer asks the reader to wait for more bytes, anything else marks the
+// stream corrupt.
+func TestReplFrameShortVsBad(t *testing.T) {
+	frame := EncodeReplFrame(replSeedFrames()[1])
+
+	// Every strict prefix is short, never bad.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeReplFrame(frame[:cut]); !errors.Is(err, ErrShortReplFrame) {
+			t.Fatalf("cut=%d: got %v, want ErrShortReplFrame", cut, err)
+		}
+	}
+
+	bad := map[string][]byte{
+		"unknown type": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[0] = 99
+			return b
+		}(),
+		"heartbeat with payload": EncodeReplFrame(ReplFrame{
+			Type: ReplHeartbeat, Term: 1, Payload: []byte{1},
+		}),
+		"record claims oversized payload": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[25], b[26], b[27], b[28] = 0xFF, 0xFF, 0xFF, 0xFF
+			return b
+		}(),
+		"payload bit flip": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[len(b)-1] ^= 0x40
+			return b
+		}(),
+		"crc bit flip": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[30] ^= 0x01
+			return b
+		}(),
+	}
+	for name, buf := range bad {
+		if _, _, err := DecodeReplFrame(buf); !errors.Is(err, ErrBadReplFrame) {
+			t.Errorf("%s: got %v, want ErrBadReplFrame", name, err)
+		}
+	}
+}
+
+// followerRecordFrame builds the record frame at stream position pos.
+func followerRecordFrame(term, gen, pos uint64, rec Record) ReplFrame {
+	return ReplFrame{Type: ReplRecord, Term: term, Gen: gen, Pos: pos, Payload: EncodeRecord(rec)}
+}
+
+func TestFollowerApplyRules(t *testing.T) {
+	l, err := OpenFollower(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A record before any snapshot cannot be placed.
+	if _, err := l.Apply(followerRecordFrame(1, 3, 1, ExpireRec{User: 9})); !errors.Is(err, ErrNeedSnapshot) {
+		t.Fatalf("record before snapshot: %v", err)
+	}
+
+	snap := replSeedFrames()[0]
+	if adv, err := l.Apply(snap); err != nil || !adv {
+		t.Fatalf("snapshot: adv=%v err=%v", adv, err)
+	}
+	if l.Pos() != 5 || l.Gen() != 3 || !l.Synced() {
+		t.Fatalf("after snapshot: pos=%d gen=%d synced=%v", l.Pos(), l.Gen(), l.Synced())
+	}
+
+	// In-order record advances.
+	if adv, err := l.Apply(followerRecordFrame(1, 3, 6, RemoveRec{ID: 1})); err != nil || !adv {
+		t.Fatalf("in-order record: adv=%v err=%v", adv, err)
+	}
+	// Duplicate (same position) skips silently — resync overlap is benign.
+	if adv, err := l.Apply(followerRecordFrame(1, 3, 6, RemoveRec{ID: 1})); err != nil || adv {
+		t.Fatalf("duplicate: adv=%v err=%v", adv, err)
+	}
+	// Stale generation skips silently too.
+	if adv, err := l.Apply(followerRecordFrame(1, 2, 99, RemoveRec{ID: 1})); err != nil || adv {
+		t.Fatalf("stale gen: adv=%v err=%v", adv, err)
+	}
+	// A position gap demands a snapshot resync.
+	if _, err := l.Apply(followerRecordFrame(1, 3, 9, ExpireRec{User: 3})); !errors.Is(err, ErrNeedSnapshot) {
+		t.Fatalf("position gap: %v", err)
+	}
+	// A generation the follower never saw a snapshot for does as well.
+	if _, err := l.Apply(followerRecordFrame(1, 4, 7, ExpireRec{User: 3})); !errors.Is(err, ErrNeedSnapshot) {
+		t.Fatalf("unseen gen: %v", err)
+	}
+	if l.Pos() != 6 || l.Applied() != 1 {
+		t.Fatalf("failed applies moved the log: pos=%d applied=%d", l.Pos(), l.Applied())
+	}
+
+	// A heartbeat from a newer term advances the fencing term...
+	if adv, err := l.Apply(ReplFrame{Type: ReplHeartbeat, Term: 5, Gen: 3, Pos: 6}); err != nil || adv {
+		t.Fatalf("heartbeat: adv=%v err=%v", adv, err)
+	}
+	if l.Term() != 5 {
+		t.Fatalf("term after heartbeat = %d, want 5", l.Term())
+	}
+	// ...after which the deposed term's frames are rejected outright.
+	if _, err := l.Apply(followerRecordFrame(1, 3, 7, ExpireRec{User: 3})); !errors.Is(err, ErrBadReplFrame) {
+		t.Fatalf("stale term: %v", err)
+	}
+
+	// A CRC-valid frame whose payload is not a record must never apply.
+	junk := ReplFrame{Type: ReplRecord, Term: 5, Gen: 3, Pos: 7, Payload: []byte{99, 1, 2, 3}}
+	if _, err := l.Apply(junk); !errors.Is(err, ErrBadReplFrame) {
+		t.Fatalf("undecodable record: %v", err)
+	}
+	if l.Pos() != 6 {
+		t.Fatalf("undecodable record advanced the log to %d", l.Pos())
+	}
+	// The stream continues cleanly past the rejection.
+	if adv, err := l.Apply(followerRecordFrame(5, 3, 7, ExpireRec{User: 3})); err != nil || !adv {
+		t.Fatalf("recovery record: adv=%v err=%v", adv, err)
+	}
+
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Apply(followerRecordFrame(5, 3, 8, ExpireRec{User: 4})); !errors.Is(err, ErrSealed) {
+		t.Fatalf("apply after seal: %v", err)
+	}
+}
+
+// TestFollowerPromotionRecovery is the promotion path in miniature: a
+// follower that applied a snapshot plus records seals, and Open on its
+// directory recovers exactly the state its warm applier reports.
+func TestFollowerPromotionRecovery(t *testing.T) {
+	l, err := OpenFollower(t.TempDir(), Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range replSeedFrames() {
+		if _, err := l.Apply(fr); err != nil {
+			t.Fatalf("apply %d: %v", fr.Type, err)
+		}
+	}
+	warm := EncodeState(l.State())
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, state, info := openStore(t, l.Dir(), Options{})
+	if info.Replayed != 2 {
+		t.Fatalf("replayed %d records, want 2", info.Replayed)
+	}
+	if got := EncodeState(state); !bytes.Equal(got, warm) {
+		t.Fatalf("recovered state differs from warm applier:\n got %s\nwant %s", got, warm)
+	}
+}
+
+// TestFollowerTornStreamTorture feeds truncated and bit-flipped copies
+// of a valid stream through the decode loop into fresh followers. The
+// invariant: whatever the corruption, the follower applies a clean
+// prefix of the true stream, and recovery from its directory replays
+// exactly that prefix — a corrupt record never reaches disk or state.
+func TestFollowerTornStreamTorture(t *testing.T) {
+	frames := replSeedFrames()
+	var stream []byte
+	for _, fr := range frames {
+		stream = AppendReplFrame(stream, fr)
+	}
+
+	var cuts []int
+	for cut := 0; cut <= len(stream); cut += 7 {
+		cuts = append(cuts, cut)
+	}
+	cuts = append(cuts, len(stream)-1, len(stream))
+
+	run := func(t *testing.T, data []byte) {
+		l, err := OpenFollower(t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		rest := data
+		for len(rest) > 0 {
+			fr, n, err := DecodeReplFrame(rest)
+			if errors.Is(err, ErrShortReplFrame) {
+				break // a live reader would wait for more bytes
+			}
+			if err != nil {
+				break // corrupt: the primary would resync with a snapshot
+			}
+			if _, err := l.Apply(fr); err != nil && !errors.Is(err, ErrNeedSnapshot) && !errors.Is(err, ErrBadReplFrame) {
+				t.Fatalf("apply: %v", err)
+			}
+			rest = rest[n:]
+		}
+		applied := l.Applied()
+		if !l.Synced() {
+			return // never saw the snapshot; nothing to check on disk
+		}
+		if err := l.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		warm := EncodeState(l.State())
+		_, state, info := openStore(t, l.Dir(), Options{})
+		if uint64(info.Replayed) != applied {
+			t.Fatalf("recovery replayed %d records, follower applied %d", info.Replayed, applied)
+		}
+		if got := EncodeState(state); !bytes.Equal(got, warm) {
+			t.Fatalf("recovered state differs from warm applier")
+		}
+	}
+
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("truncate-%d", cut), func(t *testing.T) { run(t, stream[:cut]) })
+	}
+	for off := 0; off < len(stream); off += 131 {
+		flipped := append([]byte(nil), stream...)
+		flipped[off] ^= 0x10
+		t.Run(fmt.Sprintf("bitflip-%d", off), func(t *testing.T) { run(t, flipped) })
+	}
+}
+
+// FuzzReplicationStreamDecode exercises the stream decoder against
+// arbitrary bytes, mirroring FuzzWALDecode: decoding must never panic,
+// a short error must only appear when bytes are genuinely missing, and
+// every accepted frame must re-encode byte-identically.
+func FuzzReplicationStreamDecode(f *testing.F) {
+	for _, seed := range replFuzzSeeds() {
+		f.Add(seed)
+		torn := append([]byte(nil), seed[:len(seed)-3]...)
+		f.Add(torn)
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, replHeader))                                     // zero type = unknown
+	f.Add(append([]byte{ReplHeartbeat}, make([]byte, replHeader-1)...)) // clean heartbeat
+	f.Add([]byte{ReplRecord, 0xFF, 0xFF})                               // torn header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			fr, n, err := DecodeReplFrame(rest)
+			if errors.Is(err, ErrShortReplFrame) {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadReplFrame) {
+					t.Fatalf("decode error outside the contract: %v", err)
+				}
+				break
+			}
+			if n < replHeader || n > len(rest) {
+				t.Fatalf("consumed %d bytes of %d", n, len(rest))
+			}
+			if !bytes.Equal(EncodeReplFrame(fr), rest[:n]) {
+				t.Fatalf("accepted frame re-encodes differently")
+			}
+			rest = rest[n:]
+		}
+	})
+}
+
+// TestReplicationFuzzCorpus keeps the committed seed corpus honest:
+// every file under testdata/fuzz/FuzzReplicationStreamDecode must be a
+// valid go-fuzz corpus entry, and at least one must decode as a frame
+// stream. Run with REGEN_FUZZ_CORPUS=1 to rewrite the corpus from
+// replFuzzSeeds.
+func TestReplicationFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplicationStreamDecode")
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range replFuzzSeeds() {
+			entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(dir, fmt.Sprintf("seed-repl-%d", i))
+			if err := os.WriteFile(name, []byte(entry), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("committed corpus missing: %v", err)
+	}
+	decodable := 0
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var header string
+		if _, err := fmt.Sscanf(string(data), "%s test fuzz v1", &header); err != nil || header != "go" {
+			t.Fatalf("%s: not a go fuzz corpus entry", e.Name())
+		}
+		nl := bytes.IndexByte(data, '\n')
+		var quoted string
+		if _, err := fmt.Sscanf(string(data[nl+1:]), "[]byte(%q)", &quoted); err != nil {
+			t.Fatalf("%s: bad corpus literal: %v", e.Name(), err)
+		}
+		frame := []byte(quoted)
+		if fr, n, err := DecodeReplFrame(frame); err == nil {
+			decodable++
+			if !bytes.Equal(EncodeReplFrame(fr), frame[:n]) {
+				t.Fatalf("%s: corpus frame not byte-stable", e.Name())
+			}
+		}
+	}
+	if decodable == 0 {
+		t.Fatal("no committed corpus entry decodes — seeds have rotted")
+	}
+}

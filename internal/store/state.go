@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -226,6 +227,41 @@ func (s *State) Normalize() {
 	b := newBuilder(s, 0)
 	*s = *b.finish()
 }
+
+// EncodeState serializes a full state in the snapshot format (the
+// payload of a ReplSnapshot frame).
+func EncodeState(s *State) []byte {
+	var buf bytes.Buffer
+	// writeSnapshot only fails on writer errors; bytes.Buffer has none.
+	_ = writeSnapshot(&buf, s)
+	return buf.Bytes()
+}
+
+// DecodeState parses an EncodeState payload, with the same validation a
+// snapshot file gets.
+func DecodeState(data []byte) (*State, error) {
+	return readSnapshot(bytes.NewReader(data))
+}
+
+// Applier folds a record stream into a live State incrementally — the
+// follower's warm-state builder, sharing the exact apply logic recovery
+// uses. Not safe for concurrent use.
+type Applier struct {
+	b *stateBuilder
+}
+
+// NewApplier starts from base (nil means empty) with the given
+// pending-firings cap (0 means DefaultPendingCap).
+func NewApplier(base *State, pendingCap int) *Applier {
+	return &Applier{b: newBuilder(base, pendingCap)}
+}
+
+// Apply folds one record.
+func (a *Applier) Apply(rec Record) { a.b.apply(rec) }
+
+// State materializes the current state (sorted, deterministic). The
+// applier remains usable afterwards.
+func (a *Applier) State() *State { return a.b.finish() }
 
 // writeSnapshot serializes the state deterministically.
 func writeSnapshot(w io.Writer, s *State) error {

@@ -16,6 +16,13 @@ import (
 // recovery path takes over on the next start.
 var ErrCrashed = errors.New("store: crashed")
 
+// ErrFenced is returned by Append when the store's fencing term has been
+// overtaken: a follower was promoted and this store is a deposed primary.
+// The policy matches ErrCrashed — the server withholds the response and
+// stops serving — but the cause is distinguishable so the fenced-write
+// counter and tests can observe rejected zombie appends.
+var ErrFenced = errors.New("store: fenced: a newer primary holds this shard")
+
 // Counters is the metrics hook the store reports into; internal/metrics
 // Server satisfies it. A nil Counters is allowed.
 type Counters interface {
@@ -23,6 +30,7 @@ type Counters interface {
 	AddWALFsync()
 	AddSnapshot()
 	AddRecovery(recordsReplayed int, truncatedBytes int64)
+	AddFencedWrite()
 }
 
 // Options tunes a Store.
@@ -89,6 +97,24 @@ type Store struct {
 	appends     int // appends since the last checkpoint
 	appendsEver int // lifetime appends, for CrashPoint matching
 	crashPoints []CrashPoint
+
+	// pos is the lifetime record position: it advances by one per
+	// appended record and survives checkpoint rotations, giving the
+	// replication stream a monotonic coordinate.
+	pos uint64
+	// term is this store's fencing term; termSource reads the shard's
+	// current term (shared with the replicator). When termSource reports
+	// a term newer than ours, a follower was promoted and every further
+	// append is rejected with ErrFenced.
+	term       uint64
+	termSource func() uint64
+
+	// replSink receives one frame per appended record and per checkpoint
+	// (the new snapshot generation). It is called with s.mu held —
+	// before the append's caller can release its client-visible
+	// response — so every acknowledged write reaches the sink. It must
+	// not call back into the store.
+	replSink func(ReplFrame)
 
 	// stateSource captures the current full state for checkpoints; the
 	// engine installs it. It is called with s.mu held, so it must not
@@ -163,7 +189,7 @@ func Open(dir string, opts Options) (*Store, *State, RecoveryInfo, error) {
 	if err != nil {
 		return nil, nil, info, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, gen: gen, wal: wal}
+	s := &Store{dir: dir, opts: opts, gen: gen, wal: wal, pos: uint64(info.Replayed)}
 	if opts.Counters != nil {
 		opts.Counters.AddRecovery(info.Replayed, info.TruncatedBytes)
 	}
@@ -233,11 +259,20 @@ func (s *Store) SetCrashPoints(pts []CrashPoint) {
 // the client-visible response afterwards, which is the write-ahead
 // discipline. On any failure the store is dead (ErrCrashed) and stays so.
 func (s *Store) Append(rec Record) error {
-	frame := Frame(EncodeRecord(rec))
+	payload := EncodeRecord(rec)
+	frame := Frame(payload)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.crashed {
 		return ErrCrashed
+	}
+	if s.termSource != nil {
+		if cur := s.termSource(); cur > s.term {
+			if s.opts.Counters != nil {
+				s.opts.Counters.AddFencedWrite()
+			}
+			return fmt.Errorf("%w (own term %d, current %d)", ErrFenced, s.term, cur)
+		}
 	}
 	s.appendsEver++
 	for _, cp := range s.crashPoints {
@@ -263,6 +298,10 @@ func (s *Store) Append(rec Record) error {
 		}
 	}
 	s.appends++
+	s.pos++
+	if s.replSink != nil {
+		s.replSink(ReplFrame{Type: ReplRecord, Term: s.term, Gen: s.gen, Pos: s.pos, Payload: payload})
+	}
 	if s.opts.SnapshotEvery > 0 && s.appends >= s.opts.SnapshotEvery && s.stateSource != nil {
 		if err := s.checkpointLocked(s.stateSource()); err != nil {
 			return err
@@ -359,6 +398,11 @@ func (s *Store) checkpointLocked(state *State) error {
 	if s.opts.Counters != nil {
 		s.opts.Counters.AddSnapshot()
 	}
+	if s.replSink != nil {
+		// Followers rotate to the new generation through a snapshot frame;
+		// a follower that misses it detects the gap and resyncs.
+		s.replSink(ReplFrame{Type: ReplSnapshot, Term: s.term, Gen: s.gen, Pos: s.pos, Payload: EncodeState(state)})
+	}
 	return nil
 }
 
@@ -403,6 +447,79 @@ func (s *Store) Gen() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
+}
+
+// Pos returns the lifetime record position: how many records this store
+// has ever appended (plus those replayed at Open). The replication
+// stream stamps every record frame with it.
+func (s *Store) Pos() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
+
+// Crashed reports whether the store is dead (killed, crash point, or
+// write failure).
+func (s *Store) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// SetTerm installs this store's own fencing term (the term it was
+// promoted or booted under).
+func (s *Store) SetTerm(t uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.term = t
+}
+
+// Term returns this store's own fencing term.
+func (s *Store) Term() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term
+}
+
+// SetTermSource installs the shared current-term reader. Once the
+// source reports a term newer than this store's own, every Append is
+// rejected with ErrFenced — the deposed-primary fence. The source is
+// called with s.mu held and must not call back into the store.
+func (s *Store) SetTermSource(f func() uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.termSource = f
+}
+
+// SetReplSink installs the replication stream hook: one ReplRecord
+// frame per appended record, one ReplSnapshot frame per checkpoint. The
+// sink runs with s.mu held — before the append's caller can release its
+// response — so every acknowledged write is in the stream. It must not
+// call back into the store.
+func (s *Store) SetReplSink(f func(ReplFrame)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replSink = f
+}
+
+// Bootstrap captures the current full state as a ReplSnapshot frame and
+// hands it to fn while holding the store lock: no record can be
+// appended between the capture and fn's return, so a follower installed
+// inside fn (and subscribed through the repl sink) misses nothing. The
+// state source must be installed first.
+func (s *Store) Bootstrap(fn func(ReplFrame) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	if s.stateSource == nil {
+		return errors.New("store: no state source installed")
+	}
+	return fn(ReplFrame{
+		Type: ReplSnapshot, Term: s.term, Gen: s.gen, Pos: s.pos,
+		Payload: EncodeState(s.stateSource()),
+	})
 }
 
 // syncDir fsyncs a directory so renames and creates survive a power cut.
