@@ -148,6 +148,13 @@ func New(cfg Config) (*Cluster, error) {
 		crashPoints: make(map[string]bool),
 		reps:        make(map[int]*Replicator),
 	}
+	if cfg.DataDir != "" {
+		// Follower directory names must never be reused, even across
+		// process restarts: a past promotion may have made shardN-rM a
+		// shard's primary directory, and re-allocating that name would
+		// wipe it. Seed the counter past everything on disk.
+		c.replSeq = scanReplSeq(cfg.DataDir)
+	}
 	var pm *PartitionMap
 	if cfg.DataDir != "" {
 		loaded, found, err := LoadPartitionMapFile(cfg.DataDir)

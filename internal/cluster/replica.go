@@ -293,6 +293,22 @@ func (r *Replicator) Promote() (*store.FollowerLog, error) {
 	return chosen, nil
 }
 
+// Restore re-attaches a follower that Promote sealed and removed but
+// whose promotion then failed (store open, engine boot, or pointer
+// write): the log reopens for appends and rejoins the follower set
+// with its synced state and position intact, so a later promotion
+// attempt can retry from it instead of leaving the shard down with no
+// promotable follower.
+func (r *Replicator) Restore(fl *store.FollowerLog) error {
+	if err := fl.Reopen(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.followers = append(r.followers, &replFollower{log: fl})
+	r.mu.Unlock()
+	return nil
+}
+
 // Shutdown seals every follower log (releasing file descriptors)
 // without removing the directories — clean-close semantics.
 func (r *Replicator) Shutdown() {
@@ -461,14 +477,58 @@ func (c *Cluster) enableReplication(shard int) error {
 	return nil
 }
 
+// scanReplSeq returns the next free follower-directory sequence: one
+// past the highest shard<i>-r<seq> directory already under dataDir. The
+// in-memory counter alone restarts at 0 with the process; after a
+// promotion re-pointed a shard's primary to a follower directory, a
+// re-allocation of that same name would hand it to OpenFollower — which
+// wipes the directory — destroying the live primary's acknowledged
+// writes. Seeding the counter past every directory ever allocated keeps
+// the names never-reused across restarts too.
+func scanReplSeq(dataDir string) int {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return 0
+	}
+	next := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var shard, seq int
+		if n, _ := fmt.Sscanf(e.Name(), "shard%d-r%d", &shard, &seq); n == 2 && seq >= next {
+			next = seq + 1
+		}
+	}
+	return next
+}
+
 // addFollower attaches one more follower log to shard's replicator,
-// under a never-reused directory name.
+// under a never-reused directory name. A name that matches any slot's
+// current primary directory is skipped outright — OpenFollower wipes
+// its directory, so handing it a live primary's would destroy
+// acknowledged writes; the guard is a last line of defence behind the
+// durable seq scan.
 func (c *Cluster) addFollower(shard int, rep *Replicator, st *store.Store) error {
-	c.repMu.Lock()
-	seq := c.replSeq
-	c.replSeq++
-	c.repMu.Unlock()
-	dir := filepath.Join(c.cfg.DataDir, fmt.Sprintf("shard%d-r%d", shard, seq))
+	sl := c.slotList()
+	var dir string
+	for {
+		c.repMu.Lock()
+		seq := c.replSeq
+		c.replSeq++
+		c.repMu.Unlock()
+		dir = filepath.Join(c.cfg.DataDir, fmt.Sprintf("shard%d-r%d", shard, seq))
+		primary := false
+		for _, s := range sl {
+			if s.dir == dir {
+				primary = true
+				break
+			}
+		}
+		if !primary {
+			break
+		}
+	}
 	return rep.AddFollower(st, dir, c.cfg.Store)
 }
 
@@ -510,6 +570,14 @@ func (c *Cluster) TickReplication(now int) {
 				rep.Pump(st)
 				c.fd.Beat(s, now)
 				continue
+			}
+			// A spontaneous WAL write failure kills the store but leaves
+			// the dead engine attached (only KillShard/PartitionShard
+			// detach). Detach it here so the promotion path — which
+			// refuses to depose an attached primary — can fail the shard
+			// over instead of skipping it forever.
+			if c.slotList()[s].eng.CompareAndSwap(eng, nil) {
+				c.met.AddShardCrash()
 			}
 		}
 		if rep.Promotable() && c.fd.Suspect(s, now, c.cfg.PromoteAfter) {
@@ -558,17 +626,26 @@ func (c *Cluster) PromoteFollower(shard int) error {
 	if err != nil {
 		return err
 	}
+	// Promote sealed fl and removed it from the fan-out; if anything
+	// below fails, the sealed log must rejoin the follower set (with its
+	// data intact) or a retry finds no promotable follower and the shard
+	// stays down for good with Replicas=1.
 	st, state, info, err := store.Open(fl.Dir(), c.cfg.Store)
 	if err != nil {
+		_ = rep.Restore(fl)
 		return fmt.Errorf("cluster: promote shard %d: %w", shard, err)
 	}
 	sc := c.cfg.Engine
 	sc.Partition = rect
 	eng, err := server.NewDurable(sc, st, state, info)
 	if err != nil {
+		_ = st.Close()
+		_ = rep.Restore(fl)
 		return fmt.Errorf("cluster: promote shard %d: %w", shard, err)
 	}
 	if err := writePrimaryPtr(c.cfg.DataDir, shard, fl.Dir()); err != nil {
+		_ = st.Close()
+		_ = rep.Restore(fl)
 		return err
 	}
 	rep.AttachPrimary(st)

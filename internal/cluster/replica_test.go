@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"os"
 	"testing"
 
 	"github.com/sabre-geo/sabre/internal/alarm"
@@ -220,6 +221,184 @@ func TestPromotionSurvivesRestart(t *testing.T) {
 	defer c2.Close()
 	if !c2.Engine(0).HasSession(1) || !c2.Engine(0).HasSession(60) {
 		t.Fatal("restart booted shard 0 from the deposed primary's directory")
+	}
+}
+
+// TestPromotionSurvivesSecondRestart: after a promotion re-points a
+// shard's primary to a follower directory, a restarted cluster must
+// never re-allocate that directory name for a fresh follower —
+// OpenFollower wipes its directory, which would silently destroy the
+// live primary's acknowledged writes (they would only be missed on the
+// restart after that, hence the second restart here).
+func TestPromotionSurvivesSecondRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Cols: 2, Rows: 1,
+		Engine: server.Config{
+			Universe:      clusterUniverse,
+			CellAreaM2:    2.5e6,
+			Model:         motion.MustNew(1, 32),
+			PyramidParams: pyramid.DefaultParams(5),
+			MaxSpeed:      30,
+			TickSeconds:   1,
+			Costs:         metrics.DefaultCosts(),
+		},
+		DataDir: dir, Replicas: 1, PromoteAfter: 2,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000))
+	c.TickReplication(1)
+	if err := c.KillShard(0, store.TearNone, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.TickReplication(2)
+	c.TickReplication(3)
+	if !c.Up(0) {
+		t.Fatal("shard 0 not promoted")
+	}
+	if err := c.Engine(0).Register(wire.Register{User: 60, Strategy: wire.StrategyMWPSR, MaxHeight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 1: the shard boots from the promoted follower's directory
+	// and replication re-enables. No new follower may land on any slot's
+	// current primary directory.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryDirs := make(map[string]bool)
+	for _, sl := range c2.slotList() {
+		if sl.dir != "" {
+			primaryDirs[sl.dir] = true
+		}
+	}
+	c2.repMu.Lock()
+	for s, rep := range c2.reps {
+		rep.mu.Lock()
+		for _, fl := range rep.followers {
+			if primaryDirs[fl.log.Dir()] {
+				t.Errorf("shard %d follower allocated on a live primary's directory %s", s, fl.log.Dir())
+			}
+		}
+		rep.mu.Unlock()
+	}
+	c2.repMu.Unlock()
+	if !c2.Engine(0).HasSession(1) || !c2.Engine(0).HasSession(60) {
+		t.Fatal("restart 1 lost acknowledged writes")
+	}
+	if err := c2.Engine(0).Register(wire.Register{User: 61, Strategy: wire.StrategyMWPSR, MaxHeight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 2: every write acknowledged in either incarnation is here.
+	c3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	for _, u := range []alarm.UserID{1, 60, 61} {
+		if !c3.Engine(0).HasSession(u) {
+			t.Fatalf("restart 2 lost user %d's acknowledged write", u)
+		}
+	}
+}
+
+// TestCrashedAttachedPrimaryFailsOver: a primary that dies from a
+// spontaneous WAL write failure stays attached to its slot (nothing
+// detaches it the way KillShard does) — TickReplication must detach
+// the dead engine itself so the shard fails over instead of being
+// skipped forever.
+func TestCrashedAttachedPrimaryFailsOver(t *testing.T) {
+	c := newReplCluster(t, 2, 1, 1, false, t.TempDir())
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000))
+	c.TickReplication(1)
+
+	// Arm a spontaneous failure on the next append: the store dies but
+	// the engine stays attached. (With no restart, lifetime appends and
+	// the stream position coincide, so Pos()+1 names the next append.)
+	st := c.Engine(0).Store()
+	st.SetCrashPoints([]store.CrashPoint{{AfterAppends: int(st.Pos()) + 1, FlipBit: -1}})
+	if err := c.Engine(0).Register(wire.Register{User: 70, Strategy: wire.StrategyMWPSR, MaxHeight: 5}); err == nil {
+		t.Fatal("append on a crashing store was acknowledged")
+	}
+	if c.Engine(0) == nil {
+		t.Fatal("engine detached before any replication tick")
+	}
+
+	c.TickReplication(2) // detaches the crashed engine
+	c.TickReplication(3)
+	c.TickReplication(4) // silent for PromoteAfter ticks: promotion fires
+	if !c.Up(0) {
+		t.Fatal("crashed-but-attached primary never failed over")
+	}
+	if got := c.Metrics().Snapshot().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+	if !c.Engine(0).HasSession(1) {
+		t.Fatal("promoted shard lost user 1's session")
+	}
+	// User 70's register was never acknowledged; it must not reappear.
+	if c.Engine(0).HasSession(70) {
+		t.Fatal("unacknowledged write surfaced on the promoted shard")
+	}
+}
+
+// TestPromotionRetriesAfterFailedAttempt: a promotion that fails after
+// Promote has sealed and removed the chosen follower must restore it,
+// so the next tick can retry — otherwise a shard with Replicas=1 stays
+// down permanently on a transient failure.
+func TestPromotionRetriesAfterFailedAttempt(t *testing.T) {
+	dir := t.TempDir()
+	c := newReplCluster(t, 2, 1, 1, false, dir)
+	rt := NewRouter(c)
+	hello(t, rt, 1)
+	update(t, rt, 1, 1, geom.Pt(2000, 5000))
+	c.TickReplication(1)
+	if err := c.KillShard(0, store.TearNone, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the primary-pointer's temp path with a directory so the
+	// pointer write — the last step of promotion — fails transiently.
+	blocker := primaryPtrPath(dir, 0) + ".tmp"
+	if err := os.MkdirAll(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c.TickReplication(2)
+	c.TickReplication(3) // promotion attempt fires here and fails
+	if c.Up(0) {
+		t.Fatal("promotion succeeded despite the pointer write failing")
+	}
+	if got := c.Metrics().Snapshot().Promotions; got != 0 {
+		t.Fatalf("Promotions = %d after a failed attempt, want 0", got)
+	}
+
+	if err := os.RemoveAll(blocker); err != nil {
+		t.Fatal(err)
+	}
+	c.TickReplication(4)
+	if !c.Up(0) {
+		t.Fatal("promotion not retried from the restored follower")
+	}
+	if got := c.Metrics().Snapshot().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+	if !c.Engine(0).HasSession(1) {
+		t.Fatal("promoted shard lost user 1's session")
 	}
 }
 

@@ -242,6 +242,28 @@ func (l *FollowerLog) Seal() error {
 	return l.wal.Close()
 }
 
+// Reopen reverses Seal for a promotion attempt that failed after the
+// log was sealed and removed from the fan-out: the WAL reopens for
+// appends and Apply resumes, so the log can rejoin the follower set and
+// a later promotion can retry from it. The directory must still be
+// intact (Reopen after Close is an error).
+func (l *FollowerLog) Reopen() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.sealed {
+		return nil
+	}
+	if l.synced {
+		wal, err := os.OpenFile(walPath(l.dir, l.gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: follower reopen: %w", err)
+		}
+		l.wal = wal
+	}
+	l.sealed = false
+	return nil
+}
+
 // Close discards the follower: seals the log and removes its directory.
 func (l *FollowerLog) Close() error {
 	if err := l.Seal(); err != nil {

@@ -218,6 +218,78 @@ func TestFollowerApplyRules(t *testing.T) {
 	}
 }
 
+// TestAppendFencedAfterSink: a promotion that completes between
+// Append's pre-write term check and the sink call must still fail the
+// append. Promote resets every follower before the sink delivers the
+// frame, so the frame is dropped — acknowledging the write would lose
+// it. The term source is driven to advance exactly between the two
+// checks, simulating that interleaving deterministically.
+func TestAppendFencedAfterSink(t *testing.T) {
+	s, _, _ := openStore(t, t.TempDir(), Options{})
+	defer s.Close()
+	calls := 0
+	s.SetTermSource(func() uint64 {
+		calls++
+		if calls >= 2 {
+			return 1 // promotion lands after the pre-write check
+		}
+		return 0
+	})
+	posBefore := s.Pos()
+	err := s.Append(ExpireRec{User: 1})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("append raced by promotion: got %v, want ErrFenced", err)
+	}
+	// The record is in the deposed primary's own WAL (a duplicate if it
+	// ever rejoins, never a loss), but it was not acknowledged.
+	if s.Pos() != posBefore+1 {
+		t.Fatalf("pos = %d, want %d", s.Pos(), posBefore+1)
+	}
+	// Every later append stays fenced.
+	if err := s.Append(ExpireRec{User: 2}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("append after fencing: got %v, want ErrFenced", err)
+	}
+}
+
+// TestFollowerReopenAfterSeal: Reopen reverses Seal — the failed-
+// promotion retry path — and the log applies and recovers as if it had
+// never been sealed.
+func TestFollowerReopenAfterSeal(t *testing.T) {
+	l, err := OpenFollower(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	frames := replSeedFrames()
+	for _, fr := range frames[:2] {
+		if _, err := l.Apply(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Apply(frames[2]); !errors.Is(err, ErrSealed) {
+		t.Fatalf("apply on sealed log: %v", err)
+	}
+	if err := l.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if adv, err := l.Apply(frames[2]); err != nil || !adv {
+		t.Fatalf("apply after reopen: adv=%v err=%v", adv, err)
+	}
+	if !l.Synced() || l.Pos() != 7 {
+		t.Fatalf("after reopen: synced=%v pos=%d, want synced pos 7", l.Synced(), l.Pos())
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, info := openStore(t, l.Dir(), Options{})
+	if info.Replayed != 2 {
+		t.Fatalf("replayed %d records, want 2 (reopened log lost its tail)", info.Replayed)
+	}
+}
+
 // TestFollowerPromotionRecovery is the promotion path in miniature: a
 // follower that applied a snapshot plus records seals, and Open on its
 // directory recovers exactly the state its warm applier reports.

@@ -266,13 +266,8 @@ func (s *Store) Append(rec Record) error {
 	if s.crashed {
 		return ErrCrashed
 	}
-	if s.termSource != nil {
-		if cur := s.termSource(); cur > s.term {
-			if s.opts.Counters != nil {
-				s.opts.Counters.AddFencedWrite()
-			}
-			return fmt.Errorf("%w (own term %d, current %d)", ErrFenced, s.term, cur)
-		}
+	if err := s.fenceCheckLocked(); err != nil {
+		return err
 	}
 	s.appendsEver++
 	for _, cp := range s.crashPoints {
@@ -302,10 +297,38 @@ func (s *Store) Append(rec Record) error {
 	if s.replSink != nil {
 		s.replSink(ReplFrame{Type: ReplRecord, Term: s.term, Gen: s.gen, Pos: s.pos, Payload: payload})
 	}
+	// Re-validate the term now that the sink has run. A promotion that
+	// completed between the pre-write check and the sink call (Promote
+	// holds only the replicator's lock, not ours) has already reset every
+	// follower for resync — the frame the sink just delivered was
+	// dropped, so acknowledging this append would lose it. The record
+	// exists only in this deposed primary's own WAL: a duplicate if the
+	// log ever rejoins, never a loss. The sink runs under the
+	// replicator's lock and the term bumps before Promote takes it, so
+	// if the frame was dropped the newer term is visible here.
+	if err := s.fenceCheckLocked(); err != nil {
+		return err
+	}
 	if s.opts.SnapshotEvery > 0 && s.appends >= s.opts.SnapshotEvery && s.stateSource != nil {
 		if err := s.checkpointLocked(s.stateSource()); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// fenceCheckLocked rejects the write with ErrFenced when the shared
+// term source reports a term newer than this store's own — a follower
+// was promoted and this store is a deposed primary.
+func (s *Store) fenceCheckLocked() error {
+	if s.termSource == nil {
+		return nil
+	}
+	if cur := s.termSource(); cur > s.term {
+		if s.opts.Counters != nil {
+			s.opts.Counters.AddFencedWrite()
+		}
+		return fmt.Errorf("%w (own term %d, current %d)", ErrFenced, s.term, cur)
 	}
 	return nil
 }
