@@ -26,6 +26,14 @@
 #                routed update throughput on a sharded cluster with 100k
 #                simulated clients, sweeping shards x goroutines x batch
 #                size; writes BENCH_cluster.json
+#   make bench-wal
+#                durable append throughput with fsync on, sweeping
+#                concurrent appenders x group-commit cap; writes
+#                BENCH_wal.json
+#   make bench-wal-smoke
+#                tiny bench-wal run (64 appends/point) plus the
+#                BENCH_wal.json parse test — the CI gate that the report
+#                regenerates and records GOMAXPROCS + fsync mode
 #   make bench-smoke
 #                compile and run every benchmark once (-benchtime=1x) so
 #                CI catches bit-rotted benchmark code without paying for
@@ -34,7 +42,7 @@
 
 GO ?= go
 
-.PHONY: tier1 race crash cluster rebalance failover bench bench-cluster bench-smoke figures
+.PHONY: tier1 race crash cluster rebalance failover bench bench-cluster bench-wal bench-wal-smoke bench-smoke figures
 
 tier1:
 	$(GO) build ./...
@@ -68,6 +76,13 @@ bench:
 
 bench-cluster:
 	$(GO) run ./cmd/alarmbench -scale small bench-cluster
+
+bench-wal:
+	$(GO) run ./cmd/alarmbench -scale small bench-wal
+
+bench-wal-smoke:
+	$(GO) run ./cmd/alarmbench -scale small -wal-appends 64 bench-wal
+	$(GO) test -run 'BenchWAL' ./cmd/alarmbench/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -47,6 +47,12 @@ type benchClusterReport struct {
 	Users      int    `json:"users"`
 	Alarms     int    `json:"alarms"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Fsync and WALGroupMax record the durability regime the bench ran
+	// under. This bench drives memory-only shards: no WAL, so fsync is
+	// false and the group-commit cap is 0 (not applicable). bench-wal
+	// measures the fsync-on regime.
+	Fsync       bool `json:"fsync"`
+	WALGroupMax int  `json:"wal_group_max"`
 	// Warning is set when GOMAXPROCS=1: goroutine-scaling ratios are then
 	// meaningless because everything serializes on one core.
 	Warning string              `json:"warning,omitempty"`

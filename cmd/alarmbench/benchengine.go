@@ -37,11 +37,17 @@ type benchEnginePoint struct {
 }
 
 type benchEngineReport struct {
-	Scale      string             `json:"scale"`
-	Vehicles   int                `json:"vehicles"`
-	Alarms     int                `json:"alarms"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Series     []benchEnginePoint `json:"series"`
+	Scale      string `json:"scale"`
+	Vehicles   int    `json:"vehicles"`
+	Alarms     int    `json:"alarms"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Fsync and WALGroupMax record the durability regime the bench ran
+	// under. This bench drives a memory-only engine: no WAL, so fsync is
+	// false and the group-commit cap is 0 (not applicable). bench-wal
+	// measures the fsync-on regime.
+	Fsync       bool               `json:"fsync"`
+	WALGroupMax int                `json:"wal_group_max"`
+	Series      []benchEnginePoint `json:"series"`
 }
 
 // runBenchEngine measures raw Engine.HandleUpdate throughput at 1, 2, 4

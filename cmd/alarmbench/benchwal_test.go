@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchWALReport checks that the committed BENCH_wal.json parses
+// against the report schema and records the environment a reader needs
+// to judge the numbers: GOMAXPROCS and the fsync regime. Throughput and
+// speedup values are hardware-dependent and deliberately not asserted —
+// CI regenerates the file on whatever box it runs on.
+func TestBenchWALReport(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_wal.json")
+	if err != nil {
+		t.Skipf("BENCH_wal.json not present: %v", err)
+	}
+	var report benchWALReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_wal.json does not parse: %v", err)
+	}
+	if report.GOMAXPROCS <= 0 {
+		t.Errorf("GOMAXPROCS = %d, want > 0", report.GOMAXPROCS)
+	}
+	if !report.Fsync {
+		t.Error("Fsync = false; bench-wal must measure the fsync-on regime")
+	}
+	if len(report.Series) == 0 {
+		t.Fatal("empty series")
+	}
+	for i, pt := range report.Series {
+		if pt.Appenders <= 0 || pt.GroupMax <= 0 {
+			t.Errorf("series[%d]: appenders=%d group_max=%d, want > 0", i, pt.Appenders, pt.GroupMax)
+		}
+		if pt.Appends == 0 || pt.OpsPerSec <= 0 {
+			t.Errorf("series[%d]: appends=%d ops/sec=%f, want > 0", i, pt.Appends, pt.OpsPerSec)
+		}
+		if pt.GroupCommits == 0 || pt.Fsyncs == 0 {
+			t.Errorf("series[%d]: group_commits=%d fsyncs=%d, want > 0", i, pt.GroupCommits, pt.Fsyncs)
+		}
+	}
+}
+
+// TestBenchWALAppends pins the scale defaults and the -wal-appends
+// override.
+func TestBenchWALAppends(t *testing.T) {
+	tests := []struct {
+		opts options
+		want int
+	}{
+		{options{scale: "small"}, 6400},
+		{options{scale: "medium"}, 25600},
+		{options{scale: "full"}, 102400},
+		{options{scale: "small", walAppends: 64}, 64},
+	}
+	for _, tt := range tests {
+		if got := benchWALAppends(tt.opts); got != tt.want {
+			t.Errorf("benchWALAppends(%+v) = %d, want %d", tt.opts, got, tt.want)
+		}
+	}
+}

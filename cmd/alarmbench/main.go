@@ -25,6 +25,9 @@
 //	bench-cluster        routed update throughput on a sharded cluster
 //	         with 100k simulated clients, sweeping shards × goroutines ×
 //	         batch size; writes BENCH_cluster.json (not part of "all")
+//	bench-wal            durable append throughput with fsync on, sweeping
+//	         concurrent appenders × group-commit cap (group_max=1 is the
+//	         per-record baseline); writes BENCH_wal.json (not part of "all")
 //	all      every figure above in order
 //
 // Flags select the workload scale: -scale small (default, seconds),
@@ -60,9 +63,10 @@ func main() {
 }
 
 type options struct {
-	scale  string
-	seed   int64
-	verify bool
+	scale      string
+	seed       int64
+	verify     bool
+	walAppends int
 }
 
 func run(args []string) error {
@@ -71,6 +75,7 @@ func run(args []string) error {
 	fs.StringVar(&opts.scale, "scale", "small", "workload scale: small, medium or full (paper scale)")
 	fs.Int64Var(&opts.seed, "seed", 1, "workload seed")
 	fs.BoolVar(&opts.verify, "verify", false, "re-run the periodic ground truth per configuration and assert 100% accuracy")
+	fs.IntVar(&opts.walAppends, "wal-appends", 0, "bench-wal: records per sweep point (0 = scale default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +127,7 @@ var runners = map[string]func(options) error{
 	"scalability":         runScalability,
 	"bench-engine":        runBenchEngine,
 	"bench-cluster":       runBenchCluster,
+	"bench-wal":           runBenchWAL,
 }
 
 // workload returns the scale-appropriate configuration with the given

@@ -96,6 +96,8 @@ func run() error {
 		dataDir   = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty runs memory-only")
 		snapEvery = flag.Int("snapshot-every", 1024, "checkpoint the durable state every N log appends (0 disables automatic checkpoints)")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every append (power-failure durability; off still survives process crashes)")
+		groupMax  = flag.Int("wal-group-max", 0, "max records one WAL group commit lands with a single write+fsync (0 = store default; 1 = per-record commit)")
+		groupWait = flag.Duration("wal-group-wait", 0, "hold a WAL commit group open this long before flushing, trading latency for larger groups (0 flushes immediately)")
 		sessTTL   = flag.Duration("session-ttl", 0, "expire reliable sessions idle for this long (0 disables expiry)")
 
 		shards      = flag.Int("shards", 1, "run as a sharded cluster with this many spatial partitions (>1); shard i listens on -addr's port + i")
@@ -164,7 +166,7 @@ func run() error {
 			addr:         *addr,
 			metricsAddr:  *metricsAddr,
 			dataDir:      *dataDir,
-			store:        store.Options{Fsync: *fsync, SnapshotEvery: *snapEvery},
+			store:        store.Options{Fsync: *fsync, SnapshotEvery: *snapEvery, GroupMax: *groupMax, GroupWait: *groupWait},
 			logger:       logger,
 			idle:         *idle,
 			sessTTL:      *sessTTL,
@@ -192,6 +194,8 @@ func run() error {
 		st, state, info, err := store.Open(*dataDir, store.Options{
 			Fsync:         *fsync,
 			SnapshotEvery: *snapEvery,
+			GroupMax:      *groupMax,
+			GroupWait:     *groupWait,
 		})
 		if err != nil {
 			return fmt.Errorf("open store %s: %w", *dataDir, err)
@@ -250,7 +254,10 @@ func run() error {
 				// AvgBatchSize is updates per UpdateBatch frame (0 when the
 				// clients don't batch).
 				AvgBatchSize float64 `json:"avg_batch_size"`
-			}{sn, sn.AvgBatchSize()}
+				// WALGroupSizeAvg is records landed per WAL group commit —
+				// the write/fsync amortization factor.
+				WALGroupSizeAvg float64 `json:"wal_group_size_avg"`
+			}{sn, sn.AvgBatchSize(), sn.WALGroupSizeAvg()}
 		})
 		if err != nil {
 			return err

@@ -89,52 +89,60 @@ func (r *Replicator) AttachPrimary(st *store.Store) {
 	r.mu.Unlock()
 }
 
-// sink receives one frame per acknowledged primary write. It runs with
-// the store's mutex held (lock order: store.mu → Replicator.mu →
-// FollowerLog.mu), before the write's caller can release its response —
-// so in ack mode every acknowledged record is already applied to every
-// follower, and in async mode it is buffered here, where it survives
-// the primary's death and is drained before any promotion.
-func (r *Replicator) sink(f store.ReplFrame) {
+// sink receives the frame batch of one acknowledged group commit (or a
+// one-frame batch per checkpoint). It runs with the store's mutex held
+// (lock order: store.mu → Replicator.mu → FollowerLog.mu), before any
+// write in the group can release its response — so in ack mode every
+// acknowledged record is already applied to every follower via one
+// coalesced follower write per group, and in async mode the whole batch
+// is buffered here, where it survives the primary's death and is
+// drained before any promotion.
+func (r *Replicator) sink(frames []store.ReplFrame) {
+	if len(frames) == 0 {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if f.Pos > r.streamPos {
-		r.streamPos = f.Pos
+	if p := frames[len(frames)-1].Pos; p > r.streamPos {
+		r.streamPos = p
 	}
 	for _, fl := range r.followers {
 		if fl.resync {
 			continue // a pending resync supersedes individual frames
 		}
 		if r.ackMode {
-			r.applyLocked(fl, f)
+			r.applyBatchLocked(fl, frames)
 			continue
 		}
-		if len(fl.buf) >= replBufferCap {
+		if len(fl.buf)+len(frames) > replBufferCap {
 			// Backpressure: drop the buffer and resync from a snapshot.
 			fl.buf = nil
 			fl.resync = true
 			continue
 		}
-		fl.buf = append(fl.buf, f)
+		fl.buf = append(fl.buf, frames...)
 	}
 }
 
-// applyLocked applies one frame to a follower under r.mu, folding apply
-// failures into the resync flag and counting streamed frames.
-func (r *Replicator) applyLocked(fl *replFollower, f store.ReplFrame) {
-	advanced, err := fl.log.Apply(f)
-	if err != nil {
-		fl.resync = true
-		return
+// applyBatch applies one frame batch to a follower log and books the
+// streamed-frame metrics; the error is the batch's first failure (its
+// valid prefix has been applied).
+func (r *Replicator) applyBatch(log *store.FollowerLog, frames []store.ReplFrame) error {
+	recs, snaps, err := log.ApplyBatch(frames)
+	if recs > 0 {
+		r.met.AddReplRecordsStreamed(uint64(recs))
 	}
-	if !advanced {
-		return
-	}
-	switch f.Type {
-	case store.ReplRecord:
-		r.met.AddReplRecordsStreamed(1)
-	case store.ReplSnapshot:
+	for i := 0; i < snaps; i++ {
 		r.met.AddReplSnapshotStreamed()
+	}
+	return err
+}
+
+// applyBatchLocked is applyBatch under r.mu, folding a failure into the
+// follower's resync flag.
+func (r *Replicator) applyBatchLocked(fl *replFollower, frames []store.ReplFrame) {
+	if err := r.applyBatch(fl.log, frames); err != nil {
+		fl.resync = true
 	}
 }
 
@@ -191,19 +199,12 @@ func (r *Replicator) Pump(primary *store.Store) {
 	hb := store.ReplFrame{Type: store.ReplHeartbeat, Term: r.term.Load()}
 	for _, w := range work {
 		needResync := w.resync
-		if !needResync {
-			for _, f := range w.frames {
-				advanced, err := w.fl.log.Apply(f)
-				if err != nil {
-					needResync = true
-					break
-				}
-				if advanced && f.Type == store.ReplRecord {
-					r.met.AddReplRecordsStreamed(1)
-				}
-				if advanced && f.Type == store.ReplSnapshot {
-					r.met.AddReplSnapshotStreamed()
-				}
+		if !needResync && len(w.frames) > 0 {
+			// One coalesced follower write per drained buffer; a failure
+			// applies the valid prefix and the snapshot resync covers the
+			// rest.
+			if err := r.applyBatch(w.fl.log, w.frames); err != nil {
+				needResync = true
 			}
 		}
 		if needResync {
@@ -261,12 +262,8 @@ func (r *Replicator) Promote() (*store.FollowerLog, error) {
 			fl.buf = nil
 			continue
 		}
-		for _, f := range fl.buf {
-			r.applyLocked(fl, f)
-			if fl.resync {
-				break // gap mid-drain: the rest cannot apply either
-			}
-		}
+		// A gap mid-drain applies the valid prefix and flags the resync.
+		r.applyBatchLocked(fl, fl.buf)
 		fl.buf = nil
 	}
 	best := -1

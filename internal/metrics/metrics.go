@@ -95,6 +95,9 @@ type Server struct {
 	walAppends        atomic.Uint64
 	walBytes          atomic.Uint64
 	walFsyncs         atomic.Uint64
+	walGroupCommits   atomic.Uint64
+	walGroupRecords   atomic.Uint64
+	walSyncNs         atomic.Uint64
 	snapshots         atomic.Uint64
 	recoveries        atomic.Uint64
 	recoveredRecords  atomic.Uint64
@@ -143,6 +146,9 @@ type Snapshot struct {
 	WALAppends        uint64
 	WALBytes          uint64
 	WALFsyncs         uint64
+	WALGroupCommits   uint64 `json:"wal_group_commits"`
+	WALGroupRecords   uint64 `json:"wal_group_records"`
+	WALSyncNs         uint64 `json:"wal_sync_ns"`
 	Snapshots         uint64
 	Recoveries        uint64
 	RecoveredRecords  uint64
@@ -189,6 +195,9 @@ func (s *Server) Snapshot() Snapshot {
 		WALAppends:             s.walAppends.Load(),
 		WALBytes:               s.walBytes.Load(),
 		WALFsyncs:              s.walFsyncs.Load(),
+		WALGroupCommits:        s.walGroupCommits.Load(),
+		WALGroupRecords:        s.walGroupRecords.Load(),
+		WALSyncNs:              s.walSyncNs.Load(),
 		Snapshots:              s.snapshots.Load(),
 		Recoveries:             s.recoveries.Load(),
 		RecoveredRecords:       s.recoveredRecords.Load(),
@@ -209,6 +218,27 @@ func (s *Server) AddWALAppend(bytes int) {
 
 // AddWALFsync records one fsync of the write-ahead log.
 func (s *Server) AddWALFsync() { s.walFsyncs.Add(1) }
+
+// AddWALGroupCommit records one group commit landing the given number of
+// records with a single write (and fsync); syncNanos is the wall time
+// that fsync took (0 when fsync is disabled).
+func (s *Server) AddWALGroupCommit(records int, syncNanos int64) {
+	s.walGroupCommits.Add(1)
+	s.walGroupRecords.Add(uint64(records))
+	if syncNanos > 0 {
+		s.walSyncNs.Add(uint64(syncNanos))
+	}
+}
+
+// WALGroupSizeAvg returns the average number of records landed per group
+// commit (0 before the first commit) — the WAL's syscall amortization
+// factor.
+func (sn Snapshot) WALGroupSizeAvg() float64 {
+	if sn.WALGroupCommits == 0 {
+		return 0
+	}
+	return float64(sn.WALGroupRecords) / float64(sn.WALGroupCommits)
+}
 
 // AddSnapshot records one full-state snapshot written (WAL rotation).
 func (s *Server) AddSnapshot() { s.snapshots.Add(1) }

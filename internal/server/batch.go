@@ -114,7 +114,8 @@ func (e *Engine) HandleUpdateScratch(u wire.PositionUpdate, sc *UpdateScratch) (
 // batch before any state changes; a WAL append failure withholds the
 // whole reply (clients resend, and replay re-derives the firings) — the
 // same discipline as HandleUpdate. One combined FiredRec per user is
-// logged, not one per update.
+// logged, not one per update, and all of the batch's FiredRecs land as
+// one store.AppendBatch group commit: a single write(2) and fsync.
 func (e *Engine) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, error) {
 	for _, u := range b.Updates {
 		if err := e.validatePosition(u.Pos); err != nil {
@@ -141,6 +142,7 @@ func (e *Engine) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, error) 
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	reply.Entries = make([]wire.BatchEntry, 0, len(b.Updates))
+	var firedRecs []store.Record
 	for i := range b.Updates {
 		user64 := b.Updates[i].User
 		seenBefore := false
@@ -179,11 +181,16 @@ func (e *Engine) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, error) 
 		}
 		st.mu.Unlock()
 		if len(combined) > 0 {
-			if lerr := e.logRecord(store.FiredRec{User: user64, Alarms: combined}); lerr != nil {
-				return wire.BatchReply{}, lerr
-			}
+			firedRecs = append(firedRecs, store.FiredRec{User: user64, Alarms: combined})
 		}
 		reply.Entries = append(reply.Entries, wire.BatchEntry{User: user64, Msgs: msgs})
+	}
+	// One group commit for the whole batch — a B-user batch costs one
+	// write(2) + one fsync, not B. The write-ahead discipline holds: an
+	// append failure withholds every entry of the reply, and no entry is
+	// released before the group is handed to the OS.
+	if err := e.logRecords(firedRecs); err != nil {
+		return wire.BatchReply{}, err
 	}
 	e.deliverPushes(pushes)
 	return reply, nil

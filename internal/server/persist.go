@@ -124,6 +124,17 @@ func (e *Engine) logRecord(rec store.Record) error {
 	return e.wal.Append(rec)
 }
 
+// logRecords appends a batch of records as one atomic group commit — a
+// single WAL write and fsync for the whole batch. Same failure
+// discipline as logRecord: on error the caller withholds every response
+// the batch covers.
+func (e *Engine) logRecords(recs []store.Record) error {
+	if e.wal == nil || len(recs) == 0 {
+		return nil
+	}
+	return e.wal.AppendBatch(recs)
+}
+
 // InstallAlarms durably installs a batch of alarms: registry insertion,
 // then one InstallRec per alarm (carrying the assigned ID) before the IDs
 // are returned to the caller.

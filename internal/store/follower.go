@@ -49,6 +49,11 @@ type FollowerLog struct {
 	wal     *os.File
 	applier *Applier
 	applied uint64 // records applied over the log's lifetime
+
+	// ApplyBatch scratch, reused across batches under mu: the coalesced
+	// frame buffer for one run and the decoded records awaiting apply.
+	batchBuf  []byte
+	batchRecs []Record
 }
 
 // OpenFollower creates a fresh follower log under dir, wiping anything
@@ -137,6 +142,103 @@ func (l *FollowerLog) Apply(f ReplFrame) (bool, error) {
 	default:
 		return false, fmt.Errorf("%w: unknown type %d", ErrBadReplFrame, f.Type)
 	}
+}
+
+// ApplyBatch folds a batch of replication frames in order, coalescing
+// every run of consecutive applicable record frames into a single WAL
+// write and (per Options.Fsync) a single fsync — the follower half of
+// the primary's group commit. Per-frame validation is identical to
+// Apply: records decode before any byte reaches the WAL, duplicates are
+// skipped, gaps demand a snapshot. On error the valid prefix before the
+// failing frame has been applied and the first failure is reported —
+// the caller resyncs, exactly as for a failed Apply. It returns how
+// many record frames and snapshot frames advanced the log.
+func (l *FollowerLog) ApplyBatch(frames []ReplFrame) (records, snapshots int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return 0, 0, ErrSealed
+	}
+	buf := l.batchBuf[:0]
+	recs := l.batchRecs[:0]
+	vpos := l.pos // position at the end of the pending run
+	flush := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		if _, werr := l.wal.Write(buf); werr != nil {
+			return fmt.Errorf("store: follower wal: %w", werr)
+		}
+		if l.opts.Fsync {
+			if serr := l.wal.Sync(); serr != nil {
+				return fmt.Errorf("store: follower wal: %w", serr)
+			}
+		}
+		for _, rec := range recs {
+			l.applier.Apply(rec)
+		}
+		l.applied += uint64(len(recs))
+		l.pos = vpos
+		records += len(recs)
+		buf, recs = buf[:0], recs[:0]
+		return nil
+	}
+loop:
+	for _, f := range frames {
+		if f.Term < l.term {
+			err = fmt.Errorf("%w: frame term %d below %d", ErrBadReplFrame, f.Term, l.term)
+			break
+		}
+		l.term = f.Term
+		switch f.Type {
+		case ReplHeartbeat:
+			// Term refreshed above; a heartbeat does not break a run.
+		case ReplSnapshot:
+			if err = flush(); err != nil {
+				break loop
+			}
+			if err = l.installSnapshotLocked(f); err != nil {
+				break loop
+			}
+			snapshots++
+			vpos = l.pos
+		case ReplRecord:
+			if !l.synced {
+				err = ErrNeedSnapshot
+				break loop
+			}
+			if f.Gen < l.gen || f.Pos <= vpos {
+				continue // duplicate from before a resync or rotation
+			}
+			if f.Gen > l.gen {
+				err = fmt.Errorf("%w: record for gen %d, follower at %d", ErrNeedSnapshot, f.Gen, l.gen)
+				break loop
+			}
+			if f.Pos != vpos+1 {
+				err = fmt.Errorf("%w: record position %d, follower at %d", ErrNeedSnapshot, f.Pos, vpos)
+				break loop
+			}
+			rec, derr := DecodeRecord(f.Payload)
+			if derr != nil {
+				err = fmt.Errorf("%w: record does not decode: %v", ErrBadReplFrame, derr)
+				break loop
+			}
+			buf = AppendFrame(buf, f.Payload)
+			recs = append(recs, rec)
+			vpos = f.Pos
+		default:
+			err = fmt.Errorf("%w: unknown type %d", ErrBadReplFrame, f.Type)
+			break loop
+		}
+	}
+	if ferr := flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	for i := range recs {
+		recs[i] = nil // drop record references; the backing array is kept
+	}
+	l.batchBuf, l.batchRecs = buf[:0], recs[:0]
+	return records, snapshots, err
 }
 
 // installSnapshotLocked replaces the follower's disk with generation

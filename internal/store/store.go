@@ -1,12 +1,15 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ErrCrashed is returned by every operation after the store has been
@@ -31,7 +34,16 @@ type Counters interface {
 	AddSnapshot()
 	AddRecovery(recordsReplayed int, truncatedBytes int64)
 	AddFencedWrite()
+	// AddWALGroupCommit records one group commit landing the given number
+	// of records; syncNanos is the wall time of the group's fsync (0 when
+	// Fsync is off).
+	AddWALGroupCommit(records int, syncNanos int64)
 }
+
+// DefaultGroupMax is the records-per-group cap when Options.GroupMax is
+// zero. Large enough that a saturated 64-appender workload amortizes its
+// fsync ~64×, small enough that one group buffer stays cache-friendly.
+const DefaultGroupMax = 512
 
 // Options tunes a Store.
 type Options struct {
@@ -48,6 +60,17 @@ type Options struct {
 	// mirroring the engine's cap so replay reproduces its evictions
 	// (0 means DefaultPendingCap).
 	PendingCap int
+	// GroupMax caps how many records one group commit lands with a single
+	// write(2) and fsync (0 means DefaultGroupMax; 1 degenerates to
+	// per-record commit). An AppendBatch larger than the cap still lands
+	// atomically as one oversized group — a batch is never split.
+	GroupMax int
+	// GroupWait is how long a flush leader holds the commit queue open
+	// before landing a group, trading commit latency for larger groups
+	// under light concurrency. 0 (the default) flushes immediately:
+	// concurrent callers already coalesce while the leader's flush is in
+	// flight, with no added latency.
+	GroupWait time.Duration
 	// Counters receives wal/snapshot/recovery metrics; nil is allowed.
 	Counters Counters
 }
@@ -98,6 +121,20 @@ type Store struct {
 	appendsEver int // lifetime appends, for CrashPoint matching
 	crashPoints []CrashPoint
 
+	// qmu guards the commit queue alone. Appenders enqueue under qmu and
+	// then contend for s.mu; whoever wins with its request still pending
+	// is the flush leader and lands the whole queue as one group. Lock
+	// order: qmu is taken either alone or inside s.mu, never around it.
+	qmu   sync.Mutex
+	queue []*commitReq
+
+	// Flush-leader scratch, touched only under s.mu: the spare queue
+	// backing array the leader swaps in, the gathered group write buffer,
+	// and the per-record frame-end offsets within it.
+	spareQ   []*commitReq
+	groupBuf []byte
+	groupEnd []int
+
 	// pos is the lifetime record position: it advances by one per
 	// appended record and survives checkpoint rotations, giving the
 	// replication stream a monotonic coordinate.
@@ -109,12 +146,13 @@ type Store struct {
 	term       uint64
 	termSource func() uint64
 
-	// replSink receives one frame per appended record and per checkpoint
-	// (the new snapshot generation). It is called with s.mu held —
-	// before the append's caller can release its client-visible
-	// response — so every acknowledged write reaches the sink. It must
-	// not call back into the store.
-	replSink func(ReplFrame)
+	// replSink receives one frame batch per group commit (one ReplRecord
+	// frame per record in the group, in append order) and a single-frame
+	// batch per checkpoint (the new snapshot generation). It is called
+	// with s.mu held — before any append in the group can release its
+	// client-visible response — so every acknowledged write reaches the
+	// sink. It must not call back into the store.
+	replSink func([]ReplFrame)
 
 	// stateSource captures the current full state for checkpoints; the
 	// engine installs it. It is called with s.mu held, so it must not
@@ -254,67 +292,282 @@ func (s *Store) SetCrashPoints(pts []CrashPoint) {
 	s.crashPoints = append([]CrashPoint(nil), pts...)
 }
 
+// commitReq is one caller's stake in a group commit: its records,
+// already encoded and framed, and the completion flag its waiter
+// re-checks under s.mu. Requests are pooled; buf and offs keep their
+// capacity across uses, which is what keeps the append hot path
+// allocation-free in steady state.
+type commitReq struct {
+	buf   []byte // framed records, concatenated
+	offs  []int  // per record: payload start, payload end within buf
+	nrecs int
+	done  bool // written and read only under s.mu
+	err   error
+}
+
+var commitReqPool = sync.Pool{New: func() any { return new(commitReq) }}
+
+func getCommitReq() *commitReq {
+	req := commitReqPool.Get().(*commitReq)
+	req.buf = req.buf[:0]
+	req.offs = req.offs[:0]
+	req.nrecs = 0
+	req.done = false
+	req.err = nil
+	return req
+}
+
+// addRecord encodes rec and frames it in place at the tail of the
+// request buffer: header space is reserved, the record encodes directly
+// after it, and the length/CRC backfill — no intermediate payload copy.
+func (req *commitReq) addRecord(rec Record) {
+	hdr := len(req.buf)
+	req.buf = append(req.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	pstart := len(req.buf)
+	req.buf = rec.appendTo(req.buf)
+	payload := req.buf[pstart:]
+	binary.BigEndian.PutUint32(req.buf[hdr:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(req.buf[hdr+4:], crc32.ChecksumIEEE(payload))
+	req.offs = append(req.offs, pstart, len(req.buf))
+	req.nrecs++
+}
+
 // Append frames, writes and (per Options.Fsync) syncs one record. It
 // returns only after the bytes are handed to the OS — the caller releases
 // the client-visible response afterwards, which is the write-ahead
 // discipline. On any failure the store is dead (ErrCrashed) and stays so.
+//
+// Concurrent callers group-commit: each enqueues its pre-framed record
+// and the first to take the store lock becomes the flush leader, landing
+// every queued record with one write(2) and (when Fsync is on) one fsync
+// before waking the group. A single-threaded caller forms groups of one
+// and behaves exactly like the historical per-record path.
 func (s *Store) Append(rec Record) error {
-	payload := EncodeRecord(rec)
-	frame := Frame(payload)
+	req := getCommitReq()
+	req.addRecord(rec)
+	return s.commit(req)
+}
+
+// AppendBatch commits a batch of records as one atomic group: one WAL
+// frame per record, all landed in order with a single write (and single
+// fsync) and no foreign record interleaved between them. Either every
+// record is handed to the OS or the batch returns an error and none of
+// it may be acknowledged. An empty batch is a no-op.
+func (s *Store) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	req := getCommitReq()
+	for _, rec := range recs {
+		req.addRecord(rec)
+	}
+	return s.commit(req)
+}
+
+// commit enqueues req and blocks until a flush leader — possibly this
+// caller — completes it. Termination invariant: a request is either
+// completed or still in the queue, and flushQueueLocked always drains
+// the whole queue, so the first pass through the loop body either
+// observes done or flushes the queue containing req.
+func (s *Store) commit(req *commitReq) error {
+	s.qmu.Lock()
+	s.queue = append(s.queue, req)
+	s.qmu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	for !req.done {
+		s.flushQueueLocked()
+	}
+	s.mu.Unlock()
+	err := req.err
+	commitReqPool.Put(req)
+	return err
+}
+
+// flushQueueLocked is the group-commit leader: it swaps the commit queue
+// out and lands the drained requests in GroupMax-record chunks, each one
+// write(2) + one fsync. Runs with s.mu held.
+func (s *Store) flushQueueLocked() {
+	if s.opts.GroupWait > 0 && !s.crashed {
+		// Hold the group open: appenders keep enqueueing under qmu while
+		// the leader sleeps, growing the group this flush will land.
+		time.Sleep(s.opts.GroupWait)
+	}
+	s.qmu.Lock()
+	batch := s.queue
+	s.queue = s.spareQ[:0]
+	s.qmu.Unlock()
+	s.spareQ = batch // the two backing arrays rotate; emptied below
+
+	max := s.opts.GroupMax
+	if max <= 0 {
+		max = DefaultGroupMax
+	}
+	for start := 0; start < len(batch); {
+		end, nrecs := start, 0
+		for end < len(batch) && (nrecs == 0 || nrecs+batch[end].nrecs <= max) {
+			nrecs += batch[end].nrecs
+			end++
+		}
+		s.flushChunkLocked(batch[start:end], nrecs)
+		start = end
+	}
+	for i := range batch {
+		batch[i] = nil // completed; waiters own them again once s.mu drops
+	}
+}
+
+// flushChunkLocked lands one chunk of requests as a single group commit,
+// with the same check ordering as the historical per-record Append:
+// crashed → fence → crash points → write → fsync → positions → repl sink
+// → fence re-check → checkpoint. Every request in the chunk completes
+// with the same verdict — the group is atomic to its callers.
+func (s *Store) flushChunkLocked(chunk []*commitReq, nrecs int) {
 	if s.crashed {
-		return ErrCrashed
+		completeChunk(chunk, ErrCrashed)
+		return
 	}
 	if err := s.fenceCheckLocked(); err != nil {
-		return err
+		s.countExtraFencedLocked(nrecs - 1)
+		completeChunk(chunk, err)
+		return
 	}
-	s.appendsEver++
-	for _, cp := range s.crashPoints {
-		if cp.AfterAppends == s.appendsEver {
-			s.executeCrashLocked(cp, frame)
-			return ErrCrashed
+
+	// Gather the chunk into one contiguous group buffer, remembering each
+	// record's frame-end offset so a scripted crash can tear mid-group.
+	gb := s.groupBuf[:0]
+	ends := s.groupEnd[:0]
+	for _, req := range chunk {
+		base := len(gb)
+		gb = append(gb, req.buf...)
+		for r := 0; r < req.nrecs; r++ {
+			ends = append(ends, base+req.offs[2*r+1])
 		}
 	}
-	if _, err := s.wal.Write(frame); err != nil {
+	s.groupBuf = gb
+	s.groupEnd = ends
+
+	// Scripted crash points count lifetime appends record by record, as
+	// if the group were individual Appends. A hit kills the whole group:
+	// records before the hit land whole, the hit record tears per the
+	// script, nothing after it reaches the file — and no waiter in the
+	// group acks, because completed-but-unacknowledged durable records
+	// replay idempotently while an acknowledged-but-torn one would not.
+	for i := 0; i < nrecs; i++ {
+		s.appendsEver++
+		for _, cp := range s.crashPoints {
+			if cp.AfterAppends == s.appendsEver {
+				frameStart := 0
+				if i > 0 {
+					frameStart = ends[i-1]
+				}
+				s.executeCrashLocked(cp, gb[:ends[i]], frameStart)
+				completeChunk(chunk, ErrCrashed)
+				return
+			}
+		}
+	}
+
+	if _, err := s.wal.Write(gb); err != nil {
 		s.crashed = true
-		return fmt.Errorf("%w: %v", ErrCrashed, err)
+		completeChunk(chunk, fmt.Errorf("%w: %v", ErrCrashed, err))
+		return
 	}
-	if s.opts.Counters != nil {
-		s.opts.Counters.AddWALAppend(len(frame))
-	}
+	var syncNs int64
 	if s.opts.Fsync {
+		t0 := time.Now()
 		if err := s.wal.Sync(); err != nil {
 			s.crashed = true
-			return fmt.Errorf("%w: %v", ErrCrashed, err)
+			completeChunk(chunk, fmt.Errorf("%w: %v", ErrCrashed, err))
+			return
 		}
-		if s.opts.Counters != nil {
-			s.opts.Counters.AddWALFsync()
-		}
+		syncNs = time.Since(t0).Nanoseconds()
 	}
-	s.appends++
-	s.pos++
+	if c := s.opts.Counters; c != nil {
+		prev := 0
+		for _, end := range ends {
+			c.AddWALAppend(end - prev)
+			prev = end
+		}
+		if s.opts.Fsync {
+			c.AddWALFsync()
+		}
+		c.AddWALGroupCommit(nrecs, syncNs)
+	}
+	s.appends += nrecs
+	basePos := s.pos
+	s.pos += uint64(nrecs)
+
 	if s.replSink != nil {
-		s.replSink(ReplFrame{Type: ReplRecord, Term: s.term, Gen: s.gen, Pos: s.pos, Payload: payload})
+		// The frames' payloads must outlive the pooled request buffers —
+		// async followers retain them until the next pump — so the group
+		// gets one fresh payload allocation, sliced per record.
+		data := make([]byte, 0, payloadBytes(chunk))
+		frames := make([]ReplFrame, 0, nrecs)
+		pos := basePos
+		for _, req := range chunk {
+			for r := 0; r < req.nrecs; r++ {
+				pstart, pend := req.offs[2*r], req.offs[2*r+1]
+				off := len(data)
+				data = append(data, req.buf[pstart:pend]...)
+				pos++
+				frames = append(frames, ReplFrame{
+					Type: ReplRecord, Term: s.term, Gen: s.gen, Pos: pos,
+					Payload: data[off:len(data):len(data)],
+				})
+			}
+		}
+		s.replSink(frames)
 	}
 	// Re-validate the term now that the sink has run. A promotion that
 	// completed between the pre-write check and the sink call (Promote
 	// holds only the replicator's lock, not ours) has already reset every
-	// follower for resync — the frame the sink just delivered was
-	// dropped, so acknowledging this append would lose it. The record
-	// exists only in this deposed primary's own WAL: a duplicate if the
+	// follower for resync — the frames the sink just delivered were
+	// dropped, so acknowledging this group would lose it. The records
+	// exist only in this deposed primary's own WAL: duplicates if the
 	// log ever rejoins, never a loss. The sink runs under the
 	// replicator's lock and the term bumps before Promote takes it, so
-	// if the frame was dropped the newer term is visible here.
+	// if the frames were dropped the newer term is visible here.
 	if err := s.fenceCheckLocked(); err != nil {
-		return err
+		s.countExtraFencedLocked(nrecs - 1)
+		completeChunk(chunk, err)
+		return
 	}
 	if s.opts.SnapshotEvery > 0 && s.appends >= s.opts.SnapshotEvery && s.stateSource != nil {
 		if err := s.checkpointLocked(s.stateSource()); err != nil {
-			return err
+			completeChunk(chunk, err)
+			return
 		}
 	}
-	return nil
+	completeChunk(chunk, nil)
+}
+
+// completeChunk hands every request in the chunk its verdict; the
+// waiters observe done under s.mu once the leader releases it.
+func completeChunk(chunk []*commitReq, err error) {
+	for _, req := range chunk {
+		req.err = err
+		req.done = true
+	}
+}
+
+// payloadBytes is the chunk's total un-framed record payload size.
+func payloadBytes(chunk []*commitReq) int {
+	n := 0
+	for _, req := range chunk {
+		n += len(req.buf) - req.nrecs*frameHeader
+	}
+	return n
+}
+
+// countExtraFencedLocked books the fenced-write counter for the records
+// of a fenced group beyond the one fenceCheckLocked already counted.
+func (s *Store) countExtraFencedLocked(n int) {
+	if s.opts.Counters == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.opts.Counters.AddFencedWrite()
+	}
 }
 
 // fenceCheckLocked rejects the write with ErrFenced when the shared
@@ -333,15 +586,17 @@ func (s *Store) fenceCheckLocked() error {
 	return nil
 }
 
-// executeCrashLocked applies a scripted kill: a torn prefix of the frame,
-// optional trailing garbage, an optional bit flip, then death.
-func (s *Store) executeCrashLocked(cp CrashPoint, frame []byte) {
+// executeCrashLocked applies a scripted kill to a group: every byte of
+// group before frameStart (the earlier records of the group) lands
+// whole, then a torn prefix of the final frame, optional trailing
+// garbage, an optional bit flip, then death.
+func (s *Store) executeCrashLocked(cp CrashPoint, group []byte, frameStart int) {
 	tear := cp.TearBytes
-	if tear > len(frame) {
+	if frame := group[frameStart:]; tear > len(frame) {
 		tear = len(frame)
 	}
-	if tear > 0 {
-		s.wal.Write(frame[:tear])
+	if frameStart+tear > 0 {
+		s.wal.Write(group[:frameStart+tear])
 	}
 	if len(cp.Garbage) > 0 {
 		s.wal.Write(cp.Garbage)
@@ -424,7 +679,7 @@ func (s *Store) checkpointLocked(state *State) error {
 	if s.replSink != nil {
 		// Followers rotate to the new generation through a snapshot frame;
 		// a follower that misses it detects the gap and resyncs.
-		s.replSink(ReplFrame{Type: ReplSnapshot, Term: s.term, Gen: s.gen, Pos: s.pos, Payload: EncodeState(state)})
+		s.replSink([]ReplFrame{{Type: ReplSnapshot, Term: s.term, Gen: s.gen, Pos: s.pos, Payload: EncodeState(state)}})
 	}
 	return nil
 }
@@ -514,12 +769,14 @@ func (s *Store) SetTermSource(f func() uint64) {
 	s.termSource = f
 }
 
-// SetReplSink installs the replication stream hook: one ReplRecord
-// frame per appended record, one ReplSnapshot frame per checkpoint. The
-// sink runs with s.mu held — before the append's caller can release its
-// response — so every acknowledged write is in the stream. It must not
-// call back into the store.
-func (s *Store) SetReplSink(f func(ReplFrame)) {
+// SetReplSink installs the replication stream hook: one batch of
+// ReplRecord frames per group commit (in append order) and a one-frame
+// batch per checkpoint snapshot. The sink runs with s.mu held — before
+// any append in the group can release its response — so every
+// acknowledged write is in the stream. It must not call back into the
+// store. Frame payloads are freshly allocated per group and may be
+// retained by the sink.
+func (s *Store) SetReplSink(f func([]ReplFrame)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.replSink = f

@@ -21,11 +21,18 @@ const (
 
 // Frame wraps a record payload in the WAL framing.
 func Frame(payload []byte) []byte {
-	buf := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint32(buf[0:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
-	copy(buf[frameHeader:], payload)
-	return buf
+	return AppendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+}
+
+// AppendFrame appends payload's WAL framing (header + payload) to dst and
+// returns the extended slice — the allocation-free form of Frame, used by
+// the group-commit paths to gather many frames into one reused buffer.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // ScanFrames parses as many whole, checksum-valid frames as buf holds.
