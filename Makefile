@@ -20,6 +20,13 @@
 #                per-shard replicator/fencing/promotion unit tests and
 #                the kill-primaries-mid-workload delivery-equality
 #                simulations (incl. mid-handoff and mid-merge-drain)
+#   make lifecycle
+#                lifecycle-alarm suite under the race detector: the
+#                continuous/pair/composite state-machine unit tests, the
+#                mid-lifecycle snapshot round-trip and composite-TTL
+#                recovery tests, and the per-strategy delivery-equality
+#                simulations (faults, crash recovery, and a cluster split
+#                that separates a pair's endpoints mid-run)
 #   make bench   engine throughput sweep at 1/2/4/8 procs; writes
 #                BENCH_engine.json via cmd/alarmbench
 #   make bench-cluster
@@ -42,7 +49,7 @@
 
 GO ?= go
 
-.PHONY: tier1 race crash cluster rebalance failover bench bench-cluster bench-wal bench-wal-smoke bench-smoke figures
+.PHONY: tier1 race crash cluster rebalance failover lifecycle bench bench-cluster bench-wal bench-wal-smoke bench-smoke figures
 
 tier1:
 	$(GO) build ./...
@@ -69,6 +76,11 @@ failover:
 	$(GO) test -race -run 'Repl|Follower' ./internal/store/
 	$(GO) test -race -run 'Replication|Failover|Fencing|Promotion|Split' ./internal/cluster/
 	$(GO) test -race -run 'Failover' ./internal/sim/
+
+lifecycle:
+	$(GO) test -race -run 'Continuous|Pair|Composite|Lifecycle|Event|ResetFired' ./internal/alarm/
+	$(GO) test -race -run 'Lifecycle|Composite' ./internal/server/
+	$(GO) test -race -run 'Lifecycle' ./internal/sim/
 
 bench:
 	$(GO) test -run xxx -bench 'Engine(Parallel|Serial)' -cpu 1,2,4,8 -benchtime 2000x .

@@ -36,6 +36,17 @@ type benchEnginePoint struct {
 	SpeedupVsOne float64 `json:"speedup_vs_1"`
 }
 
+// benchWorkloadMix records the alarm-kind fractions of the generated
+// workload so the report is self-describing: lifecycle alarms pay for
+// state-machine evaluation and pair-cap computation on the same hot path
+// the one-shot numbers measure.
+type benchWorkloadMix struct {
+	OneShot    float64 `json:"one_shot"`
+	Continuous float64 `json:"continuous"`
+	Pair       float64 `json:"pair"`
+	Composite  float64 `json:"composite"`
+}
+
 type benchEngineReport struct {
 	Scale      string `json:"scale"`
 	Vehicles   int    `json:"vehicles"`
@@ -47,6 +58,7 @@ type benchEngineReport struct {
 	// measures the fsync-on regime.
 	Fsync       bool               `json:"fsync"`
 	WALGroupMax int                `json:"wal_group_max"`
+	WorkloadMix benchWorkloadMix   `json:"workload_mix"`
 	Series      []benchEnginePoint `json:"series"`
 }
 
@@ -61,6 +73,9 @@ func runBenchEngine(opts options) error {
 	if err != nil {
 		return err
 	}
+	// Mixed-lifecycle workload: 70% one-shot / 15% continuous / 10% pair /
+	// 5% composite, so the sweep prices lifecycle evaluation in.
+	cfg.Lifecycle = sim.LifecycleMix{Continuous: 0.15, Pair: 0.10, Composite: 0.05}
 	w, err := sim.BuildWorkload(cfg)
 	if err != nil {
 		return err
@@ -71,6 +86,12 @@ func runBenchEngine(opts options) error {
 		Vehicles:   cfg.Vehicles,
 		Alarms:     len(w.Alarms),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WorkloadMix: benchWorkloadMix{
+			OneShot:    1 - cfg.Lifecycle.Continuous - cfg.Lifecycle.Pair - cfg.Lifecycle.Composite,
+			Continuous: cfg.Lifecycle.Continuous,
+			Pair:       cfg.Lifecycle.Pair,
+			Composite:  cfg.Lifecycle.Composite,
+		},
 	}
 	header := []string{"strategy", "goroutines", "ops/sec", "ns/update", "speedup vs 1"}
 	var rows [][]string

@@ -78,6 +78,27 @@ type Alarm struct {
 	// North'"). Empty means broadcast to everyone — the paper's
 	// evaluation default. Ignored for private and shared alarms.
 	Topic string
+	// Kind selects the alarm's trigger lifecycle (lifecycle.go). The
+	// zero value is the paper's one-shot alarm; the fields below apply
+	// only to the kind that names them.
+	Kind LifecycleKind
+	// Cooldown (continuous, pair) is the minimum number of logical ticks
+	// after an exit before the alarm may fire an entry again (0 = none).
+	Cooldown uint32
+	// Anchor (pair) is the second mobile endpoint; the alarm fires when
+	// Owner and Anchor come within Radius of each other.
+	Anchor UserID
+	// Radius (pair) is the proximity threshold in meters.
+	Radius float64
+	// Factors (composite) are the weighted risk factors; Region is
+	// derived as the union of their bounds.
+	Factors []Factor
+	// Threshold (composite) is the severity at or above which the alarm
+	// fires.
+	Threshold float64
+	// ExpiresAt (composite) is the logical tick at which the alarm
+	// expires and is GC'd (0 = never).
+	ExpiresAt uint64
 }
 
 // RelevantTo reports whether the alarm can trigger for user u, ignoring
@@ -142,6 +163,18 @@ type Registry struct {
 	// topics holds per-user public-alarm topic subscriptions.
 	topics map[UserID]map[string]struct{}
 	nextID ID
+	// lifecycle counts installed non-one-shot alarms: the cheap gate
+	// that keeps lifecycle evaluation out of legacy workloads.
+	lifecycle int
+	// pairsByUser indexes pair alarms by endpoint (pair alarms have no
+	// static region, so the spatial index cannot reach them).
+	pairsByUser map[UserID][]ID
+	// lcStates holds the per-(alarm, user) lifecycle machines of
+	// continuous and pair alarms.
+	lcStates map[pairKey]lcState
+	// insideByUser indexes continuous machines in the Inside phase, so
+	// exit detection is O(regions the user is inside).
+	insideByUser map[UserID]map[ID]struct{}
 }
 
 // NewRegistry returns an empty registry indexed by an R*-tree (the
@@ -154,19 +187,25 @@ func NewRegistry() *Registry {
 // spatial index (used by the index ablation).
 func NewRegistryWithIndex(idx SpatialIndex) *Registry {
 	return &Registry{
-		alarms:   make(map[ID]*Alarm),
-		index:    idx,
-		fired:    make(map[pairKey]struct{}),
-		byTarget: make(map[UserID][]ID),
-		topics:   make(map[UserID]map[string]struct{}),
-		nextID:   1,
+		alarms:       make(map[ID]*Alarm),
+		index:        idx,
+		fired:        make(map[pairKey]struct{}),
+		byTarget:     make(map[UserID][]ID),
+		topics:       make(map[UserID]map[string]struct{}),
+		nextID:       1,
+		pairsByUser:  make(map[UserID][]ID),
+		lcStates:     make(map[pairKey]lcState),
+		insideByUser: make(map[UserID]map[ID]struct{}),
 	}
 }
 
 // Install validates and stores an alarm, assigning its ID. The returned ID
 // identifies the alarm in all other calls.
 func (r *Registry) Install(a Alarm) (ID, error) {
-	if a.Region.Empty() {
+	if err := validateLifecycle(&a); err != nil {
+		return 0, fmt.Errorf("alarm: %w", err)
+	}
+	if a.Kind != KindPair && a.Region.Empty() {
 		return 0, fmt.Errorf("alarm: empty region %v", a.Region)
 	}
 	switch a.Scope {
@@ -179,15 +218,21 @@ func (r *Registry) Install(a Alarm) (ID, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.nextID > MaxLifecycleID {
+		return 0, fmt.Errorf("alarm: ID space exhausted")
+	}
 	a.ID = r.nextID
 	r.nextID++
 	stored := a
 	stored.Subscribers = append([]UserID(nil), a.Subscribers...)
 	r.alarms[stored.ID] = &stored
-	r.index.Insert(rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+	if stored.indexed() {
+		r.index.Insert(rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+	}
 	if stored.Target != 0 {
 		r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
 	}
+	r.trackLifecycleLocked(&stored)
 	return stored.ID, nil
 }
 
@@ -199,7 +244,10 @@ func (r *Registry) Install(a Alarm) (ID, error) {
 func (r *Registry) InstallBatch(alarms []Alarm) ([]ID, error) {
 	for i := range alarms {
 		a := &alarms[i]
-		if a.Region.Empty() {
+		if err := validateLifecycle(a); err != nil {
+			return nil, fmt.Errorf("alarm %d: %w", i, err)
+		}
+		if a.Kind != KindPair && a.Region.Empty() {
 			return nil, fmt.Errorf("alarm %d: empty region %v", i, a.Region)
 		}
 		switch a.Scope {
@@ -214,7 +262,7 @@ func (r *Registry) InstallBatch(alarms []Alarm) ([]ID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ids := make([]ID, len(alarms))
-	items := make([]rstar.Item, len(alarms))
+	items := make([]rstar.Item, 0, len(alarms))
 	for i, a := range alarms {
 		stored := a
 		stored.ID = r.nextID
@@ -224,8 +272,11 @@ func (r *Registry) InstallBatch(alarms []Alarm) ([]ID, error) {
 		if stored.Target != 0 {
 			r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
 		}
+		r.trackLifecycleLocked(&stored)
 		ids[i] = stored.ID
-		items[i] = rstar.Item{ID: uint64(stored.ID), Rect: stored.Region}
+		if stored.indexed() {
+			items = append(items, rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+		}
 	}
 	r.index.InsertBatch(items)
 	return ids, nil
@@ -239,8 +290,11 @@ func (r *Registry) Remove(id ID) bool {
 	if !ok {
 		return false
 	}
-	r.index.Delete(rstar.Item{ID: uint64(id), Rect: a.Region})
+	if a.indexed() {
+		r.index.Delete(rstar.Item{ID: uint64(id), Rect: a.Region})
+	}
 	delete(r.alarms, id)
+	r.untrackLifecycleLocked(a)
 	if a.Target != 0 {
 		ids := r.byTarget[a.Target]
 		for i, v := range ids {
@@ -399,11 +453,23 @@ func (r *Registry) MarkFired(id ID, u UserID) {
 	r.fired[pairKey{alarm: id, user: u}] = struct{}{}
 }
 
-// ResetFired clears all trigger state (used between experiment runs).
+// ResetFired clears all trigger state (used between experiment runs),
+// with explicit per-lifecycle-kind semantics:
+//
+//   - one-shot: fired (alarm, user) pairs are cleared — every alarm can
+//     fire again for every user;
+//   - composite: the once-per-user severity firings live in the same
+//     fired set and are cleared with it (expired alarms are gone from
+//     the registry and do not come back);
+//   - continuous and pair: every lifecycle machine returns to Armed with
+//     a zero occurrence count — the next entry is occurrence 1 again, so
+//     clients that deduplicate delivered events must reset alongside.
 func (r *Registry) ResetFired() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.fired = make(map[pairKey]struct{})
+	r.lcStates = make(map[pairKey]lcState)
+	r.insideByUser = make(map[UserID]map[ID]struct{})
 }
 
 // RelevantIn appends to dst the alarms relevant to user u whose regions
@@ -474,7 +540,9 @@ func (r *Registry) EvaluateInto(p geom.Point, u UserID, dst []ID, raw []uint64) 
 	for _, rawID := range raw {
 		id := ID(rawID)
 		a := r.alarms[id]
-		if a == nil || !r.relevantToLocked(a, u) {
+		// Non-one-shot alarms never trigger here: their transitions come
+		// from EvaluateLifecycleInto, fed the same raw hits.
+		if a == nil || a.Kind != KindOneShot || !r.relevantToLocked(a, u) {
 			continue
 		}
 		if _, gone := r.fired[pairKey{alarm: id, user: u}]; gone {

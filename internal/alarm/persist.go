@@ -57,7 +57,13 @@ func (r *Registry) InstallAssigned(alarms []Alarm) error {
 		if a.ID == 0 {
 			return fmt.Errorf("alarm %d: install assigned: zero ID", i)
 		}
-		if a.Region.Empty() {
+		if a.ID > MaxLifecycleID {
+			return fmt.Errorf("alarm %d: install assigned: ID exceeds event space", a.ID)
+		}
+		if err := validateLifecycle(a); err != nil {
+			return fmt.Errorf("alarm %d: %w", a.ID, err)
+		}
+		if a.Kind != KindPair && a.Region.Empty() {
 			return fmt.Errorf("alarm %d: empty region %v", a.ID, a.Region)
 		}
 		switch a.Scope {
@@ -88,6 +94,10 @@ func (r *Registry) InstallAssigned(alarms []Alarm) error {
 		if stored.ID >= r.nextID {
 			r.nextID = stored.ID + 1
 		}
+		r.trackLifecycleLocked(&stored)
+		if !stored.indexed() {
+			continue
+		}
 		item := rstar.Item{ID: uint64(stored.ID), Rect: stored.Region}
 		if bulk {
 			items = append(items, item)
@@ -116,16 +126,22 @@ func Restore(alarms []Alarm, fired []FiredPair, nextID ID) (*Registry, error) {
 		if _, dup := r.alarms[a.ID]; dup {
 			return nil, fmt.Errorf("alarm: restore: duplicate ID %d", a.ID)
 		}
-		if a.Region.Empty() {
-			return nil, fmt.Errorf("alarm: restore: alarm %d has empty region %v", a.ID, a.Region)
-		}
 		stored := a
 		stored.Subscribers = append([]UserID(nil), a.Subscribers...)
+		if err := validateLifecycle(&stored); err != nil {
+			return nil, fmt.Errorf("alarm: restore: alarm %d: %w", a.ID, err)
+		}
+		if stored.Kind != KindPair && stored.Region.Empty() {
+			return nil, fmt.Errorf("alarm: restore: alarm %d has empty region %v", a.ID, a.Region)
+		}
 		r.alarms[stored.ID] = &stored
 		if stored.Target != 0 {
 			r.byTarget[stored.Target] = append(r.byTarget[stored.Target], stored.ID)
 		}
-		items = append(items, rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+		r.trackLifecycleLocked(&stored)
+		if stored.indexed() {
+			items = append(items, rstar.Item{ID: uint64(stored.ID), Rect: stored.Region})
+		}
 		if stored.ID >= r.nextID {
 			r.nextID = stored.ID + 1
 		}

@@ -21,15 +21,25 @@ type snapshot struct {
 	NextID  ID              `json:"nextId"`
 	Alarms  []snapshotAlarm `json:"alarms"`
 	Fired   []snapshotPair  `json:"fired"`
+	// Lifecycle carries the continuous/pair machines mid-lifecycle, so a
+	// restart resumes every Armed/Inside phase and occurrence count.
+	Lifecycle []LifecycleState `json:"lifecycle,omitempty"`
 }
 
 type snapshotAlarm struct {
-	ID          ID         `json:"id"`
-	Scope       Scope      `json:"scope"`
-	Owner       UserID     `json:"owner"`
-	Subscribers []UserID   `json:"subscribers,omitempty"`
-	Region      [4]float64 `json:"region"` // MinX, MinY, MaxX, MaxY
-	Target      UserID     `json:"target,omitempty"`
+	ID          ID            `json:"id"`
+	Scope       Scope         `json:"scope"`
+	Owner       UserID        `json:"owner"`
+	Subscribers []UserID      `json:"subscribers,omitempty"`
+	Region      [4]float64    `json:"region"` // MinX, MinY, MaxX, MaxY
+	Target      UserID        `json:"target,omitempty"`
+	Kind        LifecycleKind `json:"kind,omitempty"`
+	Cooldown    uint32        `json:"cooldown,omitempty"`
+	Anchor      UserID        `json:"anchor,omitempty"`
+	Radius      float64       `json:"radius,omitempty"`
+	Factors     []Factor      `json:"factors,omitempty"`
+	Threshold   float64       `json:"threshold,omitempty"`
+	ExpiresAt   uint64        `json:"expiresAt,omitempty"`
 }
 
 type snapshotPair struct {
@@ -51,10 +61,23 @@ func (r *Registry) Snapshot(w io.Writer) error {
 			Subscribers: append([]UserID(nil), a.Subscribers...),
 			Region:      [4]float64{a.Region.MinX, a.Region.MinY, a.Region.MaxX, a.Region.MaxY},
 			Target:      a.Target,
+			Kind:        a.Kind,
+			Cooldown:    a.Cooldown,
+			Anchor:      a.Anchor,
+			Radius:      a.Radius,
+			Factors:     append([]Factor(nil), a.Factors...),
+			Threshold:   a.Threshold,
+			ExpiresAt:   a.ExpiresAt,
 		})
 	}
 	for k := range r.fired {
 		snap.Fired = append(snap.Fired, snapshotPair{Alarm: k.alarm, User: k.user})
+	}
+	for k, st := range r.lcStates {
+		snap.Lifecycle = append(snap.Lifecycle, LifecycleState{
+			Alarm: k.alarm, User: uint64(k.user),
+			Inside: st.inside, Occur: st.occur, LastTick: st.lastTick,
+		})
 	}
 	r.mu.RUnlock()
 
@@ -65,6 +88,7 @@ func (r *Registry) Snapshot(w io.Writer) error {
 		}
 		return snap.Fired[i].User < snap.Fired[j].User
 	})
+	sortLifecycleStates(snap.Lifecycle)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(snap); err != nil {
@@ -89,7 +113,7 @@ func LoadRegistry(rd io.Reader) (*Registry, error) {
 	maxID := ID(0)
 	for _, sa := range snap.Alarms {
 		region := geom.Rect{MinX: sa.Region[0], MinY: sa.Region[1], MaxX: sa.Region[2], MaxY: sa.Region[3]}
-		if region.Empty() {
+		if sa.Kind != KindPair && region.Empty() {
 			return nil, fmt.Errorf("alarm: snapshot alarm %d has empty region", sa.ID)
 		}
 		switch sa.Scope {
@@ -107,12 +131,25 @@ func LoadRegistry(rd io.Reader) (*Registry, error) {
 			Subscribers: append([]UserID(nil), sa.Subscribers...),
 			Region:      region,
 			Target:      sa.Target,
+			Kind:        sa.Kind,
+			Cooldown:    sa.Cooldown,
+			Anchor:      sa.Anchor,
+			Radius:      sa.Radius,
+			Factors:     append([]Factor(nil), sa.Factors...),
+			Threshold:   sa.Threshold,
+			ExpiresAt:   sa.ExpiresAt,
+		}
+		if err := validateLifecycle(a); err != nil {
+			return nil, fmt.Errorf("alarm: snapshot alarm %d: %w", sa.ID, err)
 		}
 		r.alarms[a.ID] = a
 		if a.Target != 0 {
 			r.byTarget[a.Target] = append(r.byTarget[a.Target], a.ID)
 		}
-		items = append(items, rstar.Item{ID: uint64(a.ID), Rect: a.Region})
+		r.trackLifecycleLocked(a)
+		if a.indexed() {
+			items = append(items, rstar.Item{ID: uint64(a.ID), Rect: a.Region})
+		}
 		if a.ID > maxID {
 			maxID = a.ID
 		}
@@ -128,5 +165,6 @@ func LoadRegistry(rd io.Reader) (*Registry, error) {
 	if r.nextID <= maxID {
 		r.nextID = maxID + 1
 	}
+	r.ApplyLifecycleStates(snap.Lifecycle)
 	return r, nil
 }

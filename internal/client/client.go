@@ -115,9 +115,12 @@ func (c *Client) SafeNow(tick int, pos geom.Point) bool {
 		return c.hasPeriod && tick < c.safeUntil
 	case wire.StrategyMWPSR:
 		c.met.AddCheck(1)
+		if c.expired(tick) {
+			return false
+		}
 		return c.hasRect && c.rect.ContainsStrict(pos)
 	case wire.StrategyPBSR:
-		if c.region == nil {
+		if c.region == nil || c.expired(tick) {
 			return false
 		}
 		inside, probes := c.region.ContainsProbes(pos)
@@ -133,7 +136,7 @@ func (c *Client) SafeNow(tick int, pos geom.Point) bool {
 		c.met.AddCheck(probes)
 		return inside
 	case wire.StrategyOptimal:
-		if !c.hasCell {
+		if !c.hasCell || c.expired(tick) {
 			return false
 		}
 		// Full local evaluation against every pushed alarm: this is the
@@ -151,6 +154,16 @@ func (c *Client) SafeNow(tick int, pos geom.Point) bool {
 	default:
 		return false
 	}
+}
+
+// expired reports whether a server-issued time cap on the client's region
+// has run out. For non-SP strategies the cap rides along with lifecycle
+// (pair-alarm) responses: the spatial region stays sound against static
+// regions, but past the cap the partner may have closed the distance, so
+// the client must report. Legacy responses carry no cap (hasPeriod stays
+// false) and behave exactly as before.
+func (c *Client) expired(tick int) bool {
+	return c.hasPeriod && tick >= c.safeUntil
 }
 
 // Report unconditionally generates a position report, advancing the seq.
@@ -217,6 +230,7 @@ func (c *Client) Handle(tick int, m wire.Message) error {
 		if !c.acceptSeq(v.Seq) {
 			return nil
 		}
+		c.applyCap(tick, v.Cap)
 		if c.strategy == wire.StrategyPBSR {
 			// Quick-update patch: extend the bitmap region with a
 			// rectangle proven safe by the server.
@@ -236,6 +250,7 @@ func (c *Client) Handle(tick int, m wire.Message) error {
 		if err != nil {
 			return fmt.Errorf("client %d: decode bitmap: %w", c.user, err)
 		}
+		c.applyCap(tick, v.Cap)
 		c.region = reg
 		c.patches = c.patches[:0] // patches belong to the previous bitmap
 		return nil
@@ -254,15 +269,37 @@ func (c *Client) Handle(tick int, m wire.Message) error {
 		if !c.acceptSeq(v.Seq) {
 			return nil
 		}
+		c.applyCap(tick, v.Cap)
 		c.cell, c.hasCell = v.Cell, true
 		c.alarms = append(c.alarms[:0], v.Alarms...)
 		return nil
 	case wire.Ack:
-		c.acceptSeq(v.Seq)
+		if c.acceptSeq(v.Seq) {
+			c.applyCap(tick, v.Cap)
+		}
 		return nil
 	default:
 		return fmt.Errorf("client %d: unexpected message %v", c.user, m.Kind())
 	}
+}
+
+// applyCap installs the time cap a monitoring-state message carries in its
+// Cap field: 0 clears any previous cap (the server vouches there is no
+// pair alarm limiting this region), v > 0 expires the proof v-1 ticks
+// after receipt. Because the cap rides inside the same wire message as the
+// region it limits, a lossy link can never deliver the region while
+// dropping its cap. SP clients keep their period — it IS their monitoring
+// state, replaced only by SafePeriod messages.
+func (c *Client) applyCap(tick int, cap uint32) {
+	if c.strategy == wire.StrategySafePeriod {
+		return
+	}
+	if cap == 0 {
+		c.hasPeriod = false
+		return
+	}
+	c.safeUntil = tick + int(cap) - 1
+	c.hasPeriod = true
 }
 
 // Acknowledge clears the awaiting flag for strategies that get no

@@ -378,7 +378,10 @@ func (c *Cluster) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
 		margin := c.marginRect(rect)
 		var batch []alarm.Alarm
 		for _, a := range assigned {
-			if a.Region.Intersects(margin) {
+			// Pair alarms follow their endpoints, which any shard may
+			// serve (or come to serve after a repartition), so every live
+			// shard gets a copy; region alarms go where the margin says.
+			if a.Kind == alarm.KindPair || a.Region.Intersects(margin) {
 				batch = append(batch, a)
 			}
 		}
@@ -390,6 +393,23 @@ func (c *Cluster) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
 		}
 	}
 	return ids, nil
+}
+
+// SetTick advances every live shard's logical clock — lifecycle
+// transitions and composite TTL expiry are tick-driven, and each shard
+// logs its own expiry records. Down shards catch up on their next tick
+// after recovery (the clock only moves forward). The first shard error
+// is returned after all shards were ticked.
+func (c *Cluster) SetTick(tick uint64) error {
+	var firstErr error
+	for _, s := range c.part.Load().Shards() {
+		if eng := c.Engine(s); eng != nil {
+			if err := eng.SetTick(tick); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // SetCrashPoint arms a one-shot scripted failure (tests only): the next
@@ -484,7 +504,7 @@ func (c *Cluster) SplitShard(shard int) (int, error) {
 	var adopt []alarm.Alarm
 	adopted := make(map[alarm.ID]bool)
 	for _, a := range src.Registry().All() {
-		if a.Region.Intersects(margin) {
+		if a.Kind == alarm.KindPair || a.Region.Intersects(margin) {
 			adopt = append(adopt, a)
 			adopted[a.ID] = true
 		}
@@ -495,7 +515,7 @@ func (c *Cluster) SplitShard(shard int) (int, error) {
 			fired = append(fired, p)
 		}
 	}
-	if err := eng.AdoptAlarms(adopt, fired); err != nil {
+	if err := eng.AdoptAlarms(adopt, fired, src.Registry().LifecycleStatesForAlarms(adopted)); err != nil {
 		return 0, fmt.Errorf("cluster: split: adopt alarms on shard %d: %w", newShard, err)
 	}
 
@@ -589,7 +609,7 @@ func (c *Cluster) MergeShards(into, from int) error {
 
 	// Widening into's responsibility is sound only once its alarm table
 	// covers the widened margin — adopt before commit.
-	if err := intoEng.AdoptAlarms(fromEng.Registry().All(), fromEng.Registry().FiredPairs()); err != nil {
+	if err := intoEng.AdoptAlarms(fromEng.Registry().All(), fromEng.Registry().FiredPairs(), fromEng.Registry().LifecycleStates()); err != nil {
 		return fmt.Errorf("cluster: merge: adopt alarms on shard %d: %w", into, err)
 	}
 	parentRect, _ := next.RectOf(into)

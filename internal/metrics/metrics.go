@@ -109,6 +109,14 @@ type Server struct {
 	// Handoff counters (cluster shard membership changes).
 	sessionsExported atomic.Uint64
 	sessionsImported atomic.Uint64
+
+	// Lifecycle alarm counters: per-kind installed-alarm gauges and the
+	// cumulative count of lifecycle transitions (enter/exit/severity)
+	// delivered.
+	alarmsContinuous atomic.Uint64
+	alarmsPair       atomic.Uint64
+	alarmsComposite  atomic.Uint64
+	alarmTransitions atomic.Uint64
 }
 
 // Snapshot is a consistent-enough point-in-time copy of the server
@@ -159,6 +167,11 @@ type Snapshot struct {
 
 	SessionsExported uint64
 	SessionsImported uint64
+
+	AlarmsContinuous uint64 `json:"alarms_continuous"`
+	AlarmsPair       uint64 `json:"alarms_pair"`
+	AlarmsComposite  uint64 `json:"alarms_composite"`
+	AlarmTransitions uint64 `json:"alarm_transitions"`
 }
 
 // NewServer returns a counter set using the given cost model.
@@ -207,8 +220,24 @@ func (s *Server) Snapshot() Snapshot {
 		FencedWrites:           s.fencedWrites.Load(),
 		SessionsExported:       s.sessionsExported.Load(),
 		SessionsImported:       s.sessionsImported.Load(),
+		AlarmsContinuous:       s.alarmsContinuous.Load(),
+		AlarmsPair:             s.alarmsPair.Load(),
+		AlarmsComposite:        s.alarmsComposite.Load(),
+		AlarmTransitions:       s.alarmTransitions.Load(),
 	}
 }
+
+// SetAlarmKinds sets the per-kind installed-alarm gauges (continuous,
+// pair, composite); one-shot alarms are the registry total minus the sum.
+func (s *Server) SetAlarmKinds(continuous, pair, composite uint64) {
+	s.alarmsContinuous.Store(continuous)
+	s.alarmsPair.Store(pair)
+	s.alarmsComposite.Store(composite)
+}
+
+// AddAlarmTransitions records delivered lifecycle transitions
+// (enter/exit re-arms and composite severity firings).
+func (s *Server) AddAlarmTransitions(n uint64) { s.alarmTransitions.Add(n) }
 
 // AddWALAppend records one durable log append of the given framed size.
 func (s *Server) AddWALAppend(bytes int) {

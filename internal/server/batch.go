@@ -86,13 +86,20 @@ func (e *Engine) HandleUpdateScratch(u wire.PositionUpdate, sc *UpdateScratch) (
 	pushes := e.moveTargetPushes(reg, user, u.Pos)
 
 	st.mu.Lock()
-	out, newFired, err := e.processUpdate(reg, u, user, st, sc, sc.out[:0], true, true)
+	out, newFired, newTrans, err := e.processUpdate(reg, u, user, st, sc, sc.out[:0], true, true)
 	st.mu.Unlock()
 	sc.out = out
 
-	if err == nil && len(newFired) > 0 {
-		if lerr := e.logRecord(store.FiredRec{User: u.User, Alarms: newFired}); lerr != nil {
+	if err == nil {
+		if lerr := e.logFired(u.User, newFired, newTrans); lerr != nil {
 			return nil, lerr
+		}
+		if reg.IsPairEndpoint(user) {
+			wrecs, wpushes := e.wakePartners(reg, user)
+			if lerr := e.logRecords(wrecs); lerr != nil {
+				return nil, lerr
+			}
+			pushes = append(pushes, wpushes...)
 		}
 	}
 	e.deliverPushes(pushes)
@@ -164,26 +171,52 @@ func (e *Engine) HandleUpdateBatch(b wire.UpdateBatch) (wire.BatchReply, error) 
 		user := alarm.UserID(user64)
 		st := e.clientFor(user, wire.StrategyPeriodic)
 		var msgs []wire.Message
-		var combined []uint64
+		var combined, combinedTrans []uint64
 		st.mu.Lock()
 		for j := i; j <= last; j++ {
 			if b.Updates[j].User != user64 {
 				continue
 			}
-			var newFired []uint64
+			var newFired, newTrans []uint64
 			var err error
-			msgs, newFired, err = e.processUpdate(reg, b.Updates[j], user, st, sc, msgs, false, j == last)
+			msgs, newFired, newTrans, err = e.processUpdate(reg, b.Updates[j], user, st, sc, msgs, false, j == last)
 			if err != nil {
 				st.mu.Unlock()
 				return wire.BatchReply{}, err
 			}
 			combined = append(combined, newFired...)
+			combinedTrans = append(combinedTrans, newTrans...)
 		}
 		st.mu.Unlock()
-		if len(combined) > 0 {
-			firedRecs = append(firedRecs, store.FiredRec{User: user64, Alarms: combined})
+		if len(combined) > 0 || len(combinedTrans) > 0 {
+			all := append(append([]uint64(nil), combined...), combinedTrans...)
+			firedRecs = append(firedRecs, store.FiredRec{User: user64, Alarms: all})
+			tick := e.tick.Load()
+			for _, ev := range combinedTrans {
+				firedRecs = append(firedRecs, store.TransitionRec{User: user64, Event: ev, Tick: tick, Delivered: true})
+			}
 		}
 		reply.Entries = append(reply.Entries, wire.BatchEntry{User: user64, Msgs: msgs})
+	}
+	// Pair endpoints that reported in this batch wake their partners once,
+	// after every group has settled, against each reporter's final anchor.
+	if reg.HasLifecycle() {
+		for i := range b.Updates {
+			user := alarm.UserID(b.Updates[i].User)
+			dup := false
+			for j := 0; j < i; j++ {
+				if b.Updates[j].User == b.Updates[i].User {
+					dup = true
+					break
+				}
+			}
+			if dup || !reg.IsPairEndpoint(user) {
+				continue
+			}
+			wrecs, wpushes := e.wakePartners(reg, user)
+			firedRecs = append(firedRecs, wrecs...)
+			pushes = append(pushes, wpushes...)
+		}
 	}
 	// One group commit for the whole batch — a B-user batch costs one
 	// write(2) + one fsync, not B. The write-ahead discipline holds: an

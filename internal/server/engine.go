@@ -147,6 +147,18 @@ type Engine struct {
 	part atomic.Pointer[geom.Rect]
 	// pendingCap bounds each reliable session's unacknowledged firings.
 	pendingCap int
+	// tick is the logical clock the lifecycle subsystem runs on (cooldown
+	// gates, composite TTL expiry, anchor staleness). Advanced by SetTick;
+	// it only moves forward.
+	tick atomic.Uint64
+	// anchors holds the last reported position (and its tick) of every
+	// pair-alarm endpoint — the partner positions pair evaluation and the
+	// pair safe-region transform consult. Soft state: a crash loses it and
+	// the next report from each endpoint relearns it; until then pair
+	// machines simply do not transition (conservative, and the shrinking
+	// safe-period cap forces both endpoints to report soon).
+	anchorMu sync.Mutex
+	anchors  map[alarm.UserID]anchorObs
 	// nowFn overrides the clock for session-expiry tests; nil means
 	// time.Now. Only ExpireSessions and lastActive stamping consult it.
 	nowFn func() time.Time
@@ -254,6 +266,7 @@ func New(cfg Config) (*Engine, error) {
 		met:           metrics.NewServer(cfg.Costs),
 		pendingCap:    pendingCap,
 		publicBitmaps: make(map[grid.CellID]*publicBitmapEntry),
+		anchors:       make(map[alarm.UserID]anchorObs),
 	}
 	e.reg.Store(reg)
 	part := cfg.Partition
@@ -410,7 +423,7 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 
 	sc := e.getScratch()
 	st.mu.Lock()
-	out, newFired, err := e.processUpdate(reg, u, user, st, sc, nil, false, true)
+	out, newFired, newTrans, err := e.processUpdate(reg, u, user, st, sc, nil, false, true)
 	st.mu.Unlock()
 	e.putScratch(sc)
 
@@ -418,9 +431,18 @@ func (e *Engine) HandleUpdate(u wire.PositionUpdate) ([]wire.Message, error) {
 	// (outside st.mu — see persist.go for why) but before the response is
 	// released. If the append fails the response is withheld; the client
 	// retries against the recovered server, which re-derives the firing.
-	if err == nil && len(newFired) > 0 {
-		if lerr := e.logRecord(store.FiredRec{User: u.User, Alarms: newFired}); lerr != nil {
+	if err == nil {
+		if lerr := e.logFired(u.User, newFired, newTrans); lerr != nil {
 			return nil, lerr
+		}
+		// Cross-user invalidation: the report may move this user closer to
+		// (or away from) pair partners resident here; wake their machines.
+		if reg.IsPairEndpoint(user) {
+			wrecs, wpushes := e.wakePartners(reg, user)
+			if lerr := e.logRecords(wrecs); lerr != nil {
+				return nil, lerr
+			}
+			pushes = append(pushes, wpushes...)
 		}
 	}
 
@@ -487,7 +509,7 @@ func (e *Engine) deliverPushes(pushes []pendingPush) {
 // firings are answered (a bare Ack when nothing fired) — the treatment of
 // non-final updates of a batch run, whose monitoring state would be stale
 // on arrival anyway.
-func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState, sc *UpdateScratch, out []wire.Message, boxPointers, withStrategy bool) ([]wire.Message, []uint64, error) {
+func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user alarm.UserID, st *clientState, sc *UpdateScratch, out []wire.Message, boxPointers, withStrategy bool) ([]wire.Message, []uint64, []uint64, error) {
 	// Alarm evaluation against the R*-tree (every strategy does this; it
 	// is the "alarm processing" bucket of Figures 4(b)/6(d)).
 	var candidates int
@@ -495,11 +517,20 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 	sc.triggered, sc.raw, candidates, accesses = reg.EvaluateInto(u.Pos, user, sc.triggered, sc.raw)
 	e.met.AddAlarmEvaluation(accesses, uint64(candidates))
 
-	if st.reliable && u.Seq != 0 {
-		if u.Seq == st.lastSeq {
+	// fresh means this update is newer than anything evaluated so far.
+	// Redelivered or reordered reports (session resends, faulty links)
+	// still get full one-shot evaluation — MarkFired is monotone, so
+	// re-processing is harmless — but must not reach the lifecycle
+	// machines below: re-entering a continuous region from a stale inside
+	// position after an Exit would mint a spurious occurrence.
+	fresh := u.Seq == 0 || st.lastSeq == 0 || int32(u.Seq-st.lastSeq) > 0
+	if u.Seq != 0 {
+		if st.reliable && u.Seq == st.lastSeq {
 			e.met.AddRedeliveredUpdates(1)
 		}
-		st.lastSeq = u.Seq
+		if fresh {
+			st.lastSeq = u.Seq
+		}
 	}
 
 	// newFired is freshly allocated only when something triggered: it
@@ -517,7 +548,27 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		e.met.AddAlarmsTriggered(uint64(len(newFired)))
 	}
 
-	firedIDs := newFired
+	// Lifecycle machines (continuous/pair/composite) run on the same raw
+	// index hits. Their packed transition events ride the fired-ID
+	// machinery below but are logged as TransitionRecs by the caller, not
+	// as FiredRec entries.
+	var newTrans []uint64
+	if reg.HasLifecycle() && fresh {
+		tick := e.tick.Load()
+		if reg.IsPairEndpoint(user) {
+			e.observeAnchor(user, u.Pos, tick)
+		}
+		newTrans = reg.EvaluateLifecycleInto(user, u.Pos, tick, sc.raw, e.anchorOf, nil)
+		if len(newTrans) > 0 {
+			e.met.AddAlarmTransitions(uint64(len(newTrans)))
+		}
+	}
+	delivered := newFired
+	if len(newTrans) > 0 {
+		delivered = append(append(make([]uint64, 0, len(newFired)+len(newTrans)), newFired...), newTrans...)
+	}
+
+	firedIDs := delivered
 	if st.reliable {
 		st.lastActive = e.now()
 		// Exactly-once delivery: carry every unacknowledged firing on each
@@ -527,7 +578,7 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		if len(st.pendingFired) > 0 {
 			e.met.AddFiredRedeliveries(uint64(len(st.pendingFired)))
 		}
-		firedIDs = append(append(make([]uint64, 0, len(st.pendingFired)+len(newFired)), st.pendingFired...), newFired...)
+		firedIDs = append(append(make([]uint64, 0, len(st.pendingFired)+len(delivered)), st.pendingFired...), delivered...)
 		// Bound the unacknowledged set: evict oldest-first past the cap.
 		// Evicted ids stay marked fired in the registry (never re-trigger);
 		// they are simply no longer redelivered.
@@ -551,17 +602,20 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		// Non-final update of a batch run: its monitoring state would be
 		// superseded within the same reply. Acknowledge it (unless an
 		// AlarmFired already does) so the client retires the queued report.
+		// The cap still rides along: the batch's final message carries the
+		// authoritative one, but an ack processed in isolation must never
+		// leave a pair endpoint uncapped.
 		if len(firedIDs) == 0 {
 			if boxPointers {
-				sc.ackMsg = wire.Ack{Seq: u.Seq}
+				sc.ackMsg = wire.Ack{Seq: u.Seq, Cap: e.regionCap(reg, user, u.Pos)}
 				out = e.send(out, &sc.ackMsg)
 			} else {
-				out = e.send(out, wire.Ack{Seq: u.Seq})
+				out = e.send(out, wire.Ack{Seq: u.Seq, Cap: e.regionCap(reg, user, u.Pos)})
 			}
 		}
 		st.lastPos = u.Pos
 		st.hasPos = true
-		return out, newFired, nil
+		return out, newFired, newTrans, nil
 	}
 
 	switch st.strategy {
@@ -585,30 +639,34 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		cellID := e.grid.Locate(u.Pos)
 		sameCell := st.hasBitmapCell && st.bitmapCell == cellID
 		switch {
-		case sameCell && len(sc.triggered) == 0:
+		case sameCell && len(sc.triggered) == 0 && len(newTrans) == 0:
 			// §4.2: no recomputation while the client stays in its base
-			// cell without triggering; a 5-byte Ack resumes monitoring.
+			// cell without triggering; a small Ack resumes monitoring.
 			// When earlier triggers made the client's bitmap stale (fired
 			// alarms still appear blocked), a rectangular patch restores
 			// coverage around the client instead.
 			if reg.AnyFiredIn(e.grid.CellRect(cellID), user) {
 				out = e.send(out, e.rectRegionFor(reg, u, st, sc))
 			} else if boxPointers {
-				sc.ackMsg = wire.Ack{Seq: u.Seq}
+				sc.ackMsg = wire.Ack{Seq: u.Seq, Cap: e.regionCap(reg, user, u.Pos)}
 				out = e.send(out, &sc.ackMsg)
 			} else {
-				out = e.send(out, wire.Ack{Seq: u.Seq})
+				out = e.send(out, wire.Ack{Seq: u.Seq, Cap: e.regionCap(reg, user, u.Pos)})
 			}
-		case sameCell:
+		case sameCell && len(newTrans) == 0:
 			// §4.2 quick update: the triggered alarm just became free
 			// space. Instead of recomputing and re-shipping the bitmap,
 			// send a small rectangular patch around the client that avoids
 			// every remaining alarm; the client ORs it into its region.
+			// A lifecycle transition must NOT take this path: a patch only
+			// ever widens the client's safe area, while an enter/exit flips
+			// which side of the region is provable — the full bitmap below
+			// re-derives it from the new phase's obstacle set.
 			out = e.send(out, e.rectRegionFor(reg, u, st, sc))
 		default:
 			msg, err := e.bitmapRegionFor(reg, u, st, cellID)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			st.bitmapCell = cellID
 			st.hasBitmapCell = true
@@ -618,9 +676,17 @@ func (e *Engine) processUpdate(reg *alarm.Registry, u wire.PositionUpdate, user 
 		out = e.send(out, e.alarmPushFor(reg, u))
 	}
 
+	// Pair endpoints get their safe-period cap folded into the region /
+	// ack message itself (the Cap field): no static region stays sound
+	// against a moving partner, so the region's proof is time-limited —
+	// and a cap shipped as a separate message could be dropped while the
+	// region is delivered, leaving the client provably safe forever. SP
+	// folds the cap into its own safe period; periodic clients report
+	// every tick anyway.
+
 	st.lastPos = u.Pos
 	st.hasPos = true
-	return out, newFired, nil
+	return out, newFired, newTrans, nil
 }
 
 // validatePosition rejects positions the geometry cannot handle: NaN and
@@ -701,31 +767,35 @@ func (e *Engine) collectInvalidations(reg *alarm.Registry, mover alarm.UserID, m
 			continue
 		}
 		st.mu.Lock()
-		msg := e.invalidationFor(reg, user, st, sc)
+		msgs := e.invalidationFor(reg, user, st, sc)
 		st.mu.Unlock()
-		if msg == nil {
+		if len(msgs) == 0 {
 			continue
 		}
-		e.met.AddDownlink(wire.EncodedSize(msg))
-		pushes = append(pushes, pendingPush{user: user, msgs: []wire.Message{msg}})
+		for _, m := range msgs {
+			e.met.AddDownlink(wire.EncodedSize(m))
+		}
+		pushes = append(pushes, pendingPush{user: user, msgs: msgs})
 	}
 	return pushes
 }
 
 // invalidationFor computes the fresh monitoring state pushed to one
-// affected client. The caller holds st.mu. Returns nil when the client has
-// no pushable state (no position yet, or a strategy that re-reports on its
-// own).
-func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *clientState, sc *UpdateScratch) wire.Message {
+// affected client (a region message whose Cap field, for pair endpoints,
+// time-limits it). The caller holds st.mu. Returns
+// nil when the client has no pushable state (no position yet, or a
+// strategy that re-reports on its own).
+func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *clientState, sc *UpdateScratch) []wire.Message {
 	if !st.hasPos {
 		return nil
 	}
 	fake := wire.PositionUpdate{User: uint64(user), Seq: 0, Pos: st.lastPos}
+	var msgs []wire.Message
 	switch st.strategy {
 	case wire.StrategySafePeriod:
-		return e.safePeriodFor(reg, fake)
+		return []wire.Message{e.safePeriodFor(reg, fake)}
 	case wire.StrategyMWPSR:
-		return e.rectRegionFor(reg, fake, st, sc)
+		msgs = append(msgs, e.rectRegionFor(reg, fake, st, sc))
 	case wire.StrategyPBSR:
 		cellID := e.grid.Locate(st.lastPos)
 		bm, err := e.bitmapRegionFor(reg, fake, st, cellID)
@@ -734,12 +804,13 @@ func (e *Engine) invalidationFor(reg *alarm.Registry, user alarm.UserID, st *cli
 		}
 		st.bitmapCell = cellID
 		st.hasBitmapCell = true
-		return bm
+		msgs = append(msgs, bm)
 	case wire.StrategyOptimal:
-		return e.alarmPushFor(reg, fake)
+		msgs = append(msgs, e.alarmPushFor(reg, fake))
 	default:
 		return nil // periodic clients re-report next tick anyway
 	}
+	return msgs
 }
 
 func (e *Engine) safePeriodFor(reg *alarm.Registry, u wire.PositionUpdate) wire.SafePeriod {
@@ -768,8 +839,15 @@ func (e *Engine) safePeriodFor(reg *alarm.Registry, u wire.PositionUpdate) wire.
 	if f := e.cfg.SafePeriodSpeedFactor; f > 0 {
 		vmax *= f
 	}
-	ticks := saferegion.SafePeriodTicks(dist, vmax, e.cfg.TickSeconds, 1<<30)
-	return wire.SafePeriod{Seq: u.Seq, Ticks: uint32(ticks)}
+	ticks := uint32(saferegion.SafePeriodTicks(dist, vmax, e.cfg.TickSeconds, 1<<30))
+	// Pair alarms bound the period too: the partner closes distance at up
+	// to v_max as well, so their margin shrinks twice as fast.
+	if reg.HasLifecycle() {
+		if cap, ok := e.pairCapTicks(reg, alarm.UserID(u.User), u.Pos); ok && cap < ticks {
+			ticks = cap
+		}
+	}
+	return wire.SafePeriod{Seq: u.Seq, Ticks: ticks}
 }
 
 func (e *Engine) rectRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *clientState, sc *UpdateScratch) wire.RectRegion {
@@ -779,8 +857,12 @@ func (e *Engine) rectRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *c
 	sc.relevant, sc.raw, accesses = reg.RelevantInInto(cellRect, user, sc.relevant[:0], sc.raw)
 	e.met.AddSafeRegionIndexWork(accesses)
 	sc.rects = sc.rects[:0]
-	for _, a := range sc.relevant {
-		sc.rects = append(sc.rects, a.Region)
+	if reg.HasLifecycle() {
+		sc.rects = e.lifecycleObstacles(reg, user, cellRect, sc.relevant, sc.rects)
+	} else {
+		for _, a := range sc.relevant {
+			sc.rects = append(sc.rects, a.Region)
+		}
 	}
 	model := e.cfg.Model
 	heading, ok := st.heading.Observe(u.Pos)
@@ -793,7 +875,7 @@ func (e *Engine) rectRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *c
 		Exhaustive: e.cfg.ExhaustiveAssembly,
 	}, &sc.rect)
 	e.met.AddRectComputation(res.Candidates, res.Corners, res.Clips)
-	return wire.RectRegion{Seq: u.Seq, Rect: res.Rect}
+	return wire.RectRegion{Seq: u.Seq, Rect: res.Rect, Cap: e.regionCap(reg, user, u.Pos)}
 }
 
 func (e *Engine) bitmapRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st *clientState, cellID grid.CellID) (wire.BitmapRegion, error) {
@@ -810,6 +892,7 @@ func (e *Engine) bitmapRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st 
 		err      error
 		accesses uint64
 	)
+	lifecycle := reg.HasLifecycle()
 	// The shared public bitmap cannot reflect this user's fired public
 	// alarms; use it only when the user has none in this cell.
 	usePre := false
@@ -825,14 +908,22 @@ func (e *Engine) bitmapRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st 
 		}
 		nonPublic, npAccesses := reg.RelevantNonPublicInCounted(cellRect, user, nil)
 		accesses += npAccesses
-		for _, a := range nonPublic {
-			rects = append(rects, a.Region)
+		if lifecycle {
+			rects = e.lifecycleObstacles(reg, user, cellRect, nonPublic, rects)
+		} else {
+			for _, a := range nonPublic {
+				rects = append(rects, a.Region)
+			}
 		}
 	} else {
 		relevant, rAccesses := reg.RelevantInCounted(cellRect, user, nil)
 		accesses += rAccesses
-		for _, a := range relevant {
-			rects = append(rects, a.Region)
+		if lifecycle {
+			rects = e.lifecycleObstacles(reg, user, cellRect, relevant, rects)
+		} else {
+			for _, a := range relevant {
+				rects = append(rects, a.Region)
+			}
 		}
 	}
 	e.met.AddSafeRegionIndexWork(accesses)
@@ -841,7 +932,9 @@ func (e *Engine) bitmapRegionFor(reg *alarm.Registry, u wire.PositionUpdate, st 
 		return wire.BitmapRegion{}, err
 	}
 	e.met.AddBitmapComputation(res.IntersectionTests)
-	return wire.FromBitmap(u.Seq, res.Bitmap), nil
+	msg := wire.FromBitmap(u.Seq, res.Bitmap)
+	msg.Cap = e.regionCap(reg, user, u.Pos)
+	return msg, nil
 }
 
 // publicBitmapFor returns (computing and caching on first use) the pyramid
@@ -887,7 +980,7 @@ func (e *Engine) alarmPushFor(reg *alarm.Registry, u wire.PositionUpdate) wire.A
 	cellRect := e.grid.CellRect(e.grid.Locate(u.Pos))
 	relevant, accesses := reg.RelevantInCounted(cellRect, user, nil)
 	e.met.AddSafeRegionIndexWork(accesses)
-	push := wire.AlarmPush{Seq: u.Seq, Cell: cellRect, Alarms: make([]wire.AlarmInfo, len(relevant))}
+	push := wire.AlarmPush{Seq: u.Seq, Cell: cellRect, Cap: e.regionCap(reg, user, u.Pos), Alarms: make([]wire.AlarmInfo, len(relevant))}
 	for i, a := range relevant {
 		push.Alarms[i] = wire.AlarmInfo{ID: uint64(a.ID), Region: a.Region}
 	}

@@ -42,6 +42,8 @@ func (e *Engine) ExportSession(user alarm.UserID) (store.ClientRec, bool, error)
 		MaxHeight:    uint8(st.maxHeight),
 		Reliable:     st.reliable,
 		PendingFired: append([]uint64(nil), st.pendingFired...),
+		Lifecycle:    e.reg.Load().LifecycleStatesFor(user),
+		LastSeq:      st.lastSeq,
 		Epoch:        e.epoch.Load(),
 	}
 	st.mu.Unlock()
@@ -71,6 +73,16 @@ func (e *Engine) ExportSession(user alarm.UserID) (store.ClientRec, bool, error)
 // import as a plain registration and get token 0.
 func (e *Engine) ImportSession(rec store.ClientRec) (uint64, error) {
 	user := alarm.UserID(rec.User)
+	reg := e.reg.Load()
+	// Carry the user's lifecycle machines first: the monotone merge makes
+	// replay (and a racing duplicate import) idempotent, and Delivered is
+	// false because the delivery itself travels in PendingFired.
+	if len(rec.Lifecycle) > 0 {
+		reg.ApplyLifecycleStates(rec.Lifecycle)
+		if err := e.logRecords(lifecycleRecs(rec.Lifecycle)); err != nil {
+			return 0, err
+		}
+	}
 	if !rec.Reliable {
 		return 0, e.Register(wire.Register{
 			User: rec.User, Strategy: rec.Strategy, MaxHeight: rec.MaxHeight,
@@ -90,10 +102,12 @@ func (e *Engine) ImportSession(rec store.ClientRec) (uint64, error) {
 	// Retire the carried pairs locally: a pending firing was already
 	// delivered (or is being redelivered) — the local copy of the alarm
 	// must become free space here too, keeping pendingFired and any
-	// future newFired disjoint.
-	reg := e.reg.Load()
+	// future newFired disjoint. Pending entries are packed events: only
+	// one-shot firings and composite severities fold into the fired map;
+	// enter/exit events carry machine state, which rec.Lifecycle already
+	// applied above.
 	for _, id := range pending {
-		reg.MarkFired(alarm.ID(id), user)
+		markFiredEvent(reg, user, id)
 	}
 
 	sh := e.shardFor(user)
@@ -103,6 +117,7 @@ func (e *Engine) ImportSession(rec store.ClientRec) (uint64, error) {
 		maxHeight:    int(rec.MaxHeight),
 		reliable:     true,
 		pendingFired: pending,
+		lastSeq:      rec.LastSeq,
 		lastActive:   e.now(),
 	}
 	sh.mu.Unlock()
@@ -155,6 +170,8 @@ func (e *Engine) PeekSession(user alarm.UserID) (store.ClientRec, bool) {
 		MaxHeight:    uint8(st.maxHeight),
 		Reliable:     st.reliable,
 		PendingFired: append([]uint64(nil), st.pendingFired...),
+		Lifecycle:    e.reg.Load().LifecycleStatesFor(user),
+		LastSeq:      st.lastSeq,
 		Epoch:        e.epoch.Load(),
 	}
 	st.mu.Unlock()
@@ -205,8 +222,22 @@ func (e *Engine) ImportSessionMerge(rec store.ClientRec) (uint64, bool, error) {
 		return tok, false, err
 	}
 
+	reg := e.reg.Load()
+	if len(rec.Lifecycle) > 0 {
+		reg.ApplyLifecycleStates(rec.Lifecycle)
+		if err := e.logRecords(lifecycleRecs(rec.Lifecycle)); err != nil {
+			return 0, true, err
+		}
+	}
+
 	var added []uint64
 	st.mu.Lock()
+	// Merge the stale-report watermarks forward: whichever side accepted
+	// the newer report wins, so a resend replayed after the merge still
+	// reads as stale.
+	if st.lastSeq == 0 || (rec.LastSeq != 0 && int32(rec.LastSeq-st.lastSeq) > 0) {
+		st.lastSeq = rec.LastSeq
+	}
 	if rec.Reliable && !st.reliable {
 		// The local state is a plain fire-and-forget registration; the
 		// drained session is the richer one. Promote in place so the
@@ -225,15 +256,40 @@ func (e *Engine) ImportSessionMerge(rec store.ClientRec) (uint64, bool, error) {
 	st.mu.Unlock()
 
 	if len(added) > 0 {
-		reg := e.reg.Load()
 		for _, id := range added {
-			reg.MarkFired(alarm.ID(id), user)
+			markFiredEvent(reg, user, id)
 		}
 		if err := e.logRecord(store.FiredRec{User: rec.User, Alarms: added}); err != nil {
 			return 0, true, err
 		}
 	}
 	return 0, true, nil
+}
+
+// markFiredEvent folds one pending delivery entry (a packed event) into
+// the fired map: one-shot firings by raw ID, composite severities by the
+// alarm the event was packed from. Enter/exit events carry no fired state
+// — their machine travels in ClientRec.Lifecycle.
+func markFiredEvent(reg *alarm.Registry, user alarm.UserID, ev uint64) {
+	switch alarm.EventTransition(ev) {
+	case alarm.TransFired:
+		reg.MarkFired(alarm.ID(ev), user)
+	case alarm.TransSeverity:
+		reg.MarkFired(alarm.EventAlarm(ev), user)
+	}
+}
+
+// lifecycleRecs converts carried machine states into the TransitionRecs
+// that reconstruct them on replay. Delivered is false: the delivery (if
+// still owed) travels separately in the pending set.
+func lifecycleRecs(states []alarm.LifecycleState) []store.Record {
+	var recs []store.Record
+	for _, s := range states {
+		if ev, ok := s.Event(); ok {
+			recs = append(recs, store.TransitionRec{User: s.User, Event: ev, Tick: s.LastTick, Delivered: false})
+		}
+	}
+	return recs
 }
 
 // SessionUsers returns every user with client state on this engine,
@@ -278,7 +334,9 @@ func (e *Engine) SessionPositions() []geom.Point {
 func (e *Engine) GCAlarmsOutside(keep geom.Rect) (int, error) {
 	dropped := 0
 	for _, a := range e.Registry().All() {
-		if a.Region.Intersects(keep) {
+		// Pair alarms have no static region and follow their endpoints,
+		// not the shard rectangle: never GC them on a split.
+		if a.Kind == alarm.KindPair || a.Region.Intersects(keep) {
 			continue
 		}
 		ok, err := e.RemoveAlarm(a.ID)
@@ -313,7 +371,7 @@ func (e *Engine) ClientCount() int {
 // for a user with a live reliable session here would re-append the ids
 // to its pending set on replay, which at worst redelivers an already-
 // acknowledged firing that the client's dedup absorbs.
-func (e *Engine) AdoptAlarms(alarms []alarm.Alarm, fired []alarm.FiredPair) error {
+func (e *Engine) AdoptAlarms(alarms []alarm.Alarm, fired []alarm.FiredPair, states []alarm.LifecycleState) error {
 	reg := e.reg.Load()
 	var fresh []alarm.Alarm
 	for _, a := range alarms {
@@ -326,10 +384,17 @@ func (e *Engine) AdoptAlarms(alarms []alarm.Alarm, fired []alarm.FiredPair) erro
 			return err
 		}
 		e.InvalidatePublicBitmaps()
+		e.syncAlarmGauges(reg)
 		for _, a := range fresh {
 			if err := e.logRecord(store.InstallRec{Alarm: a}); err != nil {
 				return err
 			}
+		}
+	}
+	if len(states) > 0 {
+		reg.ApplyLifecycleStates(states)
+		if err := e.logRecords(lifecycleRecs(states)); err != nil {
+			return err
 		}
 	}
 

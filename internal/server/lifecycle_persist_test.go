@@ -1,0 +1,153 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// TestLifecycleSnapshotRoundTrip drives continuous and pair machines into
+// the middle of their lifecycle (inside, occurrence 1), checkpoints the
+// durable engine, kills it, and recovers: the machines must resume
+// exactly where they were — the next boundary crossing is the EXIT of
+// occurrence 1, never a replayed enter or a restarted occurrence count.
+func TestLifecycleSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := newDurableEngine(t, dir, nil)
+	ids, err := e.InstallAlarms([]alarm.Alarm{
+		{Scope: alarm.Private, Owner: 1, Kind: alarm.KindContinuous,
+			Region: geom.R(400, 400, 600, 600)},
+		{Scope: alarm.Shared, Owner: 2, Subscribers: []alarm.UserID{2},
+			Kind: alarm.KindPair, Anchor: 3, Radius: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contID, pairID := uint64(ids[0]), ids[1]
+	register(t, e, 1, wire.StrategyMWPSR)
+	register(t, e, 2, wire.StrategyMWPSR)
+	register(t, e, 3, wire.StrategyMWPSR)
+	if err := e.SetTick(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// User 1 enters the continuous region; users 2 and 3 come into pair
+	// range (the anchor reports first, so the endpoint sees it).
+	out := handle(t, e, 1, 1, geom.Pt(500, 500))
+	wantEnter := alarm.PackEvent(alarm.ID(contID), alarm.TransEnter, 1)
+	if got := firedIn(out); len(got) != 1 || got[0] != wantEnter {
+		t.Fatalf("continuous enter = %#x, want [%#x]", got, wantEnter)
+	}
+	handle(t, e, 3, 1, geom.Pt(2000, 2000))
+	out = handle(t, e, 2, 1, geom.Pt(2100, 2000))
+	if got := firedIn(out); len(got) != 1 || got[0] != alarm.PackEvent(pairID, alarm.TransEnter, 1) {
+		t.Fatalf("pair enter = %#x", got)
+	}
+
+	// The transition counter must have moved on the metrics snapshot
+	// (one continuous enter + pair enters for the reporting endpoint and
+	// the woken partner).
+	if got := e.Metrics().Snapshot().AlarmTransitions; got < 2 {
+		t.Fatalf("alarm_transitions = %d, want >= 2", got)
+	}
+
+	before := e.Registry().LifecycleStates()
+	if len(before) == 0 {
+		t.Fatal("no lifecycle states before checkpoint")
+	}
+
+	// Checkpoint (exercising DurableState's lifecycle capture), then die.
+	if err := e.Store().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e.Store().Kill()
+
+	e2 := newDurableEngine(t, dir, nil)
+	if err := e2.SetTick(2); err != nil {
+		t.Fatal(err)
+	}
+	after := e2.Registry().LifecycleStates()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("lifecycle states changed across recovery:\n before %+v\n after  %+v", before, after)
+	}
+	// The per-kind gauges must be rebuilt by recovery, not only by live
+	// installs (both metrics endpoints render this snapshot verbatim).
+	sn := e2.Metrics().Snapshot()
+	if sn.AlarmsContinuous != 1 || sn.AlarmsPair != 1 || sn.AlarmsComposite != 0 {
+		t.Fatalf("recovered gauges = continuous %d / pair %d / composite %d, want 1/1/0",
+			sn.AlarmsContinuous, sn.AlarmsPair, sn.AlarmsComposite)
+	}
+
+	// Mid-lifecycle semantics: the recovered machine is INSIDE occurrence
+	// 1, so leaving the region yields exit #1 — and re-entering later
+	// yields enter #2, proving the occurrence counter also survived.
+	register(t, e2, 1, wire.StrategyMWPSR)
+	out = handle(t, e2, 1, 2, geom.Pt(900, 900))
+	wantExit := alarm.PackEvent(alarm.ID(contID), alarm.TransExit, 1)
+	if got := firedIn(out); len(got) != 1 || got[0] != wantExit {
+		t.Fatalf("post-recovery event = %#x, want exit [%#x]", got, wantExit)
+	}
+	out = handle(t, e2, 1, 3, geom.Pt(500, 500))
+	wantEnter2 := alarm.PackEvent(alarm.ID(contID), alarm.TransEnter, 2)
+	if got := firedIn(out); len(got) != 1 || got[0] != wantEnter2 {
+		t.Fatalf("re-enter event = %#x, want [%#x]", got, wantEnter2)
+	}
+}
+
+// TestCompositeTTLExpiry checks the full death of an expired composite
+// alarm: past its TTL the alarm is garbage-collected from the registry,
+// an expiry record lands in the WAL, and — critically — it never fires
+// again, not even after a crash and recovery replay.
+func TestCompositeTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	e := newDurableEngine(t, dir, nil)
+	ids, err := e.InstallAlarms([]alarm.Alarm{{
+		Scope: alarm.Private, Owner: 9, Kind: alarm.KindComposite,
+		Factors:   []alarm.Factor{{Center: geom.Pt(500, 500), Radius: 300, Weight: 1.0}},
+		Threshold: 0.5, ExpiresAt: 10,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, e, 9, wire.StrategyMWPSR)
+	if got := e.Metrics().Snapshot().AlarmsComposite; got != 1 {
+		t.Fatalf("alarms_composite = %d, want 1", got)
+	}
+
+	// Advance past the TTL without the user ever entering: the alarm is
+	// GC'd and logged as expired.
+	if err := e.SetTick(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Registry().Get(ids[0]); ok {
+		t.Fatal("expired composite still in registry")
+	}
+	if got := e.Metrics().Snapshot().AlarmsComposite; got != 0 {
+		t.Fatalf("alarms_composite after expiry = %d, want 0", got)
+	}
+	// Walking into the (former) factor zone after expiry must not fire.
+	if got := firedIn(handle(t, e, 9, 1, geom.Pt(500, 500))); len(got) != 0 {
+		t.Fatalf("expired composite fired %#x", got)
+	}
+
+	// Crash without a checkpoint: recovery replays the install AND the
+	// expiry record, so the alarm must stay dead.
+	e.Store().Kill()
+	e2 := newDurableEngine(t, dir, nil)
+	if _, ok := e2.Registry().Get(ids[0]); ok {
+		t.Fatal("expired composite resurrected by recovery replay")
+	}
+	if got := e2.Metrics().Snapshot().AlarmsComposite; got != 0 {
+		t.Fatalf("recovered alarms_composite = %d, want 0", got)
+	}
+	register(t, e2, 9, wire.StrategyMWPSR)
+	if err := e2.SetTick(11); err != nil {
+		t.Fatal(err)
+	}
+	if got := firedIn(handle(t, e2, 9, 2, geom.Pt(500, 500))); len(got) != 0 {
+		t.Fatalf("expired composite fired after recovery %#x", got)
+	}
+}

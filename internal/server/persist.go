@@ -50,7 +50,9 @@ func (e *Engine) restoreState(state *store.State) error {
 		if err != nil {
 			return fmt.Errorf("server: restore registry: %w", err)
 		}
+		reg.ApplyLifecycleStates(state.Lifecycle)
 		e.ReplaceRegistry(reg)
+		e.syncAlarmGauges(reg)
 	}
 	for _, c := range state.Clients {
 		sh := e.shardFor(alarm.UserID(c.User))
@@ -60,6 +62,7 @@ func (e *Engine) restoreState(state *store.State) error {
 			maxHeight:    int(c.MaxHeight),
 			reliable:     c.Reliable,
 			pendingFired: append([]uint64(nil), c.PendingFired...),
+			lastSeq:      c.LastSeq,
 			lastActive:   e.now(),
 		}
 		sh.mu.Unlock()
@@ -87,6 +90,7 @@ func (e *Engine) DurableState() *store.State {
 		NextAlarmID: uint64(reg.NextID()),
 		Alarms:      reg.All(),
 		Fired:       reg.FiredPairs(),
+		Lifecycle:   reg.LifecycleStates(),
 	}
 	for user, cs := range e.clientsSnapshot() {
 		cs.mu.Lock()
@@ -96,6 +100,7 @@ func (e *Engine) DurableState() *store.State {
 			MaxHeight:    uint8(cs.maxHeight),
 			Reliable:     cs.reliable,
 			PendingFired: append([]uint64(nil), cs.pendingFired...),
+			LastSeq:      cs.lastSeq,
 		})
 		cs.mu.Unlock()
 	}
@@ -135,6 +140,32 @@ func (e *Engine) logRecords(recs []store.Record) error {
 	return e.wal.AppendBatch(recs)
 }
 
+// logFired logs one user's delivered firings for a single update: the
+// legacy FiredRec for the combined event list plus one TransitionRec per
+// lifecycle event (carrying the machine state replay needs). With no
+// lifecycle events this stays the single-record append the one-shot path
+// has always issued; with them, the group lands atomically so recovery
+// never sees a firing without its transition (or vice versa).
+func (e *Engine) logFired(user uint64, fired, transitions []uint64) error {
+	if len(fired) == 0 && len(transitions) == 0 {
+		return nil
+	}
+	all := fired
+	if len(transitions) > 0 {
+		all = append(append(make([]uint64, 0, len(fired)+len(transitions)), fired...), transitions...)
+	}
+	if len(transitions) == 0 {
+		return e.logRecord(store.FiredRec{User: user, Alarms: all})
+	}
+	tick := e.tick.Load()
+	recs := make([]store.Record, 0, 1+len(transitions))
+	recs = append(recs, store.FiredRec{User: user, Alarms: all})
+	for _, ev := range transitions {
+		recs = append(recs, store.TransitionRec{User: user, Event: ev, Tick: tick, Delivered: true})
+	}
+	return e.logRecords(recs)
+}
+
 // InstallAlarms durably installs a batch of alarms: registry insertion,
 // then one InstallRec per alarm (carrying the assigned ID) before the IDs
 // are returned to the caller.
@@ -145,6 +176,7 @@ func (e *Engine) InstallAlarms(alarms []alarm.Alarm) ([]alarm.ID, error) {
 		return nil, err
 	}
 	e.InvalidatePublicBitmaps()
+	e.syncAlarmGauges(reg)
 	for _, id := range ids {
 		a, ok := reg.Get(id)
 		if !ok {
@@ -168,6 +200,7 @@ func (e *Engine) InstallAlarmsAssigned(alarms []alarm.Alarm) error {
 		return err
 	}
 	e.InvalidatePublicBitmaps()
+	e.syncAlarmGauges(reg)
 	for _, a := range alarms {
 		if err := e.logRecord(store.InstallRec{Alarm: a}); err != nil {
 			return err
@@ -183,6 +216,7 @@ func (e *Engine) RemoveAlarm(id alarm.ID) (bool, error) {
 		return false, nil
 	}
 	e.InvalidatePublicBitmaps()
+	e.syncAlarmGauges(reg)
 	if err := e.logRecord(store.RemoveRec{ID: id}); err != nil {
 		return true, err
 	}

@@ -125,10 +125,10 @@ func (e *Engine) tryResume(user alarm.UserID, m wire.Hello) ([]wire.Message, boo
 	// Re-install monitoring state so the client stops degrading on its
 	// stale region. Seq 0 marks a server-initiated push.
 	sc := e.getScratch()
-	msg := e.invalidationFor(reg, user, st, sc)
+	msgs := e.invalidationFor(reg, user, st, sc)
 	e.putScratch(sc)
-	if msg != nil {
-		out = e.send(out, msg)
+	for _, m := range msgs {
+		out = e.send(out, m)
 	}
 	return out, true
 }

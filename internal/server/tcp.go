@@ -214,6 +214,45 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 					return
 				}
 			}
+		case wire.InstallContinuous:
+			if !reply([]wire.Message{s.installReply(alarm.Alarm{
+				Scope:       scopeFor(m.Subscribers),
+				Owner:       alarm.UserID(m.Owner),
+				Subscribers: toUserIDs(m.Subscribers),
+				Region:      m.Region,
+				Kind:        alarm.KindContinuous,
+				Cooldown:    m.Cooldown,
+			})}) {
+				return
+			}
+		case wire.InstallPair:
+			if !reply([]wire.Message{s.installReply(alarm.Alarm{
+				Scope:       alarm.Shared,
+				Owner:       alarm.UserID(m.Owner),
+				Subscribers: []alarm.UserID{alarm.UserID(m.Owner)},
+				Kind:        alarm.KindPair,
+				Anchor:      alarm.UserID(m.Anchor),
+				Radius:      m.Radius,
+				Cooldown:    m.Cooldown,
+			})}) {
+				return
+			}
+		case wire.InstallComposite:
+			factors := make([]alarm.Factor, len(m.Factors))
+			for i, f := range m.Factors {
+				factors[i] = alarm.Factor{Center: f.Center, Radius: f.Radius, Region: f.Region, Weight: f.Weight}
+			}
+			if !reply([]wire.Message{s.installReply(alarm.Alarm{
+				Scope:       scopeFor(m.Subscribers),
+				Owner:       alarm.UserID(m.Owner),
+				Subscribers: toUserIDs(m.Subscribers),
+				Kind:        alarm.KindComposite,
+				Factors:     factors,
+				Threshold:   m.Threshold,
+				ExpiresAt:   m.ExpiresAt,
+			})}) {
+				return
+			}
 		case wire.UpdateBatch:
 			br, err := s.eng.HandleUpdateBatch(m)
 			if err != nil {
@@ -246,4 +285,34 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			return
 		}
 	}
+}
+
+// installReply durably installs one lifecycle alarm and builds the typed
+// reply: the assigned ID, or 0 when validation (or the log) rejected it.
+// A rejected install is an application-level failure, not a protocol
+// one, so the connection stays up.
+func (s *TCPServer) installReply(a alarm.Alarm) wire.InstallReply {
+	ids, err := s.eng.InstallAlarms([]alarm.Alarm{a})
+	if err != nil || len(ids) == 0 {
+		s.log.Printf("install %v rejected: %v", a.Kind, err)
+		return wire.InstallReply{}
+	}
+	return wire.InstallReply{ID: uint64(ids[0])}
+}
+
+// scopeFor maps a typed install's subscriber list to the alarm scope:
+// owner-only installs are private, anything with subscribers is shared.
+func scopeFor(subs []uint64) alarm.Scope {
+	if len(subs) == 0 {
+		return alarm.Private
+	}
+	return alarm.Shared
+}
+
+func toUserIDs(subs []uint64) []alarm.UserID {
+	out := make([]alarm.UserID, len(subs))
+	for i, s := range subs {
+		out[i] = alarm.UserID(s)
+	}
+	return out
 }

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/sabre-geo/sabre/internal/alarm"
+	"github.com/sabre-geo/sabre/internal/client"
+	"github.com/sabre-geo/sabre/internal/geom"
+	"github.com/sabre-geo/sabre/internal/store"
+	"github.com/sabre-geo/sabre/internal/wire"
+)
+
+// expectedLifecycleEvents is the exact delivery set DefaultLifecycleScenario
+// must produce — derived from the scripted geometry, not from a reference
+// run, so a bug that corrupts every harness identically still fails.
+func expectedLifecycleEvents() []LifecycleEvent {
+	evs := []LifecycleEvent{
+		// User 1 crosses the continuous region twice...
+		{User: 1, Event: alarm.PackEvent(1, alarm.TransEnter, 1)},
+		{User: 1, Event: alarm.PackEvent(1, alarm.TransExit, 1)},
+		{User: 1, Event: alarm.PackEvent(1, alarm.TransEnter, 2)},
+		{User: 1, Event: alarm.PackEvent(1, alarm.TransExit, 2)},
+		// ...and the one-shot region once (legacy raw-ID event).
+		{User: 1, Event: 5},
+		// The pair enters once and exits once, on both endpoints.
+		{User: 2, Event: alarm.PackEvent(2, alarm.TransEnter, 1)},
+		{User: 2, Event: alarm.PackEvent(2, alarm.TransExit, 1)},
+		{User: 3, Event: alarm.PackEvent(2, alarm.TransEnter, 1)},
+		{User: 3, Event: alarm.PackEvent(2, alarm.TransExit, 1)},
+		// The live composite fires at severity 0.4+0.5; the expired one
+		// (ID 3) must never appear.
+		{User: 7, Event: alarm.PackEvent(4, alarm.TransSeverity, alarm.QuantizeSeverity(0.9))},
+	}
+	SortLifecycleEvents(evs)
+	return evs
+}
+
+func diffLifecycleEvents(t *testing.T, label string, got, want []LifecycleEvent) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d events, want %d\n got:  %v\n want: %v", label, len(got), len(want), got, want)
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: event %d = {user %d, ev %#x}, want {user %d, ev %#x}\n got:  %v\n want: %v",
+				label, i, got[i].User, got[i].Event, want[i].User, want[i].Event, got, want)
+			return
+		}
+	}
+}
+
+// TestLifecycleDeliveryEquality is the lifecycle subsystem's end-to-end
+// exactly-once proof: for each safe-region strategy, the scripted
+// continuous / pair / composite scenario must deliver the exact same
+// (user, packed event) set under
+//
+//   - a clean single-server run (asserted against the geometry-derived
+//     expectation),
+//   - fault-injected links (drops, dups, delays, reorders, resets),
+//   - a mid-workload server crash with WAL tail loss and recovery,
+//   - a sharded cluster whose single shard splits mid-run — separating
+//     the pair endpoints across shards — and whose new shard then
+//     crashes and recovers while the pair is still inside.
+func TestLifecycleDeliveryEquality(t *testing.T) {
+	scn := DefaultLifecycleScenario()
+	want := expectedLifecycleEvents()
+
+	strategies := []struct {
+		name string
+		sc   StrategyConfig
+	}{
+		{"MWPSR", StrategyConfig{Strategy: wire.StrategyMWPSR}},
+		{"GBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 1}},
+		{"PBSR", StrategyConfig{Strategy: wire.StrategyPBSR, PyramidHeight: 5}},
+	}
+
+	for _, st := range strategies {
+		st := st
+		t.Run(st.name, func(t *testing.T) {
+			clean, err := RunLifecycleFaulty(scn, st.sc, FaultPlan{Seed: 1, DrainTicks: 120})
+			if err != nil {
+				t.Fatalf("clean run: %v", err)
+			}
+			diffLifecycleEvents(t, "clean vs expected", clean, want)
+
+			faulty, err := RunLifecycleFaulty(scn, st.sc, FaultPlan{
+				Seed:          7,
+				From:          10,
+				Until:         530,
+				DropProb:      0.12,
+				DupProb:       0.08,
+				DelayProb:     0.15,
+				MaxDelayTicks: 3,
+				ReorderProb:   0.10,
+				ResetEvery:    3,
+				ResetTick:     120,
+				DrainTicks:    250,
+			})
+			if err != nil {
+				t.Fatalf("faulty run: %v", err)
+			}
+			diffLifecycleEvents(t, "faulty vs clean", faulty, clean)
+
+			crashed, err := RunLifecycleCrashing(scn, st.sc, CrashPlan{
+				Seed:          11,
+				Crashes:       []CrashEvent{{Tick: 170, Tear: store.TearTruncate, Down: 25}},
+				SnapshotEvery: 64,
+				DrainTicks:    250,
+			}, "")
+			if err != nil {
+				t.Fatalf("crash run: %v", err)
+			}
+			diffLifecycleEvents(t, "crashed vs clean", crashed, clean)
+
+			clustered, pm, err := RunLifecycleCluster(scn, st.sc, ClusterPlan{
+				Seed:   13,
+				Shards: 1,
+				Repartitions: []RepartitionEvent{
+					{Tick: 150, Op: "split", Shard: 0},
+				},
+				Crashes: []ClusterCrashEvent{
+					{Tick: 205, Shard: 1, Tear: store.TearTruncate, Down: 25},
+				},
+				SnapshotEvery: 64,
+				DrainTicks:    250,
+				Session:       client.SessionConfig{},
+			}, "")
+			if err != nil {
+				t.Fatalf("cluster run: %v", err)
+			}
+			diffLifecycleEvents(t, "clustered vs clean", clustered, clean)
+
+			// The split must actually have separated the pair endpoints:
+			// user 2 ends at (990, 1000), user 3 at (1600, 1000).
+			if pm.N() != 2 {
+				t.Fatalf("cluster ended with %d shards, want 2 (split did not happen)", pm.N())
+			}
+			shardA, _ := pm.Locate(geom.Pt(990, 1000))
+			shardB, _ := pm.Locate(geom.Pt(1600, 1000))
+			if shardA == shardB {
+				t.Fatalf("pair endpoints both on shard %d — the median split did not separate them", shardA)
+			}
+		})
+	}
+}

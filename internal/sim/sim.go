@@ -51,7 +51,23 @@ type WorkloadConfig struct {
 	// Network selects the road substrate; zero value means the paper-scale
 	// default network.
 	Network roadnet.Config
+	// Lifecycle sets the fraction of alarms generated as each lifecycle
+	// kind; the remainder (and the public prefix, which lifecycle kinds
+	// cannot occupy) stays one-shot. The zero value reproduces the
+	// pre-lifecycle workload exactly.
+	Lifecycle LifecycleMix
 }
+
+// LifecycleMix is the per-kind alarm fraction of a mixed workload. The
+// benchmark mix is 70% one-shot / 15% continuous / 10% pair / 5%
+// composite: {Continuous: 0.15, Pair: 0.10, Composite: 0.05}.
+type LifecycleMix struct {
+	Continuous float64
+	Pair       float64
+	Composite  float64
+}
+
+func (m LifecycleMix) sum() float64 { return m.Continuous + m.Pair + m.Composite }
 
 // DefaultWorkload returns the paper-scale configuration.
 func DefaultWorkload(seed int64) WorkloadConfig {
@@ -99,6 +115,13 @@ func (c WorkloadConfig) Validate() error {
 	if c.AlarmMinSide <= 0 || c.AlarmMaxSide < c.AlarmMinSide {
 		return fmt.Errorf("sim: alarm sides [%v, %v] invalid", c.AlarmMinSide, c.AlarmMaxSide)
 	}
+	m := c.Lifecycle
+	if m.Continuous < 0 || m.Pair < 0 || m.Composite < 0 || m.sum() > 1 {
+		return fmt.Errorf("sim: lifecycle mix %+v out of range", m)
+	}
+	if m.Pair > 0 && c.Vehicles < 2 {
+		return fmt.Errorf("sim: pair alarms need at least two vehicles")
+	}
 	return nil
 }
 
@@ -122,19 +145,58 @@ func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
 	bounds := net.Bounds()
 	alarms := make([]alarm.Alarm, 0, cfg.NumAlarms)
+	// Lifecycle kinds occupy the tail of the index range; none of them
+	// may be Public, so the public prefix shrinks if the mix crowds it.
+	numCont := int(float64(cfg.NumAlarms) * cfg.Lifecycle.Continuous)
+	numPair := int(float64(cfg.NumAlarms) * cfg.Lifecycle.Pair)
+	numComp := int(float64(cfg.NumAlarms) * cfg.Lifecycle.Composite)
+	oneShot := cfg.NumAlarms - numCont - numPair - numComp
 	numPublic := int(float64(cfg.NumAlarms) * cfg.PublicFraction)
-	// Non-public alarms split private:shared = 2:1 (paper §5.1).
-	numShared := (cfg.NumAlarms - numPublic) / 3
+	if numPublic > oneShot {
+		numPublic = oneShot
+	}
+	// Non-public one-shot alarms split private:shared = 2:1 (paper §5.1).
+	numShared := (oneShot - numPublic) / 3
 	for i := 0; i < cfg.NumAlarms; i++ {
 		side := cfg.AlarmMinSide + rng.Float64()*(cfg.AlarmMaxSide-cfg.AlarmMinSide)
 		target := geom.Pt(
 			bounds.MinX+rng.Float64()*bounds.Width(),
 			bounds.MinY+rng.Float64()*bounds.Height(),
 		)
-		a := alarm.Alarm{
-			Owner:  alarm.UserID(rng.Intn(cfg.Vehicles) + 1),
-			Region: geom.RectAround(target, side),
+		owner := alarm.UserID(rng.Intn(cfg.Vehicles) + 1)
+		switch {
+		case i >= oneShot+numCont+numPair:
+			// Composite risk zone: both factors must overlap at the
+			// target to clear the threshold.
+			alarms = append(alarms, alarm.Alarm{
+				Scope: alarm.Private, Owner: owner, Kind: alarm.KindComposite,
+				Factors: []alarm.Factor{
+					{Region: geom.RectAround(target, side), Weight: 0.6},
+					{Center: target, Radius: side / 2, Weight: 0.6},
+				},
+				Threshold: 1.0,
+			})
+			continue
+		case i >= oneShot+numCont:
+			// Pair proximity: the region is derived from the anchor's
+			// position at evaluation time, never generated here.
+			anchor := alarm.UserID(rng.Intn(cfg.Vehicles) + 1)
+			for anchor == owner {
+				anchor = alarm.UserID(rng.Intn(cfg.Vehicles) + 1)
+			}
+			alarms = append(alarms, alarm.Alarm{
+				Scope: alarm.Shared, Owner: owner, Subscribers: []alarm.UserID{owner},
+				Kind: alarm.KindPair, Anchor: anchor, Radius: side,
+			})
+			continue
+		case i >= oneShot:
+			alarms = append(alarms, alarm.Alarm{
+				Scope: alarm.Private, Owner: owner, Kind: alarm.KindContinuous,
+				Region: geom.RectAround(target, side),
+			})
+			continue
 		}
+		a := alarm.Alarm{Owner: owner, Region: geom.RectAround(target, side)}
 		switch {
 		case i < numPublic:
 			a.Scope = alarm.Public

@@ -30,6 +30,15 @@ const (
 	recFiredAck = 6 // client acknowledged firings, leaving pendingFired
 	recExpire   = 7 // idle reliable session reaped by the TTL sweep
 	recEpoch    = 8 // partition-map epoch this shard last served (clustering)
+	// recTransition logs one lifecycle transition event (packed per
+	// alarm.PackEvent): replay advances the machine and, when the event
+	// was delivered to a reliable session, re-enters it into the pending
+	// set like a FiredRec entry.
+	recTransition = 9
+	// recAlarmExpire logs a composite alarm GC'd at its TTL: replay
+	// removes the alarm (and its firings) so recovery never resurrects
+	// an expired alarm.
+	recAlarmExpire = 10
 )
 
 // Codec errors.
@@ -104,6 +113,26 @@ type EpochRec struct {
 	Epoch uint64
 }
 
+// TransitionRec logs one lifecycle transition event for a user: a
+// continuous/pair enter or exit, or a composite severity firing, packed
+// per alarm.PackEvent. Tick is the logical tick the transition happened
+// at (the cooldown anchor). Delivered marks events that entered a
+// reliable session's pending set — replay re-adds exactly those;
+// state-sync records (handoff import, shard adoption) log with
+// Delivered false so no phantom redelivery is created.
+type TransitionRec struct {
+	User      uint64
+	Event     uint64
+	Tick      uint64
+	Delivered bool
+}
+
+// AlarmExpireRec logs a composite alarm reaped at its TTL tick: replay
+// removes the alarm, its fired pairs and its lifecycle machines.
+type AlarmExpireRec struct {
+	ID alarm.ID
+}
+
 func (r InstallRec) appendTo(dst []byte) []byte {
 	a := r.Alarm
 	dst = append(dst, recInstall)
@@ -117,6 +146,20 @@ func (r InstallRec) appendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(a.Subscribers)))
 	for _, s := range a.Subscribers {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(s))
+	}
+	dst = append(dst, byte(a.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, a.Cooldown)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(a.Anchor))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(a.Radius))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(a.Threshold))
+	dst = binary.BigEndian.AppendUint64(dst, a.ExpiresAt)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(a.Factors)))
+	for _, f := range a.Factors {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Center.X))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Center.Y))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Radius))
+		dst = appendRect(dst, f.Region)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Weight))
 	}
 	return dst
 }
@@ -155,6 +198,23 @@ func (r ExpireRec) appendTo(dst []byte) []byte {
 func (r EpochRec) appendTo(dst []byte) []byte {
 	dst = append(dst, recEpoch)
 	return binary.BigEndian.AppendUint64(dst, r.Epoch)
+}
+
+func (r TransitionRec) appendTo(dst []byte) []byte {
+	dst = append(dst, recTransition)
+	dst = binary.BigEndian.AppendUint64(dst, r.User)
+	dst = binary.BigEndian.AppendUint64(dst, r.Event)
+	dst = binary.BigEndian.AppendUint64(dst, r.Tick)
+	var b byte
+	if r.Delivered {
+		b = 1
+	}
+	return append(dst, b)
+}
+
+func (r AlarmExpireRec) appendTo(dst []byte) []byte {
+	dst = append(dst, recAlarmExpire)
+	return binary.BigEndian.AppendUint64(dst, uint64(r.ID))
 }
 
 func appendUserIDs(dst []byte, tag byte, user uint64, ids []uint64) []byte {
@@ -198,6 +258,25 @@ func DecodeRecord(payload []byte) (Record, error) {
 		for i := uint32(0); i < n && r.err == nil; i++ {
 			a.Subscribers = append(a.Subscribers, alarm.UserID(r.u64()))
 		}
+		a.Kind = alarm.LifecycleKind(r.u8())
+		a.Cooldown = r.u32()
+		a.Anchor = alarm.UserID(r.u64())
+		a.Radius = r.f64()
+		a.Threshold = r.f64()
+		a.ExpiresAt = r.u64()
+		nf := r.u32()
+		// Each encoded factor is 64 bytes.
+		if r.err == nil && uint64(nf)*64 > uint64(len(r.buf)-r.pos) {
+			return nil, fmt.Errorf("%w: factor count %d exceeds payload", ErrBadRecord, nf)
+		}
+		for i := uint32(0); i < nf && r.err == nil; i++ {
+			a.Factors = append(a.Factors, alarm.Factor{
+				Center: geom.Point{X: r.f64(), Y: r.f64()},
+				Radius: r.f64(),
+				Region: r.rect(),
+				Weight: r.f64(),
+			})
+		}
 		rec = InstallRec{Alarm: a}
 	case recRemove:
 		rec = RemoveRec{ID: alarm.ID(r.u64())}
@@ -221,6 +300,10 @@ func DecodeRecord(payload []byte) (Record, error) {
 		rec = ExpireRec{User: r.u64()}
 	case recEpoch:
 		rec = EpochRec{Epoch: r.u64()}
+	case recTransition:
+		rec = TransitionRec{User: r.u64(), Event: r.u64(), Tick: r.u64(), Delivered: r.u8() != 0}
+	case recAlarmExpire:
+		rec = AlarmExpireRec{ID: alarm.ID(r.u64())}
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
 	}

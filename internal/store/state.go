@@ -33,6 +33,16 @@ type ClientRec struct {
 	// session (zero for non-cluster sessions). The importer uses it to
 	// stamp Redirects so stale-epoch clients can be told the map moved.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Lifecycle carries the user's continuous/pair machines across a
+	// session handoff, so the importing shard resumes every Armed/Inside
+	// phase and occurrence count. Populated only in exported session
+	// records — registry-wide lifecycle state lives in State.Lifecycle.
+	Lifecycle []alarm.LifecycleState `json:"lifecycle,omitempty"`
+	// LastSeq is the newest report sequence the exporting shard accepted.
+	// The importer seeds its stale-report gate with it, so a queued resend
+	// that chases the session across a handoff cannot replay an old
+	// position into the lifecycle machines as if it were fresh.
+	LastSeq uint32 `json:"lastSeq,omitempty"`
 }
 
 // SessionRec maps one resume token to its user.
@@ -56,6 +66,9 @@ type State struct {
 	// Epoch is the highest partition-map epoch this shard has served
 	// (zero outside a cluster). Epochs only move forward.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Lifecycle holds every mid-flight continuous/pair machine
+	// (Inside/Armed phase + occurrence counts), sorted by (alarm, user).
+	Lifecycle []alarm.LifecycleState `json:"lifecycle,omitempty"`
 }
 
 // snapshotFile is the on-disk envelope around a State.
@@ -68,12 +81,19 @@ type snapshotFile struct {
 type stateBuilder struct {
 	alarms     map[alarm.ID]alarm.Alarm
 	fired      map[alarm.FiredPair]struct{}
+	lifecycle  map[lcKey]alarm.LifecycleState
 	clients    map[uint64]*ClientRec
 	sessions   map[uint64]uint64 // token -> user
 	nextID     uint64
 	lastToken  uint64
 	epoch      uint64
 	pendingCap int
+}
+
+// lcKey identifies one lifecycle machine: (alarm, user).
+type lcKey struct {
+	alarm alarm.ID
+	user  uint64
 }
 
 func newBuilder(base *State, pendingCap int) *stateBuilder {
@@ -83,6 +103,7 @@ func newBuilder(base *State, pendingCap int) *stateBuilder {
 	b := &stateBuilder{
 		alarms:     make(map[alarm.ID]alarm.Alarm),
 		fired:      make(map[alarm.FiredPair]struct{}),
+		lifecycle:  make(map[lcKey]alarm.LifecycleState),
 		clients:    make(map[uint64]*ClientRec),
 		sessions:   make(map[uint64]uint64),
 		nextID:     1,
@@ -102,6 +123,9 @@ func newBuilder(base *State, pendingCap int) *stateBuilder {
 	}
 	for _, p := range base.Fired {
 		b.fired[p] = struct{}{}
+	}
+	for _, st := range base.Lifecycle {
+		b.lifecycle[lcKey{st.Alarm, st.User}] = st
 	}
 	for _, c := range base.Clients {
 		cc := c
@@ -128,6 +152,10 @@ func (b *stateBuilder) apply(rec Record) {
 		}
 	case RemoveRec:
 		delete(b.alarms, r.ID)
+		b.dropLifecycle(r.ID)
+	case AlarmExpireRec:
+		delete(b.alarms, r.ID)
+		b.dropLifecycle(r.ID)
 	case RegisterRec:
 		b.clients[r.User] = &ClientRec{User: r.User, Strategy: r.Strategy, MaxHeight: r.MaxHeight}
 	case HelloRec:
@@ -146,14 +174,42 @@ func (b *stateBuilder) apply(rec Record) {
 	case FiredRec:
 		cl := b.clients[r.User]
 		for _, id := range r.Alarms {
-			b.fired[alarm.FiredPair{Alarm: alarm.ID(id), User: r.User}] = struct{}{}
+			// Ids may be packed lifecycle events (carried pending firings
+			// logged on session import). Only one-shot firings and
+			// composite severity events mark a fired pair; enter/exit
+			// events re-arm and must never suppress future evaluation.
+			switch alarm.EventTransition(id) {
+			case alarm.TransFired:
+				b.fired[alarm.FiredPair{Alarm: alarm.ID(id), User: r.User}] = struct{}{}
+			case alarm.TransSeverity:
+				b.fired[alarm.FiredPair{Alarm: alarm.EventAlarm(id), User: r.User}] = struct{}{}
+			}
 			if cl != nil && cl.Reliable && !containsID(cl.PendingFired, id) {
 				cl.PendingFired = append(cl.PendingFired, id)
 			}
 		}
-		if cl != nil && len(cl.PendingFired) > b.pendingCap {
-			drop := len(cl.PendingFired) - b.pendingCap
-			cl.PendingFired = append(cl.PendingFired[:0], cl.PendingFired[drop:]...)
+		b.capPending(cl)
+	case TransitionRec:
+		switch alarm.EventTransition(r.Event) {
+		case alarm.TransSeverity:
+			b.fired[alarm.FiredPair{Alarm: alarm.EventAlarm(r.Event), User: r.User}] = struct{}{}
+		case alarm.TransEnter, alarm.TransExit:
+			if st, ok := alarm.TransitionState(alarm.UserID(r.User), r.Event, r.Tick); ok {
+				k := lcKey{st.Alarm, st.User}
+				// Progress is monotone per machine, so replaying out of
+				// snapshot order (or twice) keeps the furthest state.
+				if old, exists := b.lifecycle[k]; !exists || st.Progress() > old.Progress() {
+					b.lifecycle[k] = st
+				}
+			}
+		}
+		if r.Delivered {
+			if cl := b.clients[r.User]; cl != nil && cl.Reliable {
+				if !containsID(cl.PendingFired, r.Event) {
+					cl.PendingFired = append(cl.PendingFired, r.Event)
+				}
+				b.capPending(cl)
+			}
 		}
 	case FiredAckRec:
 		cl := b.clients[r.User]
@@ -185,6 +241,25 @@ func (b *stateBuilder) apply(rec Record) {
 	}
 }
 
+// dropLifecycle scrubs every lifecycle machine of one alarm, mirroring
+// what registry removal does in memory.
+func (b *stateBuilder) dropLifecycle(id alarm.ID) {
+	for k := range b.lifecycle {
+		if k.alarm == id {
+			delete(b.lifecycle, k)
+		}
+	}
+}
+
+// capPending enforces the per-session pending-firings bound, evicting
+// oldest first (same policy the engine applies).
+func (b *stateBuilder) capPending(cl *ClientRec) {
+	if cl != nil && len(cl.PendingFired) > b.pendingCap {
+		drop := len(cl.PendingFired) - b.pendingCap
+		cl.PendingFired = append(cl.PendingFired[:0], cl.PendingFired[drop:]...)
+	}
+}
+
 func containsID(s []uint64, id uint64) bool {
 	for _, v := range s {
 		if v == id {
@@ -209,6 +284,15 @@ func (b *stateBuilder) finish() *State {
 			return st.Fired[i].Alarm < st.Fired[j].Alarm
 		}
 		return st.Fired[i].User < st.Fired[j].User
+	})
+	for _, st2 := range b.lifecycle {
+		st.Lifecycle = append(st.Lifecycle, st2)
+	}
+	sort.Slice(st.Lifecycle, func(i, j int) bool {
+		if st.Lifecycle[i].Alarm != st.Lifecycle[j].Alarm {
+			return st.Lifecycle[i].Alarm < st.Lifecycle[j].Alarm
+		}
+		return st.Lifecycle[i].User < st.Lifecycle[j].User
 	})
 	for _, c := range b.clients {
 		st.Clients = append(st.Clients, *c)
@@ -286,7 +370,9 @@ func readSnapshot(r io.Reader) (*State, error) {
 	}
 	for i := range f.State.Alarms {
 		a := &f.State.Alarms[i]
-		if a.Region.Empty() {
+		// Pair alarms have no static region — their trigger zone moves
+		// with the anchor — so an empty region is only valid for them.
+		if a.Region.Empty() && a.Kind != alarm.KindPair {
 			return nil, fmt.Errorf("store: snapshot alarm %d has empty region %v", a.ID, a.Region)
 		}
 		switch a.Scope {

@@ -15,14 +15,16 @@ func FuzzDecode(f *testing.F) {
 		Register{User: 42, Strategy: StrategyPBSR, MaxHeight: 5},
 		PositionUpdate{User: 7, Seq: 1234, Pos: geom.Pt(123.456, -9.75)},
 		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)},
+		RectRegion{Seq: 10, Rect: geom.R(1, 2, 3, 4), Cap: 6},
 		BitmapRegion{Seq: 3, Cell: geom.R(0, 0, 900, 900), U: 3, V: 3, Height: 4,
 			NBits: 19, Data: []byte{0xAB, 0xCD, 0xE0}},
-		AlarmPush{Seq: 5, Cell: geom.R(0, 0, 100, 100), Alarms: []AlarmInfo{
+		AlarmPush{Seq: 5, Cell: geom.R(0, 0, 100, 100), Cap: 12, Alarms: []AlarmInfo{
 			{ID: 1, Region: geom.R(1, 1, 2, 2)},
 		}},
 		SafePeriod{Seq: 8, Ticks: 300},
 		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
 		Ack{Seq: 77},
+		Ack{Seq: 78, Cap: 1},
 		Hello{User: 42, Token: 0xFEEDC0FFEE, Strategy: StrategyMWPSR, MaxHeight: 5},
 		Hello{User: 1}, // fresh session, zero token
 		Resume{Token: 0xFEEDC0FFEE, Resumed: true},
@@ -43,6 +45,16 @@ func FuzzDecode(f *testing.F) {
 			{User: 1, Msgs: []Message{AlarmFired{Seq: 2, Alarms: []uint64{5}}, Ack{Seq: 2}}},
 			{User: 9, Msgs: []Message{RectRegion{Seq: 3, Rect: geom.R(1, 2, 3, 4)}}},
 		}},
+		InstallContinuous{Owner: 4, Subscribers: []uint64{5, 6}, Region: geom.R(10, 10, 40, 40), Cooldown: 12},
+		InstallContinuous{Owner: 4, Region: geom.R(0, 0, 5, 5)},
+		InstallPair{Owner: 3, Anchor: 8, Radius: 150.5, Cooldown: 4},
+		InstallPair{},
+		InstallComposite{Owner: 2, Subscribers: []uint64{7}, Factors: []FactorInfo{
+			{Center: geom.Pt(100, 100), Radius: 30, Weight: 0.6},
+			{Region: geom.R(50, 50, 90, 90), Weight: 0.5},
+		}, Threshold: 1.0, ExpiresAt: 400},
+		InstallComposite{},
+		InstallReply{ID: 17},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -70,6 +82,14 @@ func FuzzDecode(f *testing.F) {
 		0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 0})
 	f.Add(append([]byte{byte(KindBatchReply), 0, 0, 0, 1, // nested batch inside reply
 		0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 5}, Encode(UpdateBatch{})...))
+	f.Add([]byte{byte(KindInstallContinuous)})                        // kind byte only
+	f.Add([]byte{byte(KindInstallContinuous), 0, 0, 0, 0, 0, 0, 0, 4, // oversized subscriber count
+		0x7F, 0xFF, 0xFF, 0xFF})
+	f.Add(Encode(InstallPair{Owner: 3, Anchor: 8, Radius: 150.5})[:9]) // truncated InstallPair
+	f.Add([]byte{byte(KindInstallComposite)})                          // kind byte only
+	f.Add([]byte{byte(KindInstallComposite), 0, 0, 0, 0, 0, 0, 0, 2,   // oversized factor count
+		0, 0, 0, 0, 0x7F, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{byte(KindInstallReply), 0, 0, 0, 1}) // truncated InstallReply
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"github.com/sabre-geo/sabre/internal/geom"
+)
+
+// Typed install messages for the lifecycle alarm kinds (DESIGN.md §15).
+// Each installs one alarm owned by the sending user and is answered by an
+// InstallReply carrying the assigned alarm ID. The resulting firings
+// arrive as AlarmFired ids carrying packed transition events: bits 0..39
+// alarm ID, bits 40..42 transition (0 one-shot, 1 enter, 2 exit,
+// 3 severity), bits 43..63 occurrence count or quantized severity
+// (alarm.PackEvent). A one-shot firing is numerically the raw alarm ID,
+// so legacy clients are unaffected.
+
+// InstallContinuous installs a continuous (enter/exit, re-arming) alarm
+// for the owner, optionally shared with subscribers. Cooldown is the
+// re-arm delay in ticks after an exit.
+type InstallContinuous struct {
+	Owner       uint64
+	Subscribers []uint64
+	Region      geom.Rect
+	Cooldown    uint32
+}
+
+// Kind implements Message.
+func (InstallContinuous) Kind() Kind { return KindInstallContinuous }
+
+func (m InstallContinuous) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Owner)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Subscribers)))
+	for _, s := range m.Subscribers {
+		dst = binary.BigEndian.AppendUint64(dst, s)
+	}
+	dst = appendRect(dst, m.Region)
+	return binary.BigEndian.AppendUint32(dst, m.Cooldown)
+}
+
+// InstallPair installs a moving-anchor proximity alarm between two mobile
+// endpoints: it fires (enter) when Owner and Anchor come within Radius
+// meters of each other and again (exit) when they separate, on both
+// endpoints. Cooldown is the re-arm delay in ticks after an exit.
+type InstallPair struct {
+	Owner    uint64
+	Anchor   uint64
+	Radius   float64
+	Cooldown uint32
+}
+
+// Kind implements Message.
+func (InstallPair) Kind() Kind { return KindInstallPair }
+
+func (m InstallPair) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Owner)
+	dst = binary.BigEndian.AppendUint64(dst, m.Anchor)
+	dst = appendFloat(dst, m.Radius)
+	return binary.BigEndian.AppendUint32(dst, m.Cooldown)
+}
+
+// FactorInfo is one weighted risk factor of a composite alarm: a circle
+// when Radius > 0, otherwise the rect.
+type FactorInfo struct {
+	Center geom.Point
+	Radius float64
+	Region geom.Rect
+	Weight float64
+}
+
+// InstallComposite installs a composite risk-zone alarm: it fires once
+// per subscriber when the summed weight of the factors containing the
+// user's position reaches Threshold, and expires (is GC'd server-side)
+// at logical tick ExpiresAt (0 = never).
+type InstallComposite struct {
+	Owner       uint64
+	Subscribers []uint64
+	Factors     []FactorInfo
+	Threshold   float64
+	ExpiresAt   uint64
+}
+
+// Kind implements Message.
+func (InstallComposite) Kind() Kind { return KindInstallComposite }
+
+func (m InstallComposite) appendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Owner)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Subscribers)))
+	for _, s := range m.Subscribers {
+		dst = binary.BigEndian.AppendUint64(dst, s)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Factors)))
+	for _, f := range m.Factors {
+		dst = appendFloat(dst, f.Center.X)
+		dst = appendFloat(dst, f.Center.Y)
+		dst = appendFloat(dst, f.Radius)
+		dst = appendRect(dst, f.Region)
+		dst = appendFloat(dst, f.Weight)
+	}
+	dst = appendFloat(dst, m.Threshold)
+	return binary.BigEndian.AppendUint64(dst, m.ExpiresAt)
+}
+
+// InstallReply answers a typed install: the assigned alarm ID, or 0 when
+// the server rejected the alarm.
+type InstallReply struct {
+	ID uint64
+}
+
+// Kind implements Message.
+func (InstallReply) Kind() Kind { return KindInstallReply }
+
+func (m InstallReply) appendTo(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.ID)
+}
+
+// sizeFactor is the encoded size of one FactorInfo.
+const sizeFactor = 8 + 8 + 8 + 32 + 8

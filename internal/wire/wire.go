@@ -44,6 +44,10 @@ const (
 	KindRedirect
 	KindUpdateBatch
 	KindBatchReply
+	KindInstallContinuous
+	KindInstallPair
+	KindInstallComposite
+	KindInstallReply
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +83,14 @@ func (k Kind) String() string {
 		return "update-batch"
 	case KindBatchReply:
 		return "batch-reply"
+	case KindInstallContinuous:
+		return "install-continuous"
+	case KindInstallPair:
+		return "install-pair"
+	case KindInstallComposite:
+		return "install-composite"
+	case KindInstallReply:
+		return "install-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -164,9 +176,16 @@ func (m PositionUpdate) appendTo(dst []byte) []byte {
 }
 
 // RectRegion ships a rectangular safe region (MWPSR) to the client.
+//
+// Cap time-limits the region for pair-alarm endpoints: 0 means no cap,
+// v > 0 means the proof expires v-1 ticks after receipt (a static region
+// is never sound against a moving partner, so the cap must travel IN the
+// region message — a separately shipped cap can be dropped independently,
+// leaving the client provably safe forever on a region that is not).
 type RectRegion struct {
 	Seq  uint32
 	Rect geom.Rect
+	Cap  uint32
 }
 
 // Kind implements Message.
@@ -174,16 +193,19 @@ func (RectRegion) Kind() Kind { return KindRectRegion }
 
 func (m RectRegion) appendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
-	return appendRect(dst, m.Rect)
+	dst = appendRect(dst, m.Rect)
+	return binary.BigEndian.AppendUint32(dst, m.Cap)
 }
 
 // BitmapRegion ships a bitmap-encoded safe region (GBSR/PBSR).
+// Cap has RectRegion's pair-endpoint expiry semantics (0 = none).
 type BitmapRegion struct {
 	Seq    uint32
 	Cell   geom.Rect
 	U, V   uint8
 	Height uint8
 	NBits  uint32
+	Cap    uint32
 	Data   []byte
 }
 
@@ -195,6 +217,7 @@ func (m BitmapRegion) appendTo(dst []byte) []byte {
 	dst = appendRect(dst, m.Cell)
 	dst = append(dst, m.U, m.V, m.Height)
 	dst = binary.BigEndian.AppendUint32(dst, m.NBits)
+	dst = binary.BigEndian.AppendUint32(dst, m.Cap)
 	return append(dst, m.Data...)
 }
 
@@ -229,10 +252,13 @@ type AlarmInfo struct {
 
 // AlarmPush ships the client's grid cell and every relevant alarm
 // intersecting it (the OPT approach of paper §4: the client gets complete
-// knowledge of its vicinity).
+// knowledge of its vicinity). Cap has RectRegion's pair-endpoint expiry
+// semantics (0 = none) — even full alarm knowledge cannot evaluate a pair
+// locally, since the partner's position lives on the server.
 type AlarmPush struct {
 	Seq    uint32
 	Cell   geom.Rect
+	Cap    uint32
 	Alarms []AlarmInfo
 }
 
@@ -242,6 +268,7 @@ func (AlarmPush) Kind() Kind { return KindAlarmPush }
 func (m AlarmPush) appendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
 	dst = appendRect(dst, m.Cell)
+	dst = binary.BigEndian.AppendUint32(dst, m.Cap)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Alarms)))
 	for _, a := range m.Alarms {
 		dst = binary.BigEndian.AppendUint64(dst, a.ID)
@@ -288,15 +315,21 @@ func (m AlarmFired) appendTo(dst []byte) []byte {
 // without triggering anything: the paper's §4.2 prescribes no safe region
 // recomputation there, and the 5-byte Ack is what keeps PBSR's downstream
 // bandwidth the lowest of all approaches (Figure 6(b)).
+//
+// Cap carries RectRegion's pair-endpoint expiry (0 = none): "state
+// unchanged" still re-arms the time limit on a pair endpoint's region, and
+// the limit must ride in the same message to survive lossy links.
 type Ack struct {
 	Seq uint32
+	Cap uint32
 }
 
 // Kind implements Message.
 func (Ack) Kind() Kind { return KindAck }
 
 func (m Ack) appendTo(dst []byte) []byte {
-	return binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	return binary.BigEndian.AppendUint32(dst, m.Cap)
 }
 
 // Hello opens (Token == 0) or resumes (Token != 0) a fault-tolerant
@@ -528,15 +561,15 @@ func EncodedSize(m Message) int {
 	case PositionUpdate, *PositionUpdate:
 		return SizePositionUpdate
 	case RectRegion, *RectRegion:
-		return 1 + 4 + 32
+		return 1 + 4 + 32 + 4
 	case BitmapRegion:
-		return 1 + 4 + 32 + 3 + 4 + len(v.Data)
+		return 1 + 4 + 32 + 3 + 4 + 4 + len(v.Data)
 	case *BitmapRegion:
-		return 1 + 4 + 32 + 3 + 4 + len(v.Data)
+		return 1 + 4 + 32 + 3 + 4 + 4 + len(v.Data)
 	case AlarmPush:
-		return 1 + 4 + 32 + 4 + len(v.Alarms)*40
+		return 1 + 4 + 32 + 4 + 4 + len(v.Alarms)*40
 	case *AlarmPush:
-		return 1 + 4 + 32 + 4 + len(v.Alarms)*40
+		return 1 + 4 + 32 + 4 + 4 + len(v.Alarms)*40
 	case SafePeriod, *SafePeriod:
 		return 1 + 4 + 4
 	case AlarmFired:
@@ -544,7 +577,7 @@ func EncodedSize(m Message) int {
 	case *AlarmFired:
 		return 1 + 4 + 4 + len(v.Alarms)*8
 	case Ack, *Ack:
-		return 1 + 4
+		return 1 + 4 + 4
 	case Hello:
 		return 1 + 8 + 8 + 2
 	case Resume:
@@ -563,6 +596,14 @@ func EncodedSize(m Message) int {
 		return sizeBatchReply(v.Entries)
 	case *BatchReply:
 		return sizeBatchReply(v.Entries)
+	case InstallContinuous:
+		return 1 + 8 + 4 + len(v.Subscribers)*8 + 32 + 4
+	case InstallPair:
+		return 1 + 8 + 8 + 8 + 4
+	case InstallComposite:
+		return 1 + 8 + 4 + len(v.Subscribers)*8 + 4 + len(v.Factors)*sizeFactor + 8 + 8
+	case InstallReply:
+		return 1 + 8
 	default:
 		return len(Encode(m))
 	}
@@ -592,13 +633,13 @@ func Decode(buf []byte) (Message, error) {
 	case KindPositionUpdate:
 		m = PositionUpdate{User: r.u64(), Seq: r.u32(), Pos: geom.Pt(r.f64(), r.f64())}
 	case KindRectRegion:
-		m = RectRegion{Seq: r.u32(), Rect: r.rect()}
+		m = RectRegion{Seq: r.u32(), Rect: r.rect(), Cap: r.u32()}
 	case KindBitmapRegion:
-		bm := BitmapRegion{Seq: r.u32(), Cell: r.rect(), U: r.u8(), V: r.u8(), Height: r.u8(), NBits: r.u32()}
+		bm := BitmapRegion{Seq: r.u32(), Cell: r.rect(), U: r.u8(), V: r.u8(), Height: r.u8(), NBits: r.u32(), Cap: r.u32()}
 		bm.Data = r.rest()
 		m = bm
 	case KindAlarmPush:
-		ap := AlarmPush{Seq: r.u32(), Cell: r.rect()}
+		ap := AlarmPush{Seq: r.u32(), Cell: r.rect(), Cap: r.u32()}
 		n := r.u32()
 		if r.err == nil && uint64(n)*40 > uint64(len(r.buf)-r.pos)+40 {
 			return nil, ErrTruncated
@@ -611,7 +652,7 @@ func Decode(buf []byte) (Message, error) {
 	case KindSafePeriod:
 		m = SafePeriod{Seq: r.u32(), Ticks: r.u32()}
 	case KindAck:
-		m = Ack{Seq: r.u32()}
+		m = Ack{Seq: r.u32(), Cap: r.u32()}
 	case KindAlarmFired:
 		af := AlarmFired{Seq: r.u32()}
 		n := r.u32()
@@ -703,6 +744,35 @@ func Decode(buf []byte) (Message, error) {
 			br.Entries = append(br.Entries, e)
 		}
 		m = br
+	case KindInstallContinuous:
+		ic := InstallContinuous{Owner: r.u64()}
+		ic.Subscribers = r.u64s()
+		ic.Region = r.rect()
+		ic.Cooldown = r.u32()
+		m = ic
+	case KindInstallPair:
+		m = InstallPair{Owner: r.u64(), Anchor: r.u64(), Radius: r.f64(), Cooldown: r.u32()}
+	case KindInstallComposite:
+		co := InstallComposite{Owner: r.u64()}
+		co.Subscribers = r.u64s()
+		n := r.u32()
+		if r.err == nil && uint64(n)*sizeFactor > uint64(len(r.buf)-r.pos) {
+			return nil, ErrTruncated
+		}
+		co.Factors = make([]FactorInfo, 0, n)
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			co.Factors = append(co.Factors, FactorInfo{
+				Center: geom.Pt(r.f64(), r.f64()),
+				Radius: r.f64(),
+				Region: r.rect(),
+				Weight: r.f64(),
+			})
+		}
+		co.Threshold = r.f64()
+		co.ExpiresAt = r.u64()
+		m = co
+	case KindInstallReply:
+		m = InstallReply{ID: r.u64()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, buf[0])
 	}
@@ -782,6 +852,23 @@ func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 
 func (r *reader) rect() geom.Rect {
 	return geom.Rect{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+}
+
+// u64s reads a u32-counted list of u64s with the usual count-vs-remaining
+// guard.
+func (r *reader) u64s() []uint64 {
+	n := r.u32()
+	if r.err == nil && uint64(n)*8 > uint64(len(r.buf)-r.pos) {
+		r.err = ErrTruncated
+	}
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.u64())
+	}
+	return out
 }
 
 func (r *reader) rest() []byte {

@@ -29,16 +29,16 @@ func TestRoundTripAllKinds(t *testing.T) {
 	msgs := []Message{
 		Register{User: 42, Strategy: StrategyPBSR, MaxHeight: 5},
 		PositionUpdate{User: 7, Seq: 1234, Pos: geom.Pt(123.456, -9.75)},
-		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)},
+		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4), Cap: 41},
 		BitmapRegion{Seq: 3, Cell: geom.R(0, 0, 900, 900), U: 3, V: 3, Height: 4,
-			NBits: 19, Data: []byte{0xAB, 0xCD, 0xE0}},
-		AlarmPush{Seq: 5, Cell: geom.R(0, 0, 100, 100), Alarms: []AlarmInfo{
+			NBits: 19, Cap: 7, Data: []byte{0xAB, 0xCD, 0xE0}},
+		AlarmPush{Seq: 5, Cell: geom.R(0, 0, 100, 100), Cap: 3, Alarms: []AlarmInfo{
 			{ID: 1, Region: geom.R(1, 1, 2, 2)},
 			{ID: 99, Region: geom.R(50, 50, 60, 60)},
 		}},
 		SafePeriod{Seq: 8, Ticks: 300},
 		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
-		Ack{Seq: 11},
+		Ack{Seq: 11, Cap: 9},
 		Hello{User: 42, Token: 0xDEADBEEF01, Strategy: StrategyMWPSR, MaxHeight: 3},
 		Resume{Token: 0xDEADBEEF01, Resumed: true},
 		Resume{Token: 7},
@@ -57,6 +57,14 @@ func TestRoundTripAllKinds(t *testing.T) {
 			}},
 			{User: 9, Msgs: []Message{Ack{Seq: 8}}},
 		}},
+		InstallContinuous{Owner: 4, Subscribers: []uint64{5, 6}, Region: geom.R(10, 10, 40, 40), Cooldown: 12},
+		InstallContinuous{Owner: 4, Region: geom.R(0, 0, 5, 5)},
+		InstallPair{Owner: 3, Anchor: 8, Radius: 150.5, Cooldown: 4},
+		InstallComposite{Owner: 2, Subscribers: []uint64{7}, Factors: []FactorInfo{
+			{Center: geom.Pt(100, 100), Radius: 30, Weight: 0.6},
+			{Region: geom.R(50, 50, 90, 90), Weight: 0.5},
+		}, Threshold: 1.0, ExpiresAt: 400},
+		InstallReply{ID: 17},
 	}
 	for _, m := range msgs {
 		t.Run(m.Kind().String(), func(t *testing.T) {
@@ -116,6 +124,12 @@ func TestDecodeErrors(t *testing.T) {
 		BatchReply{Entries: []BatchEntry{
 			{User: 1, Msgs: []Message{AlarmFired{Seq: 2, Alarms: []uint64{5}}, Ack{Seq: 2}}},
 		}},
+		InstallContinuous{Owner: 4, Subscribers: []uint64{5}, Region: geom.R(10, 10, 40, 40), Cooldown: 2},
+		InstallPair{Owner: 3, Anchor: 8, Radius: 150.5, Cooldown: 4},
+		InstallComposite{Owner: 2, Subscribers: []uint64{7}, Factors: []FactorInfo{
+			{Center: geom.Pt(100, 100), Radius: 30, Weight: 0.6},
+		}, Threshold: 1.0, ExpiresAt: 400},
+		InstallReply{ID: 17},
 	}
 	for _, m := range msgs {
 		full := Encode(m)
@@ -132,8 +146,8 @@ func TestHostileLengthPrefix(t *testing.T) {
 	// allocating.
 	m := AlarmPush{Seq: 1, Cell: geom.R(0, 0, 1, 1)}
 	buf := Encode(m)
-	// Overwrite the count field (after kind+seq+cell = 1+4+32 bytes).
-	buf[37], buf[38], buf[39], buf[40] = 0x7F, 0xFF, 0xFF, 0xFF
+	// Overwrite the count field (after kind+seq+cell+cap = 1+4+32+4 bytes).
+	buf[41], buf[42], buf[43], buf[44] = 0x7F, 0xFF, 0xFF, 0xFF
 	if _, err := Decode(buf); err == nil {
 		t.Error("hostile alarm count accepted")
 	}
@@ -319,9 +333,9 @@ func BenchmarkDecodeUpdateBatch(b *testing.B) {
 func hotPathMessages() []Message {
 	return []Message{
 		PositionUpdate{User: 7, Seq: 1, Pos: geom.Pt(123.4, 567.8)},
-		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)},
+		RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4), Cap: 41},
 		SafePeriod{Seq: 8, Ticks: 300},
-		Ack{Seq: 11},
+		Ack{Seq: 11, Cap: 9},
 		AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}},
 		Heartbeat{Nonce: 0xCAFE},
 		UpdateBatch{Updates: []PositionUpdate{
@@ -358,9 +372,9 @@ func TestDecodeAllocBudget(t *testing.T) {
 		budget float64
 	}{
 		{PositionUpdate{User: 7, Seq: 1, Pos: geom.Pt(123.4, 567.8)}, 1},
-		{RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4)}, 1},
+		{RectRegion{Seq: 9, Rect: geom.R(1, 2, 3, 4), Cap: 41}, 1},
 		{SafePeriod{Seq: 8, Ticks: 300}, 1},
-		{Ack{Seq: 11}, 1},
+		{Ack{Seq: 11, Cap: 9}, 1},
 		{Heartbeat{Nonce: 0xCAFE}, 1},
 		{AlarmFired{Seq: 2, Alarms: []uint64{5, 6, 7}}, 2},
 		{UpdateBatch{Updates: []PositionUpdate{{User: 1, Seq: 2, Pos: geom.Pt(3, 4)}}}, 2},
